@@ -1,0 +1,148 @@
+// Command hcfbench regenerates the paper's figures on the deterministic
+// simulator.
+//
+// Usage:
+//
+//	hcfbench -list                 # show all reproducible experiments
+//	hcfbench -fig 2c               # reproduce one figure
+//	hcfbench -fig all              # reproduce everything
+//	hcfbench -fig 5a -csv          # emit CSV for external plotting
+//	hcfbench -fig 2a -threads 1,8,36 -horizon 500000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hcf/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hcfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hcfbench", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list available figures and exit")
+		adaptFlg = fs.Bool("adaptive", false, "run the adaptive-controller comparison (§2.4 future work)")
+		realFlg  = fs.Bool("real", false, "run the figure's scenario on the real-concurrency backend (wall clock; meaningful on multicore hosts)")
+		realOps  = fs.Int("real-ops", 2000, "operations per thread in -real mode")
+		figID    = fs.String("fig", "", "figure id to reproduce, or 'all'")
+		horizon  = fs.Int64("horizon", 200_000, "virtual cycles per measurement")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		threads  = fs.String("threads", "", "comma-separated thread counts (override)")
+		engs     = fs.String("engines", "", "comma-separated engine names (override)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, f := range harness.Figures() {
+			fmt.Printf("%-14s %-18s %s\n", f.ID, f.Ref, f.Title)
+		}
+		return nil
+	}
+	if *adaptFlg {
+		ts := []int{18}
+		if *threads != "" {
+			var err error
+			if ts, err = parseInts(*threads); err != nil {
+				return err
+			}
+		}
+		fmt.Println("== adaptive (§2.4 future work): shifting workload, static vs adaptive budgets")
+		for _, t := range ts {
+			results, err := harness.RunAdaptiveComparison(t, harness.Config{Horizon: *horizon, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			if *csv {
+				fmt.Print(harness.FormatCSV(results))
+			} else {
+				fmt.Print(harness.FormatThroughputTable(results))
+			}
+		}
+		return nil
+	}
+	if *figID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -fig (or -list)")
+	}
+	var figs []harness.Figure
+	if *figID == "all" {
+		figs = harness.Figures()
+	} else {
+		f, err := harness.FigureByID(*figID)
+		if err != nil {
+			return err
+		}
+		figs = []harness.Figure{f}
+	}
+	cfg := harness.Config{Horizon: *horizon, Seed: *seed}
+	for i := range figs {
+		if *threads != "" {
+			ts, err := parseInts(*threads)
+			if err != nil {
+				return err
+			}
+			figs[i].Threads = ts
+		}
+		if *engs != "" {
+			figs[i].Engines = strings.Split(*engs, ",")
+		}
+		if *realFlg {
+			fmt.Printf("== %s on the real backend (wall clock, %d ops/thread)\n",
+				figs[i].ID, *realOps)
+			for _, t := range figs[i].Threads {
+				for _, e := range figs[i].Engines {
+					r, err := harness.RunPointReal(figs[i].Scenario, e, t, *realOps, cfg)
+					if err != nil {
+						return err
+					}
+					status := ""
+					if r.InvariantViolation != "" {
+						status = "  !! " + r.InvariantViolation
+					}
+					fmt.Printf("threads=%-3d %-8s %10.1f ops/ms (%v)%s\n",
+						t, e, r.Throughput, r.Elapsed.Round(time.Millisecond), status)
+				}
+			}
+			continue
+		}
+		results, err := harness.RunFigure(figs[i], cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Print(harness.FormatCSV(results))
+		} else {
+			fmt.Println(harness.FormatFigure(figs[i], results))
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad thread count %q: %w", p, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("thread count must be positive, got %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

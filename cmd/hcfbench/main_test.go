@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 8,36")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 36 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Error("zero accepted")
+	}
+	if _, err := parseInts("-3"); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRunListAndErrors(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list failed: %v", err)
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("missing -fig accepted")
+	}
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-fig", "2a", "-threads", "bad"}); err == nil {
+		t.Error("bad thread list accepted")
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	err := run([]string{"-fig", "stack", "-threads", "2", "-horizon", "5000",
+		"-engines", "Lock,HCF", "-csv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestFuzzSmall(t *testing.T) {
+	if err := run([]string{"-seeds", "2", "-ops", "15", "-threads", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzCounterScenario(t *testing.T) {
+	if err := run([]string{"-seeds", "2", "-ops", "15", "-threads", "4",
+		"-scenario", "counter", "-engines", "HCF,FC"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzErrors(t *testing.T) {
+	if err := run([]string{"-scenario", "nope", "-seeds", "1"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-engines", "nope", "-seeds", "1"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Command hcfstat runs one (scenario, engine, threads) configuration and
+// prints a deep behavioural report: throughput, HTM abort taxonomy, lock
+// and combining statistics, memory-system behaviour, and (for HCF) the
+// per-class phase breakdown.
+//
+// Usage:
+//
+//	hcfstat -scenario hashtable -find 40 -engine HCF -threads 18
+//	hcfstat -scenario avl -find 0 -theta 0.9 -engine TLE -threads 36
+//	hcfstat -scenario pqueue|stack|deque -engine FC -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcf/internal/core"
+	"hcf/internal/harness"
+	"hcf/internal/htm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hcfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hcfstat", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque")
+		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF")
+		threads  = fs.Int("threads", 18, "worker threads")
+		find     = fs.Int("find", 40, "find percentage (hashtable, avl)")
+		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
+		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sc harness.Scenario
+	switch *scenario {
+	case "hashtable":
+		sc = harness.HashTableScenario(*find, 16384)
+	case "avl":
+		sc = harness.AVLScenario(*find, 1024, *theta, harness.AVLCombining)
+	case "pqueue":
+		sc = harness.PQScenario(50, 1<<20, 4096)
+	case "stack":
+		sc = harness.StackScenario(1024)
+	case "deque":
+		sc = harness.DequeScenario(2048, true)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	res, err := harness.RunPoint(sc, *engName, *threads, harness.Config{
+		Horizon: *horizon,
+		Seed:    *seed,
+	})
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func report(r harness.Result) {
+	fmt.Printf("scenario    %s\n", r.Scenario)
+	fmt.Printf("engine      %s\n", r.Engine)
+	fmt.Printf("threads     %d\n", r.Threads)
+	fmt.Printf("ops         %d in %d cycles\n", r.Ops, r.Cycles)
+	fmt.Printf("throughput  %.1f ops/Mcycle\n\n", r.Throughput)
+
+	m := &r.Metrics
+	fmt.Printf("locks       L acquisitions: %d (%.4f/op), selection/aux: %d\n",
+		m.LockAcquisitions, perOp(m.LockAcquisitions, r.Ops), m.AuxAcquisitions)
+	fmt.Printf("combining   %d ops in %d sessions (degree %.2f)\n",
+		m.CombinedOps, m.CombinerSessions, m.CombiningDegree())
+
+	h := &m.HTM
+	fmt.Printf("htm         started %d, committed %d (%.1f%%)\n",
+		h.Started, h.Commits, pct(h.Commits, h.Started))
+	fmt.Printf("  aborts    total %d", h.TotalAborts())
+	for reason := htm.ReasonConflict; reason < htm.NumReasons; reason++ {
+		if h.Aborts[reason] > 0 {
+			fmt.Printf("  %s=%d", reason, h.Aborts[reason])
+		}
+	}
+	fmt.Println()
+
+	fmt.Printf("memory      loads %d, stores %d, L1 miss %.2f%% (coherence %d, cross-socket %d)\n\n",
+		r.Mem.Loads, r.Mem.Stores, 100*r.Mem.MissRate(),
+		r.Mem.CoherenceMisses, r.Mem.RemoteMisses)
+
+	if r.PhaseByClass != nil {
+		fmt.Println("phase completions by class:")
+		for c, phases := range r.PhaseByClass {
+			var total uint64
+			for _, p := range phases {
+				total += p
+			}
+			if total == 0 {
+				continue
+			}
+			fmt.Printf("  class %d:", c)
+			for p := 0; p < core.NumPhases; p++ {
+				fmt.Printf("  %s=%.1f%%", core.Phase(p), pct(phases[p], total))
+			}
+			fmt.Println()
+		}
+	}
+	if r.InvariantViolation != "" {
+		fmt.Printf("!! INVARIANT VIOLATION: %s\n", r.InvariantViolation)
+	}
+}
+
+func perOp(n, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(n) / float64(ops)
+}
+
+func pct(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllScenarios(t *testing.T) {
+	for _, sc := range []string{"hashtable", "avl", "pqueue", "stack", "deque"} {
+		if err := run([]string{"-scenario", sc, "-engine", "HCF", "-threads", "3",
+			"-horizon", "5000"}); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-engine", "nope", "-threads", "2", "-horizon", "5000"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command hcftrace runs a workload under HCF with lifecycle tracing and
+// prints where operations went: per-phase attempt outcomes with abort
+// reasons, self vs helped completions, combiner selection sizes, and
+// (optionally) a raw event timeline.
+//
+// Usage:
+//
+//	hcftrace -scenario hashtable -threads 18
+//	hcftrace -scenario pqueue -threads 12 -timeline 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"hcf/internal/core"
+	"hcf/internal/harness"
+	"hcf/internal/memsim"
+	"hcf/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hcftrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hcftrace", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque | sortedlist")
+		threads  = fs.Int("threads", 18, "worker threads")
+		find     = fs.Int("find", 40, "find percentage (hashtable, avl, sortedlist)")
+		horizon  = fs.Int64("horizon", 100_000, "virtual cycles")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		timeline = fs.Int("timeline", 0, "also print the first N raw events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sc harness.Scenario
+	switch *scenario {
+	case "hashtable":
+		sc = harness.HashTableScenario(*find, 4096)
+	case "avl":
+		sc = harness.AVLScenario(*find, 1024, 0.9, harness.AVLCombining)
+	case "pqueue":
+		sc = harness.PQScenario(50, 1<<20, 4096)
+	case "stack":
+		sc = harness.StackScenario(1024)
+	case "deque":
+		sc = harness.DequeScenario(2048, true)
+	case "sortedlist":
+		sc = harness.SortedListScenario(*find, 512)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	env := memsim.NewDet(memsim.DetConfig{Threads: *threads})
+	inst := sc.Setup(env, *seed)
+	fw, err := core.New(env, core.Config{
+		Policies:          inst.Policies,
+		HoldSelectionLock: inst.HoldSelectionLock,
+	})
+	if err != nil {
+		return err
+	}
+	col := &trace.Collector{Limit: 100_000}
+	fw.SetTracer(col)
+	env.ResetStats()
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(*seed, uint64(th.ID())+1))
+		for th.Now() < *horizon {
+			fw.Execute(th, inst.NextOp(rng))
+		}
+	})
+	fmt.Printf("scenario %s, %d threads, horizon %d cycles\n\n", sc.Name, *threads, *horizon)
+	fmt.Print(col.Summary())
+	if *timeline > 0 {
+		fmt.Printf("\nfirst %d events:\n%s", *timeline, col.FormatTimeline(*timeline))
+	}
+	if inst.Check != nil {
+		if msg := inst.Check(env.Boot()); msg != "" {
+			return fmt.Errorf("invariant violation: %s", msg)
+		}
+	}
+	return nil
+}

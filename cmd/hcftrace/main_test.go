@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range []string{"hashtable", "avl", "pqueue", "stack", "deque", "sortedlist"} {
+		if err := run([]string{"-scenario", sc, "-threads", "3", "-horizon", "5000"}); err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunTimelineAndErrors(t *testing.T) {
+	if err := run([]string{"-scenario", "pqueue", "-threads", "2", "-horizon", "4000",
+		"-timeline", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package hcf_test
+
+import (
+	"fmt"
+
+	"hcf"
+)
+
+// counterOp is a minimal operation: sequential code over simulated memory.
+type counterOp struct{ addr hcf.Addr }
+
+func (o counterOp) Apply(ctx hcf.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o counterOp) Class() int { return 0 }
+
+// Example shows the minimal HCF workflow: write sequential code, wrap it
+// in an Op, pick policies, execute concurrently.
+func Example() {
+	env := hcf.NewDetEnv(8)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+	}}})
+	if err != nil {
+		panic(err)
+	}
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 100; i++ {
+			fw.Execute(th, counterOp{addr: counter}) // exactly once, linearizable
+		}
+	})
+	fmt.Println(env.Boot().Load(counter))
+	// Output: 800
+}
+
+// ExampleNew_combining configures a combining RunMulti: eight hundred
+// contended increments execute, many of them batched by combiners.
+func ExampleNew_combining() {
+	env := hcf.NewDetEnv(12)
+	combine := func(ctx hcf.Ctx, ops []hcf.Op, res []uint64, done []bool) {
+		addr := ops[0].(counterOp).addr
+		v := ctx.Load(addr)
+		for i := range ops {
+			if !done[i] {
+				res[i] = v
+				v++
+				done[i] = true
+			}
+		}
+		ctx.Store(addr, v)
+	}
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   1,
+		TryVisibleTrials:   1,
+		TryCombiningTrials: 5,
+		RunMulti:           combine,
+	}}})
+	if err != nil {
+		panic(err)
+	}
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 50; i++ {
+			fw.Execute(th, counterOp{addr: counter})
+		}
+	})
+	m := fw.Metrics()
+	fmt.Println(env.Boot().Load(counter), m.CombiningDegree() > 1)
+	// Output: 600 true
+}
+
+// ExampleNewTLE runs the same operation under the TLE baseline.
+func ExampleNewTLE() {
+	env := hcf.NewDetEnv(4)
+	tle := hcf.NewTLE(env, hcf.BaselineOptions{})
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 25; i++ {
+			tle.Execute(th, counterOp{addr: counter})
+		}
+	})
+	fmt.Println(env.Boot().Load(counter))
+	// Output: 100
+}
+
+// ExampleFramework_SetTrials retunes speculation budgets on the fly — the
+// paper's dynamic reconfiguration, safe because budgets never affect
+// correctness.
+func ExampleFramework_SetTrials() {
+	env := hcf.NewDetEnv(2)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{TryPrivateTrials: 5}}})
+	if err != nil {
+		panic(err)
+	}
+	fw.SetTrials(0, 0, 0, 3) // stop speculating, go straight to combining
+	p, v, c := fw.Trials(0)
+	fmt.Println(p, v, c)
+	// Output: 0 0 3
+}

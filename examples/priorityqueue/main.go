@@ -1,0 +1,110 @@
+// Priority-queue example: the paper's §1 motivating scenario.
+//
+// A task scheduler where producers insert jobs with random priorities and
+// workers repeatedly extract the most urgent job. Inserts on a skip list
+// rarely conflict (they land at random positions) and run speculatively;
+// RemoveMins always conflict (they all want the head), so their HCF policy
+// skips speculation and goes straight to combining — one combiner extracts
+// a batch of minima in a single pass and distributes them.
+//
+// The example runs the same workload under TLE, FC and HCF at two thread
+// counts: with few threads TLE's optimism is enough, but as contention
+// grows TLE collapses into lock convoys while HCF keeps combining.
+//
+// Run with: go run ./examples/priorityqueue
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hcf"
+	"hcf/internal/seq/skiplist"
+)
+
+type outcome struct {
+	name       string
+	threads    int
+	ops        uint64
+	throughput float64
+	degree     float64
+	lockAcqs   uint64
+}
+
+func runOne(engineName string, threads int) outcome {
+	const horizon = 150_000 // virtual cycles
+	env := hcf.NewDetEnv(threads)
+	boot := env.Boot()
+	q := skiplist.New(boot)
+	pre := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 4096; i++ {
+		q.Insert(boot, pre.Uint64N(1<<20), skiplist.RandomLevel(pre))
+	}
+	var eng hcf.Engine
+	switch engineName {
+	case "TLE":
+		eng = hcf.NewTLE(env, hcf.BaselineOptions{})
+	case "FC":
+		eng = hcf.NewFC(env, hcf.BaselineOptions{Combine: skiplist.CombineMixed})
+	case "HCF":
+		fw, err := hcf.New(env, hcf.Config{Policies: skiplist.Policies()})
+		if err != nil {
+			panic(err)
+		}
+		eng = fw
+	}
+	env.ResetStats()
+	eng.ResetMetrics()
+	ops := make([]uint64, threads)
+	env.Run(func(th *hcf.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID()), 99))
+		for th.Now() < horizon {
+			if rng.IntN(2) == 0 {
+				eng.Execute(th, skiplist.InsertOp{
+					Q:     q,
+					Key:   rng.Uint64N(1 << 20),
+					Level: skiplist.RandomLevel(rng),
+				})
+			} else {
+				eng.Execute(th, skiplist.RemoveMinOp{Q: q})
+			}
+			ops[th.ID()]++
+		}
+	})
+	if msg := q.CheckInvariants(boot); msg != "" {
+		panic("queue corrupted: " + msg)
+	}
+	var total uint64
+	var maxNow int64
+	for t := 0; t < threads; t++ {
+		total += ops[t]
+		if now := env.Now(t); now > maxNow {
+			maxNow = now
+		}
+	}
+	m := eng.Metrics()
+	return outcome{
+		name:       engineName,
+		threads:    threads,
+		ops:        total,
+		throughput: float64(total) * 1e6 / float64(maxNow),
+		degree:     m.CombiningDegree(),
+		lockAcqs:   m.LockAcquisitions,
+	}
+}
+
+func main() {
+	fmt.Println("task scheduler: 50% Insert / 50% RemoveMin on a prefilled skip list")
+	fmt.Printf("\n%-8s %-6s %12s %14s %14s %10s\n",
+		"threads", "engine", "ops", "ops/Mcycle", "comb.degree", "lockAcqs")
+	for _, threads := range []int{8, 27} {
+		for _, name := range []string{"TLE", "FC", "HCF"} {
+			o := runOne(name, threads)
+			fmt.Printf("%-8d %-6s %12d %14.1f %14.1f %10d\n",
+				o.threads, o.name, o.ops, o.throughput, o.degree, o.lockAcqs)
+		}
+	}
+	fmt.Println("\nHCF batches conflicting RemoveMins through one combiner while",
+		"\nInserts keep running speculatively — as contention grows, TLE",
+		"\ncollapses into lock convoys while HCF keeps its throughput.")
+}

@@ -1,0 +1,175 @@
+// Quickstart: wrap your own sequential data structure with HCF.
+//
+// This example builds a tiny bank — an array of accounts in simulated
+// memory — and exposes two operations written as ordinary sequential code:
+// Deposit (hits one random account; rarely conflicts) and Sweep (moves
+// every account's balance to account 0; conflicts with everything, but many
+// Sweeps combine into one pass). It then runs a mixed workload under HCF
+// and under plain locking and prints what happened, illustrating the
+// framework's phase machinery without any data-structure package.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hcf"
+)
+
+const accounts = 64
+
+// bank is a fixed array of account balances, one per cache line.
+type bank struct {
+	base hcf.Addr
+}
+
+func newBank(ctx hcf.Ctx) *bank {
+	b := &bank{base: ctx.Alloc(accounts * hcf.WordsPerLine)}
+	for i := 0; i < accounts; i++ {
+		ctx.Store(b.addr(i), 0)
+	}
+	return b
+}
+
+func (b *bank) addr(i int) hcf.Addr { return b.base + hcf.Addr(i*hcf.WordsPerLine) }
+
+// deposit adds amount to one account and returns its new balance.
+func (b *bank) deposit(ctx hcf.Ctx, acct int, amount uint64) uint64 {
+	v := ctx.Load(b.addr(acct)) + amount
+	ctx.Store(b.addr(acct), v)
+	return v
+}
+
+// sweep moves every balance into account 0 and returns the total.
+func (b *bank) sweep(ctx hcf.Ctx) uint64 {
+	total := ctx.Load(b.addr(0))
+	for i := 1; i < accounts; i++ {
+		v := ctx.Load(b.addr(i))
+		if v != 0 {
+			total += v
+			ctx.Store(b.addr(i), 0)
+		}
+	}
+	ctx.Store(b.addr(0), total)
+	return total
+}
+
+// Operation classes: deposits speculate well; sweeps go to combining.
+const (
+	classDeposit = iota
+	classSweep
+)
+
+type depositOp struct {
+	b    *bank
+	acct int
+	amt  uint64
+}
+
+func (o depositOp) Apply(ctx hcf.Ctx) uint64 { return o.b.deposit(ctx, o.acct, o.amt) }
+func (o depositOp) Class() int               { return classDeposit }
+
+type sweepOp struct {
+	b *bank
+}
+
+func (o sweepOp) Apply(ctx hcf.Ctx) uint64 { return o.b.sweep(ctx) }
+func (o sweepOp) Class() int               { return classSweep }
+
+// combineSweeps: n concurrent sweeps are one physical sweep — every sweep
+// after the first sees the same total (classic combining + elimination).
+func combineSweeps(ctx hcf.Ctx, ops []hcf.Op, res []uint64, done []bool) {
+	var b *bank
+	idx := []int{}
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		if s, ok := op.(sweepOp); ok {
+			b = s.b
+			idx = append(idx, i)
+			continue
+		}
+		res[i] = op.Apply(ctx)
+		done[i] = true
+	}
+	if b == nil {
+		return
+	}
+	total := b.sweep(ctx)
+	for _, i := range idx {
+		res[i] = total
+		done[i] = true
+	}
+}
+
+func main() {
+	const threads = 12
+	run := func(useHCF bool) (deposited uint64, metrics hcf.Metrics, name string) {
+		env := hcf.NewDetEnv(threads)
+		b := newBank(env.Boot())
+		var eng hcf.Engine
+		if useHCF {
+			fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{
+				classDeposit: {
+					Name:             "deposit",
+					PubArray:         0,
+					TryPrivateTrials: 6, // almost always commits privately
+					ShouldHelp:       hcf.HelpNone,
+				},
+				classSweep: {
+					Name:               "sweep",
+					PubArray:           1,
+					TryPrivateTrials:   1, // sweeps conflict: announce early
+					TryVisibleTrials:   1,
+					TryCombiningTrials: 5,
+					RunMulti:           combineSweeps,
+				},
+			}})
+			if err != nil {
+				panic(err)
+			}
+			eng = fw
+		} else {
+			eng = hcf.NewLockEngine(env, hcf.BaselineOptions{})
+		}
+		var total [threads]uint64
+		env.Run(func(th *hcf.Thread) {
+			rng := rand.New(rand.NewPCG(uint64(th.ID()), 2026))
+			for i := 0; i < 300; i++ {
+				if rng.IntN(10) == 0 { // 10% sweeps
+					eng.Execute(th, sweepOp{b: b})
+				} else {
+					amt := rng.Uint64N(100)
+					eng.Execute(th, depositOp{b: b, acct: rng.IntN(accounts), amt: amt})
+					total[th.ID()] += amt
+				}
+			}
+		})
+		// Verify conservation: after a final sweep, account 0 holds
+		// everything ever deposited.
+		finalTotal := b.sweep(env.Boot())
+		var want uint64
+		for _, v := range total {
+			want += v
+		}
+		if finalTotal != want {
+			panic(fmt.Sprintf("money not conserved: %d vs %d", finalTotal, want))
+		}
+		return want, eng.Metrics(), eng.Name()
+	}
+
+	for _, useHCF := range []bool{false, true} {
+		total, m, name := run(useHCF)
+		fmt.Printf("%-5s deposited=%-8d ops=%-5d lockAcqs=%-5d combined=%d ops in %d sessions (degree %.1f)\n",
+			name, total, m.Ops, m.LockAcquisitions, m.CombinedOps, m.CombinerSessions, m.CombiningDegree())
+		if useHCF {
+			fmt.Printf("      phase completions: private=%d visible=%d combining=%d underlock=%d\n",
+				m.PhaseCompleted[hcf.PhaseTryPrivate], m.PhaseCompleted[hcf.PhaseTryVisible],
+				m.PhaseCompleted[hcf.PhaseTryCombining], m.PhaseCompleted[hcf.PhaseCombineUnderLock])
+		}
+	}
+	fmt.Println("ok: balances conserved under both engines")
+}

@@ -1,0 +1,102 @@
+package hcf_test
+
+import (
+	"testing"
+
+	"hcf"
+	"hcf/internal/memsim"
+)
+
+func TestPublicAPICustomCostEnv(t *testing.T) {
+	cost := memsim.TwoSocketCostParams()
+	env := hcf.NewDetEnvWithCost(72, cost)
+	if env.NumThreads() != 72 {
+		t.Fatalf("threads = %d", env.NumThreads())
+	}
+	a := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		if th.ID() == 0 {
+			th.Store(a, 1)
+		}
+	})
+	if got := env.Boot().Load(a); got != 1 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestPublicAPIAdaptiveController(t *testing.T) {
+	env := hcf.NewDetEnv(8)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   4,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 2,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := hcf.NewAdaptive(fw, hcf.AdaptiveConfig{MinOpsPerEpoch: 16, LowPrivate: 0.95, HighPrivate: 0.99})
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 60; i++ {
+			fw.Execute(th, registerOp{addr: counter})
+			if th.ID() == 0 && i%10 == 9 {
+				ctl.Step()
+			}
+		}
+	})
+	if ctl.Steps == 0 {
+		t.Fatal("controller never stepped")
+	}
+	if got := env.Boot().Load(counter); got != 8*60 {
+		t.Fatalf("counter = %d", got)
+	}
+	p, v, c := fw.Trials(0)
+	if p < 0 || v < 0 || c < 0 {
+		t.Fatal("invalid budgets")
+	}
+}
+
+func TestPublicAPIHelpersAndPhases(t *testing.T) {
+	env := hcf.NewDetEnv(1)
+	boot := env.Boot()
+	ops := []hcf.Op{registerOp{addr: env.Alloc(1)}}
+	res := make([]uint64, 1)
+	done := make([]bool, 1)
+	hcf.ApplyEach(boot, ops, res, done)
+	if !done[0] {
+		t.Fatal("ApplyEach skipped the op")
+	}
+	if !hcf.HelpAll(boot, ops[0], ops[0]) || hcf.HelpNone(boot, ops[0], ops[0]) {
+		t.Fatal("help helpers broken")
+	}
+	if hcf.PhaseTryPrivate.String() != "TryPrivate" ||
+		hcf.PhaseCombineUnderLock.String() != "CombineUnderLock" {
+		t.Fatal("phase names broken")
+	}
+	if hcf.NilAddr != 0 || hcf.WordsPerLine != 8 {
+		t.Fatal("constants broken")
+	}
+}
+
+func TestPublicAPISpecializedVariantAndWitness(t *testing.T) {
+	env := hcf.NewDetEnv(6)
+	fw, err := hcf.New(env, hcf.Config{
+		Policies:          []hcf.Policy{{TryPrivateTrials: 1, TryCombiningTrials: 4}},
+		HoldSelectionLock: true,
+		Lock:              hcf.NewTicket(env),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	fw.SetWitness(func(stamp uint64, intra int, op hcf.Op, result uint64) { seen++ })
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 20; i++ {
+			fw.Execute(th, registerOp{addr: counter})
+		}
+	})
+	if seen != 6*20 {
+		t.Fatalf("witnessed %d applications, want %d", seen, 6*20)
+	}
+}

@@ -1,0 +1,3 @@
+module hcf
+
+go 1.23

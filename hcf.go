@@ -1,0 +1,197 @@
+// Package hcf is a Go implementation of the HTM-assisted Combining
+// Framework from "Transactional Lock Elision Meets Combining" (Kogan & Lev,
+// PODC 2017), together with the substrate it needs — a simulated-HTM
+// transactional engine over a deterministic multicore memory simulator —
+// and the five baseline synchronization engines the paper compares against
+// (Lock, TLE, FC, SCM and naive TLE+FC).
+//
+// # Programming model
+//
+// You write your data structure as ordinary sequential code against the
+// small Ctx interface (Load/Store/Alloc/Free over simulated memory), wrap
+// each operation in an Op, and pick an engine. HCF runs every operation
+// through up to four phases — speculative private attempts, announced
+// speculative attempts, speculative combining of announced operations, and
+// a pessimistic combining pass under the data-structure lock — without
+// requiring you to reason about concurrency. Per-operation-class policies
+// decide how many speculation attempts each phase gets, which publication
+// array announces the class, which announced operations a combiner adopts
+// (ShouldHelp), and how batches are combined or eliminated (RunMulti).
+//
+// # Quick start
+//
+//	env := hcf.NewDetEnv(8)                     // 8 simulated threads
+//	fw, err := hcf.New(env, hcf.Config{
+//		Policies: []hcf.Policy{{
+//			TryPrivateTrials:   2,
+//			TryVisibleTrials:   3,
+//			TryCombiningTrials: 5,
+//		}},
+//	})
+//	...
+//	env.Run(func(th *hcf.Thread) {
+//		res := fw.Execute(th, myOp)             // linearizable, exactly once
+//		...
+//	})
+//
+// See examples/ for complete programs and internal/harness for the
+// experiment suite that regenerates the paper's figures.
+package hcf
+
+import (
+	"hcf/internal/adaptive"
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+)
+
+// Core memory-model types.
+type (
+	// Addr is a word address in simulated memory; 0 is the nil pointer.
+	Addr = memsim.Addr
+	// Ctx is the access interface sequential data-structure code uses. It
+	// is implemented by *Thread (direct access) and by transactions.
+	Ctx = memsim.Ctx
+	// Env is a simulated execution environment (deterministic or real).
+	Env = memsim.Env
+	// Thread is a per-thread handle on an Env.
+	Thread = memsim.Thread
+	// CostParams configures the deterministic simulator's cycle model.
+	CostParams = memsim.CostParams
+	// ThreadStats counts a thread's memory behaviour.
+	ThreadStats = memsim.ThreadStats
+)
+
+// NilAddr is the simulated null pointer.
+const NilAddr = memsim.NilAddr
+
+// WordsPerLine is the number of 64-bit words per simulated cache line.
+const WordsPerLine = memsim.WordsPerLine
+
+// NewDetEnv creates a deterministic simulated environment with the given
+// number of worker threads and the default one-socket machine model.
+func NewDetEnv(threads int) *memsim.DetEnv {
+	return memsim.NewDet(memsim.DetConfig{Threads: threads})
+}
+
+// NewDetEnvWithCost creates a deterministic environment with a custom cycle
+// cost model (e.g. memsim.TwoSocketCostParams for NUMA experiments).
+func NewDetEnvWithCost(threads int, cost CostParams) *memsim.DetEnv {
+	return memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cost})
+}
+
+// NewRealEnv creates a real-concurrency environment (goroutines + atomics)
+// for wall-clock benchmarking and race-detector stress testing.
+func NewRealEnv(threads int) *memsim.RealEnv {
+	return memsim.NewReal(memsim.RealConfig{Threads: threads})
+}
+
+// Framework types.
+type (
+	// Op is one data-structure operation (sequential code + class).
+	Op = engine.Op
+	// Engine applies operations with some synchronization discipline; all
+	// six engines in this module implement it.
+	Engine = engine.Engine
+	// Metrics aggregates engine activity counters.
+	Metrics = engine.Metrics
+	// CombineFunc combines/eliminates a batch of operations (runMulti).
+	CombineFunc = engine.CombineFunc
+	// ShouldHelpFunc selects which announced operations a combiner adopts.
+	ShouldHelpFunc = engine.ShouldHelpFunc
+
+	// Policy configures HCF's handling of one operation class.
+	Policy = core.Policy
+	// Config configures a Framework.
+	Config = core.Config
+	// Framework is the HCF engine itself.
+	Framework = core.Framework
+	// Phase identifies where an operation completed.
+	Phase = core.Phase
+
+	// HTMConfig tunes the simulated hardware transactional memory.
+	HTMConfig = htm.Config
+	// AbortReason classifies transaction aborts.
+	AbortReason = htm.Reason
+
+	// Lock is a mutual-exclusion lock over simulated memory whose state
+	// transactions can subscribe to.
+	Lock = locks.Lock
+
+	// BaselineOptions configures the baseline engines.
+	BaselineOptions = engines.Options
+)
+
+// The four HCF phases (paper §2.1).
+const (
+	PhaseTryPrivate       = core.PhaseTryPrivate
+	PhaseTryVisible       = core.PhaseTryVisible
+	PhaseTryCombining     = core.PhaseTryCombining
+	PhaseCombineUnderLock = core.PhaseCombineUnderLock
+)
+
+// New builds an HCF framework over env.
+func New(env Env, cfg Config) (*Framework, error) { return core.New(env, cfg) }
+
+// Adaptive-tuning types (the paper's §2.4 future-work mechanism): an
+// AdaptiveController periodically re-tunes a Framework's per-class
+// speculation budgets from its observed phase-completion profile.
+type (
+	// AdaptiveController adjusts a Framework's budgets in epochs.
+	AdaptiveController = adaptive.Controller
+	// AdaptiveConfig tunes the controller's thresholds.
+	AdaptiveConfig = adaptive.Config
+)
+
+// NewAdaptive builds a budget controller for fw; call its Step method
+// periodically from one thread.
+func NewAdaptive(fw *Framework, cfg AdaptiveConfig) *AdaptiveController {
+	return adaptive.New(fw, cfg)
+}
+
+// Baseline engine constructors (§3's comparison points).
+var (
+	// NewLockEngine runs every operation under the lock.
+	NewLockEngine = engines.NewLock
+	// NewTLE builds transactional lock elision.
+	NewTLE = engines.NewTLE
+	// NewFC builds classic flat combining.
+	NewFC = engines.NewFC
+	// NewSCM builds TLE with auxiliary-lock conflict management.
+	NewSCM = engines.NewSCM
+	// NewTLEFC builds the naive TLE-then-FC combination.
+	NewTLEFC = engines.NewTLEFC
+)
+
+// Lock constructors.
+var (
+	// NewTATAS allocates a test-and-test-and-set lock.
+	NewTATAS = locks.NewTATAS
+	// NewTicket allocates a starvation-free FIFO ticket lock.
+	NewTicket = locks.NewTicket
+)
+
+// Combining helpers.
+var (
+	// ApplyEach runs each operation's own code (no combining).
+	ApplyEach = engine.ApplyEach
+	// HelpAll makes a combiner adopt every announced operation.
+	HelpAll = engine.HelpAll
+	// HelpNone makes a combiner apply only its own operation.
+	HelpNone = engine.HelpNone
+)
+
+// Result packing helpers for Op.Apply return values.
+var (
+	// Pack encodes (63-bit value, ok) into a result word.
+	Pack = engine.Pack
+	// Unpack decodes a result word.
+	Unpack = engine.Unpack
+	// PackBool encodes a bare boolean result.
+	PackBool = engine.PackBool
+	// UnpackBool decodes a bare boolean result.
+	UnpackBool = engine.UnpackBool
+)

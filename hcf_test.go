@@ -1,0 +1,123 @@
+package hcf_test
+
+import (
+	"sort"
+	"testing"
+
+	"hcf"
+)
+
+// registerOp atomically increments a simulated-memory counter and returns
+// the previous value — written exactly as a library user would write it,
+// against the public API only.
+type registerOp struct {
+	addr hcf.Addr
+}
+
+func (o registerOp) Apply(ctx hcf.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o registerOp) Class() int { return 0 }
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	env := hcf.NewDetEnv(8)
+	fw, err := hcf.New(env, hcf.Config{
+		Policies: []hcf.Policy{{
+			TryPrivateTrials:   2,
+			TryVisibleTrials:   3,
+			TryCombiningTrials: 5,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := env.Alloc(1)
+	const perThread = 50
+	results := make([][]uint64, env.NumThreads())
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < perThread; i++ {
+			results[th.ID()] = append(results[th.ID()], fw.Execute(th, registerOp{addr: counter}))
+		}
+	})
+	var all []uint64
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != uint64(i) {
+			t.Fatalf("not exactly-once: position %d has %d", i, v)
+		}
+	}
+	if got := env.Boot().Load(counter); got != uint64(8*perThread) {
+		t.Fatalf("counter = %d", got)
+	}
+	m := fw.Metrics()
+	if m.Ops != 8*perThread {
+		t.Fatalf("metrics.Ops = %d", m.Ops)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	env := hcf.NewDetEnv(4)
+	counter := env.Alloc(1)
+	baselines := []hcf.Engine{
+		hcf.NewLockEngine(env, hcf.BaselineOptions{}),
+		hcf.NewTLE(env, hcf.BaselineOptions{}),
+		hcf.NewFC(env, hcf.BaselineOptions{}),
+		hcf.NewSCM(env, hcf.BaselineOptions{}),
+		hcf.NewTLEFC(env, hcf.BaselineOptions{}),
+	}
+	for _, eng := range baselines {
+		env.Boot().Store(counter, 0)
+		env.Run(func(th *hcf.Thread) {
+			for i := 0; i < 25; i++ {
+				eng.Execute(th, registerOp{addr: counter})
+			}
+		})
+		if got := env.Boot().Load(counter); got != 100 {
+			t.Fatalf("%s: counter = %d, want 100", eng.Name(), got)
+		}
+	}
+}
+
+func TestPublicAPILocksAndPacking(t *testing.T) {
+	env := hcf.NewDetEnv(1)
+	boot := env.Boot()
+	for _, l := range []hcf.Lock{hcf.NewTATAS(env), hcf.NewTicket(env)} {
+		l.Lock(boot)
+		if !l.Locked(boot) {
+			t.Fatal("lock not held")
+		}
+		l.Unlock(boot)
+	}
+	v, ok := hcf.Unpack(hcf.Pack(123, true))
+	if v != 123 || !ok {
+		t.Fatal("pack round trip failed")
+	}
+	if hcf.UnpackBool(hcf.PackBool(false)) {
+		t.Fatal("bool round trip failed")
+	}
+}
+
+func TestPublicAPIRealEnv(t *testing.T) {
+	env := hcf.NewRealEnv(4)
+	fw, err := hcf.New(env, hcf.Config{
+		Policies: []hcf.Policy{{TryPrivateTrials: 4, TryCombiningTrials: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 50; i++ {
+			fw.Execute(th, registerOp{addr: counter})
+		}
+	})
+	if got := env.Boot().Load(counter); got != 200 {
+		t.Fatalf("counter = %d", got)
+	}
+}

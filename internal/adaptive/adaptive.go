@@ -1,0 +1,142 @@
+// Package adaptive implements the runtime tuning mechanism the paper
+// leaves as future work (§2.4): "It is fair to assume that no single
+// configuration of HCF fits all data structures and workloads, calling for
+// an adaptive runtime mechanism to tune the HCF performance."
+//
+// The controller watches each operation class's phase-completion profile
+// in epochs and shifts its speculation budgets: classes that keep
+// succeeding privately earn more private attempts (up to a cap), while
+// classes whose speculation keeps failing stop burning attempts and reach
+// the combining phases sooner. Because HCF's budgets affect performance
+// only — never correctness (§2.1) — adaptation is safe while operations
+// are in flight.
+package adaptive
+
+import (
+	"fmt"
+
+	"hcf/internal/core"
+)
+
+// Config tunes the controller. Zero fields take defaults.
+type Config struct {
+	// MinOpsPerEpoch is the number of completions a class needs in an
+	// epoch before its budgets are adjusted (default 64).
+	MinOpsPerEpoch uint64
+	// HighPrivate is the private-success fraction above which a class's
+	// private budget grows (default 0.90).
+	HighPrivate float64
+	// LowPrivate is the fraction below which speculation budgets shrink in
+	// favour of combining (default 0.40).
+	LowPrivate float64
+	// MaxPrivate caps the private budget (default 8).
+	MaxPrivate int
+	// MaxCombining caps the combining budget (default 8).
+	MaxCombining int
+	// PrivateFloor is the minimum private budget adaptation will not cut
+	// below (default 2): even at high conflict rates a little speculation
+	// is cheap, while cutting to zero forfeits all parallelism — a cliff
+	// in the configuration landscape.
+	PrivateFloor int
+}
+
+func (c *Config) normalize() {
+	if c.MinOpsPerEpoch == 0 {
+		c.MinOpsPerEpoch = 64
+	}
+	if c.HighPrivate == 0 {
+		c.HighPrivate = 0.90
+	}
+	if c.LowPrivate == 0 {
+		c.LowPrivate = 0.40
+	}
+	if c.MaxPrivate == 0 {
+		c.MaxPrivate = 8
+	}
+	if c.MaxCombining == 0 {
+		c.MaxCombining = 8
+	}
+	if c.PrivateFloor == 0 {
+		c.PrivateFloor = 2
+	}
+}
+
+// Controller adapts one Framework's per-class budgets.
+type Controller struct {
+	fw   *core.Framework
+	cfg  Config
+	prev [][core.NumPhases]uint64
+	// Steps counts applied adjustment rounds (for tests/diagnostics).
+	Steps int
+}
+
+// New builds a controller for fw.
+func New(fw *core.Framework, cfg Config) *Controller {
+	cfg.normalize()
+	return &Controller{
+		fw:   fw,
+		cfg:  cfg,
+		prev: fw.PhaseBreakdown(),
+	}
+}
+
+// Step closes the current epoch: it reads each class's phase-completion
+// deltas since the previous Step and adjusts budgets. Call it periodically
+// from any single thread (e.g. every few hundred operations); concurrent
+// Steps are not supported.
+func (c *Controller) Step() {
+	cur := c.fw.PhaseBreakdown()
+	for class := range cur {
+		var delta [core.NumPhases]uint64
+		var total uint64
+		for p := 0; p < core.NumPhases; p++ {
+			delta[p] = cur[class][p] - c.prev[class][p]
+			total += delta[p]
+		}
+		if total < c.cfg.MinOpsPerEpoch {
+			continue // not enough signal this epoch
+		}
+		c.adjust(class, delta, total)
+		c.prev[class] = cur[class]
+	}
+	c.Steps++
+}
+
+// adjust applies the budget rule for one class.
+func (c *Controller) adjust(class int, delta [core.NumPhases]uint64, total uint64) {
+	private, visible, combining := c.fw.Trials(class)
+	privFrac := float64(delta[core.PhaseTryPrivate]) / float64(total)
+	switch {
+	case privFrac >= c.cfg.HighPrivate:
+		// Speculation is winning: make sure it has budget to keep winning
+		// and stop paying for combining machinery it doesn't use.
+		if private < c.cfg.MaxPrivate {
+			private++
+		}
+	case privFrac <= c.cfg.LowPrivate:
+		// Speculation keeps failing often: give the combining phase more
+		// budget and trim the less valuable announced attempts, but keep
+		// a private floor — some cheap speculation always pays, and
+		// cutting it to zero forfeits all parallelism.
+		if private > c.cfg.PrivateFloor {
+			private--
+		}
+		if visible > 0 {
+			visible--
+		}
+		if combining < c.cfg.MaxCombining {
+			combining++
+		}
+	}
+	c.fw.SetTrials(class, private, visible, combining)
+}
+
+// Snapshot reports the current budgets, for logging.
+func (c *Controller) Snapshot() string {
+	out := ""
+	for class := 0; class < c.fw.NumClasses(); class++ {
+		p, v, m := c.fw.Trials(class)
+		out += fmt.Sprintf("class %d: private=%d visible=%d combining=%d\n", class, p, v, m)
+	}
+	return out
+}

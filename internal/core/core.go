@@ -1,0 +1,642 @@
+// Package core implements the HTM-assisted Combining Framework (HCF), the
+// contribution of "Transactional Lock Elision Meets Combining" (Kogan & Lev,
+// PODC 2017).
+//
+// HCF executes operations of a sequentially implemented data structure
+// protected by a lock. Each operation goes through at most four phases:
+//
+//  1. TryPrivate — the owner tries to apply the operation in a hardware
+//     transaction, like TLE.
+//  2. TryVisible — the owner announces the operation in a publication array
+//     and keeps trying transactions; the announcement is removed inside the
+//     same transaction that applies the operation.
+//  3. TryCombining — a thread acquires the array's selection lock, selects a
+//     subset of announced operations (including its own), and applies them
+//     with one or more hardware transactions, combining and eliminating
+//     them using data-structure-specific code.
+//  4. CombineUnderLock — the combiner acquires the data-structure lock and
+//     applies the remaining selected operations pessimistically.
+//
+// Multiple publication arrays with per-class policies let conflict-prone
+// operations be combined while conflict-free operations run concurrently on
+// HTM. The configuration affects only performance, never correctness: every
+// operation is applied exactly once (§2.3).
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+	"hcf/internal/pubarr"
+)
+
+// Operation status values (paper §2.2). They live in simulated memory so
+// that a combiner's claim aborts the owner's in-flight transaction, exactly
+// as an HTM conflict would.
+const (
+	statusUnannounced uint64 = iota
+	statusAnnounced
+	statusBeingHelped
+	statusDone
+)
+
+// Phase identifies where an operation completed (for Figure 3).
+type Phase uint8
+
+// The four phases of HCF.
+const (
+	PhaseTryPrivate Phase = iota
+	PhaseTryVisible
+	PhaseTryCombining
+	PhaseCombineUnderLock
+	// NumPhases is the number of phases.
+	NumPhases = 4
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTryPrivate:
+		return "TryPrivate"
+	case PhaseTryVisible:
+		return "TryVisible"
+	case PhaseTryCombining:
+		return "TryCombining"
+	case PhaseCombineUnderLock:
+		return "CombineUnderLock"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Policy configures how HCF handles one operation class (paper §2.1-2.2,
+// §2.4). TLE behaviour is a policy with only TryPrivate trials and a
+// HelpNone selector; FC behaviour is a policy with zero trials everywhere
+// and a HelpAll selector.
+type Policy struct {
+	// Name labels the class in statistics output.
+	Name string
+	// PubArray selects which publication array announces this class.
+	PubArray int
+	// TryPrivateTrials, TryVisibleTrials and TryCombiningTrials budget the
+	// HTM attempts in the first three phases.
+	TryPrivateTrials   int
+	TryVisibleTrials   int
+	TryCombiningTrials int
+	// ShouldHelp decides which announced operations a combiner running an
+	// operation of this class selects. Nil means engine.HelpAll.
+	ShouldHelp engine.ShouldHelpFunc
+	// RunMulti combines and applies a batch of selected operations. Nil
+	// means engine.ApplyEach (no combining).
+	RunMulti engine.CombineFunc
+	// MaxBatch bounds how many selected operations are passed to a single
+	// RunMulti call (so each call fits one hardware transaction). 0 means
+	// a default of 8.
+	MaxBatch int
+}
+
+// Config configures a Framework.
+type Config struct {
+	// Policies, indexed by Op.Class(), must be non-empty.
+	Policies []Policy
+	// Lock is the data-structure lock L; nil allocates a TATAS lock.
+	Lock locks.Lock
+	// NewSelectionLock constructs each publication array's selection lock;
+	// nil allocates TATAS locks.
+	NewSelectionLock func(env memsim.Env) locks.Lock
+	// HoldSelectionLock enables the specialized variant of §2.4: a
+	// combiner holds the selection lock for its entire combining pass
+	// (not just the selection), preventing TryVisible attempts of the same
+	// array from running concurrently with it.
+	HoldSelectionLock bool
+	// HTM configures the transactional engine.
+	HTM htm.Config
+	// Name overrides the engine name (default "HCF").
+	Name string
+	// ExtraArrays provisions additional publication arrays beyond those
+	// the policies reference, available for dynamic reassignment via
+	// SetPubArray (paper §2.4's on-the-fly reconfiguration).
+	ExtraArrays int
+}
+
+// desc is a per-thread operation descriptor (paper §2.2). The status word
+// lives in simulated memory; op and result are plain fields whose cross-
+// thread visibility is ordered by the simulated-memory protocol (announce
+// before publishing the slot; result before the Done transition).
+type desc struct {
+	status    memsim.Addr
+	op        engine.Op
+	result    uint64
+	donePhase Phase
+}
+
+// array couples a publication array with its selection lock.
+type array struct {
+	pub *pubarr.Array
+	sel locks.Lock
+}
+
+// threadMetrics holds one thread's counters, padded against false sharing.
+type threadMetrics struct {
+	m engine.Metrics
+	// phaseByClass[class][phase] counts completions for Figure 3.
+	phaseByClass [][NumPhases]uint64
+	_            [32]byte
+}
+
+// budgets holds a class's speculation budgets and publication-array
+// assignment, adjustable at run time (paper §2.4: the customization "may
+// be dynamic — we can begin with a certain number of publication arrays
+// and the way operations are assigned to them, and change that
+// on-the-fly"; both affect only performance, never correctness).
+type budgets struct {
+	private   atomic.Int32
+	visible   atomic.Int32
+	combining atomic.Int32
+	pubArray  atomic.Int32
+	_         [32]byte
+}
+
+// Framework is the HCF engine.
+type Framework struct {
+	env      memsim.Env
+	eng      *htm.Engine
+	lock     locks.Lock
+	arrays   []*array
+	policies []Policy
+	budgets  []budgets
+	hold     bool
+	name     string
+	descs    []desc
+	metrics  []threadMetrics
+	// scratch per thread for combining sessions
+	scratch []combineScratch
+	// witness, when set, observes every applied operation with its
+	// serialization stamp (linearizability checking).
+	witness engine.WitnessFunc
+	// tracer, when set, receives lifecycle events (see trace.go).
+	tracer Tracer
+}
+
+type combineScratch struct {
+	pend []int // thread ids of selected, not yet applied operations
+	ops  []engine.Op
+	res  []uint64
+	done []bool
+}
+
+var _ engine.Engine = (*Framework)(nil)
+
+// New builds an HCF framework over env with the given configuration.
+func New(env memsim.Env, cfg Config) (*Framework, error) {
+	if len(cfg.Policies) == 0 {
+		return nil, fmt.Errorf("core: config needs at least one policy")
+	}
+	numArrays := 0
+	for i := range cfg.Policies {
+		p := &cfg.Policies[i]
+		if p.PubArray < 0 {
+			return nil, fmt.Errorf("core: policy %d has negative PubArray", i)
+		}
+		if p.PubArray+1 > numArrays {
+			numArrays = p.PubArray + 1
+		}
+		if p.ShouldHelp == nil {
+			p.ShouldHelp = engine.HelpAll
+		}
+		if p.RunMulti == nil {
+			p.RunMulti = engine.ApplyEach
+		}
+		if p.MaxBatch <= 0 {
+			p.MaxBatch = 8
+		}
+		if p.TryPrivateTrials < 0 || p.TryVisibleTrials < 0 || p.TryCombiningTrials < 0 {
+			return nil, fmt.Errorf("core: policy %d has negative trial budget", i)
+		}
+	}
+	lock := cfg.Lock
+	if lock == nil {
+		lock = locks.NewTATAS(env)
+	}
+	newSel := cfg.NewSelectionLock
+	if newSel == nil {
+		newSel = func(env memsim.Env) locks.Lock { return locks.NewTATAS(env) }
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "HCF"
+	}
+	total := env.NumThreads() + 1 // workers + bootstrap thread
+	f := &Framework{
+		env:      env,
+		eng:      htm.New(env, cfg.HTM),
+		lock:     lock,
+		policies: cfg.Policies,
+		hold:     cfg.HoldSelectionLock,
+		name:     name,
+		descs:    make([]desc, total),
+		metrics:  make([]threadMetrics, total),
+		scratch:  make([]combineScratch, total),
+	}
+	if cfg.ExtraArrays < 0 {
+		return nil, fmt.Errorf("core: negative ExtraArrays")
+	}
+	for i := 0; i < numArrays+cfg.ExtraArrays; i++ {
+		f.arrays = append(f.arrays, &array{
+			pub: pubarr.New(env, total),
+			sel: newSel(env),
+		})
+	}
+	for t := range f.descs {
+		f.descs[t].status = env.Alloc(memsim.WordsPerLine)
+		env.StoreWord(f.descs[t].status, statusUnannounced)
+		f.metrics[t].phaseByClass = make([][NumPhases]uint64, len(cfg.Policies))
+	}
+	f.budgets = make([]budgets, len(cfg.Policies))
+	for c := range cfg.Policies {
+		f.budgets[c].private.Store(int32(cfg.Policies[c].TryPrivateTrials))
+		f.budgets[c].visible.Store(int32(cfg.Policies[c].TryVisibleTrials))
+		f.budgets[c].combining.Store(int32(cfg.Policies[c].TryCombiningTrials))
+		f.budgets[c].pubArray.Store(int32(cfg.Policies[c].PubArray))
+	}
+	return f, nil
+}
+
+// Trials returns class's current speculation budgets (private, visible,
+// combining).
+func (f *Framework) Trials(class int) (int, int, int) {
+	b := &f.budgets[class]
+	return int(b.private.Load()), int(b.visible.Load()), int(b.combining.Load())
+}
+
+// SetTrials adjusts class's speculation budgets at run time. Negative
+// values are clamped to zero. Budgets affect performance only, never
+// correctness (§2.1), so adjustment is safe while operations run.
+func (f *Framework) SetTrials(class, private, visible, combining int) {
+	b := &f.budgets[class]
+	b.private.Store(int32(max(private, 0)))
+	b.visible.Store(int32(max(visible, 0)))
+	b.combining.Store(int32(max(combining, 0)))
+}
+
+// NumClasses returns the number of configured operation classes.
+func (f *Framework) NumClasses() int { return len(f.policies) }
+
+// NumArrays returns the number of provisioned publication arrays.
+func (f *Framework) NumArrays() int { return len(f.arrays) }
+
+// PubArrayOf returns the publication array class currently announces to.
+func (f *Framework) PubArrayOf(class int) int {
+	return int(f.budgets[class].pubArray.Load())
+}
+
+// SetPubArray reassigns class to a different publication array on the fly
+// (paper §2.4). The assignment is a performance knob, never a correctness
+// one: an operation resolves its array once at the start of Execute and
+// uses it for its whole lifetime, so in-flight announcements stay claimable
+// by their array's combiners. Returns an error if array is out of range.
+func (f *Framework) SetPubArray(class, array int) error {
+	if class < 0 || class >= len(f.policies) {
+		return fmt.Errorf("core: class %d out of range", class)
+	}
+	if array < 0 || array >= len(f.arrays) {
+		return fmt.Errorf("core: publication array %d out of range (have %d)", array, len(f.arrays))
+	}
+	f.budgets[class].pubArray.Store(int32(array))
+	return nil
+}
+
+// Name returns the engine name.
+func (f *Framework) Name() string { return f.name }
+
+// SetWitness installs a serialization-witness observer (nil disables).
+func (f *Framework) SetWitness(fn engine.WitnessFunc) { f.witness = fn }
+
+var _ engine.WitnessedEngine = (*Framework)(nil)
+
+// HTMEngine exposes the underlying transactional engine (for tests and
+// statistics).
+func (f *Framework) HTMEngine() *htm.Engine { return f.eng }
+
+// Lock exposes the data-structure lock L.
+func (f *Framework) Lock() locks.Lock { return f.lock }
+
+// Execute runs op through the HCF phases and returns its result. It is the
+// paper's Execute (§2.1): the operation completes in the first phase that
+// succeeds, and is guaranteed to be applied exactly once.
+func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	t := th.ID()
+	d := &f.descs[t]
+	class := op.Class()
+	pol := &f.policies[class]
+	tm := &f.metrics[t]
+	d.op = op
+
+	bud := &f.budgets[class]
+	pa := f.arrays[bud.pubArray.Load()]
+	f.emit(th, TraceEvent{Kind: TraceStart, Class: class})
+	if res, ok := f.tryPrivate(th, int(bud.private.Load()), op); ok {
+		f.complete(tm, class, PhaseTryPrivate)
+		f.emit(th, TraceEvent{Kind: TraceDone, Phase: PhaseTryPrivate})
+		return res
+	}
+	f.announce(th, t, d, pa)
+	f.emit(th, TraceEvent{Kind: TraceAnnounce, Class: class})
+	if res, phase, ok := f.tryVisible(th, t, d, int(bud.visible.Load()), pa, op); ok {
+		f.complete(tm, class, phase)
+		f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
+		return res
+	}
+	res, phase := f.tryCombining(th, t, d, pol, int(bud.combining.Load()), pa)
+	f.complete(tm, class, phase)
+	f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
+	return res
+}
+
+func (f *Framework) complete(tm *threadMetrics, class int, phase Phase) {
+	tm.m.Ops++
+	tm.m.PhaseCompleted[phase]++
+	tm.phaseByClass[class][phase]++
+}
+
+// tryPrivate implements the TryPrivate phase: up to trials transactional
+// attempts that subscribe to L.
+func (f *Framework) tryPrivate(th *memsim.Thread, trials int, op engine.Op) (uint64, bool) {
+	var res uint64
+	for i := 0; i < trials; i++ {
+		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
+			if f.lock.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			res = op.Apply(tx)
+		})
+		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryPrivate, Reason: reason})
+		if ok {
+			if f.witness != nil {
+				f.witness(f.eng.CommitStamp(th.ID()), 0, op, res)
+			}
+			return res, true
+		}
+		// Standard TLE practice: wait for the lock to be free before
+		// burning another speculation attempt.
+		for f.lock.Locked(th) {
+			th.Yield()
+		}
+	}
+	return 0, false
+}
+
+// announce publishes the operation: status := Announced, then add to the
+// publication array (Figure 1, lines 13-14).
+func (f *Framework) announce(th *memsim.Thread, t int, d *desc, pa *array) {
+	th.Store(d.status, statusAnnounced)
+	pa.pub.Announce(th, t, uint64(t)+1)
+}
+
+// tryVisible implements the TryVisible phase. The transaction subscribes to
+// L, to the selection lock, and to the operation's own status word, and
+// removes the announcement inside the transaction that applies the
+// operation — the three conditions the §2.3 exactly-once argument needs.
+func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa *array, op engine.Op) (uint64, Phase, bool) {
+	slot := pa.pub.SlotAddr(t)
+	var res uint64
+	for i := 0; i < trials; i++ {
+		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
+			if f.lock.Locked(tx) || pa.sel.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			if tx.Load(d.status) != statusAnnounced {
+				tx.Abort()
+			}
+			res = op.Apply(tx)
+			tx.Store(slot, 0) // remove from Pa as part of the transaction
+		})
+		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryVisible, Reason: reason})
+		if ok {
+			if f.witness != nil {
+				f.witness(f.eng.CommitStamp(t), 0, op, res)
+			}
+			return res, PhaseTryVisible, true
+		}
+		if th.Load(d.status) != statusAnnounced {
+			// A combiner helped or is helping us (Figure 1, line 27).
+			r := f.waitDone(th, d)
+			f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase})
+			return r, d.donePhase, true
+		}
+	}
+	return 0, 0, false
+}
+
+// waitDone spins until a combiner completes the operation and returns its
+// result.
+func (f *Framework) waitDone(th *memsim.Thread, d *desc) uint64 {
+	for th.Load(d.status) != statusDone {
+		th.Yield()
+	}
+	return d.result
+}
+
+// tryCombining implements the TryCombining phase and, if speculation fails,
+// falls through to CombineUnderLock. It always completes the calling
+// thread's operation and returns its result and completion phase.
+func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy, trials int, pa *array) (uint64, Phase) {
+	tm := &f.metrics[t]
+	pa.sel.Lock(th)
+	tm.m.AuxAcquisitions++
+	if th.Load(d.status) != statusAnnounced {
+		// Our operation was selected by another combiner while we competed
+		// for the selection lock (Figure 1, lines 38-41).
+		pa.sel.Unlock(th)
+		res := f.waitDone(th, d)
+		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase})
+		return res, d.donePhase
+	}
+	sc := &f.scratch[t]
+	f.chooseOpsToHelp(th, t, d, pol, pa, sc)
+	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.pend)})
+	if !f.hold {
+		pa.sel.Unlock(th)
+	}
+	tm.m.CombinerSessions++
+	tm.m.CombinedOps += uint64(len(sc.pend))
+
+	ownRes, ownPhase, ownDone := uint64(0), PhaseTryCombining, false
+
+	// Speculative combining: apply batches of the selected operations with
+	// hardware transactions, several operations per transaction.
+	failures := 0
+	for len(sc.pend) > 0 && failures < trials {
+		n := min(pol.MaxBatch, len(sc.pend))
+		batch := sc.pend[:n]
+		f.prepareBatch(sc, batch)
+		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
+			if f.lock.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			pol.RunMulti(tx, sc.ops[:n], sc.res[:n], sc.done[:n])
+		})
+		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryCombining, Reason: reason})
+		if !ok {
+			failures++
+			continue
+		}
+		if r, done := f.finalizeBatch(th, t, sc, n, PhaseTryCombining, f.eng.CommitStamp(t)); done {
+			ownRes, ownDone = r, true
+		}
+	}
+	// CombineUnderLock: apply whatever is left while holding L.
+	if len(sc.pend) > 0 {
+		f.lock.Lock(th)
+		tm.m.LockAcquisitions++
+		f.emit(th, TraceEvent{Kind: TraceLock})
+		for len(sc.pend) > 0 {
+			n := min(pol.MaxBatch, len(sc.pend))
+			batch := sc.pend[:n]
+			f.prepareBatch(sc, batch)
+			pol.RunMulti(th, sc.ops[:n], sc.res[:n], sc.done[:n])
+			progressed := false
+			for i := 0; i < n; i++ {
+				if sc.done[i] {
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				// Defensive: a RunMulti that makes no progress would spin
+				// forever; fall back to running each operation directly.
+				engine.ApplyEach(th, sc.ops[:n], sc.res[:n], sc.done[:n])
+			}
+			if r, done := f.finalizeBatch(th, t, sc, n, PhaseCombineUnderLock, htm.LockStamp(th)); done {
+				ownRes, ownPhase, ownDone = r, PhaseCombineUnderLock, true
+			}
+		}
+		f.lock.Unlock(th)
+	}
+	if f.hold {
+		pa.sel.Unlock(th)
+	}
+	if !ownDone {
+		// Cannot happen: chooseOpsToHelp always selects our own operation
+		// and the loops above drain pend completely.
+		panic("core: combiner finished without completing its own operation")
+	}
+	return ownRes, ownPhase
+}
+
+// chooseOpsToHelp scans the publication array while holding its selection
+// lock, selecting the combiner's own operation plus every announced
+// operation its ShouldHelp accepts. Selected operations transition to
+// BeingHelped and are removed from the array (paper §2.2). The scan needs
+// no snapshot: owners cannot remove announcements while the selection lock
+// is held, because their transactions subscribe to it.
+func (f *Framework) chooseOpsToHelp(th *memsim.Thread, t int, d *desc, pol *Policy, pa *array, sc *combineScratch) {
+	sc.pend = sc.pend[:0]
+	// Claim our own operation first (chosen by default).
+	th.Store(d.status, statusBeingHelped)
+	pa.pub.Clear(th, t)
+	sc.pend = append(sc.pend, t)
+	for tid := 0; tid < pa.pub.Slots(); tid++ {
+		if tid == t || pa.pub.Read(th, tid) == 0 {
+			continue
+		}
+		od := &f.descs[tid]
+		if th.Load(od.status) != statusAnnounced {
+			continue
+		}
+		if !pol.ShouldHelp(th, d.op, od.op) {
+			continue
+		}
+		th.Store(od.status, statusBeingHelped)
+		pa.pub.Clear(th, tid)
+		sc.pend = append(sc.pend, tid)
+	}
+}
+
+// prepareBatch (re)builds the attempt-local op/result/done buffers for the
+// first len(batch) pending operations.
+func (f *Framework) prepareBatch(sc *combineScratch, batch []int) {
+	n := len(batch)
+	if cap(sc.ops) < n {
+		sc.ops = make([]engine.Op, n)
+		sc.res = make([]uint64, n)
+		sc.done = make([]bool, n)
+	}
+	sc.ops = sc.ops[:n]
+	sc.res = sc.res[:n]
+	sc.done = sc.done[:n]
+	for i, tid := range batch {
+		sc.ops[i] = f.descs[tid].op
+		sc.res[i] = 0
+		sc.done[i] = false
+	}
+}
+
+// finalizeBatch publishes results of the operations RunMulti completed in a
+// committed attempt: result and phase first, then the Done transition the
+// owner is waiting on. Completed operations are removed from sc.pend.
+// It returns the combiner's own result if its own operation was completed.
+func (f *Framework) finalizeBatch(th *memsim.Thread, t int, sc *combineScratch, n int, phase Phase, stamp uint64) (uint64, bool) {
+	ownRes, ownDone := uint64(0), false
+	keep := sc.pend[:0]
+	for i := 0; i < n; i++ {
+		tid := sc.pend[i]
+		if !sc.done[i] {
+			keep = append(keep, tid)
+			continue
+		}
+		if f.witness != nil {
+			f.witness(stamp, i, sc.ops[i], sc.res[i])
+		}
+		if tid == t {
+			ownRes, ownDone = sc.res[i], true
+			continue
+		}
+		od := &f.descs[tid]
+		od.result = sc.res[i]
+		od.donePhase = phase
+		th.Store(od.status, statusDone)
+	}
+	keep = append(keep, sc.pend[n:]...)
+	sc.pend = keep
+	return ownRes, ownDone
+}
+
+// Metrics aggregates all threads' counters (including HTM statistics).
+func (f *Framework) Metrics() engine.Metrics {
+	var m engine.Metrics
+	for i := range f.metrics {
+		m.Merge(&f.metrics[i].m)
+	}
+	m.HTM = f.eng.TotalStats()
+	return m
+}
+
+// PhaseBreakdown returns, for each operation class, the per-phase
+// completion counts (the data behind Figure 3).
+func (f *Framework) PhaseBreakdown() [][NumPhases]uint64 {
+	out := make([][NumPhases]uint64, len(f.policies))
+	for i := range f.metrics {
+		for c := range out {
+			for p := 0; p < NumPhases; p++ {
+				out[c][p] += f.metrics[i].phaseByClass[c][p]
+			}
+		}
+	}
+	return out
+}
+
+// ResetMetrics zeroes all counters, including HTM statistics.
+func (f *Framework) ResetMetrics() {
+	for i := range f.metrics {
+		f.metrics[i].m = engine.Metrics{}
+		for c := range f.metrics[i].phaseByClass {
+			f.metrics[i].phaseByClass[c] = [NumPhases]uint64{}
+		}
+	}
+	f.eng.ResetStats()
+}

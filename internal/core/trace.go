@@ -1,0 +1,91 @@
+package core
+
+import (
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+// TraceKind classifies framework lifecycle events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceStart: an operation entered Execute (Class valid).
+	TraceStart TraceKind = iota + 1
+	// TraceAttempt: one speculative attempt finished (Phase and Reason
+	// valid; Reason is htm.ReasonNone on commit).
+	TraceAttempt
+	// TraceAnnounce: the operation was published (Class valid).
+	TraceAnnounce
+	// TraceSelect: a combiner selected N announced operations (N valid).
+	TraceSelect
+	// TraceLock: the combiner acquired the data-structure lock.
+	TraceLock
+	// TraceDone: the operation completed (Phase = completion phase).
+	TraceDone
+	// TraceHelped: the operation was completed by another thread
+	// (Phase = the helper's completion phase).
+	TraceHelped
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceStart:
+		return "start"
+	case TraceAttempt:
+		return "attempt"
+	case TraceAnnounce:
+		return "announce"
+	case TraceSelect:
+		return "select"
+	case TraceLock:
+		return "lock"
+	case TraceDone:
+		return "done"
+	case TraceHelped:
+		return "helped"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one framework lifecycle event. Events are emitted from the
+// thread named in Thread; in deterministic environments the stream is
+// reproducible.
+type TraceEvent struct {
+	// Thread is the emitting thread id.
+	Thread int
+	// Now is the thread's local time at emission.
+	Now int64
+	// Kind classifies the event.
+	Kind TraceKind
+	// Class is the operation class (TraceStart / TraceAnnounce).
+	Class int
+	// Phase is the relevant phase (TraceAttempt / TraceDone / TraceHelped).
+	Phase Phase
+	// Reason is the abort reason of a failed attempt (TraceAttempt).
+	Reason htm.Reason
+	// N is the selection size (TraceSelect).
+	N int
+}
+
+// Tracer receives lifecycle events. Implementations must be cheap; they
+// run inline on the execution path. On the real backend they must also be
+// safe for concurrent use.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// SetTracer installs a lifecycle tracer (nil disables).
+func (f *Framework) SetTracer(tr Tracer) { f.tracer = tr }
+
+// emit sends an event to the tracer if one is installed.
+func (f *Framework) emit(th *memsim.Thread, ev TraceEvent) {
+	if f.tracer == nil {
+		return
+	}
+	ev.Thread = th.ID()
+	ev.Now = th.Now()
+	f.tracer.Trace(ev)
+}

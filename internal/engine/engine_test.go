@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(v uint64, ok bool) bool {
+		v &= (1 << 63) - 1 // values are 63-bit
+		gv, gok := Unpack(Pack(v, ok))
+		return gv == v && gok == ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackBool(t *testing.T) {
+	if !UnpackBool(PackBool(true)) {
+		t.Error("true lost")
+	}
+	if UnpackBool(PackBool(false)) {
+		t.Error("false lost")
+	}
+}
+
+type nopOp struct{ r uint64 }
+
+func (o nopOp) Apply(ctx memsim.Ctx) uint64 { return o.r }
+func (o nopOp) Class() int                  { return 0 }
+
+func TestApplyEachSkipsDone(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	ops := []Op{nopOp{r: 1}, nopOp{r: 2}, nopOp{r: 3}}
+	res := make([]uint64, 3)
+	done := []bool{false, true, false}
+	ApplyEach(env.Boot(), ops, res, done)
+	if res[0] != 1 || res[1] != 0 || res[2] != 3 {
+		t.Fatalf("res = %v", res)
+	}
+	if !done[0] || !done[2] {
+		t.Fatal("ApplyEach left ops undone")
+	}
+}
+
+func TestHelpAllHelpNone(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	a, b := nopOp{}, nopOp{}
+	if !HelpAll(env.Boot(), a, b) {
+		t.Error("HelpAll returned false")
+	}
+	if HelpNone(env.Boot(), a, b) {
+		t.Error("HelpNone returned true")
+	}
+}
+
+func TestMetricsMergeAndCombiningDegree(t *testing.T) {
+	a := Metrics{Ops: 10, LockAcquisitions: 2, CombinerSessions: 2, CombinedOps: 8}
+	a.PhaseCompleted[1] = 4
+	b := Metrics{Ops: 5, AuxAcquisitions: 1, CombinerSessions: 1, CombinedOps: 1,
+		HTM: htm.Stats{Commits: 7}}
+	b.PhaseCompleted[1] = 1
+	a.Merge(&b)
+	if a.Ops != 15 || a.LockAcquisitions != 2 || a.AuxAcquisitions != 1 {
+		t.Fatalf("merge: %+v", a)
+	}
+	if a.HTM.Commits != 7 || a.PhaseCompleted[1] != 5 {
+		t.Fatalf("merge: %+v", a)
+	}
+	if got := a.CombiningDegree(); got != 3.0 {
+		t.Fatalf("combining degree = %v, want 3", got)
+	}
+	var empty Metrics
+	if empty.CombiningDegree() != 0 {
+		t.Fatal("empty combining degree should be 0")
+	}
+}

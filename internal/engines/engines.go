@@ -1,0 +1,565 @@
+// Package engines implements the five comparison baselines evaluated in
+// §3 of the paper:
+//
+//   - Lock: every operation runs under the data-structure lock.
+//   - TLE: transactional lock elision over that lock [Rajwar & Goodman /
+//     Dice et al.].
+//   - FC: classic flat combining [Hendler et al.], with a data-structure
+//     provided combining function.
+//   - SCM: TLE with an auxiliary lock serializing conflicting transactions
+//     [Afek et al.].
+//   - TLE+FC: the naive combination discussed in the paper's introduction —
+//     TLE first, and on failure announce and combine under the lock.
+//
+// All engines run the same sequential operation code (engine.Op) over the
+// same substrate as HCF, so the experiments compare synchronization
+// disciplines, not implementations.
+package engines
+
+import (
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+	"hcf/internal/pubarr"
+)
+
+// Options configures the baseline engines. Zero values take defaults.
+type Options struct {
+	// Lock is the data-structure lock L; nil allocates a TATAS lock.
+	Lock locks.Lock
+	// HTM configures the transactional engine (TLE, SCM, TLE+FC).
+	HTM htm.Config
+	// Trials is the total speculation budget per operation (default 10),
+	// matching the budget the paper gives every HTM-using variant.
+	Trials int
+	// Combine is the combining function used by FC and TLE+FC; nil means
+	// engine.ApplyEach.
+	Combine engine.CombineFunc
+	// MaxBatch bounds operations per Combine call (default: no bound, as
+	// FC combines under the lock where capacity does not matter).
+	MaxBatch int
+	// FCPasses bounds how many publication-array scan passes an FC
+	// combiner makes per lock acquisition (default 2): classic flat
+	// combining keeps scanning while requests keep arriving (it stops
+	// early when a pass finds nothing), amortizing the lock handoff.
+	FCPasses int
+}
+
+func (o *Options) normalize(env memsim.Env) {
+	if o.Lock == nil {
+		o.Lock = locks.NewTATAS(env)
+	}
+	if o.Trials <= 0 {
+		o.Trials = 10
+	}
+	if o.Combine == nil {
+		o.Combine = engine.ApplyEach
+	}
+	if o.FCPasses <= 0 {
+		o.FCPasses = 2
+	}
+}
+
+// threadMetrics pads per-thread counters against false sharing.
+type threadMetrics struct {
+	m engine.Metrics
+	_ [40]byte
+}
+
+// metricsSet is the shared per-thread metrics plumbing; it also carries
+// the optional serialization witness.
+type metricsSet struct {
+	per     []threadMetrics
+	eng     *htm.Engine // may be nil (Lock, FC)
+	witness engine.WitnessFunc
+}
+
+// SetWitness installs a serialization-witness observer (nil disables).
+func (s *metricsSet) SetWitness(fn engine.WitnessFunc) { s.witness = fn }
+
+func newMetricsSet(env memsim.Env, eng *htm.Engine) metricsSet {
+	return metricsSet{per: make([]threadMetrics, env.NumThreads()+1), eng: eng}
+}
+
+func (s *metricsSet) Metrics() engine.Metrics {
+	var m engine.Metrics
+	for i := range s.per {
+		m.Merge(&s.per[i].m)
+	}
+	if s.eng != nil {
+		m.HTM = s.eng.TotalStats()
+	}
+	return m
+}
+
+func (s *metricsSet) ResetMetrics() {
+	for i := range s.per {
+		s.per[i].m = engine.Metrics{}
+	}
+	if s.eng != nil {
+		s.eng.ResetStats()
+	}
+}
+
+// LockEngine runs every operation under the lock — the paper's "Lock"
+// variant.
+type LockEngine struct {
+	lock locks.Lock
+	metricsSet
+}
+
+var _ engine.Engine = (*LockEngine)(nil)
+
+// NewLock builds the Lock baseline.
+func NewLock(env memsim.Env, opts Options) *LockEngine {
+	opts.normalize(env)
+	return &LockEngine{lock: opts.Lock, metricsSet: newMetricsSet(env, nil)}
+}
+
+// Name implements engine.Engine.
+func (e *LockEngine) Name() string { return "Lock" }
+
+// Execute applies op under the data-structure lock.
+func (e *LockEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	tm := &e.per[th.ID()].m
+	e.lock.Lock(th)
+	tm.LockAcquisitions++
+	res := op.Apply(th)
+	if e.witness != nil {
+		e.witness(htm.LockStamp(th), 0, op, res)
+	}
+	e.lock.Unlock(th)
+	tm.Ops++
+	return res
+}
+
+// TLEEngine implements transactional lock elision: speculate up to Trials
+// times (subscribing to L, waiting for L to be free between attempts), then
+// fall back to the lock.
+type TLEEngine struct {
+	lock   locks.Lock
+	htm    *htm.Engine
+	trials int
+	metricsSet
+}
+
+var _ engine.Engine = (*TLEEngine)(nil)
+
+// NewTLE builds the TLE baseline.
+func NewTLE(env memsim.Env, opts Options) *TLEEngine {
+	opts.normalize(env)
+	eng := htm.New(env, opts.HTM)
+	return &TLEEngine{
+		lock:       opts.Lock,
+		htm:        eng,
+		trials:     opts.Trials,
+		metricsSet: newMetricsSet(env, eng),
+	}
+}
+
+// Name implements engine.Engine.
+func (e *TLEEngine) Name() string { return "TLE" }
+
+// Execute applies op with TLE.
+func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	tm := &e.per[th.ID()].m
+	var res uint64
+	for i := 0; i < e.trials; i++ {
+		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
+			if e.lock.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			res = op.Apply(tx)
+		})
+		if ok {
+			if e.witness != nil {
+				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+			}
+			tm.Ops++
+			return res
+		}
+		for e.lock.Locked(th) {
+			th.Yield()
+		}
+	}
+	e.lock.Lock(th)
+	tm.LockAcquisitions++
+	res = op.Apply(th)
+	if e.witness != nil {
+		e.witness(htm.LockStamp(th), 0, op, res)
+	}
+	e.lock.Unlock(th)
+	tm.Ops++
+	return res
+}
+
+// SCMEngine implements software-assisted conflict management for TLE
+// [Afek et al.]: threads whose transactions abort on data conflicts
+// serialize on an auxiliary lock and keep speculating (still eliding L), so
+// one conflicting pair does not escalate into a global lock acquisition.
+type SCMEngine struct {
+	lock   locks.Lock
+	aux    locks.Lock
+	htm    *htm.Engine
+	trials int
+	metricsSet
+}
+
+var _ engine.Engine = (*SCMEngine)(nil)
+
+// NewSCM builds the SCM baseline.
+func NewSCM(env memsim.Env, opts Options) *SCMEngine {
+	opts.normalize(env)
+	eng := htm.New(env, opts.HTM)
+	return &SCMEngine{
+		lock:       opts.Lock,
+		aux:        locks.NewTATAS(env),
+		htm:        eng,
+		trials:     opts.Trials,
+		metricsSet: newMetricsSet(env, eng),
+	}
+}
+
+// Name implements engine.Engine.
+func (e *SCMEngine) Name() string { return "SCM" }
+
+// Execute applies op with TLE plus auxiliary-lock conflict management.
+func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	tm := &e.per[th.ID()].m
+	var res uint64
+	attempt := func(tx *htm.Tx) {
+		if e.lock.Locked(tx) {
+			tx.AbortLockHeld()
+		}
+		res = op.Apply(tx)
+	}
+	// Optimistic phase: half the budget without the auxiliary lock. Two
+	// consecutive conflict aborts indicate persistent contention and send
+	// the thread to the auxiliary lock.
+	optimistic := e.trials / 2
+	conflicts := 0
+	for i := 0; i < optimistic; i++ {
+		ok, reason := e.htm.Run(th, attempt)
+		if ok {
+			if e.witness != nil {
+				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+			}
+			tm.Ops++
+			return res
+		}
+		if reason == htm.ReasonConflict {
+			conflicts++
+			if conflicts >= 2 {
+				break
+			}
+		} else {
+			conflicts = 0
+		}
+		for e.lock.Locked(th) {
+			th.Yield()
+		}
+	}
+	// Managed phase: serialize with other conflicting threads on the
+	// auxiliary lock and keep eliding L.
+	e.aux.Lock(th)
+	tm.AuxAcquisitions++
+	for i := optimistic; i < e.trials; i++ {
+		ok, _ := e.htm.Run(th, attempt)
+		if ok {
+			if e.witness != nil {
+				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+			}
+			e.aux.Unlock(th)
+			tm.Ops++
+			return res
+		}
+		for e.lock.Locked(th) {
+			th.Yield()
+		}
+	}
+	// Pessimistic fallback, still holding aux to keep the queue orderly.
+	e.lock.Lock(th)
+	tm.LockAcquisitions++
+	res = op.Apply(th)
+	if e.witness != nil {
+		e.witness(htm.LockStamp(th), 0, op, res)
+	}
+	e.lock.Unlock(th)
+	e.aux.Unlock(th)
+	tm.Ops++
+	return res
+}
+
+// fcDesc is a flat-combining operation descriptor. Status lives in
+// simulated memory: 0 free, 1 announced; the Done transition is a direct
+// store of 2 ordered after the result write.
+type fcDesc struct {
+	status memsim.Addr
+	op     engine.Op
+	result uint64
+}
+
+const (
+	fcAnnounced uint64 = 1
+	fcDone      uint64 = 2
+)
+
+// fcCore is the announcement/combining machinery shared by FC and TLE+FC.
+type fcCore struct {
+	witness engine.WitnessFunc
+	lock    *locks.TATAS // combiner lock (= the data-structure lock)
+	pub     *pubarr.Array
+	descs   []fcDesc
+	combine engine.CombineFunc
+	batch   int
+	passes  int
+
+	ops  [][]engine.Op
+	res  [][]uint64
+	done [][]bool
+	sel  [][]int
+}
+
+func newFCCore(env memsim.Env, opts *Options) *fcCore {
+	total := env.NumThreads() + 1
+	c := &fcCore{
+		lock:    locks.NewTATAS(env),
+		pub:     pubarr.New(env, total),
+		descs:   make([]fcDesc, total),
+		combine: opts.Combine,
+		batch:   opts.MaxBatch,
+		passes:  opts.FCPasses,
+		ops:     make([][]engine.Op, total),
+		res:     make([][]uint64, total),
+		done:    make([][]bool, total),
+		sel:     make([][]int, total),
+	}
+	if opts.Lock != nil {
+		if tt, ok := opts.Lock.(*locks.TATAS); ok {
+			c.lock = tt
+		}
+	}
+	for t := range c.descs {
+		c.descs[t].status = env.Alloc(memsim.WordsPerLine)
+		env.StoreWord(c.descs[t].status, 0)
+	}
+	return c
+}
+
+// execute runs the flat-combining protocol for thread th's op: announce,
+// then either get helped or become the combiner.
+func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) uint64 {
+	t := th.ID()
+	d := &c.descs[t]
+	d.op = op
+	th.Store(d.status, fcAnnounced)
+	c.pub.Announce(th, t, uint64(t)+1)
+	for {
+		if th.Load(d.status) == fcDone {
+			tm.Ops++
+			return d.result
+		}
+		if !c.lock.Locked(th) {
+			if c.lock.TryLock(th) {
+				tm.LockAcquisitions++
+				// Classic FC: keep scanning for newly announced requests
+				// for a few passes before handing the lock over.
+				ownDone, ownRes := false, uint64(0)
+				for pass := 0; pass < c.passes; pass++ {
+					done1, res1, n := c.combineSession(th, t, tm)
+					if done1 {
+						ownDone, ownRes = true, res1
+					}
+					if n == 0 {
+						break // nothing announced; stop scanning
+					}
+				}
+				c.lock.Unlock(th)
+				if !ownDone {
+					// Our op was completed by the previous combiner
+					// between our status check and lock acquisition.
+					for th.Load(d.status) != fcDone {
+						th.Yield()
+					}
+					ownRes = d.result
+				}
+				tm.Ops++
+				return ownRes
+			}
+		}
+		th.Yield()
+	}
+}
+
+// combineSession scans the publication array and applies all announced
+// operations under the lock using the combining function. Returns whether
+// the combiner's own op was applied, its result, and how many operations
+// the pass selected.
+func (c *fcCore) combineSession(th *memsim.Thread, t int, tm *engine.Metrics) (bool, uint64, int) {
+	sel := c.sel[t][:0]
+	for tid := 0; tid < c.pub.Slots(); tid++ {
+		if c.pub.Read(th, tid) == 0 {
+			continue
+		}
+		if th.Load(c.descs[tid].status) != fcAnnounced {
+			continue
+		}
+		c.pub.Clear(th, tid)
+		sel = append(sel, tid)
+	}
+	c.sel[t] = sel
+	if len(sel) == 0 {
+		return false, 0, 0
+	}
+	selected := len(sel)
+	tm.CombinerSessions++
+	tm.CombinedOps += uint64(len(sel))
+	ownDone, ownRes := false, uint64(0)
+	for len(sel) > 0 {
+		n := len(sel)
+		if c.batch > 0 && n > c.batch {
+			n = c.batch
+		}
+		ops, res, done := c.buffers(t, n)
+		for i := 0; i < n; i++ {
+			ops[i] = c.descs[sel[i]].op
+			res[i] = 0
+			done[i] = false
+		}
+		c.combine(th, ops, res, done)
+		progressed := false
+		for i := 0; i < n; i++ {
+			if done[i] {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			engine.ApplyEach(th, ops, res, done)
+		}
+		stamp := htm.LockStamp(th)
+		keep := sel[:0]
+		for i := 0; i < n; i++ {
+			tid := sel[i]
+			if !done[i] {
+				keep = append(keep, tid)
+				continue
+			}
+			if c.witness != nil {
+				c.witness(stamp, i, ops[i], res[i])
+			}
+			if tid == t {
+				ownDone, ownRes = true, res[i]
+				continue
+			}
+			c.descs[tid].result = res[i]
+			th.Store(c.descs[tid].status, fcDone)
+		}
+		keep = append(keep, sel[n:]...)
+		sel = keep
+	}
+	c.sel[t] = sel[:0]
+	return ownDone, ownRes, selected
+}
+
+func (c *fcCore) buffers(t, n int) ([]engine.Op, []uint64, []bool) {
+	if cap(c.ops[t]) < n {
+		c.ops[t] = make([]engine.Op, n)
+		c.res[t] = make([]uint64, n)
+		c.done[t] = make([]bool, n)
+	}
+	return c.ops[t][:n], c.res[t][:n], c.done[t][:n]
+}
+
+// FCEngine is classic flat combining: all operations are delegated and
+// applied by a combiner holding the lock.
+type FCEngine struct {
+	core *fcCore
+	metricsSet
+}
+
+var _ engine.Engine = (*FCEngine)(nil)
+
+// NewFC builds the FC baseline.
+func NewFC(env memsim.Env, opts Options) *FCEngine {
+	opts.normalize(env)
+	return &FCEngine{core: newFCCore(env, &opts), metricsSet: newMetricsSet(env, nil)}
+}
+
+// Name implements engine.Engine.
+func (e *FCEngine) Name() string { return "FC" }
+
+// SetWitness installs a serialization-witness observer (nil disables).
+func (e *FCEngine) SetWitness(fn engine.WitnessFunc) {
+	e.metricsSet.SetWitness(fn)
+	e.core.witness = fn
+}
+
+// Execute applies op with flat combining.
+func (e *FCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	return e.core.execute(th, op, &e.per[th.ID()].m)
+}
+
+// TLEFCEngine is the naive TLE+FC combination from the paper's
+// introduction: try the operation with TLE-style speculation, and when the
+// budget is exhausted announce it and combine under the lock. Announced
+// operations block concurrent speculation (the lock is held while
+// combining), which is exactly the weakness HCF removes.
+type TLEFCEngine struct {
+	lock   locks.Lock
+	htm    *htm.Engine
+	trials int
+	core   *fcCore
+	metricsSet
+}
+
+var _ engine.Engine = (*TLEFCEngine)(nil)
+
+// NewTLEFC builds the TLE+FC baseline.
+func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
+	opts.normalize(env)
+	eng := htm.New(env, opts.HTM)
+	core := newFCCore(env, &opts)
+	return &TLEFCEngine{
+		lock:       core.lock, // speculation elides the combiner lock
+		htm:        eng,
+		trials:     opts.Trials,
+		core:       core,
+		metricsSet: newMetricsSet(env, eng),
+	}
+}
+
+// Name implements engine.Engine.
+func (e *TLEFCEngine) Name() string { return "TLE+FC" }
+
+// SetWitness installs a serialization-witness observer (nil disables).
+func (e *TLEFCEngine) SetWitness(fn engine.WitnessFunc) {
+	e.metricsSet.SetWitness(fn)
+	e.core.witness = fn
+}
+
+// Execute applies op with TLE first, then flat combining.
+func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
+	tm := &e.per[th.ID()].m
+	var res uint64
+	for i := 0; i < e.trials; i++ {
+		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
+			if e.lock.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			res = op.Apply(tx)
+		})
+		if ok {
+			if e.witness != nil {
+				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+			}
+			tm.Ops++
+			return res
+		}
+		for e.lock.Locked(th) {
+			th.Yield()
+		}
+	}
+	return e.core.execute(th, op, tm)
+}

@@ -1,0 +1,371 @@
+package engines
+
+import (
+	"sort"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+// incOp increments a shared counter, returning the observed pre-value.
+type incOp struct {
+	addr memsim.Addr
+}
+
+func (o incOp) Apply(ctx memsim.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o incOp) Class() int { return 0 }
+
+func combineIncs(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var addr memsim.Addr
+	any := false
+	for i, op := range ops {
+		if !done[i] {
+			addr = op.(incOp).addr
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	v := ctx.Load(addr)
+	for i := range ops {
+		if !done[i] {
+			res[i] = v
+			v++
+			done[i] = true
+		}
+	}
+	ctx.Store(addr, v)
+}
+
+// allEngines builds every engine variant over env, sharing nothing.
+func allEngines(t *testing.T, env memsim.Env) map[string]engine.Engine {
+	t.Helper()
+	opts := func() Options { return Options{Combine: combineIncs} }
+	hcf, err := core.New(env, core.Config{Policies: []core.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		RunMulti:           combineIncs,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]engine.Engine{
+		"Lock":   NewLock(env, opts()),
+		"TLE":    NewTLE(env, opts()),
+		"FC":     NewFC(env, opts()),
+		"SCM":    NewSCM(env, opts()),
+		"TLE+FC": NewTLEFC(env, opts()),
+		"HCF":    hcf,
+	}
+}
+
+// checkPermutation verifies the inc-result stream is 0..n-1.
+func checkPermutation(t *testing.T, results [][]uint64, total int) {
+	t.Helper()
+	var all []uint64
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) != total {
+		t.Fatalf("got %d results, want %d", len(all), total)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != uint64(i) {
+			t.Fatalf("results are not a permutation of 0..%d: position %d holds %d", total-1, i, v)
+		}
+	}
+}
+
+func TestAllEnginesExactlyOnceDet(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			eng := allEngines(t, env)[name]
+			counter := env.Alloc(1)
+			results := make([][]uint64, threads)
+			env.Run(func(th *memsim.Thread) {
+				mine := make([]uint64, 0, perThread)
+				for i := 0; i < perThread; i++ {
+					mine = append(mine, eng.Execute(th, incOp{addr: counter}))
+				}
+				results[th.ID()] = mine
+			})
+			if got := env.Boot().Load(counter); got != threads*perThread {
+				t.Fatalf("counter = %d, want %d", got, threads*perThread)
+			}
+			checkPermutation(t, results, threads*perThread)
+			if m := eng.Metrics(); m.Ops != threads*perThread {
+				t.Fatalf("metrics.Ops = %d, want %d", m.Ops, threads*perThread)
+			}
+		})
+	}
+}
+
+func TestAllEnginesExactlyOnceReal(t *testing.T) {
+	const threads, perThread = 6, 60
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewReal(memsim.RealConfig{Threads: threads})
+			eng := allEngines(t, env)[name]
+			counter := env.Alloc(1)
+			results := make([][]uint64, threads)
+			env.Run(func(th *memsim.Thread) {
+				mine := make([]uint64, 0, perThread)
+				for i := 0; i < perThread; i++ {
+					mine = append(mine, eng.Execute(th, incOp{addr: counter}))
+				}
+				results[th.ID()] = mine
+			})
+			if got := env.Boot().Load(counter); got != threads*perThread {
+				t.Fatalf("counter = %d, want %d", got, threads*perThread)
+			}
+			checkPermutation(t, results, threads*perThread)
+		})
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	want := map[string]bool{"Lock": true, "TLE": true, "FC": true, "SCM": true, "TLE+FC": true, "HCF": true}
+	for key, eng := range allEngines(t, env) {
+		if eng.Name() != key {
+			t.Errorf("engine under key %q reports name %q", key, eng.Name())
+		}
+		delete(want, eng.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing engines: %v", want)
+	}
+}
+
+func TestLockEngineCountsAcquisitions(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 2})
+	eng := NewLock(env, Options{})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 10; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.LockAcquisitions != 20 {
+		t.Fatalf("LockAcquisitions = %d, want 20", m.LockAcquisitions)
+	}
+}
+
+func TestTLEUncontendedStaysSpeculative(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := NewTLE(env, Options{})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 50; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.LockAcquisitions != 0 {
+		t.Fatalf("uncontended TLE acquired the lock %d times", m.LockAcquisitions)
+	}
+	if m.HTM.Commits != 50 {
+		t.Fatalf("HTM commits = %d, want 50", m.HTM.Commits)
+	}
+}
+
+func TestTLEFallsBackUnderInjectedAborts(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := NewTLE(env, Options{HTM: htm.Config{InjectAbortEvery: 1}, Trials: 3})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 10; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.LockAcquisitions != 10 {
+		t.Fatalf("expected every op to fall back to the lock, got %d", m.LockAcquisitions)
+	}
+	if got := env.Boot().Load(counter); got != 10 {
+		t.Fatalf("counter = %d, want 10", got)
+	}
+}
+
+func TestFCCombinesUnderContention(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 12})
+	eng := NewFC(env, Options{Combine: combineIncs})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 20; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.CombiningDegree() <= 1.0 {
+		t.Fatalf("FC combining degree = %.2f, want > 1", m.CombiningDegree())
+	}
+	if got := env.Boot().Load(counter); got != 12*20 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestSCMUsesAuxLockUnderConflicts(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 8})
+	eng := NewSCM(env, Options{})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 30; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.AuxAcquisitions == 0 {
+		t.Fatal("SCM never used its auxiliary lock under heavy conflicts")
+	}
+}
+
+func TestTLEFCCombiningDegreeIsSmall(t *testing.T) {
+	// The paper observes TLE+FC combines very little: speculation succeeds
+	// often enough that few ops are announced simultaneously. With a
+	// single hot counter everything conflicts, but sessions should still
+	// be small relative to an FC session with the same thread count.
+	env := memsim.NewDet(memsim.DetConfig{Threads: 8})
+	eng := NewTLEFC(env, Options{Combine: combineIncs})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 30; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	if got := env.Boot().Load(counter); got != 8*30 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestResetMetricsAllEngines(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 2})
+	for name, eng := range allEngines(t, env) {
+		t.Run(name, func(t *testing.T) {
+			counter := env.Alloc(1)
+			env.Run(func(th *memsim.Thread) {
+				eng.Execute(th, incOp{addr: counter})
+			})
+			eng.ResetMetrics()
+			m := eng.Metrics()
+			if m.Ops != 0 || m.LockAcquisitions != 0 || m.HTM.Started != 0 {
+				t.Fatalf("metrics not reset: %+v", m)
+			}
+		})
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	for _, name := range []string{"TLE", "FC", "SCM", "TLE+FC"} {
+		t.Run(name, func(t *testing.T) {
+			trace := func() (engine.Metrics, uint64) {
+				env := memsim.NewDet(memsim.DetConfig{Threads: 5})
+				eng := allEngines(t, env)[name]
+				counter := env.Alloc(1)
+				env.Run(func(th *memsim.Thread) {
+					for i := 0; i < 25; i++ {
+						eng.Execute(th, incOp{addr: counter})
+					}
+				})
+				return eng.Metrics(), env.Boot().Load(counter)
+			}
+			m1, v1 := trace()
+			m2, v2 := trace()
+			if v1 != v2 || m1 != m2 {
+				t.Fatalf("nondeterministic run:\n%+v %d\n%+v %d", m1, v1, m2, v2)
+			}
+		})
+	}
+}
+
+func TestWitnessHooksAllEngines(t *testing.T) {
+	const threads, perThread = 4, 20
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	for name, eng := range allEngines(t, env) {
+		we, ok := eng.(engine.WitnessedEngine)
+		if !ok {
+			t.Fatalf("%s does not implement WitnessedEngine", name)
+		}
+		var stamps []uint64
+		we.SetWitness(func(stamp uint64, intra int, op engine.Op, result uint64) {
+			stamps = append(stamps, stamp)
+		})
+		counter := env.Alloc(1)
+		env.Run(func(th *memsim.Thread) {
+			for i := 0; i < perThread; i++ {
+				eng.Execute(th, incOp{addr: counter})
+			}
+		})
+		if len(stamps) != threads*perThread {
+			t.Fatalf("%s witnessed %d applications, want %d", name, len(stamps), threads*perThread)
+		}
+		we.SetWitness(nil) // disabling must not break execution
+		env.Run(func(th *memsim.Thread) {
+			eng.Execute(th, incOp{addr: counter})
+		})
+	}
+}
+
+// TestTLEFCEqualsTLEWithoutContention: the paper observes TLE+FC "performs
+// almost identically to TLE"; with no conflicts the two take literally the
+// same speculative path.
+func TestTLEFCEqualsTLEWithoutContention(t *testing.T) {
+	run := func(mk func(env memsim.Env) engine.Engine) (uint64, htm.Stats) {
+		env := memsim.NewDet(memsim.DetConfig{Threads: 4})
+		eng := mk(env)
+		// Disjoint per-thread cells: zero conflicts.
+		cells := make([]memsim.Addr, 4)
+		for i := range cells {
+			cells[i] = env.Alloc(memsim.WordsPerLine)
+		}
+		env.Run(func(th *memsim.Thread) {
+			for i := 0; i < 50; i++ {
+				eng.Execute(th, incOp{addr: cells[th.ID()]})
+			}
+		})
+		m := eng.Metrics()
+		return m.LockAcquisitions, m.HTM
+	}
+	tleLocks, tleHTM := run(func(env memsim.Env) engine.Engine { return NewTLE(env, Options{}) })
+	fcLocks, fcHTM := run(func(env memsim.Env) engine.Engine { return NewTLEFC(env, Options{}) })
+	if tleLocks != 0 || fcLocks != 0 {
+		t.Fatalf("uncontended runs took locks: %d %d", tleLocks, fcLocks)
+	}
+	if tleHTM.Commits != fcHTM.Commits || tleHTM.Started != fcHTM.Started {
+		t.Fatalf("TLE and TLE+FC diverged without contention: %+v vs %+v", tleHTM, fcHTM)
+	}
+}
+
+// TestSCMHoldsAuxAcrossFallback: the pessimistic fallback must keep the
+// auxiliary lock, keeping the conflicting queue orderly.
+func TestSCMHoldsAuxAcrossFallback(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := NewSCM(env, Options{HTM: htm.Config{InjectAbortEvery: 1}, Trials: 4})
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 5; i++ {
+			eng.Execute(th, incOp{addr: counter})
+		}
+	})
+	m := eng.Metrics()
+	if m.LockAcquisitions != 5 || m.AuxAcquisitions != 5 {
+		t.Fatalf("lock=%d aux=%d, want 5/5 (every op escalates fully)", m.LockAcquisitions, m.AuxAcquisitions)
+	}
+	if got := env.Boot().Load(counter); got != 5 {
+		t.Fatalf("counter = %d", got)
+	}
+}

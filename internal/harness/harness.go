@@ -1,0 +1,185 @@
+// Package harness runs the paper's experiments: it sweeps thread counts and
+// synchronization engines over data-structure scenarios in the
+// deterministic simulator, collects throughput and behavioural statistics,
+// and renders the tables behind every figure of the paper (see figures.go
+// for the per-figure registry).
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+// EngineNames lists all engines in the paper's presentation order.
+var EngineNames = []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"}
+
+// Scenario couples a data structure with a workload.
+type Scenario struct {
+	// Name labels the scenario in output.
+	Name string
+	// Setup builds and prefills the data structure in env and returns the
+	// scenario instance. It runs on the bootstrap thread.
+	Setup func(env memsim.Env, seed uint64) Instance
+}
+
+// Instance is one constructed data structure plus its engine plumbing.
+type Instance struct {
+	// Policies is the HCF configuration for this structure.
+	Policies []core.Policy
+	// HoldSelectionLock selects the specialized HCF variant (§2.4).
+	HoldSelectionLock bool
+	// Combine is the combining function for the FC / TLE+FC baselines.
+	Combine engine.CombineFunc
+	// NextOp draws the next operation using a per-thread rng. Called only
+	// from inside the environment's Run (one virtual thread at a time).
+	NextOp func(r *rand.Rand) engine.Op
+	// Check optionally validates structural invariants after a run,
+	// returning a description of the first violation or "".
+	Check func(ctx memsim.Ctx) string
+}
+
+// Config tunes a sweep.
+type Config struct {
+	// Horizon is the virtual-cycle duration of each measurement.
+	Horizon int64
+	// Seed feeds all generators; equal seeds give identical runs.
+	Seed uint64
+	// Cost is the simulated machine; zero fields take defaults.
+	Cost memsim.CostParams
+	// Trials is the speculation budget of the baseline engines (default
+	// 10, the paper's budget).
+	Trials int
+	// HTM configures the transactional engine for all engines.
+	HTM htm.Config
+}
+
+func (c *Config) normalize() {
+	if c.Horizon <= 0 {
+		c.Horizon = 200_000
+	}
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	if c.HTM.NoisePPMPerLine == 0 {
+		c.HTM.NoisePPMPerLine = 500 // real HTM aborts sporadically
+	}
+	// Cost is normalized by memsim.NewDet.
+}
+
+// Result is one (scenario, engine, threads) measurement.
+type Result struct {
+	Scenario string
+	Engine   string
+	Threads  int
+	// Ops completed within the horizon across all threads.
+	Ops uint64
+	// Cycles is the maximum per-thread virtual time consumed.
+	Cycles int64
+	// Throughput in operations per million cycles.
+	Throughput float64
+	// Metrics aggregates engine counters.
+	Metrics engine.Metrics
+	// Mem aggregates the worker threads' memory counters.
+	Mem memsim.ThreadStats
+	// PhaseByClass is the per-class phase breakdown (HCF engines only).
+	PhaseByClass [][core.NumPhases]uint64
+	// InvariantViolation is non-empty if the scenario's check failed.
+	InvariantViolation string
+}
+
+// BuildEngine constructs the named engine over env for inst.
+func BuildEngine(name string, env memsim.Env, inst Instance, cfg Config) (engine.Engine, error) {
+	opts := engines.Options{
+		HTM:     cfg.HTM,
+		Trials:  cfg.Trials,
+		Combine: inst.Combine,
+	}
+	switch name {
+	case "Lock":
+		return engines.NewLock(env, opts), nil
+	case "TLE":
+		return engines.NewTLE(env, opts), nil
+	case "FC":
+		return engines.NewFC(env, opts), nil
+	case "SCM":
+		return engines.NewSCM(env, opts), nil
+	case "TLE+FC":
+		return engines.NewTLEFC(env, opts), nil
+	case "HCF":
+		return core.New(env, core.Config{
+			Policies:          inst.Policies,
+			HoldSelectionLock: inst.HoldSelectionLock,
+			HTM:               cfg.HTM,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown engine %q", name)
+	}
+}
+
+// RunPoint measures one (scenario, engine, threads) configuration in a
+// fresh deterministic environment.
+func RunPoint(sc Scenario, engineName string, threads int, cfg Config) (Result, error) {
+	cfg.normalize()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	inst := sc.Setup(env, cfg.Seed)
+	eng, err := BuildEngine(engineName, env, inst, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	env.ResetStats() // exclude prefill from measurements
+	eng.ResetMetrics()
+	opWork := env.Cost().OpWork // per-op application logic outside the DS
+	opsByThread := make([]uint64, threads)
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0x9E3779B9, uint64(th.ID())+1))
+		for th.Now() < cfg.Horizon {
+			th.Work(opWork)
+			eng.Execute(th, inst.NextOp(rng))
+			opsByThread[th.ID()]++
+		}
+	})
+	res := Result{
+		Scenario: sc.Name,
+		Engine:   engineName,
+		Threads:  threads,
+		Metrics:  eng.Metrics(),
+	}
+	for t := 0; t < threads; t++ {
+		res.Ops += opsByThread[t]
+		if now := env.Now(t); now > res.Cycles {
+			res.Cycles = now
+		}
+		res.Mem.Merge(env.Stats(t))
+	}
+	if res.Cycles > 0 {
+		res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
+	}
+	if hcf, ok := eng.(*core.Framework); ok {
+		res.PhaseByClass = hcf.PhaseBreakdown()
+	}
+	if inst.Check != nil {
+		res.InvariantViolation = inst.Check(env.Boot())
+	}
+	return res, nil
+}
+
+// RunSweep measures every engine at every thread count.
+func RunSweep(sc Scenario, engineNames []string, threads []int, cfg Config) ([]Result, error) {
+	results := make([]Result, 0, len(engineNames)*len(threads))
+	for _, t := range threads {
+		for _, name := range engineNames {
+			r, err := RunPoint(sc, name, t, cfg)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,475 @@
+// Package htm implements a software transactional engine with the semantics
+// of best-effort hardware transactional memory over the memsim substrate.
+//
+// The paper's HCF framework relies only on the observable HTM contract:
+//
+//   - transactions commit atomically or abort with no visible effects;
+//   - a transaction aborts when another thread writes a line it has read
+//     (conflict), including the data-structure lock word it subscribed to
+//     (lock elision);
+//   - transactions abort when they exceed a cache-sized capacity;
+//   - transactions can abort themselves explicitly;
+//   - reads never observe inconsistent state (opacity).
+//
+// The engine provides exactly this contract using the TL2 algorithm: a
+// global version clock, per-line versioned write locks, invisible readers
+// with per-access validation, buffered writes, and commit-time lock
+// acquisition with read-set validation. Capacity is accounted in distinct
+// cache lines, mirroring an L1-bounded HTM such as Intel TSX. Abort reasons
+// are reported with the taxonomy the paper's trial budgets (and the SCM
+// baseline) key on.
+package htm
+
+import (
+	"fmt"
+
+	"hcf/internal/memsim"
+)
+
+// Reason classifies why a transaction aborted.
+type Reason uint8
+
+// Abort reasons. ReasonNone means the transaction committed.
+const (
+	ReasonNone Reason = iota
+	// ReasonConflict: another thread committed a write to a line in the
+	// read set, or a needed line lock was held.
+	ReasonConflict
+	// ReasonCapacity: the read or write footprint exceeded the configured
+	// cache-sized budget.
+	ReasonCapacity
+	// ReasonLockHeld: the transaction subscribed to a lock that was (or
+	// became) held — the lock-elision abort path.
+	ReasonLockHeld
+	// ReasonExplicit: the transaction body requested an abort.
+	ReasonExplicit
+	// ReasonInjected: a test-configured forced abort.
+	ReasonInjected
+	// ReasonNoise: a spurious abort from the noise model (real HTM aborts
+	// sporadically on interrupts and microarchitectural events, with
+	// probability growing in the transaction's footprint).
+	ReasonNoise
+
+	numReasons = iota
+)
+
+// NumReasons is the number of distinct abort reasons (for stats arrays).
+const NumReasons = numReasons
+
+// String returns a short human-readable name.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonConflict:
+		return "conflict"
+	case ReasonCapacity:
+		return "capacity"
+	case ReasonLockHeld:
+		return "lock-held"
+	case ReasonExplicit:
+		return "explicit"
+	case ReasonInjected:
+		return "injected"
+	case ReasonNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Config tunes the engine. Zero fields take defaults.
+type Config struct {
+	// MaxReadLines bounds the distinct cache lines a transaction may read.
+	MaxReadLines int
+	// MaxWriteLines bounds the distinct cache lines a transaction may
+	// write (models the L1-bound write set of real HTM).
+	MaxWriteLines int
+	// BeginCost, CommitCost and AbortCost are cycle charges modelling the
+	// fixed overheads of starting, committing and aborting a hardware
+	// transaction.
+	BeginCost, CommitCost, AbortCost int64
+	// InjectAbortEvery, when positive, forces every Nth transaction of
+	// each thread to abort at commit with ReasonInjected (failure
+	// injection for tests).
+	InjectAbortEvery uint64
+	// NoisePPMPerLine is the spurious-abort probability per accessed cache
+	// line, in parts per million, drawn deterministically per thread at
+	// commit time. 0 disables noise. The experiment harness defaults it to
+	// 500 (0.05% per line), so a 2-line transaction aborts spuriously
+	// ~0.1% of the time and a 60-line combining transaction ~3%.
+	NoisePPMPerLine uint64
+}
+
+func (c *Config) normalize() {
+	if c.MaxReadLines == 0 {
+		c.MaxReadLines = 8192
+	}
+	if c.MaxWriteLines == 0 {
+		c.MaxWriteLines = 512
+	}
+	if c.BeginCost == 0 {
+		c.BeginCost = 12
+	}
+	if c.CommitCost == 0 {
+		c.CommitCost = 20
+	}
+	if c.AbortCost == 0 {
+		c.AbortCost = 40
+	}
+}
+
+// Stats counts one thread's transactional activity.
+type Stats struct {
+	Started uint64
+	Commits uint64
+	Aborts  [NumReasons]uint64
+}
+
+// TotalAborts sums aborts across reasons.
+func (s *Stats) TotalAborts() uint64 {
+	var n uint64
+	for _, a := range s.Aborts {
+		n += a
+	}
+	return n
+}
+
+// Merge adds o into s.
+func (s *Stats) Merge(o *Stats) {
+	s.Started += o.Started
+	s.Commits += o.Commits
+	for i := range s.Aborts {
+		s.Aborts[i] += o.Aborts[i]
+	}
+}
+
+// Engine runs transactions for the threads of one environment.
+type Engine struct {
+	env   memsim.Env
+	cfg   Config
+	txs   []Tx
+	stats []Stats
+}
+
+// New creates an engine for env.
+func New(env memsim.Env, cfg Config) *Engine {
+	cfg.normalize()
+	total := env.NumThreads() + 1 // + bootstrap thread
+	e := &Engine{
+		env:   env,
+		cfg:   cfg,
+		txs:   make([]Tx, total),
+		stats: make([]Stats, total),
+	}
+	for i := range e.txs {
+		tx := &e.txs[i]
+		tx.eng = e
+		tx.rvers = make(map[uint32]uint64, 64)
+		tx.windex = make(map[memsim.Addr]int32, 32)
+		tx.wlineSeen = make(map[uint32]struct{}, 32)
+		tx.noise = uint64(i+1) * 0x5851F42D4C957F2D
+	}
+	return e
+}
+
+// Env returns the engine's environment.
+func (e *Engine) Env() memsim.Env { return e.env }
+
+// Stats returns thread t's transaction counters.
+func (e *Engine) Stats(t int) *Stats { return &e.stats[t] }
+
+// CommitStamp returns the serialization stamp of thread t's most recent
+// committed transaction: commits are totally ordered by stamp, and a
+// committed reader's stamp orders it after every writer whose effects it
+// observed. Used by the linearizability witness machinery.
+func (e *Engine) CommitStamp(t int) uint64 { return e.txs[t].stamp }
+
+// LockStamp draws a serialization stamp for an operation applied directly
+// (under a lock) by thread th: it ticks the global version clock, so every
+// later transaction snapshot orders after it.
+func LockStamp(th *memsim.Thread) uint64 { return th.Env().TickClock() << 1 }
+
+// TotalStats aggregates all threads' counters.
+func (e *Engine) TotalStats() Stats {
+	var total Stats
+	for i := range e.stats {
+		total.Merge(&e.stats[i])
+	}
+	return total
+}
+
+// ResetStats zeroes all counters.
+func (e *Engine) ResetStats() {
+	for i := range e.stats {
+		e.stats[i] = Stats{}
+	}
+}
+
+// txAbort is the control-flow signal used internally for aborts.
+type txAbort struct{ reason Reason }
+
+type wentry struct {
+	addr memsim.Addr
+	val  uint64
+}
+
+type span struct {
+	addr  memsim.Addr
+	words int32
+}
+
+// Tx is an in-flight transaction. It implements memsim.Ctx so sequential
+// data-structure code runs unmodified inside a transaction. A Tx is only
+// valid within the body passed to Engine.Run.
+type Tx struct {
+	eng    *Engine
+	th     *memsim.Thread
+	rv     uint64
+	active bool
+
+	rvers     map[uint32]uint64 // read line -> observed version
+	writes    []wentry
+	windex    map[memsim.Addr]int32
+	wlineList []uint32
+	wlineSeen map[uint32]struct{}
+
+	locked    []uint32 // lines locked during commit
+	lockedOld []uint64 // their pre-lock metadata
+	allocs    []span
+	frees     []span
+	noise     uint64 // deterministic per-thread noise generator state
+	stamp     uint64 // serialization stamp of the last commit
+}
+
+// noiseDraw advances the thread's splitmix64 noise generator.
+func (tx *Tx) noiseDraw() uint64 {
+	tx.noise += 0x9E3779B97F4A7C15
+	z := tx.noise
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+var _ memsim.Ctx = (*Tx)(nil)
+
+// Thread returns the executing thread.
+func (tx *Tx) Thread() *memsim.Thread { return tx.th }
+
+func (tx *Tx) begin(th *memsim.Thread) {
+	tx.th = th
+	tx.active = true
+	tx.rv = tx.eng.env.ReadClock()
+	clear(tx.rvers)
+	tx.writes = tx.writes[:0]
+	clear(tx.windex)
+	tx.wlineList = tx.wlineList[:0]
+	clear(tx.wlineSeen)
+	tx.locked = tx.locked[:0]
+	tx.lockedOld = tx.lockedOld[:0]
+	tx.allocs = tx.allocs[:0]
+	tx.frees = tx.frees[:0]
+}
+
+// abort unwinds the transaction with the given reason.
+func (tx *Tx) abort(r Reason) {
+	panic(txAbort{reason: r})
+}
+
+// Abort explicitly aborts the transaction.
+func (tx *Tx) Abort() { tx.abort(ReasonExplicit) }
+
+// AbortLockHeld aborts with the lock-subscription reason; engines call it
+// when a subscribed lock is observed held.
+func (tx *Tx) AbortLockHeld() { tx.abort(ReasonLockHeld) }
+
+// Load reads a word speculatively. The read is validated against the
+// transaction's snapshot; an inconsistency aborts immediately (opacity).
+func (tx *Tx) Load(a memsim.Addr) uint64 {
+	if i, ok := tx.windex[a]; ok {
+		tx.th.Work(1) // served from the write buffer / store queue
+		return tx.writes[i].val
+	}
+	env := tx.eng.env
+	line := memsim.LineOf(a)
+	m := env.LoadMeta(line)
+	if memsim.MetaLocked(m) || memsim.MetaVersion(m) > tx.rv {
+		tx.abort(ReasonConflict)
+	}
+	env.Access(tx.th.ID(), line, false)
+	v := env.LoadWord(a)
+	if env.LoadMeta(line) != m {
+		tx.abort(ReasonConflict)
+	}
+	if _, seen := tx.rvers[line]; !seen {
+		if len(tx.rvers) >= tx.eng.cfg.MaxReadLines {
+			tx.abort(ReasonCapacity)
+		}
+		tx.rvers[line] = memsim.MetaVersion(m)
+	}
+	return v
+}
+
+// Store buffers a speculative write; it becomes visible only at commit.
+func (tx *Tx) Store(a memsim.Addr, v uint64) {
+	if i, ok := tx.windex[a]; ok {
+		tx.writes[i].val = v
+		tx.th.Work(1)
+		return
+	}
+	line := memsim.LineOf(a)
+	if _, seen := tx.wlineSeen[line]; !seen {
+		if len(tx.wlineList) >= tx.eng.cfg.MaxWriteLines {
+			tx.abort(ReasonCapacity)
+		}
+		tx.wlineSeen[line] = struct{}{}
+		tx.wlineList = append(tx.wlineList, line)
+	}
+	tx.windex[a] = int32(len(tx.writes))
+	tx.writes = append(tx.writes, wentry{addr: a, val: v})
+	tx.th.Work(1)
+}
+
+// Alloc allocates arena words. The span is reclaimed automatically if the
+// transaction aborts.
+func (tx *Tx) Alloc(words int) memsim.Addr {
+	a := tx.eng.env.Alloc(words)
+	tx.allocs = append(tx.allocs, span{addr: a, words: int32(words)})
+	return a
+}
+
+// Free schedules a span for release when (and only when) the transaction
+// commits.
+func (tx *Tx) Free(a memsim.Addr, words int) {
+	tx.frees = append(tx.frees, span{addr: a, words: int32(words)})
+}
+
+// commit attempts to make the transaction's writes visible atomically.
+// It aborts (by panicking) on validation failure.
+func (tx *Tx) commit() {
+	env := tx.eng.env
+	t := tx.th.ID()
+	cfg := &tx.eng.cfg
+	if cfg.InjectAbortEvery > 0 && tx.eng.stats[t].Started%cfg.InjectAbortEvery == 0 {
+		tx.abort(ReasonInjected)
+	}
+	if cfg.NoisePPMPerLine > 0 {
+		lines := uint64(len(tx.rvers) + len(tx.wlineList))
+		if tx.noiseDraw()%1_000_000 < lines*cfg.NoisePPMPerLine {
+			tx.abort(ReasonNoise)
+		}
+	}
+	tx.th.Work(cfg.CommitCost)
+	if len(tx.writes) == 0 {
+		// Read-only transactions are already consistent at snapshot rv,
+		// but deferred frees still take effect on commit. A read-only
+		// transaction serializes just after any writer with wv == rv
+		// (whose effects it saw), hence the odd stamp.
+		tx.stamp = tx.rv<<1 | 1
+		for _, f := range tx.frees {
+			env.Free(f.addr, int(f.words))
+		}
+		return
+	}
+	// Phase 1: lock the write set (bounded try-lock; no deadlock).
+	for _, line := range tx.wlineList {
+		acquired := false
+		for attempt := 0; attempt < 4; attempt++ {
+			m := env.LoadMeta(line)
+			if memsim.MetaLocked(m) {
+				tx.th.Yield()
+				continue
+			}
+			if env.CASMeta(line, m, m|1) {
+				tx.locked = append(tx.locked, line)
+				tx.lockedOld = append(tx.lockedOld, m)
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			tx.abort(ReasonConflict)
+		}
+	}
+	wv := env.TickClock()
+	tx.stamp = wv << 1
+	// Phase 2: validate the read set.
+	for line, ver := range tx.rvers {
+		m := env.LoadMeta(line)
+		if memsim.MetaLocked(m) {
+			if _, mine := tx.wlineSeen[line]; !mine {
+				tx.abort(ReasonConflict)
+			}
+		}
+		if memsim.MetaVersion(m) != ver {
+			tx.abort(ReasonConflict)
+		}
+	}
+	// Phase 3: write back and release with the new version.
+	for _, line := range tx.wlineList {
+		env.Access(t, line, true)
+	}
+	for _, w := range tx.writes {
+		env.StoreWord(w.addr, w.val)
+	}
+	newMeta := memsim.MakeMeta(wv)
+	for _, line := range tx.wlineList {
+		env.StoreMeta(t, line, newMeta)
+	}
+	tx.locked = tx.locked[:0]
+	for _, f := range tx.frees {
+		env.Free(f.addr, int(f.words))
+	}
+}
+
+// rollback undoes partial commit state after an abort.
+func (tx *Tx) rollback() {
+	env := tx.eng.env
+	for i, line := range tx.locked {
+		env.StoreMeta(-1, line, tx.lockedOld[i])
+	}
+	tx.locked = tx.locked[:0]
+	for _, a := range tx.allocs {
+		env.Free(a.addr, int(a.words))
+	}
+	tx.th.Work(tx.eng.cfg.AbortCost)
+}
+
+// Run executes body as one speculative transaction on thread th and reports
+// whether it committed, and the abort reason otherwise. The body may be
+// retried by the caller; it must confine its side effects to the Tx (and to
+// attempt-local state the caller resets between attempts), exactly as
+// hardware-transaction bodies must.
+func (e *Engine) Run(th *memsim.Thread, body func(tx *Tx)) (bool, Reason) {
+	t := th.ID()
+	tx := &e.txs[t]
+	if tx.active {
+		panic("htm: nested transactions are not supported")
+	}
+	e.stats[t].Started++
+	th.Work(e.cfg.BeginCost)
+	tx.begin(th)
+	reason := func() (r Reason) {
+		defer func() {
+			if p := recover(); p != nil {
+				if a, ok := p.(txAbort); ok {
+					r = a.reason
+					return
+				}
+				tx.active = false
+				panic(p)
+			}
+		}()
+		body(tx)
+		tx.commit()
+		return ReasonNone
+	}()
+	tx.active = false
+	if reason == ReasonNone {
+		e.stats[t].Commits++
+		return true, ReasonNone
+	}
+	tx.rollback()
+	e.stats[t].Aborts[reason]++
+	return false, reason
+}

@@ -1,0 +1,550 @@
+package htm
+
+import (
+	"testing"
+
+	"hcf/internal/memsim"
+)
+
+func detEnv(threads int) *memsim.DetEnv {
+	return memsim.NewDet(memsim.DetConfig{Threads: threads})
+}
+
+func TestCommitMakesWritesVisible(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	a := env.Alloc(2)
+	boot := env.Boot()
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		tx.Store(a, 11)
+		tx.Store(a+1, 22)
+	})
+	if !ok {
+		t.Fatalf("commit failed: %v", reason)
+	}
+	if got := boot.Load(a); got != 11 {
+		t.Errorf("word 0 = %d, want 11", got)
+	}
+	if got := boot.Load(a + 1); got != 22 {
+		t.Errorf("word 1 = %d, want 22", got)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	boot := env.Boot()
+	boot.Store(a, 7)
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		tx.Store(a, 99)
+		tx.Abort()
+	})
+	if ok || reason != ReasonExplicit {
+		t.Fatalf("expected explicit abort, got ok=%v reason=%v", ok, reason)
+	}
+	if got := boot.Load(a); got != 7 {
+		t.Errorf("aborted write leaked: %d", got)
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	boot := env.Boot()
+	boot.Store(a, 1)
+	ok, _ := eng.Run(boot, func(tx *Tx) {
+		tx.Store(a, 2)
+		if got := tx.Load(a); got != 2 {
+			t.Errorf("read-own-write = %d, want 2", got)
+		}
+		tx.Store(a, 3)
+		if got := tx.Load(a); got != 3 {
+			t.Errorf("second read-own-write = %d, want 3", got)
+		}
+	})
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	if got := boot.Load(a); got != 3 {
+		t.Errorf("final value = %d, want 3", got)
+	}
+}
+
+func TestLoadAbortsOnNewerVersion(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	b := env.Alloc(WordsPerLineWords()) // force a different line
+	boot := env.Boot()
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		_ = tx.Load(a)
+		// A direct store from "elsewhere" (here: same thread, but outside
+		// the transaction's snapshot) bumps b's line past the snapshot.
+		boot.Store(b, 5)
+		_ = tx.Load(b) // must abort: version is newer than the snapshot
+		t.Error("load of newer version did not abort")
+	})
+	if ok || reason != ReasonConflict {
+		t.Fatalf("expected conflict abort, got ok=%v reason=%v", ok, reason)
+	}
+}
+
+// WordsPerLineWords re-exports the line size for test readability.
+func WordsPerLineWords() int { return memsim.WordsPerLine }
+
+func TestConflictingWritersOneAborts(t *testing.T) {
+	env := detEnv(2)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	commits := make([]bool, 2)
+	reasons := make([]Reason, 2)
+	env.Run(func(th *memsim.Thread) {
+		ok, r := eng.Run(th, func(tx *Tx) {
+			v := tx.Load(a)
+			th.Work(500) // widen the race window so both overlap
+			tx.Store(a, v+1)
+		})
+		commits[th.ID()] = ok
+		reasons[th.ID()] = r
+	})
+	committed := 0
+	for i := range commits {
+		if commits[i] {
+			committed++
+		} else if reasons[i] != ReasonConflict {
+			t.Errorf("thread %d aborted with %v, want conflict", i, reasons[i])
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("%d transactions committed, want exactly 1", committed)
+	}
+	if got := env.Boot().Load(a); got != 1 {
+		t.Fatalf("value = %d, want 1", got)
+	}
+}
+
+func TestDirectStoreAbortsSubscribedReader(t *testing.T) {
+	// Models lock elision: a transaction reads the lock word; a direct
+	// store to it (lock acquisition) must abort the transaction.
+	env := detEnv(2)
+	eng := New(env, Config{})
+	lockWord := env.Alloc(1)
+	data := env.Alloc(memsim.WordsPerLine)
+	var okTx bool
+	var reason Reason
+	env.Run(func(th *memsim.Thread) {
+		if th.ID() == 0 {
+			okTx, reason = eng.Run(th, func(tx *Tx) {
+				if tx.Load(lockWord) != 0 {
+					tx.AbortLockHeld()
+				}
+				th.Work(2000) // hold the subscription open
+				tx.Store(data, 1)
+			})
+		} else {
+			th.Work(200)
+			th.Store(lockWord, 1) // "acquire the lock"
+		}
+	})
+	if okTx {
+		t.Fatal("subscribed transaction committed despite lock acquisition")
+	}
+	if reason != ReasonConflict {
+		t.Fatalf("reason = %v, want conflict", reason)
+	}
+}
+
+func TestCapacityAbortReads(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{MaxReadLines: 4})
+	boot := env.Boot()
+	addrs := make([]memsim.Addr, 8)
+	for i := range addrs {
+		addrs[i] = env.Alloc(memsim.WordsPerLine)
+	}
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		for _, a := range addrs {
+			_ = tx.Load(a)
+		}
+	})
+	if ok || reason != ReasonCapacity {
+		t.Fatalf("expected capacity abort, got ok=%v reason=%v", ok, reason)
+	}
+}
+
+func TestCapacityAbortWrites(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{MaxWriteLines: 4})
+	boot := env.Boot()
+	addrs := make([]memsim.Addr, 8)
+	for i := range addrs {
+		addrs[i] = env.Alloc(memsim.WordsPerLine)
+	}
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		for i, a := range addrs {
+			tx.Store(a, uint64(i))
+		}
+	})
+	if ok || reason != ReasonCapacity {
+		t.Fatalf("expected capacity abort, got ok=%v reason=%v", ok, reason)
+	}
+}
+
+func TestSameLineCountsOnceTowardCapacity(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{MaxReadLines: 1, MaxWriteLines: 1})
+	boot := env.Boot()
+	a := env.Alloc(memsim.WordsPerLine)
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		for w := memsim.Addr(0); w < memsim.WordsPerLine; w++ {
+			_ = tx.Load(a + w)
+			tx.Store(a+w, 1)
+		}
+	})
+	if !ok {
+		t.Fatalf("single-line transaction aborted: %v", reason)
+	}
+}
+
+func TestInjectedAborts(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{InjectAbortEvery: 2})
+	boot := env.Boot()
+	a := env.Alloc(1)
+	var injected int
+	for i := 0; i < 10; i++ {
+		ok, reason := eng.Run(boot, func(tx *Tx) {
+			tx.Store(a, uint64(i))
+		})
+		if !ok {
+			if reason != ReasonInjected {
+				t.Fatalf("unexpected reason %v", reason)
+			}
+			injected++
+		}
+	}
+	if injected != 5 {
+		t.Fatalf("injected %d aborts of 10 transactions, want 5", injected)
+	}
+}
+
+func TestNoiseAbortsScaleWithFootprint(t *testing.T) {
+	env := detEnv(1)
+	// 20% per line: a 10-line transaction should abort most of the time.
+	eng := New(env, Config{NoisePPMPerLine: 200_000})
+	boot := env.Boot()
+	addrs := make([]memsim.Addr, 10)
+	for i := range addrs {
+		addrs[i] = env.Alloc(memsim.WordsPerLine)
+	}
+	bigAborts, smallAborts := 0, 0
+	for i := 0; i < 200; i++ {
+		ok, reason := eng.Run(boot, func(tx *Tx) {
+			for _, a := range addrs {
+				tx.Store(a, uint64(i))
+			}
+		})
+		if !ok {
+			if reason != ReasonNoise {
+				t.Fatalf("unexpected reason %v", reason)
+			}
+			bigAborts++
+		}
+		ok, _ = eng.Run(boot, func(tx *Tx) { tx.Store(addrs[0], 1) })
+		if !ok {
+			smallAborts++
+		}
+	}
+	if bigAborts == 0 {
+		t.Fatal("large transactions never noise-aborted at 20%/line")
+	}
+	if smallAborts >= bigAborts {
+		t.Fatalf("small txs aborted as often as large (%d vs %d)", smallAborts, bigAborts)
+	}
+	// Noise must be deterministic: a rerun gives identical stats.
+	s1 := eng.TotalStats()
+	env2 := detEnv(1)
+	eng2 := New(env2, Config{NoisePPMPerLine: 200_000})
+	boot2 := env2.Boot()
+	addrs2 := make([]memsim.Addr, 10)
+	for i := range addrs2 {
+		addrs2[i] = env2.Alloc(memsim.WordsPerLine)
+	}
+	for i := 0; i < 200; i++ {
+		eng2.Run(boot2, func(tx *Tx) {
+			for _, a := range addrs2 {
+				tx.Store(a, uint64(i))
+			}
+		})
+		eng2.Run(boot2, func(tx *Tx) { tx.Store(addrs2[0], 1) })
+	}
+	if s2 := eng2.TotalStats(); s1 != s2 {
+		t.Fatalf("noise nondeterministic: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestAllocReclaimedOnAbort(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	boot := env.Boot()
+	var inside memsim.Addr
+	ok, _ := eng.Run(boot, func(tx *Tx) {
+		inside = tx.Alloc(4)
+		tx.Abort()
+	})
+	if ok {
+		t.Fatal("expected abort")
+	}
+	if got := env.Alloc(4); got != inside {
+		t.Fatalf("aborted allocation not reclaimed: %d vs %d", got, inside)
+	}
+}
+
+func TestFreeDeferredToCommit(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	boot := env.Boot()
+	a := env.Alloc(4)
+	// Aborted transaction must not free.
+	ok, _ := eng.Run(boot, func(tx *Tx) {
+		tx.Free(a, 4)
+		tx.Abort()
+	})
+	if ok {
+		t.Fatal("expected abort")
+	}
+	if got := env.Alloc(4); got == a {
+		t.Fatal("abort released the span")
+	}
+	// Committed transaction frees.
+	ok, _ = eng.Run(boot, func(tx *Tx) { tx.Free(a, 4) })
+	if !ok {
+		t.Fatal("commit failed")
+	}
+	if got := env.Alloc(4); got != a {
+		t.Fatalf("committed free not visible: got %d want %d", got, a)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	boot := env.Boot()
+	a := env.Alloc(1)
+	for i := 0; i < 3; i++ {
+		eng.Run(boot, func(tx *Tx) { tx.Store(a, 1) })
+	}
+	eng.Run(boot, func(tx *Tx) { tx.Abort() })
+	s := eng.Stats(boot.ID())
+	if s.Started != 4 || s.Commits != 3 || s.Aborts[ReasonExplicit] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	total := eng.TotalStats()
+	if total.Commits != 3 || total.TotalAborts() != 1 {
+		t.Fatalf("total stats = %+v", total)
+	}
+	eng.ResetStats()
+	if eng.Stats(boot.ID()).Started != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestNestedRunPanics(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	boot := env.Boot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Run did not panic")
+		}
+	}()
+	eng.Run(boot, func(tx *Tx) {
+		eng.Run(boot, func(tx *Tx) {})
+	})
+}
+
+func TestReasonStrings(t *testing.T) {
+	want := map[Reason]string{
+		ReasonNone:     "none",
+		ReasonConflict: "conflict",
+		ReasonCapacity: "capacity",
+		ReasonLockHeld: "lock-held",
+		ReasonExplicit: "explicit",
+		ReasonInjected: "injected",
+		ReasonNoise:    "noise",
+		Reason(250):    "reason(250)",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}
+
+// runCounterWorkload increments a shared counter n times per thread with
+// retry-until-commit transactions and verifies the exact total.
+func runCounterWorkload(t *testing.T, env memsim.Env, perThread int) {
+	t.Helper()
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < perThread; i++ {
+			for {
+				ok, _ := eng.Run(th, func(tx *Tx) {
+					tx.Store(a, tx.Load(a)+1)
+				})
+				if ok {
+					break
+				}
+				th.Yield()
+			}
+		}
+	})
+	want := uint64(env.NumThreads() * perThread)
+	if got := env.Boot().Load(a); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestCounterExactDet(t *testing.T) {
+	runCounterWorkload(t, detEnv(8), 200)
+}
+
+func TestCounterExactReal(t *testing.T) {
+	runCounterWorkload(t, memsim.NewReal(memsim.RealConfig{Threads: 8}), 200)
+}
+
+// TestBankTransferInvariant checks isolation: concurrent transfers between
+// accounts must conserve the total balance at every committed snapshot.
+func TestBankTransferInvariant(t *testing.T) {
+	const accounts = 16
+	const transfers = 300
+	for _, mkEnv := range []func() memsim.Env{
+		func() memsim.Env { return detEnv(6) },
+		func() memsim.Env { return memsim.NewReal(memsim.RealConfig{Threads: 6}) },
+	} {
+		env := mkEnv()
+		eng := New(env, Config{})
+		base := env.Alloc(accounts * memsim.WordsPerLine)
+		boot := env.Boot()
+		addr := func(i int) memsim.Addr { return base + memsim.Addr(i*memsim.WordsPerLine) }
+		for i := 0; i < accounts; i++ {
+			boot.Store(addr(i), 100)
+		}
+		env.Run(func(th *memsim.Thread) {
+			r := uint64(th.ID()*2654435761 + 12345)
+			next := func(n int) int {
+				r = r*6364136223846793005 + 1442695040888963407
+				return int((r >> 33) % uint64(n))
+			}
+			for i := 0; i < transfers; i++ {
+				from, to := next(accounts), next(accounts)
+				if from == to {
+					continue
+				}
+				for {
+					ok, _ := eng.Run(th, func(tx *Tx) {
+						f := tx.Load(addr(from))
+						g := tx.Load(addr(to))
+						if f == 0 {
+							return
+						}
+						tx.Store(addr(from), f-1)
+						tx.Store(addr(to), g+1)
+						// Verify the snapshot is internally consistent.
+						if tx.Load(addr(from))+tx.Load(addr(to)) != f+g && from != to {
+							t.Error("inconsistent snapshot inside transaction")
+						}
+					})
+					if ok {
+						break
+					}
+					th.Yield()
+				}
+			}
+		})
+		var total uint64
+		for i := 0; i < accounts; i++ {
+			total += boot.Load(addr(i))
+		}
+		if total != accounts*100 {
+			t.Fatalf("total balance = %d, want %d", total, accounts*100)
+		}
+	}
+}
+
+// TestDetTransactionsDeterministic runs a contended transactional workload
+// twice and requires identical commit/abort statistics.
+func TestDetTransactionsDeterministic(t *testing.T) {
+	trace := func() (Stats, uint64) {
+		env := detEnv(5)
+		eng := New(env, Config{})
+		a := env.Alloc(1)
+		env.Run(func(th *memsim.Thread) {
+			for i := 0; i < 100; i++ {
+				for {
+					ok, _ := eng.Run(th, func(tx *Tx) {
+						tx.Store(a, tx.Load(a)+uint64(th.ID())+1)
+					})
+					if ok {
+						break
+					}
+					th.Yield()
+				}
+			}
+		})
+		return eng.TotalStats(), env.Boot().Load(a)
+	}
+	s1, v1 := trace()
+	s2, v2 := trace()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if v1 != v2 {
+		t.Fatalf("final values differ: %d vs %d", v1, v2)
+	}
+}
+
+func TestReadOnlyTransactionCommitsUnderConcurrentWrites(t *testing.T) {
+	env := detEnv(2)
+	eng := New(env, Config{})
+	a := env.Alloc(memsim.WordsPerLine)
+	b := env.Alloc(memsim.WordsPerLine)
+	boot := env.Boot()
+	boot.Store(a, 1)
+	boot.Store(b, 1)
+	var snapshotsConsistent = true
+	env.Run(func(th *memsim.Thread) {
+		if th.ID() == 0 {
+			for i := 0; i < 50; i++ {
+				ok, _ := eng.Run(th, func(tx *Tx) {
+					x := tx.Load(a)
+					y := tx.Load(b)
+					if x != y {
+						snapshotsConsistent = false
+					}
+				})
+				_ = ok
+			}
+		} else {
+			for i := 0; i < 50; i++ {
+				for {
+					ok, _ := eng.Run(th, func(tx *Tx) {
+						v := tx.Load(a)
+						tx.Store(a, v+1)
+						tx.Store(b, v+1)
+					})
+					if ok {
+						break
+					}
+					th.Yield()
+				}
+			}
+		}
+	})
+	if !snapshotsConsistent {
+		t.Fatal("read-only transaction observed a torn pair")
+	}
+}

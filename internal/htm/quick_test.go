@@ -1,0 +1,135 @@
+package htm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/memsim"
+)
+
+// TestQuickSingleThreadTxMatchesModel drives random transactional
+// read/write/abort sequences against a plain map model: committed
+// transactions apply all their writes, aborted ones none.
+func TestQuickSingleThreadTxMatchesModel(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := New(env, Config{})
+	boot := env.Boot()
+	base := env.Alloc(16 * memsim.WordsPerLine)
+	addr := func(i uint8) memsim.Addr {
+		return base + memsim.Addr(int(i%16)*memsim.WordsPerLine)
+	}
+	model := make(map[memsim.Addr]uint64)
+	f := func(slots []uint8, vals []uint64, doAbort bool) bool {
+		if len(slots) > len(vals) {
+			slots = slots[:len(vals)]
+		}
+		staged := make(map[memsim.Addr]uint64, len(slots))
+		ok, reason := eng.Run(boot, func(tx *Tx) {
+			for i, s := range slots {
+				a := addr(s)
+				if tx.Load(a) != firstOf(staged, model, a) {
+					t.Error("read did not observe staged state")
+				}
+				tx.Store(a, vals[i])
+				staged[a] = vals[i]
+			}
+			if doAbort {
+				tx.Abort()
+			}
+		})
+		if doAbort {
+			if ok || reason != ReasonExplicit {
+				return false
+			}
+		} else if !ok {
+			return false
+		} else {
+			for a, v := range staged {
+				model[a] = v
+			}
+		}
+		// Memory must equal the model exactly.
+		for a, v := range model {
+			if boot.Load(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func firstOf(staged, model map[memsim.Addr]uint64, a memsim.Addr) uint64 {
+	if v, ok := staged[a]; ok {
+		return v
+	}
+	return model[a]
+}
+
+// TestQuickConcurrentCountersUnderNoise runs concurrent counter updates
+// with heavy noise aborts; retry loops must still produce exact sums.
+func TestQuickConcurrentCountersUnderNoise(t *testing.T) {
+	f := func(seed uint8) bool {
+		threads := 2 + int(seed%6)
+		perThread := 20 + int(seed%40)
+		env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+		eng := New(env, Config{NoisePPMPerLine: 50_000}) // 5% per line
+		a := env.Alloc(1)
+		env.Run(func(th *memsim.Thread) {
+			for i := 0; i < perThread; i++ {
+				for {
+					ok, _ := eng.Run(th, func(tx *Tx) {
+						tx.Store(a, tx.Load(a)+1)
+					})
+					if ok {
+						break
+					}
+					th.Yield()
+				}
+			}
+		})
+		return env.Boot().Load(a) == uint64(threads*perThread)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommitStampsTotallyOrderWriters: two sequential writer transactions
+// must get strictly increasing stamps, and a reader that starts after a
+// writer commits must stamp after it.
+func TestCommitStampsTotallyOrderWriters(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := New(env, Config{})
+	boot := env.Boot()
+	a := env.Alloc(1)
+	eng.Run(boot, func(tx *Tx) { tx.Store(a, 1) })
+	s1 := eng.CommitStamp(boot.ID())
+	eng.Run(boot, func(tx *Tx) { tx.Store(a, 2) })
+	s2 := eng.CommitStamp(boot.ID())
+	if s2 <= s1 {
+		t.Fatalf("writer stamps not increasing: %d then %d", s1, s2)
+	}
+	eng.Run(boot, func(tx *Tx) { _ = tx.Load(a) })
+	s3 := eng.CommitStamp(boot.ID())
+	if s3 <= s2 {
+		t.Fatalf("reader stamp %d does not order after writer %d", s3, s2)
+	}
+}
+
+// TestLockStampOrdersAfterPriorCommits: a lock-path stamp must exceed any
+// earlier transactional stamp.
+func TestLockStampOrdersAfterPriorCommits(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := New(env, Config{})
+	boot := env.Boot()
+	a := env.Alloc(1)
+	eng.Run(boot, func(tx *Tx) { tx.Store(a, 1) })
+	txStamp := eng.CommitStamp(boot.ID())
+	lockStamp := LockStamp(boot)
+	if lockStamp <= txStamp {
+		t.Fatalf("lock stamp %d not after tx stamp %d", lockStamp, txStamp)
+	}
+}

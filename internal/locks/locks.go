@@ -1,0 +1,117 @@
+// Package locks provides spin locks whose state lives in simulated memory,
+// so that speculative transactions can subscribe to them: a transaction that
+// reads a lock's words through its Tx context is aborted when the lock is
+// subsequently acquired — the mechanism transactional lock elision is built
+// on (paper §2.2, line 5 of Figure 1).
+package locks
+
+import "hcf/internal/memsim"
+
+// Lock is a mutual-exclusion lock over simulated memory.
+//
+// Locked reads the lock state through an arbitrary Ctx: passing an htm.Tx
+// subscribes the calling transaction to the lock, passing a *memsim.Thread
+// performs a direct read.
+type Lock interface {
+	Lock(th *memsim.Thread)
+	Unlock(th *memsim.Thread)
+	Locked(c memsim.Ctx) bool
+}
+
+// TATAS is a test-and-test-and-set spin lock: unfair but cheap, the common
+// choice for TLE's fallback lock.
+type TATAS struct {
+	word memsim.Addr
+}
+
+var _ Lock = (*TATAS)(nil)
+
+// NewTATAS allocates a TATAS lock in env's arena.
+func NewTATAS(env memsim.Env) *TATAS {
+	l := &TATAS{word: env.Alloc(1)}
+	env.StoreWord(l.word, 0)
+	return l
+}
+
+// Lock spins until the lock is acquired.
+func (l *TATAS) Lock(th *memsim.Thread) {
+	for {
+		if th.Load(l.word) == 0 {
+			if _, ok := th.CAS(l.word, 0, uint64(th.ID())+1); ok {
+				return
+			}
+		}
+		th.Yield()
+	}
+}
+
+// TryLock makes one acquisition attempt and reports whether it succeeded.
+func (l *TATAS) TryLock(th *memsim.Thread) bool {
+	if th.Load(l.word) != 0 {
+		return false
+	}
+	_, ok := th.CAS(l.word, 0, uint64(th.ID())+1)
+	return ok
+}
+
+// Unlock releases the lock.
+func (l *TATAS) Unlock(th *memsim.Thread) {
+	th.Store(l.word, 0)
+}
+
+// Locked reports whether the lock is held.
+func (l *TATAS) Locked(c memsim.Ctx) bool {
+	return c.Load(l.word) != 0
+}
+
+// Holder returns the thread id holding the lock, or -1.
+func (l *TATAS) Holder(c memsim.Ctx) int {
+	v := c.Load(l.word)
+	if v == 0 {
+		return -1
+	}
+	return int(v) - 1
+}
+
+// Ticket is a FIFO ticket lock; it is starvation free, which the paper's
+// progress argument (§2.3) requires of both the data-structure lock and the
+// selection locks for HCF to be starvation free.
+type Ticket struct {
+	next  memsim.Addr // ticket dispenser (own cache line)
+	owner memsim.Addr // now-serving counter (own cache line)
+}
+
+var _ Lock = (*Ticket)(nil)
+
+// NewTicket allocates a ticket lock in env's arena. The two counters live on
+// separate cache lines to avoid false sharing between arriving and departing
+// threads.
+func NewTicket(env memsim.Env) *Ticket {
+	l := &Ticket{
+		next:  env.Alloc(memsim.WordsPerLine),
+		owner: env.Alloc(memsim.WordsPerLine),
+	}
+	env.StoreWord(l.next, 0)
+	env.StoreWord(l.owner, 0)
+	return l
+}
+
+// Lock takes a ticket and spins until it is served.
+func (l *Ticket) Lock(th *memsim.Thread) {
+	ticket := th.Add(l.next, 1)
+	for th.Load(l.owner) != ticket {
+		th.Yield()
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *Ticket) Unlock(th *memsim.Thread) {
+	th.Store(l.owner, th.Load(l.owner)+1)
+}
+
+// Locked reports whether any thread holds or is queued for the lock. For a
+// subscribing transaction this is exactly the conservative condition TLE
+// wants: speculation should not proceed while the lock is contended.
+func (l *Ticket) Locked(c memsim.Ctx) bool {
+	return c.Load(l.owner) != c.Load(l.next)
+}

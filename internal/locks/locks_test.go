@@ -1,0 +1,212 @@
+package locks
+
+import (
+	"testing"
+
+	"hcf/internal/memsim"
+)
+
+func lockVariants(env memsim.Env) map[string]Lock {
+	return map[string]Lock{
+		"tatas":  NewTATAS(env),
+		"ticket": NewTicket(env),
+	}
+}
+
+func TestMutualExclusionDet(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 8})
+	for name, l := range lockVariants(env) {
+		t.Run(name, func(t *testing.T) {
+			counter := env.Alloc(1)
+			env.Boot().Store(counter, 0)
+			const perThread = 100
+			env.Run(func(th *memsim.Thread) {
+				for i := 0; i < perThread; i++ {
+					l.Lock(th)
+					// Unprotected read-modify-write: only safe when the
+					// lock provides mutual exclusion.
+					v := th.Load(counter)
+					th.Work(20)
+					th.Store(counter, v+1)
+					l.Unlock(th)
+				}
+			})
+			if got := env.Boot().Load(counter); got != 8*perThread {
+				t.Fatalf("counter = %d, want %d", got, 8*perThread)
+			}
+		})
+	}
+}
+
+func TestMutualExclusionReal(t *testing.T) {
+	env := memsim.NewReal(memsim.RealConfig{Threads: 6})
+	for name, l := range lockVariants(env) {
+		t.Run(name, func(t *testing.T) {
+			counter := env.Alloc(1)
+			env.Boot().Store(counter, 0)
+			const perThread = 300
+			env.Run(func(th *memsim.Thread) {
+				for i := 0; i < perThread; i++ {
+					l.Lock(th)
+					v := th.Load(counter)
+					th.Store(counter, v+1)
+					l.Unlock(th)
+				}
+			})
+			if got := env.Boot().Load(counter); got != 6*perThread {
+				t.Fatalf("counter = %d, want %d", got, 6*perThread)
+			}
+		})
+	}
+}
+
+func TestLockedReporting(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	boot := env.Boot()
+	for name, l := range lockVariants(env) {
+		t.Run(name, func(t *testing.T) {
+			if l.Locked(boot) {
+				t.Fatal("fresh lock reports held")
+			}
+			l.Lock(boot)
+			if !l.Locked(boot) {
+				t.Fatal("held lock reports free")
+			}
+			l.Unlock(boot)
+			if l.Locked(boot) {
+				t.Fatal("released lock reports held")
+			}
+		})
+	}
+}
+
+func TestTATASHolder(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 2})
+	l := NewTATAS(env)
+	boot := env.Boot()
+	if got := l.Holder(boot); got != -1 {
+		t.Fatalf("Holder of free lock = %d, want -1", got)
+	}
+	l.Lock(boot)
+	if got := l.Holder(boot); got != boot.ID() {
+		t.Fatalf("Holder = %d, want %d", got, boot.ID())
+	}
+	l.Unlock(boot)
+}
+
+func TestTicketFIFOOrder(t *testing.T) {
+	const threads = 6
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	l := NewTicket(env)
+	ticketOf := make([]uint64, threads)
+	order := make([]int, 0, threads)
+	seq := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		// Stagger arrivals so ticket order is deterministic.
+		th.Work(int64(th.ID()) * 10_000)
+		ticketOf[th.ID()] = th.Add(l.next, 1)
+		for th.Load(l.owner) != ticketOf[th.ID()] {
+			th.Yield()
+		}
+		order = append(order, th.ID())
+		th.Store(seq, th.Load(seq)+1)
+		th.Store(l.owner, th.Load(l.owner)+1)
+	})
+	for i := 1; i < threads; i++ {
+		if ticketOf[order[i-1]] >= ticketOf[order[i]] {
+			t.Fatalf("acquisition order %v violates ticket order %v", order, ticketOf)
+		}
+	}
+}
+
+// TestTicketNoStarvation runs a long contended workload and checks that
+// every thread makes progress (each completes all its critical sections).
+func TestTicketNoStarvation(t *testing.T) {
+	const threads = 10
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	l := NewTicket(env)
+	done := make([]bool, threads)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 50; i++ {
+			l.Lock(th)
+			th.Work(100)
+			l.Unlock(th)
+		}
+		done[th.ID()] = true
+	})
+	for i, d := range done {
+		if !d {
+			t.Fatalf("thread %d starved", i)
+		}
+	}
+}
+
+// TestSubscriptionAbortsOnAcquire verifies the lock-elision property: a
+// direct observer sees the version of the lock's line change on acquire, so
+// a subscribed transaction would be invalidated.
+func TestSubscriptionAbortsOnAcquire(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	boot := env.Boot()
+	for name, l := range lockVariants(env) {
+		t.Run(name, func(t *testing.T) {
+			var lines []uint32
+			switch lk := l.(type) {
+			case *TATAS:
+				lines = []uint32{memsim.LineOf(lk.word)}
+			case *Ticket:
+				lines = []uint32{memsim.LineOf(lk.next)}
+			}
+			before := make([]uint64, len(lines))
+			for i, ln := range lines {
+				before[i] = env.LoadMeta(ln)
+			}
+			l.Lock(boot)
+			changed := false
+			for i, ln := range lines {
+				if env.LoadMeta(ln) != before[i] {
+					changed = true
+				}
+			}
+			if !changed {
+				t.Fatal("acquiring the lock did not invalidate its line")
+			}
+			l.Unlock(boot)
+		})
+	}
+}
+
+func TestTATASTryLock(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	l := NewTATAS(env)
+	boot := env.Boot()
+	if !l.TryLock(boot) {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock(boot) {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock(boot)
+	if !l.TryLock(boot) {
+		t.Fatal("TryLock after unlock failed")
+	}
+	l.Unlock(boot)
+}
+
+func TestTicketLockedWhileQueued(t *testing.T) {
+	// Locked must report true while threads are queued, which is what a
+	// subscribing transaction wants to see.
+	env := memsim.NewDet(memsim.DetConfig{Threads: 3})
+	l := NewTicket(env)
+	sawLocked := false
+	env.Run(func(th *memsim.Thread) {
+		l.Lock(th)
+		th.Work(500)
+		if th.ID() == 0 && l.Locked(th) {
+			sawLocked = true
+		}
+		l.Unlock(th)
+	})
+	if !sawLocked {
+		t.Fatal("Locked never observed while held")
+	}
+}

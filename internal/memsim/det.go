@@ -1,0 +1,387 @@
+package memsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+const (
+	pageShift = 14
+	pageWords = 1 << pageShift // 64-bit words per arena page
+	pageLines = pageWords / WordsPerLine
+)
+
+// detPage is one arena page of the deterministic backend. Plain (non-atomic)
+// storage is safe because the scheduler runs exactly one virtual thread at a
+// time.
+type detPage struct {
+	words [pageWords]uint64
+	metas [pageLines]uint64
+	// lastW records the last thread to commit a write to each line
+	// (-1 = none); used by the coherence cost model.
+	lastW [pageLines]int32
+}
+
+func newDetPage() *detPage {
+	p := &detPage{}
+	for i := range p.lastW {
+		p.lastW[i] = -1
+	}
+	return p
+}
+
+// DetConfig configures a deterministic environment.
+type DetConfig struct {
+	// Threads is the number of simulated worker threads.
+	Threads int
+	// Cost is the cycle cost model; zero fields take defaults.
+	Cost CostParams
+	// Seed seeds the per-thread jitter generators (see
+	// CostParams.JitterPct). Runs with equal configuration and seed are
+	// bit-identical.
+	Seed uint64
+}
+
+// DetEnv is the deterministic multicore simulator backend. Virtual threads
+// are goroutines that run one at a time under a min-virtual-time scheduler;
+// each memory access advances the accessing thread's cycle clock by a cost
+// from the coherence model. Runs are fully deterministic for a given
+// configuration and workload seed.
+type DetEnv struct {
+	n    int
+	cost CostParams
+
+	pages    []*detPage
+	nextFree Addr
+	freelist map[int][]Addr
+	clock    uint64
+
+	threads []*Thread
+	dts     []*detThread
+	caches  []*l1Cache
+	stats   []ThreadStats
+	clocks  []int64
+	jitter  []uint64 // per-thread splitmix states (0 slice = disabled)
+
+	running bool
+	parkCh  chan parkMsg
+	sched   detHeap
+	panicV  any
+}
+
+type detThread struct {
+	resume chan struct{}
+}
+
+type parkMsg struct {
+	id       int
+	finished bool
+}
+
+var _ Env = (*DetEnv)(nil)
+
+// NewDet creates a deterministic environment with cfg.Threads worker threads
+// plus a bootstrap thread (id == cfg.Threads) for setup.
+func NewDet(cfg DetConfig) *DetEnv {
+	if cfg.Threads <= 0 {
+		panic(fmt.Sprintf("memsim: invalid thread count %d", cfg.Threads))
+	}
+	cfg.Cost.normalize()
+	e := &DetEnv{
+		n:        cfg.Threads,
+		cost:     cfg.Cost,
+		nextFree: WordsPerLine, // reserve line 0 so Addr 0 stays nil
+		freelist: make(map[int][]Addr),
+		parkCh:   make(chan parkMsg),
+	}
+	total := cfg.Threads + 1 // + bootstrap
+	e.threads = make([]*Thread, total)
+	e.dts = make([]*detThread, cfg.Threads)
+	e.caches = make([]*l1Cache, total)
+	e.stats = make([]ThreadStats, total)
+	e.clocks = make([]int64, total)
+	for i := 0; i < total; i++ {
+		e.threads[i] = NewThread(e, i)
+		e.caches[i] = newL1Cache(cfg.Cost.L1Sets, cfg.Cost.L1Ways)
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		e.dts[i] = &detThread{resume: make(chan struct{})}
+	}
+	if cfg.Cost.JitterPct > 0 {
+		e.jitter = make([]uint64, total)
+		for i := range e.jitter {
+			e.jitter[i] = cfg.Seed*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+		}
+	}
+	e.sched.env = e
+	return e
+}
+
+// NumThreads returns the number of worker threads.
+func (e *DetEnv) NumThreads() int { return e.n }
+
+// Thread returns worker thread id's handle.
+func (e *DetEnv) Thread(id int) *Thread { return e.threads[id] }
+
+// Boot returns the bootstrap thread handle for single-threaded setup.
+func (e *DetEnv) Boot() *Thread { return e.threads[e.n] }
+
+// Run executes body once per worker thread under the deterministic
+// scheduler and returns when every body has returned. It must not be called
+// concurrently with itself. A panic in any body is re-raised from Run after
+// the remaining threads are abandoned.
+func (e *DetEnv) Run(body func(th *Thread)) {
+	if e.running {
+		panic("memsim: DetEnv.Run called reentrantly")
+	}
+	e.running = true
+	e.panicV = nil
+	for i := 0; i < e.n; i++ {
+		go func(id int) {
+			<-e.dts[id].resume
+			defer func() {
+				if r := recover(); r != nil && e.panicV == nil {
+					// Record before parking: the scheduler reads panicV
+					// after draining the heap.
+					e.panicV = r
+				}
+				e.parkCh <- parkMsg{id: id, finished: true}
+			}()
+			body(e.threads[id])
+		}(i)
+	}
+	e.sched.ids = e.sched.ids[:0]
+	for i := 0; i < e.n; i++ {
+		e.sched.ids = append(e.sched.ids, i)
+	}
+	heap.Init(&e.sched)
+	for e.sched.Len() > 0 {
+		id := heap.Pop(&e.sched).(int)
+		e.dts[id].resume <- struct{}{}
+		msg := <-e.parkCh
+		if !msg.finished {
+			heap.Push(&e.sched, msg.id)
+		}
+	}
+	e.running = false
+	if e.panicV != nil {
+		panic(e.panicV)
+	}
+}
+
+// schedPoint parks the calling virtual thread and waits to be rescheduled.
+func (e *DetEnv) schedPoint(t int) {
+	if !e.running || t >= e.n {
+		return
+	}
+	e.parkCh <- parkMsg{id: t}
+	<-e.dts[t].resume
+}
+
+// page returns the arena page holding word index w, growing the arena as
+// needed.
+func (e *DetEnv) page(w uint32) *detPage {
+	idx := int(w >> pageShift)
+	for idx >= len(e.pages) {
+		e.pages = append(e.pages, newDetPage())
+	}
+	return e.pages[idx]
+}
+
+// Alloc allocates a span of words.
+func (e *DetEnv) Alloc(words int) Addr {
+	if words <= 0 {
+		panic("memsim: Alloc of non-positive span")
+	}
+	if fl := e.freelist[words]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		e.freelist[words] = fl[:len(fl)-1]
+		return a
+	}
+	// Keep spans within a line when they fit, and line-aligned when they
+	// span lines, so capacity accounting and false sharing behave like a
+	// real allocator with size classes.
+	a := e.nextFree
+	if words >= WordsPerLine || int(a%WordsPerLine)+words > WordsPerLine {
+		if r := a % WordsPerLine; r != 0 {
+			a += WordsPerLine - r
+		}
+	}
+	e.nextFree = a + Addr(words)
+	e.page(uint32(e.nextFree)) // ensure backing exists
+	return a
+}
+
+// Free returns a span to the allocator.
+func (e *DetEnv) Free(a Addr, words int) {
+	e.freelist[words] = append(e.freelist[words], a)
+}
+
+// LoadMeta returns the metadata word of a line.
+func (e *DetEnv) LoadMeta(line uint32) uint64 {
+	return e.page(line << LineShift).metas[line%pageLines]
+}
+
+// CASMeta compares-and-swaps a line's metadata word.
+func (e *DetEnv) CASMeta(line uint32, old, new uint64) bool {
+	p := e.page(line << LineShift)
+	i := line % pageLines
+	if p.metas[i] != old {
+		return false
+	}
+	p.metas[i] = new
+	return true
+}
+
+// StoreMeta stores a line's metadata word on behalf of thread t. Releasing a
+// line with a new version also refreshes t's cached copy and records t as
+// the line's last writer for the coherence model.
+func (e *DetEnv) StoreMeta(t int, line uint32, m uint64) {
+	p := e.page(line << LineShift)
+	p.metas[line%pageLines] = m
+	if !MetaLocked(m) && t >= 0 && t < len(e.caches) {
+		p.lastW[line%pageLines] = int32(t)
+		e.caches[t].fill(line, MetaVersion(m))
+	}
+}
+
+// LoadWord reads a word without cost accounting.
+func (e *DetEnv) LoadWord(a Addr) uint64 {
+	return e.page(uint32(a)).words[uint32(a)%pageWords]
+}
+
+// StoreWord writes a word without cost accounting.
+func (e *DetEnv) StoreWord(a Addr, v uint64) {
+	e.page(uint32(a)).words[uint32(a)%pageWords] = v
+}
+
+// ReadClock returns the global version clock.
+func (e *DetEnv) ReadClock() uint64 { return e.clock }
+
+// TickClock increments and returns the global version clock.
+func (e *DetEnv) TickClock() uint64 {
+	e.clock++
+	return e.clock
+}
+
+// Access charges thread t for one logical access to line and yields to the
+// scheduler.
+func (e *DetEnv) Access(t int, line uint32, write bool) {
+	st := &e.stats[t]
+	if write {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+	p := e.page(line << LineShift)
+	li := line % pageLines
+	ver := MetaVersion(p.metas[li])
+	var cost int64
+	if e.caches[t].lookup(line, ver) {
+		cost = e.cost.L1Hit
+		st.L1Hits++
+	} else {
+		cost = e.cost.L1Miss
+		st.L1Misses++
+		if lw := p.lastW[li]; lw >= 0 && int(lw) != t && int(lw) < e.n+1 {
+			cost = e.cost.CoherenceMiss
+			st.CoherenceMisses++
+			if e.cost.socketOf(int(lw)) != e.cost.socketOf(t) {
+				cost += e.cost.NUMAPenalty
+				st.RemoteMisses++
+			}
+		}
+		e.caches[t].fill(line, ver)
+	}
+	if write {
+		p.lastW[li] = int32(t)
+	}
+	e.charge(t, cost)
+	e.schedPoint(t)
+}
+
+// charge adds cost cycles (with SMT inflation and optional schedule-fuzzing
+// jitter) to thread t's clock.
+func (e *DetEnv) charge(t int, cost int64) {
+	if t < e.n && e.cost.SMTPenaltyPct > 0 && e.cost.smtActive(t, e.n) {
+		cost += cost * e.cost.SMTPenaltyPct / 100
+	}
+	if e.jitter != nil && cost > 0 {
+		// splitmix64 step, deterministic per thread.
+		e.jitter[t] += 0x9E3779B97F4A7C15
+		z := e.jitter[t]
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		span := 2*e.cost.JitterPct + 1
+		pct := int64(z%uint64(span)) - e.cost.JitterPct // in [-J, +J]
+		cost += cost * pct / 100
+		if cost < 1 {
+			cost = 1
+		}
+	}
+	e.clocks[t] += cost
+}
+
+// Work charges c cycles of local computation to thread t. It is a
+// scheduling point so that effects across threads always execute in virtual
+// time order.
+func (e *DetEnv) Work(t int, c int64) {
+	e.stats[t].WorkCycles += c
+	e.charge(t, c)
+	e.schedPoint(t)
+}
+
+// Yield charges the yield cost and reschedules.
+func (e *DetEnv) Yield(t int) {
+	e.stats[t].Yields++
+	e.charge(t, e.cost.YieldCost)
+	e.schedPoint(t)
+}
+
+// Now returns thread t's virtual cycle clock.
+func (e *DetEnv) Now(t int) int64 { return e.clocks[t] }
+
+// Stats returns thread t's counters.
+func (e *DetEnv) Stats(t int) *ThreadStats { return &e.stats[t] }
+
+// ResetStats zeroes all per-thread counters and clocks (e.g. after a warmup
+// phase); caches are also emptied.
+func (e *DetEnv) ResetStats() {
+	for i := range e.stats {
+		e.stats[i].Reset()
+		e.clocks[i] = 0
+		e.caches[i].reset()
+	}
+}
+
+// Cost returns the environment's cost parameters.
+func (e *DetEnv) Cost() CostParams { return e.cost }
+
+// detHeap orders runnable thread ids by (virtual clock, id).
+type detHeap struct {
+	ids []int
+	env *DetEnv
+}
+
+func (h *detHeap) Len() int { return len(h.ids) }
+
+func (h *detHeap) Less(i, j int) bool {
+	ci, cj := h.env.clocks[h.ids[i]], h.env.clocks[h.ids[j]]
+	if ci != cj {
+		return ci < cj
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *detHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+
+func (h *detHeap) Push(x any) { h.ids = append(h.ids, x.(int)) }
+
+func (h *detHeap) Pop() any {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}

@@ -1,0 +1,68 @@
+package memsim
+
+import "testing"
+
+// jitterTrace runs a contended workload under jitter and fingerprints it.
+func jitterTrace(seed uint64) (uint64, int64) {
+	cost := DefaultCostParams()
+	cost.JitterPct = 30
+	e := NewDet(DetConfig{Threads: 6, Cost: cost, Seed: seed})
+	a := e.Alloc(4)
+	e.Run(func(th *Thread) {
+		for i := 0; i < 150; i++ {
+			slot := a + Addr((th.ID()+i)%4)
+			v := th.Load(slot)
+			th.Store(slot, v*31+uint64(th.ID())+1)
+		}
+	})
+	var fp uint64
+	for w := Addr(0); w < 4; w++ {
+		fp = fp*1000003 + e.Boot().Load(a+w)
+	}
+	return fp, e.Now(0)
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	fp1, c1 := jitterTrace(7)
+	fp2, c2 := jitterTrace(7)
+	if fp1 != fp2 || c1 != c2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", fp1, c1, fp2, c2)
+	}
+}
+
+func TestJitterSeedsProduceDistinctSchedules(t *testing.T) {
+	distinct := map[uint64]bool{}
+	for seed := uint64(0); seed < 8; seed++ {
+		fp, _ := jitterTrace(seed)
+		distinct[fp] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("8 jitter seeds produced %d distinct interleavings", len(distinct))
+	}
+}
+
+func TestJitterNeverDropsCostBelowOne(t *testing.T) {
+	cost := DefaultCostParams()
+	cost.JitterPct = 100 // extreme
+	e := NewDet(DetConfig{Threads: 1, Cost: cost, Seed: 3})
+	e.Run(func(th *Thread) {
+		before := th.Now()
+		for i := 0; i < 100; i++ {
+			th.Work(1)
+		}
+		if th.Now()-before < 100 {
+			t.Errorf("100 unit charges advanced clock by only %d", th.Now()-before)
+		}
+	})
+}
+
+func TestNoJitterByDefault(t *testing.T) {
+	e := NewDet(DetConfig{Threads: 1, Seed: 99})
+	e.Run(func(th *Thread) {
+		before := th.Now()
+		th.Work(1000)
+		if th.Now()-before != 1000 {
+			t.Errorf("jitter applied despite JitterPct=0: %d", th.Now()-before)
+		}
+	})
+}

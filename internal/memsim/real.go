@@ -1,0 +1,224 @@
+package memsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// realPage is one arena page of the real-concurrency backend.
+type realPage struct {
+	words [pageWords]atomic.Uint64
+	metas [pageLines]atomic.Uint64
+	lastW [pageLines]atomic.Int32
+}
+
+func newRealPage() *realPage {
+	p := &realPage{}
+	for i := range p.lastW {
+		p.lastW[i].Store(-1)
+	}
+	return p
+}
+
+// RealConfig configures a real-concurrency environment.
+type RealConfig struct {
+	// Threads is the number of worker goroutines Run will launch.
+	Threads int
+}
+
+// RealEnv is the real-concurrency backend: cells are seqlock-protected
+// atomics, Yield maps to runtime.Gosched, and Now measures wall-clock
+// nanoseconds. It is used for wall-clock benchmarks and race-detector stress
+// tests; the paper-figure experiments run on DetEnv.
+type RealEnv struct {
+	n     int
+	pages atomic.Pointer[[]*realPage]
+	clock atomic.Uint64
+
+	allocMu  sync.Mutex
+	nextFree Addr
+	freelist map[int][]Addr
+
+	threads []*Thread
+	stats   []paddedStats
+
+	start atomic.Int64 // Run start, ns
+}
+
+// paddedStats avoids false sharing between per-thread counters.
+type paddedStats struct {
+	s ThreadStats
+	_ [64 - 8]byte
+}
+
+var _ Env = (*RealEnv)(nil)
+
+// NewReal creates a real-concurrency environment with cfg.Threads worker
+// threads plus a bootstrap thread (id == cfg.Threads).
+func NewReal(cfg RealConfig) *RealEnv {
+	if cfg.Threads <= 0 {
+		panic(fmt.Sprintf("memsim: invalid thread count %d", cfg.Threads))
+	}
+	e := &RealEnv{
+		n:        cfg.Threads,
+		nextFree: WordsPerLine,
+		freelist: make(map[int][]Addr),
+	}
+	pages := []*realPage{}
+	e.pages.Store(&pages)
+	total := cfg.Threads + 1
+	e.threads = make([]*Thread, total)
+	e.stats = make([]paddedStats, total)
+	for i := 0; i < total; i++ {
+		e.threads[i] = NewThread(e, i)
+	}
+	e.start.Store(time.Now().UnixNano())
+	return e
+}
+
+// NumThreads returns the number of worker threads.
+func (e *RealEnv) NumThreads() int { return e.n }
+
+// Thread returns worker thread id's handle.
+func (e *RealEnv) Thread(id int) *Thread { return e.threads[id] }
+
+// Boot returns the bootstrap thread handle.
+func (e *RealEnv) Boot() *Thread { return e.threads[e.n] }
+
+// Run executes body once per worker thread in its own goroutine and waits
+// for all of them.
+func (e *RealEnv) Run(body func(th *Thread)) {
+	e.start.Store(time.Now().UnixNano())
+	var wg sync.WaitGroup
+	for i := 0; i < e.n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(e.threads[id])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// page returns the arena page holding word index w.
+func (e *RealEnv) page(w uint32) *realPage {
+	pages := *e.pages.Load()
+	return pages[w>>pageShift]
+}
+
+// growTo ensures pages exist up to and including word index w. Caller holds
+// allocMu.
+func (e *RealEnv) growTo(w Addr) {
+	need := int(uint32(w)>>pageShift) + 1
+	old := *e.pages.Load()
+	if need <= len(old) {
+		return
+	}
+	grown := make([]*realPage, need)
+	copy(grown, old)
+	for i := len(old); i < need; i++ {
+		grown[i] = newRealPage()
+	}
+	e.pages.Store(&grown)
+}
+
+// Alloc allocates a span of words. Safe for concurrent use.
+func (e *RealEnv) Alloc(words int) Addr {
+	if words <= 0 {
+		panic("memsim: Alloc of non-positive span")
+	}
+	e.allocMu.Lock()
+	defer e.allocMu.Unlock()
+	if fl := e.freelist[words]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		e.freelist[words] = fl[:len(fl)-1]
+		return a
+	}
+	a := e.nextFree
+	if words >= WordsPerLine || int(a%WordsPerLine)+words > WordsPerLine {
+		if r := a % WordsPerLine; r != 0 {
+			a += WordsPerLine - r
+		}
+	}
+	e.nextFree = a + Addr(words)
+	e.growTo(e.nextFree)
+	return a
+}
+
+// Free returns a span to the allocator.
+func (e *RealEnv) Free(a Addr, words int) {
+	e.allocMu.Lock()
+	defer e.allocMu.Unlock()
+	e.freelist[words] = append(e.freelist[words], a)
+}
+
+// LoadMeta returns the metadata word of a line.
+func (e *RealEnv) LoadMeta(line uint32) uint64 {
+	return e.page(line << LineShift).metas[line%pageLines].Load()
+}
+
+// CASMeta compares-and-swaps a line's metadata word.
+func (e *RealEnv) CASMeta(line uint32, old, new uint64) bool {
+	return e.page(line << LineShift).metas[line%pageLines].CompareAndSwap(old, new)
+}
+
+// StoreMeta stores a line's metadata word and records t as last writer when
+// releasing with a new version.
+func (e *RealEnv) StoreMeta(t int, line uint32, m uint64) {
+	p := e.page(line << LineShift)
+	if !MetaLocked(m) && t >= 0 {
+		p.lastW[line%pageLines].Store(int32(t))
+	}
+	p.metas[line%pageLines].Store(m)
+}
+
+// LoadWord reads a word.
+func (e *RealEnv) LoadWord(a Addr) uint64 {
+	return e.page(uint32(a)).words[uint32(a)%pageWords].Load()
+}
+
+// StoreWord writes a word.
+func (e *RealEnv) StoreWord(a Addr, v uint64) {
+	e.page(uint32(a)).words[uint32(a)%pageWords].Store(v)
+}
+
+// ReadClock returns the global version clock.
+func (e *RealEnv) ReadClock() uint64 { return e.clock.Load() }
+
+// TickClock increments and returns the global version clock.
+func (e *RealEnv) TickClock() uint64 { return e.clock.Add(1) }
+
+// Access counts the access; RealEnv runs at native speed, so no cost is
+// modelled.
+func (e *RealEnv) Access(t int, line uint32, write bool) {
+	st := &e.stats[t].s
+	if write {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+}
+
+// Work is a no-op in real time (the counter is still maintained so shared
+// code can report it).
+func (e *RealEnv) Work(t int, c int64) {
+	e.stats[t].s.WorkCycles += c
+}
+
+// Yield cedes the OS thread.
+func (e *RealEnv) Yield(t int) {
+	e.stats[t].s.Yields++
+	runtime.Gosched()
+}
+
+// Now returns wall nanoseconds since the last Run started.
+func (e *RealEnv) Now(t int) int64 {
+	return time.Now().UnixNano() - e.start.Load()
+}
+
+// Stats returns thread t's counters. Read them only when the thread is not
+// running (e.g. after Run returns).
+func (e *RealEnv) Stats(t int) *ThreadStats { return &e.stats[t].s }

@@ -1,0 +1,60 @@
+// Package pubarr implements the publication array used by flat combining
+// and by the HCF framework: a container of announced operations with one
+// slot per thread (the paper's footnote 1 notes this is the scheme their
+// implementation uses).
+//
+// Slots live in simulated memory, one cache line apart, so that
+//
+//   - an owner can remove its announcement inside the same hardware
+//     transaction that applies the operation (paper §2.2), and
+//   - announcing or removing one operation does not invalidate other
+//     threads' slots through false sharing.
+package pubarr
+
+import "hcf/internal/memsim"
+
+// Array is a publication array with one slot per thread. A zero slot means
+// the thread has nothing announced; a nonzero value is an opaque tag chosen
+// by the announcing layer (typically thread id + 1).
+type Array struct {
+	base  memsim.Addr
+	slots int
+}
+
+// New allocates an array with the given number of slots in env's arena.
+func New(env memsim.Env, slots int) *Array {
+	a := &Array{
+		base:  env.Alloc(slots * memsim.WordsPerLine),
+		slots: slots,
+	}
+	for i := 0; i < slots; i++ {
+		env.StoreWord(a.slot(i), 0)
+	}
+	return a
+}
+
+// Slots returns the number of slots.
+func (a *Array) Slots() int { return a.slots }
+
+func (a *Array) slot(tid int) memsim.Addr {
+	return a.base + memsim.Addr(tid*memsim.WordsPerLine)
+}
+
+// SlotAddr exposes thread tid's slot address so owners can clear it inside
+// a transaction (the in-transaction removal of Figure 1, line 22).
+func (a *Array) SlotAddr(tid int) memsim.Addr { return a.slot(tid) }
+
+// Announce publishes tag in thread tid's slot through ctx.
+func (a *Array) Announce(c memsim.Ctx, tid int, tag uint64) {
+	c.Store(a.slot(tid), tag)
+}
+
+// Clear empties thread tid's slot through ctx.
+func (a *Array) Clear(c memsim.Ctx, tid int) {
+	c.Store(a.slot(tid), 0)
+}
+
+// Read returns thread tid's slot value through ctx.
+func (a *Array) Read(c memsim.Ctx, tid int) uint64 {
+	return c.Load(a.slot(tid))
+}

@@ -1,0 +1,86 @@
+package pubarr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/memsim"
+)
+
+func TestAnnounceReadClear(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 4})
+	a := New(env, 4)
+	boot := env.Boot()
+	if a.Slots() != 4 {
+		t.Fatalf("Slots = %d", a.Slots())
+	}
+	for tid := 0; tid < 4; tid++ {
+		if got := a.Read(boot, tid); got != 0 {
+			t.Fatalf("fresh slot %d = %d", tid, got)
+		}
+	}
+	a.Announce(boot, 2, 99)
+	if got := a.Read(boot, 2); got != 99 {
+		t.Fatalf("slot 2 = %d, want 99", got)
+	}
+	if got := a.Read(boot, 1); got != 0 {
+		t.Fatalf("slot 1 = %d, want 0", got)
+	}
+	a.Clear(boot, 2)
+	if got := a.Read(boot, 2); got != 0 {
+		t.Fatalf("cleared slot = %d", got)
+	}
+}
+
+func TestSlotsOnDistinctLines(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	a := New(env, 8)
+	seen := map[uint32]bool{}
+	for tid := 0; tid < 8; tid++ {
+		line := memsim.LineOf(a.SlotAddr(tid))
+		if seen[line] {
+			t.Fatalf("slot %d shares line %d with another slot", tid, line)
+		}
+		seen[line] = true
+	}
+}
+
+func TestConcurrentAnnouncesIsolated(t *testing.T) {
+	env := memsim.NewReal(memsim.RealConfig{Threads: 8})
+	a := New(env, 9)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 100; i++ {
+			a.Announce(th, th.ID(), uint64(th.ID())+1)
+			if got := a.Read(th, th.ID()); got != uint64(th.ID())+1 {
+				t.Errorf("thread %d read %d", th.ID(), got)
+			}
+			a.Clear(th, th.ID())
+		}
+	})
+}
+
+func TestQuickSlotIndependence(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	a := New(env, 16)
+	boot := env.Boot()
+	model := make([]uint64, 16)
+	f := func(slot uint8, tag uint64, clearIt bool) bool {
+		s := int(slot % 16)
+		if clearIt {
+			a.Clear(boot, s)
+			model[s] = 0
+		} else {
+			a.Announce(boot, s, tag)
+			model[s] = tag
+		}
+		for i := 0; i < 16; i++ {
+			if a.Read(boot, i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

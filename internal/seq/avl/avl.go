@@ -1,0 +1,346 @@
+// Package avl implements the sequential AVL-tree-based set evaluated in
+// §3.4 of the paper, written against memsim.Ctx so it runs unmodified under
+// every synchronization engine.
+//
+// Following the paper, the tree maintains a look-aside variable holding the
+// root's key; a combiner's shouldHelp uses it to select only pending
+// operations on keys in the same root subtree as its own operation, and the
+// custom runMulti sorts the selected operations by key and type, combining
+// and eliminating operations on the same key according to set semantics.
+package avl
+
+import "hcf/internal/memsim"
+
+// Node layout (padded to one cache line):
+//
+//	word 0: key
+//	word 1: left child (0 = none)
+//	word 2: right child
+//	word 3: height
+const (
+	offKey    = 0
+	offLeft   = 1
+	offRight  = 2
+	offHeight = 3
+	nodeWords = memsim.WordsPerLine
+)
+
+// Tree is a sequential AVL set of uint64 keys over simulated memory.
+type Tree struct {
+	root    memsim.Addr // root pointer cell (own line)
+	rootKey memsim.Addr // look-aside cell holding the root's key (own line)
+}
+
+// New builds an empty tree using ctx.
+func New(ctx memsim.Ctx) *Tree {
+	t := &Tree{
+		root:    ctx.Alloc(memsim.WordsPerLine),
+		rootKey: ctx.Alloc(memsim.WordsPerLine),
+	}
+	ctx.Store(t.root, 0)
+	ctx.Store(t.rootKey, 0)
+	return t
+}
+
+// RootKeyAddr exposes the look-aside cell so shouldHelp can read it.
+func (t *Tree) RootKeyAddr() memsim.Addr { return t.rootKey }
+
+func height(ctx memsim.Ctx, n memsim.Addr) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return ctx.Load(n + offHeight)
+}
+
+func fixHeight(ctx memsim.Ctx, n memsim.Addr) {
+	l := height(ctx, memsim.Addr(ctx.Load(n+offLeft)))
+	r := height(ctx, memsim.Addr(ctx.Load(n+offRight)))
+	h := l
+	if r > h {
+		h = r
+	}
+	// Avoid redundant stores: a write of an unchanged height would still
+	// invalidate the line and abort concurrent speculative readers.
+	if ctx.Load(n+offHeight) != h+1 {
+		ctx.Store(n+offHeight, h+1)
+	}
+}
+
+// balance returns height(left) - height(right) as a signed value.
+func balance(ctx memsim.Ctx, n memsim.Addr) int64 {
+	l := height(ctx, memsim.Addr(ctx.Load(n+offLeft)))
+	r := height(ctx, memsim.Addr(ctx.Load(n+offRight)))
+	return int64(l) - int64(r)
+}
+
+// rotateRight rotates n's left child up and returns the new subtree root.
+func rotateRight(ctx memsim.Ctx, n memsim.Addr) memsim.Addr {
+	l := memsim.Addr(ctx.Load(n + offLeft))
+	lr := ctx.Load(l + offRight)
+	ctx.Store(n+offLeft, lr)
+	ctx.Store(l+offRight, uint64(n))
+	fixHeight(ctx, n)
+	fixHeight(ctx, l)
+	return l
+}
+
+// rotateLeft rotates n's right child up and returns the new subtree root.
+func rotateLeft(ctx memsim.Ctx, n memsim.Addr) memsim.Addr {
+	r := memsim.Addr(ctx.Load(n + offRight))
+	rl := ctx.Load(r + offLeft)
+	ctx.Store(n+offRight, rl)
+	ctx.Store(r+offLeft, uint64(n))
+	fixHeight(ctx, n)
+	fixHeight(ctx, r)
+	return r
+}
+
+// rebalance restores the AVL invariant at n and returns the subtree root.
+func rebalance(ctx memsim.Ctx, n memsim.Addr) memsim.Addr {
+	fixHeight(ctx, n)
+	b := balance(ctx, n)
+	switch {
+	case b > 1:
+		l := memsim.Addr(ctx.Load(n + offLeft))
+		if balance(ctx, l) < 0 {
+			ctx.Store(n+offLeft, uint64(rotateLeft(ctx, l)))
+		}
+		return rotateRight(ctx, n)
+	case b < -1:
+		r := memsim.Addr(ctx.Load(n + offRight))
+		if balance(ctx, r) > 0 {
+			ctx.Store(n+offRight, uint64(rotateRight(ctx, r)))
+		}
+		return rotateLeft(ctx, n)
+	default:
+		return n
+	}
+}
+
+// Contains reports whether key is in the set.
+func (t *Tree) Contains(ctx memsim.Ctx, key uint64) bool {
+	n := memsim.Addr(ctx.Load(t.root))
+	for n != 0 {
+		k := ctx.Load(n + offKey)
+		switch {
+		case key == k:
+			return true
+		case key < k:
+			n = memsim.Addr(ctx.Load(n + offLeft))
+		default:
+			n = memsim.Addr(ctx.Load(n + offRight))
+		}
+	}
+	return false
+}
+
+// Insert adds key, returning true if it was not already present.
+func (t *Tree) Insert(ctx memsim.Ctx, key uint64) bool {
+	root := memsim.Addr(ctx.Load(t.root))
+	newRoot, inserted := t.insert(ctx, root, key)
+	if newRoot != root {
+		ctx.Store(t.root, uint64(newRoot))
+	}
+	if inserted {
+		t.refreshRootKey(ctx, newRoot)
+	}
+	return inserted
+}
+
+func (t *Tree) insert(ctx memsim.Ctx, n memsim.Addr, key uint64) (memsim.Addr, bool) {
+	if n == 0 {
+		m := ctx.Alloc(nodeWords)
+		ctx.Store(m+offKey, key)
+		ctx.Store(m+offLeft, 0)
+		ctx.Store(m+offRight, 0)
+		ctx.Store(m+offHeight, 1)
+		return m, true
+	}
+	k := ctx.Load(n + offKey)
+	switch {
+	case key == k:
+		return n, false
+	case key < k:
+		l := memsim.Addr(ctx.Load(n + offLeft))
+		nl, ins := t.insert(ctx, l, key)
+		if !ins {
+			return n, false
+		}
+		if nl != l {
+			ctx.Store(n+offLeft, uint64(nl))
+		}
+	default:
+		r := memsim.Addr(ctx.Load(n + offRight))
+		nr, ins := t.insert(ctx, r, key)
+		if !ins {
+			return n, false
+		}
+		if nr != r {
+			ctx.Store(n+offRight, uint64(nr))
+		}
+	}
+	return rebalance(ctx, n), true
+}
+
+// Remove deletes key, returning true if it was present.
+func (t *Tree) Remove(ctx memsim.Ctx, key uint64) bool {
+	root := memsim.Addr(ctx.Load(t.root))
+	newRoot, removed := t.remove(ctx, root, key)
+	if newRoot != root {
+		ctx.Store(t.root, uint64(newRoot))
+	}
+	if removed {
+		t.refreshRootKey(ctx, newRoot)
+	}
+	return removed
+}
+
+func (t *Tree) remove(ctx memsim.Ctx, n memsim.Addr, key uint64) (memsim.Addr, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	k := ctx.Load(n + offKey)
+	switch {
+	case key < k:
+		l := memsim.Addr(ctx.Load(n + offLeft))
+		nl, rem := t.remove(ctx, l, key)
+		if !rem {
+			return n, false
+		}
+		if nl != l {
+			ctx.Store(n+offLeft, uint64(nl))
+		}
+	case key > k:
+		r := memsim.Addr(ctx.Load(n + offRight))
+		nr, rem := t.remove(ctx, r, key)
+		if !rem {
+			return n, false
+		}
+		if nr != r {
+			ctx.Store(n+offRight, uint64(nr))
+		}
+	default:
+		l := memsim.Addr(ctx.Load(n + offLeft))
+		r := memsim.Addr(ctx.Load(n + offRight))
+		if l == 0 || r == 0 {
+			child := l
+			if child == 0 {
+				child = r
+			}
+			ctx.Free(n, nodeWords)
+			return child, true
+		}
+		// Two children: replace with the in-order successor's key, then
+		// remove the successor from the right subtree.
+		succ := r
+		for {
+			sl := memsim.Addr(ctx.Load(succ + offLeft))
+			if sl == 0 {
+				break
+			}
+			succ = sl
+		}
+		sk := ctx.Load(succ + offKey)
+		ctx.Store(n+offKey, sk)
+		nr, _ := t.remove(ctx, r, sk)
+		if nr != r {
+			ctx.Store(n+offRight, uint64(nr))
+		}
+	}
+	return rebalance(ctx, n), true
+}
+
+// refreshRootKey updates the look-aside cell if the root's key changed,
+// avoiding writes (and thus conflicts) on the common path.
+func (t *Tree) refreshRootKey(ctx memsim.Ctx, root memsim.Addr) {
+	var rk uint64
+	if root != 0 {
+		rk = ctx.Load(root + offKey)
+	}
+	if ctx.Load(t.rootKey) != rk {
+		ctx.Store(t.rootKey, rk)
+	}
+}
+
+// Len returns the number of keys (linear walk; test/diagnostic use).
+func (t *Tree) Len(ctx memsim.Ctx) int {
+	var count func(n memsim.Addr) int
+	count = func(n memsim.Addr) int {
+		if n == 0 {
+			return 0
+		}
+		return 1 + count(memsim.Addr(ctx.Load(n+offLeft))) +
+			count(memsim.Addr(ctx.Load(n+offRight)))
+	}
+	return count(memsim.Addr(ctx.Load(t.root)))
+}
+
+// InOrder appends all keys in ascending order to dst and returns it.
+func (t *Tree) InOrder(ctx memsim.Ctx, dst []uint64) []uint64 {
+	var walk func(n memsim.Addr)
+	walk = func(n memsim.Addr) {
+		if n == 0 {
+			return
+		}
+		walk(memsim.Addr(ctx.Load(n + offLeft)))
+		dst = append(dst, ctx.Load(n+offKey))
+		walk(memsim.Addr(ctx.Load(n + offRight)))
+	}
+	walk(memsim.Addr(ctx.Load(t.root)))
+	return dst
+}
+
+// CheckInvariants verifies the BST ordering, the AVL balance property, the
+// stored heights, and the root-key look-aside. It returns a description of
+// the first violation, or "".
+func (t *Tree) CheckInvariants(ctx memsim.Ctx) string {
+	msg := ""
+	var check func(n memsim.Addr, lo, hi *uint64) uint64
+	check = func(n memsim.Addr, lo, hi *uint64) uint64 {
+		if n == 0 || msg != "" {
+			return 0
+		}
+		k := ctx.Load(n + offKey)
+		if lo != nil && k <= *lo {
+			msg = "BST order violated (left)"
+			return 0
+		}
+		if hi != nil && k >= *hi {
+			msg = "BST order violated (right)"
+			return 0
+		}
+		lh := check(memsim.Addr(ctx.Load(n+offLeft)), lo, &k)
+		rh := check(memsim.Addr(ctx.Load(n+offRight)), &k, hi)
+		if msg != "" {
+			return 0
+		}
+		d := int64(lh) - int64(rh)
+		if d < -1 || d > 1 {
+			msg = "AVL balance violated"
+			return 0
+		}
+		h := lh
+		if rh > h {
+			h = rh
+		}
+		h++
+		if ctx.Load(n+offHeight) != h {
+			msg = "stored height incorrect"
+			return 0
+		}
+		return h
+	}
+	root := memsim.Addr(ctx.Load(t.root))
+	check(root, nil, nil)
+	if msg != "" {
+		return msg
+	}
+	var wantRK uint64
+	if root != 0 {
+		wantRK = ctx.Load(root + offKey)
+	}
+	if ctx.Load(t.rootKey) != wantRK {
+		return "root-key look-aside stale"
+	}
+	return ""
+}

@@ -1,0 +1,513 @@
+package avl
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvTree() (*memsim.DetEnv, *Tree) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyTree(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	if tr.Contains(boot, 1) {
+		t.Error("empty tree contains 1")
+	}
+	if tr.Remove(boot, 1) {
+		t.Error("removed from empty tree")
+	}
+	if tr.Len(boot) != 0 {
+		t.Error("empty tree has nonzero length")
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestInsertContainsRemove(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	if !tr.Insert(boot, 10) {
+		t.Fatal("fresh insert failed")
+	}
+	if tr.Insert(boot, 10) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !tr.Contains(boot, 10) {
+		t.Fatal("inserted key missing")
+	}
+	if !tr.Remove(boot, 10) {
+		t.Fatal("remove failed")
+	}
+	if tr.Contains(boot, 10) {
+		t.Fatal("removed key present")
+	}
+	if tr.Remove(boot, 10) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestAscendingInsertsStayBalanced(t *testing.T) {
+	// Sequential keys are the classic AVL stress: without rotations the
+	// tree degenerates into a list.
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	const n = 1024
+	for k := uint64(0); k < n; k++ {
+		tr.Insert(boot, k)
+		if k%128 == 0 {
+			if msg := tr.CheckInvariants(boot); msg != "" {
+				t.Fatalf("after %d inserts: %s", k+1, msg)
+			}
+		}
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := tr.Len(boot); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	order := tr.InOrder(boot, nil)
+	for i, k := range order {
+		if k != uint64(i) {
+			t.Fatalf("in-order[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestDescendingInsertsStayBalanced(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	for k := 512; k > 0; k-- {
+		tr.Insert(boot, uint64(k))
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRemoveAllShapes(t *testing.T) {
+	// Remove leaves, one-child and two-child nodes.
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	keys := []uint64{50, 30, 70, 20, 40, 60, 80, 35, 45}
+	for _, k := range keys {
+		tr.Insert(boot, k)
+	}
+	for _, k := range []uint64{20, 30, 50, 70, 40, 80, 35, 45, 60} {
+		if !tr.Remove(boot, k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+		if msg := tr.CheckInvariants(boot); msg != "" {
+			t.Fatalf("after Remove(%d): %s", k, msg)
+		}
+	}
+	if tr.Len(boot) != 0 {
+		t.Fatal("tree not empty")
+	}
+}
+
+func TestQuickRandomOpsMatchModel(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	model := map[uint64]bool{}
+	f := func(key uint8, action uint8) bool {
+		k := uint64(key % 64)
+		switch action % 3 {
+		case 0:
+			want := !model[k]
+			model[k] = true
+			if tr.Insert(boot, k) != want {
+				return false
+			}
+		case 1:
+			if tr.Contains(boot, k) != model[k] {
+				return false
+			}
+		case 2:
+			want := model[k]
+			delete(model, k)
+			if tr.Remove(boot, k) != want {
+				return false
+			}
+		}
+		return tr.CheckInvariants(boot) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootKeyLookasideMaintained(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64N(128)
+		if rng.IntN(2) == 0 {
+			tr.Insert(boot, k)
+		} else {
+			tr.Remove(boot, k)
+		}
+		// CheckInvariants validates the look-aside against the real root.
+		if msg := tr.CheckInvariants(boot); msg != "" {
+			t.Fatalf("step %d: %s", i, msg)
+		}
+	}
+}
+
+// combineTrace applies ops through CombineOps and returns results.
+func combineTrace(t *testing.T, prefill []uint64, build func(tr *Tree) []engine.Op) ([]uint64, *Tree, *memsim.DetEnv) {
+	t.Helper()
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	for _, k := range prefill {
+		tr.Insert(boot, k)
+	}
+	ops := build(tr)
+	res := make([]uint64, len(ops))
+	done := make([]bool, len(ops))
+	CombineOps(boot, ops, res, done)
+	for i, d := range done {
+		if !d {
+			t.Fatalf("op %d left undone", i)
+		}
+	}
+	return res, tr, env
+}
+
+func TestCombineOpsEliminatesDuplicateInserts(t *testing.T) {
+	// Paper §3.4: of multiple Inserts of the same absent key, exactly one
+	// reports success.
+	res, tr, env := combineTrace(t, nil, func(tr *Tree) []engine.Op {
+		return []engine.Op{
+			InsertOp{T: tr, K: 7},
+			InsertOp{T: tr, K: 7},
+			InsertOp{T: tr, K: 7},
+		}
+	})
+	successes := 0
+	for _, r := range res {
+		if engine.UnpackBool(r) {
+			successes++
+		}
+	}
+	if successes != 1 {
+		t.Fatalf("%d of 3 duplicate inserts succeeded, want 1", successes)
+	}
+	if !tr.Contains(env.Boot(), 7) {
+		t.Fatal("key missing after combined inserts")
+	}
+}
+
+func TestCombineOpsInsertThenRemoveLeavesTreeUntouched(t *testing.T) {
+	// An Insert and a Remove of an absent key eliminate: the tree is never
+	// physically modified, yet both report success.
+	res, tr, env := combineTrace(t, nil, func(tr *Tree) []engine.Op {
+		return []engine.Op{
+			InsertOp{T: tr, K: 9},
+			RemoveOp{T: tr, K: 9},
+		}
+	})
+	if !engine.UnpackBool(res[0]) || !engine.UnpackBool(res[1]) {
+		t.Fatalf("results = %v, want both true", res)
+	}
+	if tr.Contains(env.Boot(), 9) {
+		t.Fatal("key present after eliminated pair")
+	}
+	if tr.Len(env.Boot()) != 0 {
+		t.Fatal("tree modified by eliminated pair")
+	}
+}
+
+func TestCombineOpsRemoveOfPresentKey(t *testing.T) {
+	res, tr, env := combineTrace(t, []uint64{5}, func(tr *Tree) []engine.Op {
+		return []engine.Op{
+			RemoveOp{T: tr, K: 5},
+			RemoveOp{T: tr, K: 5},
+			FindOp{T: tr, K: 5},
+		}
+	})
+	// Sorted by kind: find runs before removes within the same key group.
+	if !engine.UnpackBool(res[2]) {
+		t.Error("find before removes should see the key")
+	}
+	removes := 0
+	if engine.UnpackBool(res[0]) {
+		removes++
+	}
+	if engine.UnpackBool(res[1]) {
+		removes++
+	}
+	if removes != 1 {
+		t.Fatalf("%d removes succeeded, want 1", removes)
+	}
+	if tr.Contains(env.Boot(), 5) {
+		t.Fatal("key still present")
+	}
+}
+
+func TestCombineOpsMixedKeysMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for trial := 0; trial < 100; trial++ {
+		prefill := make([]uint64, rng.IntN(10))
+		for i := range prefill {
+			prefill[i] = rng.Uint64N(16)
+		}
+		// Combined execution.
+		envC, trC := newEnvTree()
+		bootC := envC.Boot()
+		for _, k := range prefill {
+			trC.Insert(bootC, k)
+		}
+		n := 1 + rng.IntN(8)
+		ops := make([]engine.Op, n)
+		kinds := make([]int, n)
+		keys := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			kinds[i] = rng.IntN(3)
+			keys[i] = rng.Uint64N(16)
+			switch kinds[i] {
+			case 0:
+				ops[i] = FindOp{T: trC, K: keys[i]}
+			case 1:
+				ops[i] = InsertOp{T: trC, K: keys[i]}
+			case 2:
+				ops[i] = RemoveOp{T: trC, K: keys[i]}
+			}
+		}
+		res := make([]uint64, n)
+		done := make([]bool, n)
+		CombineOps(bootC, ops, res, done)
+		if msg := trC.CheckInvariants(bootC); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+		// The final set must equal sequential execution in the combiner's
+		// canonical order (sorted by key, then kind, then index).
+		envS, trS := newEnvTree()
+		bootS := envS.Boot()
+		for _, k := range prefill {
+			trS.Insert(bootS, k)
+		}
+		type item struct {
+			key  uint64
+			kind int
+			idx  int
+		}
+		items := make([]item, n)
+		for i := 0; i < n; i++ {
+			items[i] = item{keys[i], kinds[i], i}
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				ia, ib := items[a], items[b]
+				if ib.key < ia.key || (ib.key == ia.key && (ib.kind < ia.kind ||
+					(ib.kind == ia.kind && ib.idx < ia.idx))) {
+					items[a], items[b] = items[b], items[a]
+				}
+			}
+		}
+		for _, it := range items {
+			var want bool
+			switch it.kind {
+			case 0:
+				want = trS.Contains(bootS, it.key)
+			case 1:
+				want = trS.Insert(bootS, it.key)
+			case 2:
+				want = trS.Remove(bootS, it.key)
+			}
+			if engine.UnpackBool(res[it.idx]) != want {
+				t.Fatalf("trial %d: op %d (key %d kind %d) = %v, sequential %v",
+					trial, it.idx, it.key, it.kind, engine.UnpackBool(res[it.idx]), want)
+			}
+		}
+		want := trS.InOrder(bootS, nil)
+		got := trC.InOrder(bootC, nil)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: sets differ: %v vs %v", trial, got, want)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: sets differ at %d: %v vs %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSameSubtreeSelection(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	for _, k := range []uint64{50, 25, 75} {
+		tr.Insert(boot, k)
+	}
+	// Root key is 50.
+	left1 := InsertOp{T: tr, K: 10}
+	left2 := RemoveOp{T: tr, K: 30}
+	right := InsertOp{T: tr, K: 90}
+	rootOp := FindOp{T: tr, K: 50}
+	if !SameSubtree(boot, left1, left2) {
+		t.Error("two left-subtree ops should combine")
+	}
+	if SameSubtree(boot, left1, right) {
+		t.Error("opposite subtrees should not combine")
+	}
+	if !SameSubtree(boot, rootOp, rootOp) {
+		t.Error("root-key ops should combine with themselves")
+	}
+	if SameSubtree(boot, rootOp, left1) {
+		t.Error("root-key op should not drag in left subtree")
+	}
+}
+
+func buildAVLEngines(t *testing.T, env memsim.Env) (map[string]engine.Engine, *Tree) {
+	t.Helper()
+	tr := New(env.Boot())
+	hcf, err := core.New(env, core.Config{Policies: Policies(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() engines.Options { return engines.Options{Combine: CombineOps} }
+	return map[string]engine.Engine{
+		"Lock":   engines.NewLock(env, mk()),
+		"TLE":    engines.NewTLE(env, mk()),
+		"FC":     engines.NewFC(env, mk()),
+		"SCM":    engines.NewSCM(env, mk()),
+		"TLE+FC": engines.NewTLEFC(env, mk()),
+		"HCF":    hcf,
+	}, tr
+}
+
+// TestConcurrentConformanceAllEngines: conservation + invariants under a
+// skewed concurrent workload for every engine.
+func TestConcurrentConformanceAllEngines(t *testing.T) {
+	const threads, perThread = 8, 50
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			engs, tr := buildAVLEngines(t, env)
+			eng := engs[name]
+			var inserted, removed [threads]int
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 99))
+				for i := 0; i < perThread; i++ {
+					key := rng.Uint64N(64)
+					switch rng.IntN(3) {
+					case 0:
+						if engine.UnpackBool(eng.Execute(th, InsertOp{T: tr, K: key})) {
+							inserted[th.ID()]++
+						}
+					case 1:
+						eng.Execute(th, FindOp{T: tr, K: key})
+					case 2:
+						if engine.UnpackBool(eng.Execute(th, RemoveOp{T: tr, K: key})) {
+							removed[th.ID()]++
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := tr.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			ti, trm := 0, 0
+			for i := range inserted {
+				ti += inserted[i]
+				trm += removed[i]
+			}
+			if got := tr.Len(boot); got != ti-trm {
+				t.Fatalf("size = %d, want %d", got, ti-trm)
+			}
+		})
+	}
+}
+
+func TestTwoArrayAblationPolicies(t *testing.T) {
+	const threads = 6
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	tr := New(env.Boot())
+	hcf, err := core.New(env, core.Config{Policies: Policies(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pivot = 32
+	var inserted, removed [threads]int
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID()), 5))
+		for i := 0; i < 50; i++ {
+			key := rng.Uint64N(64)
+			arr := 0
+			if key >= pivot {
+				arr = 1
+			}
+			if rng.IntN(2) == 0 {
+				if engine.UnpackBool(hcf.Execute(th, InsertOp{T: tr, K: key, Arr: arr})) {
+					inserted[th.ID()]++
+				}
+			} else {
+				if engine.UnpackBool(hcf.Execute(th, RemoveOp{T: tr, K: key, Arr: arr})) {
+					removed[th.ID()]++
+				}
+			}
+		}
+	})
+	boot := env.Boot()
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	ti, trm := 0, 0
+	for i := range inserted {
+		ti += inserted[i]
+		trm += removed[i]
+	}
+	if got := tr.Len(boot); got != ti-trm {
+		t.Fatalf("size = %d, want %d", got, ti-trm)
+	}
+}
+
+func TestNoCombinePoliciesConformance(t *testing.T) {
+	const threads = 6
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	tr := New(env.Boot())
+	hcf, err := core.New(env, core.Config{Policies: NoCombinePolicies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted, removed [threads]int
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID()), 6))
+		for i := 0; i < 50; i++ {
+			key := rng.Uint64N(32)
+			if rng.IntN(2) == 0 {
+				if engine.UnpackBool(hcf.Execute(th, InsertOp{T: tr, K: key})) {
+					inserted[th.ID()]++
+				}
+			} else {
+				if engine.UnpackBool(hcf.Execute(th, RemoveOp{T: tr, K: key})) {
+					removed[th.ID()]++
+				}
+			}
+		}
+	})
+	boot := env.Boot()
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	ti, trm := 0, 0
+	for i := range inserted {
+		ti += inserted[i]
+		trm += removed[i]
+	}
+	if got := tr.Len(boot); got != ti-trm {
+		t.Fatalf("size = %d, want %d", got, ti-trm)
+	}
+}

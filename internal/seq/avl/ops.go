@@ -1,0 +1,237 @@
+package avl
+
+import (
+	"sort"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation kinds within a publication array.
+const (
+	kindFind = iota
+	kindInsert
+	kindRemove
+	numKinds
+)
+
+// Op is the common interface of AVL operations; combiners use Key for
+// sorting and subtree selection.
+type Op interface {
+	engine.Op
+	Key() uint64
+	Tree() *Tree
+	kind() int
+}
+
+// FindOp tests membership. Result: PackBool(present). Arr selects the
+// publication array (0 for the paper's single-array configuration; the
+// two-array ablation partitions by key).
+type FindOp struct {
+	T *Tree
+	K uint64
+	// Arr selects the publication array for the ablation configurations.
+	Arr int
+}
+
+// InsertOp adds a key. Result: PackBool(newly inserted).
+type InsertOp struct {
+	T   *Tree
+	K   uint64
+	Arr int
+}
+
+// RemoveOp deletes a key. Result: PackBool(was present).
+type RemoveOp struct {
+	T   *Tree
+	K   uint64
+	Arr int
+}
+
+var (
+	_ Op = FindOp{}
+	_ Op = InsertOp{}
+	_ Op = RemoveOp{}
+)
+
+// Apply implements engine.Op.
+func (o FindOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Contains(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Insert(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Remove(ctx, o.K))
+}
+
+// Class implements engine.Op.
+func (o FindOp) Class() int { return o.Arr*numKinds + kindFind }
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return o.Arr*numKinds + kindInsert }
+
+// Class implements engine.Op.
+func (o RemoveOp) Class() int { return o.Arr*numKinds + kindRemove }
+
+// Key implements Op.
+func (o FindOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o InsertOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o RemoveOp) Key() uint64 { return o.K }
+
+// Tree implements Op.
+func (o FindOp) Tree() *Tree { return o.T }
+
+// Tree implements Op.
+func (o InsertOp) Tree() *Tree { return o.T }
+
+// Tree implements Op.
+func (o RemoveOp) Tree() *Tree { return o.T }
+
+func (o FindOp) kind() int   { return kindFind }
+func (o InsertOp) kind() int { return kindInsert }
+func (o RemoveOp) kind() int { return kindRemove }
+
+// SameSubtree is the paper's shouldHelp for the AVL set (§3.4): a combiner
+// selects only operations on keys that fall in the same (left or right)
+// subtree of the root as its own key, read from the look-aside cell.
+func SameSubtree(ctx memsim.Ctx, mine, other engine.Op) bool {
+	m, ok := mine.(Op)
+	if !ok {
+		return true
+	}
+	o, ok := other.(Op)
+	if !ok {
+		return false
+	}
+	rk := ctx.Load(m.Tree().RootKeyAddr())
+	side := func(k uint64) int {
+		switch {
+		case k < rk:
+			return -1
+		case k > rk:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return side(m.Key()) == side(o.Key())
+}
+
+// CombineOps is the paper's runMulti for the AVL set: the selected
+// operations are sorted by key and operation type, operations on the same
+// key are combined and eliminated according to set semantics (e.g. of two
+// Inserts of an absent key, only the first takes effect on the tree; the
+// rest just return "already present"), and at most one physical tree
+// update per key is applied.
+func CombineOps(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	type item struct {
+		key  uint64
+		kind int
+		idx  int
+	}
+	items := make([]item, 0, len(ops))
+	var tree *Tree
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		ao, ok := op.(Op)
+		if !ok {
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		tree = ao.Tree()
+		items = append(items, item{key: ao.Key(), kind: ao.kind(), idx: i})
+	}
+	if tree == nil {
+		return
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].key != items[b].key {
+			return items[a].key < items[b].key
+		}
+		if items[a].kind != items[b].kind {
+			return items[a].kind < items[b].kind
+		}
+		return items[a].idx < items[b].idx
+	})
+	for g := 0; g < len(items); {
+		h := g
+		for h < len(items) && items[h].key == items[g].key {
+			h++
+		}
+		key := items[g].key
+		initial := tree.Contains(ctx, key)
+		cur := initial
+		for _, it := range items[g:h] {
+			switch it.kind {
+			case kindFind:
+				res[it.idx] = engine.PackBool(cur)
+			case kindInsert:
+				res[it.idx] = engine.PackBool(!cur)
+				cur = true
+			case kindRemove:
+				res[it.idx] = engine.PackBool(cur)
+				cur = false
+			}
+			done[it.idx] = true
+		}
+		// At most one physical update per key.
+		switch {
+		case cur && !initial:
+			tree.Insert(ctx, key)
+		case !cur && initial:
+			tree.Remove(ctx, key)
+		}
+		g = h
+	}
+}
+
+// Policies returns the paper's HCF configuration for the AVL set (§3.4):
+// one publication array for all operations, subtree-restricted selection,
+// and sort/combine/eliminate application. numArrays > 1 builds the
+// two-array ablation (operations pre-partitioned by key range set Arr).
+func Policies(numArrays int) []core.Policy {
+	if numArrays < 1 {
+		numArrays = 1
+	}
+	out := make([]core.Policy, 0, numArrays*numKinds)
+	for a := 0; a < numArrays; a++ {
+		for k := 0; k < numKinds; k++ {
+			name := [...]string{"find", "insert", "remove"}[k]
+			out = append(out, core.Policy{
+				Name:               name,
+				PubArray:           a,
+				TryPrivateTrials:   2,
+				TryVisibleTrials:   3,
+				TryCombiningTrials: 5,
+				ShouldHelp:         SameSubtree,
+				RunMulti:           CombineOps,
+				MaxBatch:           8,
+			})
+		}
+	}
+	return out
+}
+
+// NoCombinePolicies is the §3.4 ablation in which a combiner applies all
+// announced operations one after another without combining or elimination.
+func NoCombinePolicies() []core.Policy {
+	pols := Policies(1)
+	for i := range pols {
+		pols[i].ShouldHelp = engine.HelpAll
+		pols[i].RunMulti = engine.ApplyEach
+	}
+	return pols
+}

@@ -1,0 +1,426 @@
+// Package btree implements a sequential B-tree set. Search trees are the
+// paper's §3.4 case study family; compared to the AVL tree, a B-tree packs
+// several keys per node, so an operation touches fewer cache lines — a
+// friendlier footprint for speculative execution — while still exhibiting
+// root-area contention under skew that combining absorbs.
+package btree
+
+import "hcf/internal/memsim"
+
+// Order parameters: a minimum-degree t=4 B-tree (max 2t-1 = 7 keys, min
+// t-1 = 3 for non-root nodes). A node occupies exactly two cache lines:
+// line 0 = header + 7 keys, line 1 = up to 8 children.
+//
+// Node layout:
+//
+//	word 0:           count (number of keys) | leaf flag (bit 63)
+//	words 1..7:       keys
+//	words 8..15:      children (count+1 of them; line-aligned at +8)
+const (
+	maxKeys   = 7
+	minKeys   = maxKeys / 2 // = t-1, the non-root fill invariant
+	offMeta   = 0
+	offKeys   = 1
+	offKids   = 8
+	nodeWords = 2 * memsim.WordsPerLine
+	leafBit   = uint64(1) << 63
+)
+
+// Tree is a sequential B-tree set of uint64 keys over simulated memory.
+type Tree struct {
+	root memsim.Addr // root pointer cell
+}
+
+// New builds an empty tree using ctx.
+func New(ctx memsim.Ctx) *Tree {
+	t := &Tree{root: ctx.Alloc(memsim.WordsPerLine)}
+	ctx.Store(t.root, uint64(newNode(ctx, true)))
+	return t
+}
+
+func newNode(ctx memsim.Ctx, leaf bool) memsim.Addr {
+	n := ctx.Alloc(nodeWords)
+	meta := uint64(0)
+	if leaf {
+		meta |= leafBit
+	}
+	ctx.Store(n+offMeta, meta)
+	return n
+}
+
+func count(ctx memsim.Ctx, n memsim.Addr) int {
+	return int(ctx.Load(n+offMeta) &^ leafBit)
+}
+
+func isLeaf(ctx memsim.Ctx, n memsim.Addr) bool {
+	return ctx.Load(n+offMeta)&leafBit != 0
+}
+
+func setCount(ctx memsim.Ctx, n memsim.Addr, c int, leaf bool) {
+	meta := uint64(c)
+	if leaf {
+		meta |= leafBit
+	}
+	ctx.Store(n+offMeta, meta)
+}
+
+func key(ctx memsim.Ctx, n memsim.Addr, i int) uint64 {
+	return ctx.Load(n + offKeys + memsim.Addr(i))
+}
+
+func setKey(ctx memsim.Ctx, n memsim.Addr, i int, k uint64) {
+	ctx.Store(n+offKeys+memsim.Addr(i), k)
+}
+
+func child(ctx memsim.Ctx, n memsim.Addr, i int) memsim.Addr {
+	return memsim.Addr(ctx.Load(n + offKids + memsim.Addr(i)))
+}
+
+func setChild(ctx memsim.Ctx, n memsim.Addr, i int, c memsim.Addr) {
+	ctx.Store(n+offKids+memsim.Addr(i), uint64(c))
+}
+
+// findIdx returns the first index with key(n,i) >= k, and whether it hit.
+func findIdx(ctx memsim.Ctx, n memsim.Addr, k uint64) (int, bool) {
+	c := count(ctx, n)
+	for i := 0; i < c; i++ {
+		ki := key(ctx, n, i)
+		if ki >= k {
+			return i, ki == k
+		}
+	}
+	return c, false
+}
+
+// Contains reports whether k is in the set.
+func (t *Tree) Contains(ctx memsim.Ctx, k uint64) bool {
+	n := memsim.Addr(ctx.Load(t.root))
+	for {
+		i, hit := findIdx(ctx, n, k)
+		if hit {
+			return true
+		}
+		if isLeaf(ctx, n) {
+			return false
+		}
+		n = child(ctx, n, i)
+	}
+}
+
+// Insert adds k, returning true if it was absent.
+func (t *Tree) Insert(ctx memsim.Ctx, k uint64) bool {
+	root := memsim.Addr(ctx.Load(t.root))
+	if count(ctx, root) == maxKeys {
+		// Preemptive root split keeps the downward pass single-pass.
+		nr := newNode(ctx, false)
+		setChild(ctx, nr, 0, root)
+		t.splitChild(ctx, nr, 0)
+		ctx.Store(t.root, uint64(nr))
+		root = nr
+	}
+	return t.insertNonFull(ctx, root, k)
+}
+
+// splitChild splits the full i-th child of parent p (p is not full).
+func (t *Tree) splitChild(ctx memsim.Ctx, p memsim.Addr, i int) {
+	full := child(ctx, p, i)
+	leaf := isLeaf(ctx, full)
+	right := newNode(ctx, leaf)
+	mid := maxKeys / 2
+	midKey := key(ctx, full, mid)
+	// Move keys after mid to the new right node.
+	rc := maxKeys - mid - 1
+	for j := 0; j < rc; j++ {
+		setKey(ctx, right, j, key(ctx, full, mid+1+j))
+	}
+	if !leaf {
+		for j := 0; j <= rc; j++ {
+			setChild(ctx, right, j, child(ctx, full, mid+1+j))
+		}
+	}
+	setCount(ctx, right, rc, leaf)
+	setCount(ctx, full, mid, leaf)
+	// Shift parent entries right and insert midKey.
+	pc := count(ctx, p)
+	for j := pc; j > i; j-- {
+		setKey(ctx, p, j, key(ctx, p, j-1))
+		setChild(ctx, p, j+1, child(ctx, p, j))
+	}
+	setKey(ctx, p, i, midKey)
+	setChild(ctx, p, i+1, right)
+	setCount(ctx, p, pc+1, false)
+}
+
+func (t *Tree) insertNonFull(ctx memsim.Ctx, n memsim.Addr, k uint64) bool {
+	for {
+		i, hit := findIdx(ctx, n, k)
+		if hit {
+			return false
+		}
+		if isLeaf(ctx, n) {
+			c := count(ctx, n)
+			for j := c; j > i; j-- {
+				setKey(ctx, n, j, key(ctx, n, j-1))
+			}
+			setKey(ctx, n, i, k)
+			setCount(ctx, n, c+1, true)
+			return true
+		}
+		ch := child(ctx, n, i)
+		if count(ctx, ch) == maxKeys {
+			t.splitChild(ctx, n, i)
+			// The split may have moved k's position.
+			continue
+		}
+		n = ch
+	}
+}
+
+// Remove deletes k, returning true if it was present. Standard B-tree
+// deletion with merge/borrow on the way down.
+func (t *Tree) Remove(ctx memsim.Ctx, k uint64) bool {
+	root := memsim.Addr(ctx.Load(t.root))
+	removed := t.remove(ctx, root, k)
+	// Shrink the root if it became an empty internal node.
+	if !isLeaf(ctx, root) && count(ctx, root) == 0 {
+		ctx.Store(t.root, uint64(child(ctx, root, 0)))
+		ctx.Free(root, nodeWords)
+	}
+	return removed
+}
+
+func (t *Tree) remove(ctx memsim.Ctx, n memsim.Addr, k uint64) bool {
+	i, hit := findIdx(ctx, n, k)
+	if isLeaf(ctx, n) {
+		if !hit {
+			return false
+		}
+		c := count(ctx, n)
+		for j := i; j < c-1; j++ {
+			setKey(ctx, n, j, key(ctx, n, j+1))
+		}
+		setCount(ctx, n, c-1, true)
+		return true
+	}
+	if hit {
+		// Replace with predecessor from the left child's subtree, then
+		// delete the predecessor there.
+		t.ensureChild(ctx, n, i)
+		// ensureChild may have moved things; re-find.
+		i2, hit2 := findIdx(ctx, n, k)
+		if !hit2 {
+			return t.remove(ctx, n, k) // key moved down into a child
+		}
+		pred := t.maxOf(ctx, child(ctx, n, i2))
+		setKey(ctx, n, i2, pred)
+		return t.remove(ctx, child(ctx, n, i2), pred)
+	}
+	t.ensureChild(ctx, n, i)
+	i3, hit3 := findIdx(ctx, n, k)
+	if hit3 {
+		return t.remove(ctx, n, k) // merge pulled the key into n
+	}
+	return t.remove(ctx, child(ctx, n, i3), k)
+}
+
+// maxOf returns the maximum key of subtree n.
+func (t *Tree) maxOf(ctx memsim.Ctx, n memsim.Addr) uint64 {
+	for !isLeaf(ctx, n) {
+		n = child(ctx, n, count(ctx, n))
+	}
+	return key(ctx, n, count(ctx, n)-1)
+}
+
+// ensureChild guarantees child i of n has more than minKeys keys, borrowing
+// from a sibling or merging if necessary.
+func (t *Tree) ensureChild(ctx memsim.Ctx, n memsim.Addr, i int) {
+	ch := child(ctx, n, i)
+	if count(ctx, ch) > minKeys {
+		return
+	}
+	pc := count(ctx, n)
+	// Borrow from left sibling.
+	if i > 0 {
+		left := child(ctx, n, i-1)
+		if count(ctx, left) > minKeys {
+			t.rotateFromLeft(ctx, n, i, left, ch)
+			return
+		}
+	}
+	// Borrow from right sibling.
+	if i < pc {
+		right := child(ctx, n, i+1)
+		if count(ctx, right) > minKeys {
+			t.rotateFromRight(ctx, n, i, ch, right)
+			return
+		}
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.merge(ctx, n, i-1)
+	} else {
+		t.merge(ctx, n, i)
+	}
+}
+
+func (t *Tree) rotateFromLeft(ctx memsim.Ctx, p memsim.Addr, i int, left, ch memsim.Addr) {
+	lc, cc := count(ctx, left), count(ctx, ch)
+	leaf := isLeaf(ctx, ch)
+	for j := cc; j > 0; j-- {
+		setKey(ctx, ch, j, key(ctx, ch, j-1))
+	}
+	if !leaf {
+		for j := cc + 1; j > 0; j-- {
+			setChild(ctx, ch, j, child(ctx, ch, j-1))
+		}
+		setChild(ctx, ch, 0, child(ctx, left, lc))
+	}
+	setKey(ctx, ch, 0, key(ctx, p, i-1))
+	setKey(ctx, p, i-1, key(ctx, left, lc-1))
+	setCount(ctx, ch, cc+1, leaf)
+	setCount(ctx, left, lc-1, leaf)
+}
+
+func (t *Tree) rotateFromRight(ctx memsim.Ctx, p memsim.Addr, i int, ch, right memsim.Addr) {
+	rc, cc := count(ctx, right), count(ctx, ch)
+	leaf := isLeaf(ctx, ch)
+	setKey(ctx, ch, cc, key(ctx, p, i))
+	setKey(ctx, p, i, key(ctx, right, 0))
+	if !leaf {
+		setChild(ctx, ch, cc+1, child(ctx, right, 0))
+		for j := 0; j < rc; j++ {
+			setChild(ctx, right, j, child(ctx, right, j+1))
+		}
+	}
+	for j := 0; j < rc-1; j++ {
+		setKey(ctx, right, j, key(ctx, right, j+1))
+	}
+	setCount(ctx, ch, cc+1, leaf)
+	setCount(ctx, right, rc-1, leaf)
+}
+
+// merge folds child i+1 and the separating key into child i.
+func (t *Tree) merge(ctx memsim.Ctx, p memsim.Addr, i int) {
+	left := child(ctx, p, i)
+	right := child(ctx, p, i+1)
+	lc, rc := count(ctx, left), count(ctx, right)
+	leaf := isLeaf(ctx, left)
+	setKey(ctx, left, lc, key(ctx, p, i))
+	for j := 0; j < rc; j++ {
+		setKey(ctx, left, lc+1+j, key(ctx, right, j))
+	}
+	if !leaf {
+		for j := 0; j <= rc; j++ {
+			setChild(ctx, left, lc+1+j, child(ctx, right, j))
+		}
+	}
+	setCount(ctx, left, lc+1+rc, leaf)
+	pc := count(ctx, p)
+	for j := i; j < pc-1; j++ {
+		setKey(ctx, p, j, key(ctx, p, j+1))
+		setChild(ctx, p, j+1, child(ctx, p, j+2))
+	}
+	setCount(ctx, p, pc-1, false)
+	ctx.Free(right, nodeWords)
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len(ctx memsim.Ctx) int {
+	var walk func(n memsim.Addr) int
+	walk = func(n memsim.Addr) int {
+		c := count(ctx, n)
+		total := c
+		if !isLeaf(ctx, n) {
+			for i := 0; i <= c; i++ {
+				total += walk(child(ctx, n, i))
+			}
+		}
+		return total
+	}
+	return walk(memsim.Addr(ctx.Load(t.root)))
+}
+
+// Keys appends all keys in ascending order to dst.
+func (t *Tree) Keys(ctx memsim.Ctx, dst []uint64) []uint64 {
+	var walk func(n memsim.Addr)
+	walk = func(n memsim.Addr) {
+		c := count(ctx, n)
+		leaf := isLeaf(ctx, n)
+		for i := 0; i < c; i++ {
+			if !leaf {
+				walk(child(ctx, n, i))
+			}
+			dst = append(dst, key(ctx, n, i))
+		}
+		if !leaf {
+			walk(child(ctx, n, c))
+		}
+	}
+	walk(memsim.Addr(ctx.Load(t.root)))
+	return dst
+}
+
+// CheckInvariants verifies B-tree structure: key ordering within and
+// across nodes, fill bounds, and uniform leaf depth. Returns "" when
+// consistent.
+func (t *Tree) CheckInvariants(ctx memsim.Ctx) string {
+	msg := ""
+	leafDepth := -1
+	var walk func(n memsim.Addr, lo, hi *uint64, depth int, isRoot bool)
+	walk = func(n memsim.Addr, lo, hi *uint64, depth int, isRoot bool) {
+		if msg != "" {
+			return
+		}
+		c := count(ctx, n)
+		leaf := isLeaf(ctx, n)
+		if c > maxKeys {
+			msg = "node overfull"
+			return
+		}
+		if !isRoot && c < minKeys {
+			msg = "node underfull"
+			return
+		}
+		var prev *uint64
+		for i := 0; i < c; i++ {
+			k := key(ctx, n, i)
+			if prev != nil && k <= *prev {
+				msg = "keys not strictly ascending in node"
+				return
+			}
+			if lo != nil && k <= *lo {
+				msg = "key below subtree bound"
+				return
+			}
+			if hi != nil && k >= *hi {
+				msg = "key above subtree bound"
+				return
+			}
+			kc := k
+			prev = &kc
+		}
+		if leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				msg = "leaves at unequal depth"
+			}
+			return
+		}
+		for i := 0; i <= c; i++ {
+			var l, h *uint64
+			l, h = lo, hi
+			if i > 0 {
+				k := key(ctx, n, i-1)
+				l = &k
+			}
+			if i < c {
+				k := key(ctx, n, i)
+				h = &k
+			}
+			walk(child(ctx, n, i), l, h, depth+1, false)
+		}
+	}
+	walk(memsim.Addr(ctx.Load(t.root)), nil, nil, 0, true)
+	return msg
+}

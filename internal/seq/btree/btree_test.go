@@ -1,0 +1,222 @@
+package btree
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvTree() (*memsim.DetEnv, *Tree) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyTree(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	if tr.Contains(boot, 5) || tr.Remove(boot, 5) || tr.Len(boot) != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestAscendingFillAndDrain(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		if !tr.Insert(boot, k) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+		if k%64 == 0 {
+			if msg := tr.CheckInvariants(boot); msg != "" {
+				t.Fatalf("after Insert(%d): %s", k, msg)
+			}
+		}
+	}
+	if got := tr.Len(boot); got != n {
+		t.Fatalf("Len = %d", got)
+	}
+	keys := tr.Keys(boot, nil)
+	for i, k := range keys {
+		if k != uint64(i) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if !tr.Remove(boot, k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+		if k%64 == 0 {
+			if msg := tr.CheckInvariants(boot); msg != "" {
+				t.Fatalf("after Remove(%d): %s", k, msg)
+			}
+		}
+	}
+	if tr.Len(boot) != 0 {
+		t.Fatal("tree not empty")
+	}
+}
+
+func TestDescendingAndInterleaved(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	for k := 300; k > 0; k-- {
+		tr.Insert(boot, uint64(k))
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	for k := 300; k > 0; k -= 2 {
+		if !tr.Remove(boot, uint64(k)) {
+			t.Fatalf("Remove(%d)", k)
+		}
+	}
+	if msg := tr.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	if got := tr.Len(boot); got != 150 {
+		t.Fatalf("Len = %d", got)
+	}
+}
+
+func TestQuickRandomOpsMatchModel(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	model := map[uint64]bool{}
+	f := func(key uint16, action uint8) bool {
+		k := uint64(key % 512)
+		switch action % 3 {
+		case 0:
+			want := !model[k]
+			model[k] = true
+			if tr.Insert(boot, k) != want {
+				return false
+			}
+		case 1:
+			if tr.Contains(boot, k) != model[k] {
+				return false
+			}
+		case 2:
+			want := model[k]
+			delete(model, k)
+			if tr.Remove(boot, k) != want {
+				return false
+			}
+		}
+		return tr.CheckInvariants(boot) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineOpsEliminates(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	tr.Insert(boot, 10)
+	ops := []engine.Op{
+		InsertOp{T: tr, K: 10},  // already present -> false
+		RemoveOp{T: tr, K: 10},  // -> true
+		InsertOp{T: tr, K: 20},  // -> true
+		RemoveOp{T: tr, K: 20},  // -> true (eliminated pair)
+		ContainsOp{T: tr, K: 5}, // -> false
+	}
+	res := make([]uint64, len(ops))
+	done := make([]bool, len(ops))
+	CombineOps(boot, ops, res, done)
+	want := []bool{false, true, true, true, false}
+	for i := range want {
+		if !done[i] || engine.UnpackBool(res[i]) != want[i] {
+			t.Fatalf("op %d: done=%v res=%v want %v", i, done[i], engine.UnpackBool(res[i]), want[i])
+		}
+	}
+	if tr.Len(boot) != 0 {
+		t.Fatalf("tree should be empty, has %d", tr.Len(boot))
+	}
+}
+
+func TestConcurrentConformanceAllEngines(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			tr := New(env.Boot())
+			hcf, err := core.New(env, core.Config{Policies: Policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func() engines.Options { return engines.Options{Combine: CombineOps} }
+			engs := map[string]engine.Engine{
+				"Lock":   engines.NewLock(env, mk()),
+				"TLE":    engines.NewTLE(env, mk()),
+				"FC":     engines.NewFC(env, mk()),
+				"SCM":    engines.NewSCM(env, mk()),
+				"TLE+FC": engines.NewTLEFC(env, mk()),
+				"HCF":    hcf,
+			}
+			eng := engs[name]
+			var inserted, removed [threads]int
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 55))
+				for i := 0; i < perThread; i++ {
+					k := rng.Uint64N(96)
+					switch rng.IntN(3) {
+					case 0:
+						if engine.UnpackBool(eng.Execute(th, InsertOp{T: tr, K: k})) {
+							inserted[th.ID()]++
+						}
+					case 1:
+						eng.Execute(th, ContainsOp{T: tr, K: k})
+					default:
+						if engine.UnpackBool(eng.Execute(th, RemoveOp{T: tr, K: k})) {
+							removed[th.ID()]++
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := tr.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			ins, rem := 0, 0
+			for i := 0; i < threads; i++ {
+				ins += inserted[i]
+				rem += removed[i]
+			}
+			if got := tr.Len(boot); got != ins-rem {
+				t.Fatalf("size = %d, want %d", got, ins-rem)
+			}
+		})
+	}
+}
+
+// TestNodeFootprintSmallerThanAVL documents the motivation for the B-tree:
+// a lookup touches far fewer cache lines than an AVL lookup at the same
+// size, which is what makes it HTM-friendlier.
+func TestNodeFootprintSmallerThanAVL(t *testing.T) {
+	env, tr := newEnvTree()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 4000; i++ {
+		tr.Insert(boot, rng.Uint64N(1<<40))
+	}
+	before := boot.Stats().Loads
+	for i := 0; i < 50; i++ {
+		tr.Contains(boot, rng.Uint64N(1<<40))
+	}
+	loadsPerLookup := float64(boot.Stats().Loads-before) / 50
+	// A 4000-key order-7 B-tree is ~4-5 levels; each level costs a meta
+	// load plus up to 6 key loads -> well under 40 loads. An AVL tree of
+	// the same size would take ~12 levels x 2-3 loads.
+	if loadsPerLookup > 45 {
+		t.Fatalf("B-tree lookup touches %.1f words, expected < 45", loadsPerLookup)
+	}
+}

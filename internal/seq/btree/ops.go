@@ -1,0 +1,176 @@
+package btree
+
+import (
+	"sort"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation kinds.
+const (
+	kindContains = iota
+	kindInsert
+	kindRemove
+)
+
+// Op is the common interface of B-tree operations.
+type Op interface {
+	engine.Op
+	Key() uint64
+	Tree() *Tree
+	kind() int
+}
+
+// ContainsOp tests membership. Result: PackBool(present).
+type ContainsOp struct {
+	T *Tree
+	K uint64
+}
+
+// InsertOp adds a key. Result: PackBool(was absent).
+type InsertOp struct {
+	T *Tree
+	K uint64
+}
+
+// RemoveOp deletes a key. Result: PackBool(was present).
+type RemoveOp struct {
+	T *Tree
+	K uint64
+}
+
+var (
+	_ Op = ContainsOp{}
+	_ Op = InsertOp{}
+	_ Op = RemoveOp{}
+)
+
+// Apply implements engine.Op.
+func (o ContainsOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Contains(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Insert(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Remove(ctx, o.K))
+}
+
+// Class implements engine.Op (single class).
+func (o ContainsOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o RemoveOp) Class() int { return 0 }
+
+// Key implements Op.
+func (o ContainsOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o InsertOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o RemoveOp) Key() uint64 { return o.K }
+
+// Tree implements Op.
+func (o ContainsOp) Tree() *Tree { return o.T }
+
+// Tree implements Op.
+func (o InsertOp) Tree() *Tree { return o.T }
+
+// Tree implements Op.
+func (o RemoveOp) Tree() *Tree { return o.T }
+
+func (o ContainsOp) kind() int { return kindContains }
+func (o InsertOp) kind() int   { return kindInsert }
+func (o RemoveOp) kind() int   { return kindRemove }
+
+// CombineOps sorts the batch by key and type, eliminates same-key groups
+// under set semantics and applies at most one physical update per key —
+// the §3.4 runMulti discipline applied to the B-tree.
+func CombineOps(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	type item struct {
+		key  uint64
+		kind int
+		idx  int
+	}
+	items := make([]item, 0, len(ops))
+	var tree *Tree
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		bo, ok := op.(Op)
+		if !ok {
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		tree = bo.Tree()
+		items = append(items, item{key: bo.Key(), kind: bo.kind(), idx: i})
+	}
+	if tree == nil {
+		return
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].key != items[b].key {
+			return items[a].key < items[b].key
+		}
+		if items[a].kind != items[b].kind {
+			return items[a].kind < items[b].kind
+		}
+		return items[a].idx < items[b].idx
+	})
+	for g := 0; g < len(items); {
+		h := g
+		for h < len(items) && items[h].key == items[g].key {
+			h++
+		}
+		key := items[g].key
+		initial := tree.Contains(ctx, key)
+		cur := initial
+		for _, it := range items[g:h] {
+			switch it.kind {
+			case kindContains:
+				res[it.idx] = engine.PackBool(cur)
+			case kindInsert:
+				res[it.idx] = engine.PackBool(!cur)
+				cur = true
+			case kindRemove:
+				res[it.idx] = engine.PackBool(cur)
+				cur = false
+			}
+			done[it.idx] = true
+		}
+		switch {
+		case cur && !initial:
+			tree.Insert(ctx, key)
+		case !cur && initial:
+			tree.Remove(ctx, key)
+		}
+		g = h
+	}
+}
+
+// Policies returns the B-tree HCF configuration: one publication array,
+// the standard budget split, sort/combine/eliminate application.
+func Policies() []core.Policy {
+	return []core.Policy{{
+		Name:               "btreeop",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineOps,
+		MaxBatch:           8,
+	}}
+}

@@ -1,0 +1,184 @@
+// Package deque implements a sequential double-ended queue, the paper's
+// §2.4 example of a structure whose conflict structure is known a priori:
+// operations on the same end always conflict, operations on opposite ends
+// almost never do. The HCF configuration therefore uses two publication
+// arrays — one per end — each with its own combiner, and is a natural fit
+// for the specialized framework variant in which a combiner holds the
+// selection lock for its whole pass.
+package deque
+
+import "hcf/internal/memsim"
+
+// Node layout (padded to a line):
+//
+//	word 0: value
+//	word 1: prev
+//	word 2: next
+const (
+	offVal    = 0
+	offPrev   = 1
+	offNext   = 2
+	nodeWords = memsim.WordsPerLine
+)
+
+// Deque is a sequential doubly linked deque with sentinel nodes over
+// simulated memory.
+type Deque struct {
+	left  memsim.Addr // left sentinel
+	right memsim.Addr // right sentinel
+}
+
+// New builds an empty deque using ctx.
+func New(ctx memsim.Ctx) *Deque {
+	d := &Deque{
+		left:  ctx.Alloc(nodeWords),
+		right: ctx.Alloc(nodeWords),
+	}
+	ctx.Store(d.left+offPrev, 0)
+	ctx.Store(d.left+offNext, uint64(d.right))
+	ctx.Store(d.right+offPrev, uint64(d.left))
+	ctx.Store(d.right+offNext, 0)
+	return d
+}
+
+// link inserts n between a and b.
+func link(ctx memsim.Ctx, a, n, b memsim.Addr) {
+	ctx.Store(n+offPrev, uint64(a))
+	ctx.Store(n+offNext, uint64(b))
+	ctx.Store(a+offNext, uint64(n))
+	ctx.Store(b+offPrev, uint64(n))
+}
+
+// PushLeft inserts value at the left end.
+func (d *Deque) PushLeft(ctx memsim.Ctx, value uint64) {
+	n := ctx.Alloc(nodeWords)
+	ctx.Store(n+offVal, value)
+	link(ctx, d.left, n, memsim.Addr(ctx.Load(d.left+offNext)))
+}
+
+// PushRight inserts value at the right end.
+func (d *Deque) PushRight(ctx memsim.Ctx, value uint64) {
+	n := ctx.Alloc(nodeWords)
+	ctx.Store(n+offVal, value)
+	link(ctx, memsim.Addr(ctx.Load(d.right+offPrev)), n, d.right)
+}
+
+// PopLeft removes and returns the leftmost value.
+func (d *Deque) PopLeft(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(d.left + offNext))
+	if n == d.right {
+		return 0, false
+	}
+	return d.unlink(ctx, n), true
+}
+
+// PopRight removes and returns the rightmost value.
+func (d *Deque) PopRight(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(d.right + offPrev))
+	if n == d.left {
+		return 0, false
+	}
+	return d.unlink(ctx, n), true
+}
+
+func (d *Deque) unlink(ctx memsim.Ctx, n memsim.Addr) uint64 {
+	v := ctx.Load(n + offVal)
+	p := memsim.Addr(ctx.Load(n + offPrev))
+	x := memsim.Addr(ctx.Load(n + offNext))
+	ctx.Store(p+offNext, uint64(x))
+	ctx.Store(x+offPrev, uint64(p))
+	ctx.Free(n, nodeWords)
+	return v
+}
+
+// PushLeftN pushes values[0..] at the left end as one spliced chain, so n
+// pushes cost one update of the sentinel's next pointer. The result is
+// identical to calling PushLeft(values[0]), PushLeft(values[1]), ...
+func (d *Deque) PushLeftN(ctx memsim.Ctx, values []uint64) {
+	if len(values) == 0 {
+		return
+	}
+	// Sequential PushLefts leave the last-pushed value leftmost; build the
+	// chain so values[len-1] is the chain head.
+	var head, tail memsim.Addr
+	for _, v := range values {
+		n := ctx.Alloc(nodeWords)
+		ctx.Store(n+offVal, v)
+		if head == 0 {
+			head, tail = n, n
+			continue
+		}
+		ctx.Store(n+offNext, uint64(head))
+		ctx.Store(head+offPrev, uint64(n))
+		head = n
+	}
+	first := memsim.Addr(ctx.Load(d.left + offNext))
+	ctx.Store(head+offPrev, uint64(d.left))
+	ctx.Store(tail+offNext, uint64(first))
+	ctx.Store(first+offPrev, uint64(tail))
+	ctx.Store(d.left+offNext, uint64(head))
+}
+
+// PushRightN is the right-end analogue of PushLeftN.
+func (d *Deque) PushRightN(ctx memsim.Ctx, values []uint64) {
+	if len(values) == 0 {
+		return
+	}
+	var head, tail memsim.Addr
+	for _, v := range values {
+		n := ctx.Alloc(nodeWords)
+		ctx.Store(n+offVal, v)
+		if head == 0 {
+			head, tail = n, n
+			continue
+		}
+		ctx.Store(tail+offNext, uint64(n))
+		ctx.Store(n+offPrev, uint64(tail))
+		tail = n
+	}
+	last := memsim.Addr(ctx.Load(d.right + offPrev))
+	ctx.Store(head+offPrev, uint64(last))
+	ctx.Store(last+offNext, uint64(head))
+	ctx.Store(tail+offNext, uint64(d.right))
+	ctx.Store(d.right+offPrev, uint64(tail))
+}
+
+// Len returns the number of stored values.
+func (d *Deque) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(d.left + offNext)); n != d.right; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Items appends the values left-to-right to dst.
+func (d *Deque) Items(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(d.left + offNext)); n != d.right; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offVal))
+	}
+	return dst
+}
+
+// CheckInvariants verifies the doubly linked structure. Returns "" when
+// consistent.
+func (d *Deque) CheckInvariants(ctx memsim.Ctx) string {
+	seen := map[memsim.Addr]bool{}
+	prev := d.left
+	for n := memsim.Addr(ctx.Load(d.left + offNext)); ; n = memsim.Addr(ctx.Load(n + offNext)) {
+		if n == 0 {
+			return "next chain fell off the deque"
+		}
+		if seen[n] {
+			return "cycle in deque"
+		}
+		seen[n] = true
+		if memsim.Addr(ctx.Load(n+offPrev)) != prev {
+			return "prev pointer inconsistent"
+		}
+		if n == d.right {
+			return ""
+		}
+		prev = n
+	}
+}

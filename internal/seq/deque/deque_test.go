@@ -1,0 +1,287 @@
+package deque
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvDeque() (*memsim.DetEnv, *Deque) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyDeque(t *testing.T) {
+	env, d := newEnvDeque()
+	boot := env.Boot()
+	if _, ok := d.PopLeft(boot); ok {
+		t.Error("PopLeft on empty succeeded")
+	}
+	if _, ok := d.PopRight(boot); ok {
+		t.Error("PopRight on empty succeeded")
+	}
+	if d.Len(boot) != 0 {
+		t.Error("empty deque nonzero length")
+	}
+	if msg := d.CheckInvariants(boot); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestPushPopBothEnds(t *testing.T) {
+	env, d := newEnvDeque()
+	boot := env.Boot()
+	d.PushLeft(boot, 2)
+	d.PushLeft(boot, 1)
+	d.PushRight(boot, 3)
+	// order: 1 2 3
+	items := d.Items(boot, nil)
+	if len(items) != 3 || items[0] != 1 || items[1] != 2 || items[2] != 3 {
+		t.Fatalf("items = %v, want [1 2 3]", items)
+	}
+	if v, ok := d.PopLeft(boot); !ok || v != 1 {
+		t.Fatalf("PopLeft = (%d,%v)", v, ok)
+	}
+	if v, ok := d.PopRight(boot); !ok || v != 3 {
+		t.Fatalf("PopRight = (%d,%v)", v, ok)
+	}
+	if v, ok := d.PopRight(boot); !ok || v != 2 {
+		t.Fatalf("PopRight = (%d,%v)", v, ok)
+	}
+	if msg := d.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	env, d := newEnvDeque()
+	boot := env.Boot()
+	var model []uint64
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 3000; i++ {
+		v := rng.Uint64N(1 << 30)
+		switch rng.IntN(4) {
+		case 0:
+			d.PushLeft(boot, v)
+			model = append([]uint64{v}, model...)
+		case 1:
+			d.PushRight(boot, v)
+			model = append(model, v)
+		case 2:
+			got, ok := d.PopLeft(boot)
+			if ok != (len(model) > 0) {
+				t.Fatalf("step %d: PopLeft ok=%v model len %d", i, ok, len(model))
+			}
+			if ok {
+				if got != model[0] {
+					t.Fatalf("step %d: PopLeft = %d, want %d", i, got, model[0])
+				}
+				model = model[1:]
+			}
+		case 3:
+			got, ok := d.PopRight(boot)
+			if ok != (len(model) > 0) {
+				t.Fatalf("step %d: PopRight ok=%v", i, ok)
+			}
+			if ok {
+				if got != model[len(model)-1] {
+					t.Fatalf("step %d: PopRight = %d, want %d", i, got, model[len(model)-1])
+				}
+				model = model[:len(model)-1]
+			}
+		}
+	}
+	items := d.Items(boot, nil)
+	if len(items) != len(model) {
+		t.Fatalf("final lengths: %d vs %d", len(items), len(model))
+	}
+	for i := range items {
+		if items[i] != model[i] {
+			t.Fatalf("final contents differ at %d", i)
+		}
+	}
+	if msg := d.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestPushNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 30; trial++ {
+		envA, a := newEnvDeque()
+		envB, b := newEnvDeque()
+		bootA, bootB := envA.Boot(), envB.Boot()
+		pre := rng.IntN(5)
+		for i := 0; i < pre; i++ {
+			a.PushRight(bootA, uint64(i))
+			b.PushRight(bootB, uint64(i))
+		}
+		vals := make([]uint64, 1+rng.IntN(6))
+		for i := range vals {
+			vals[i] = rng.Uint64N(100)
+		}
+		left := trial%2 == 0
+		if left {
+			for _, v := range vals {
+				a.PushLeft(bootA, v)
+			}
+			b.PushLeftN(bootB, vals)
+		} else {
+			for _, v := range vals {
+				a.PushRight(bootA, v)
+			}
+			b.PushRightN(bootB, vals)
+		}
+		ia := a.Items(bootA, nil)
+		ib := b.Items(bootB, nil)
+		if len(ia) != len(ib) {
+			t.Fatalf("trial %d: lengths differ", trial)
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				t.Fatalf("trial %d: contents differ: %v vs %v", trial, ia, ib)
+			}
+		}
+		if msg := b.CheckInvariants(bootB); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+func TestCombineEndElimination(t *testing.T) {
+	env, d := newEnvDeque()
+	boot := env.Boot()
+	ops := []engine.Op{
+		PushLeftOp{D: d, Val: 10},
+		PopLeftOp{D: d},
+		PushLeftOp{D: d, Val: 20},
+	}
+	res := make([]uint64, 3)
+	done := make([]bool, 3)
+	CombineLeft(boot, ops, res, done)
+	if v, ok := engine.Unpack(res[1]); !ok || v != 10 {
+		t.Fatalf("eliminated pop got (%d,%v), want (10,true)", v, ok)
+	}
+	// Only the surplus push (20) physically landed.
+	items := d.Items(boot, nil)
+	if len(items) != 1 || items[0] != 20 {
+		t.Fatalf("deque = %v, want [20]", items)
+	}
+}
+
+func TestCombineMixedBothEnds(t *testing.T) {
+	env, d := newEnvDeque()
+	boot := env.Boot()
+	d.PushLeft(boot, 1) // deque: [1]
+	ops := []engine.Op{
+		PushRightOp{D: d, Val: 9},
+		PopLeftOp{D: d},
+		PushLeftOp{D: d, Val: 5},
+	}
+	res := make([]uint64, 3)
+	done := make([]bool, 3)
+	CombineMixed(boot, ops, res, done)
+	for i, dn := range done {
+		if !dn {
+			t.Fatalf("op %d left undone", i)
+		}
+	}
+	// Left pass: the pop precedes the push in the batch, so it executes
+	// physically (returns 1) and PushLeft(5) lands afterwards.
+	if v, ok := engine.Unpack(res[1]); !ok || v != 1 {
+		t.Fatalf("PopLeft got (%d,%v), want (1,true)", v, ok)
+	}
+	items := d.Items(boot, nil)
+	if len(items) != 2 || items[0] != 5 || items[1] != 9 {
+		t.Fatalf("deque = %v, want [5 9]", items)
+	}
+	if msg := d.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func buildDequeEngines(t *testing.T, env memsim.Env, hold bool) (map[string]engine.Engine, *Deque) {
+	t.Helper()
+	d := New(env.Boot())
+	hcf, err := core.New(env, core.Config{Policies: Policies(), HoldSelectionLock: hold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() engines.Options { return engines.Options{Combine: CombineMixed} }
+	return map[string]engine.Engine{
+		"Lock":   engines.NewLock(env, mk()),
+		"TLE":    engines.NewTLE(env, mk()),
+		"FC":     engines.NewFC(env, mk()),
+		"SCM":    engines.NewSCM(env, mk()),
+		"TLE+FC": engines.NewTLEFC(env, mk()),
+		"HCF":    hcf,
+	}, d
+}
+
+// TestConcurrentConservationAllEngines: popped values plus remaining deque
+// contents must equal pushed values as a multiset, for both framework
+// variants and all baselines.
+func TestConcurrentConservationAllEngines(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, variant := range []struct {
+		name string
+		hold bool
+	}{{"generic", false}, {"specialized", true}} {
+		for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+			t.Run(variant.name+"/"+name, func(t *testing.T) {
+				env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+				engs, d := buildDequeEngines(t, env, variant.hold)
+				eng := engs[name]
+				pushed := make([][]uint64, threads)
+				popped := make([][]uint64, threads)
+				env.Run(func(th *memsim.Thread) {
+					rng := rand.New(rand.NewPCG(uint64(th.ID()), 23))
+					for i := 0; i < perThread; i++ {
+						v := uint64(th.ID()*1000 + i)
+						switch rng.IntN(4) {
+						case 0:
+							eng.Execute(th, PushLeftOp{D: d, Val: v})
+							pushed[th.ID()] = append(pushed[th.ID()], v)
+						case 1:
+							eng.Execute(th, PushRightOp{D: d, Val: v})
+							pushed[th.ID()] = append(pushed[th.ID()], v)
+						case 2:
+							if x, ok := engine.Unpack(eng.Execute(th, PopLeftOp{D: d})); ok {
+								popped[th.ID()] = append(popped[th.ID()], x)
+							}
+						case 3:
+							if x, ok := engine.Unpack(eng.Execute(th, PopRightOp{D: d})); ok {
+								popped[th.ID()] = append(popped[th.ID()], x)
+							}
+						}
+					}
+				})
+				boot := env.Boot()
+				if msg := d.CheckInvariants(boot); msg != "" {
+					t.Fatal(msg)
+				}
+				var in, out []uint64
+				for i := 0; i < threads; i++ {
+					in = append(in, pushed[i]...)
+					out = append(out, popped[i]...)
+				}
+				out = d.Items(boot, out)
+				sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+				sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+				if len(in) != len(out) {
+					t.Fatalf("pushed %d, accounted %d", len(in), len(out))
+				}
+				for i := range in {
+					if in[i] != out[i] {
+						t.Fatalf("multiset mismatch at %d", i)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package deque
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation classes: one per end, each with its own publication array
+// (§2.4: "operations on different ends of a double-ended queue").
+const (
+	ClassLeft = iota
+	ClassRight
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// PushLeftOp pushes at the left end. Result: PackBool(true).
+type PushLeftOp struct {
+	D   *Deque
+	Val uint64
+}
+
+// PopLeftOp pops from the left end. Result: Pack(value, nonEmpty).
+type PopLeftOp struct {
+	D *Deque
+}
+
+// PushRightOp pushes at the right end. Result: PackBool(true).
+type PushRightOp struct {
+	D   *Deque
+	Val uint64
+}
+
+// PopRightOp pops from the right end. Result: Pack(value, nonEmpty).
+type PopRightOp struct {
+	D *Deque
+}
+
+var (
+	_ engine.Op = PushLeftOp{}
+	_ engine.Op = PopLeftOp{}
+	_ engine.Op = PushRightOp{}
+	_ engine.Op = PopRightOp{}
+)
+
+// Apply implements engine.Op.
+func (o PushLeftOp) Apply(ctx memsim.Ctx) uint64 {
+	o.D.PushLeft(ctx, o.Val)
+	return engine.PackBool(true)
+}
+
+// Apply implements engine.Op.
+func (o PopLeftOp) Apply(ctx memsim.Ctx) uint64 {
+	v, ok := o.D.PopLeft(ctx)
+	return engine.Pack(v, ok)
+}
+
+// Apply implements engine.Op.
+func (o PushRightOp) Apply(ctx memsim.Ctx) uint64 {
+	o.D.PushRight(ctx, o.Val)
+	return engine.PackBool(true)
+}
+
+// Apply implements engine.Op.
+func (o PopRightOp) Apply(ctx memsim.Ctx) uint64 {
+	v, ok := o.D.PopRight(ctx)
+	return engine.Pack(v, ok)
+}
+
+// Class implements engine.Op.
+func (o PushLeftOp) Class() int { return ClassLeft }
+
+// Class implements engine.Op.
+func (o PopLeftOp) Class() int { return ClassLeft }
+
+// Class implements engine.Op.
+func (o PushRightOp) Class() int { return ClassRight }
+
+// Class implements engine.Op.
+func (o PopRightOp) Class() int { return ClassRight }
+
+// combineEnd combines one end's pushes and pops: concurrent push/pop pairs
+// eliminate (the pop returns the pushed value without touching the deque),
+// surplus pops execute against the deque, and surplus pushes are spliced in
+// with a single PushN.
+func combineEnd(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool, left bool) {
+	var d *Deque
+	type push struct {
+		idx int
+		val uint64
+	}
+	var pending []push
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		switch o := op.(type) {
+		case PushLeftOp:
+			d = o.D
+			pending = append(pending, push{i, o.Val})
+		case PushRightOp:
+			d = o.D
+			pending = append(pending, push{i, o.Val})
+		case PopLeftOp, PopRightOp:
+			if p, ok := op.(PopLeftOp); ok {
+				d = p.D
+			} else {
+				d = op.(PopRightOp).D
+			}
+			if n := len(pending); n > 0 {
+				// Eliminate against the most recent unmatched push.
+				p := pending[n-1]
+				pending = pending[:n-1]
+				res[p.idx] = engine.PackBool(true)
+				done[p.idx] = true
+				res[i] = engine.Pack(p.val, true)
+				done[i] = true
+				continue
+			}
+			var v uint64
+			var ok bool
+			if left {
+				v, ok = d.PopLeft(ctx)
+			} else {
+				v, ok = d.PopRight(ctx)
+			}
+			res[i] = engine.Pack(v, ok)
+			done[i] = true
+		default:
+			res[i] = op.Apply(ctx)
+			done[i] = true
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	vals := make([]uint64, len(pending))
+	for j, p := range pending {
+		vals[j] = p.val
+		res[p.idx] = engine.PackBool(true)
+		done[p.idx] = true
+	}
+	if left {
+		d.PushLeftN(ctx, vals)
+	} else {
+		d.PushRightN(ctx, vals)
+	}
+}
+
+// CombineLeft is the RunMulti for the left-end publication array.
+func CombineLeft(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	combineEnd(ctx, ops, res, done, true)
+}
+
+// CombineRight is the RunMulti for the right-end publication array.
+func CombineRight(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	combineEnd(ctx, ops, res, done, false)
+}
+
+// Policies returns the deque HCF configuration: two publication arrays, one
+// per end, with per-end combining and elimination. Use it together with
+// Config.HoldSelectionLock — the paper's specialized variant was created
+// for exactly this shape (§2.4).
+func Policies() []core.Policy {
+	out := make([]core.Policy, NumClasses)
+	out[ClassLeft] = core.Policy{
+		Name:               "left",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineLeft,
+		MaxBatch:           8,
+	}
+	out[ClassRight] = core.Policy{
+		Name:               "right",
+		PubArray:           1,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineRight,
+		MaxBatch:           8,
+	}
+	return out
+}
+
+// CombineMixed is the combining function for the FC baseline, which sees
+// both ends' operations in one batch: left ops are combined first, then
+// right ops.
+func CombineMixed(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	// Partition by end, preserving order within each end.
+	leftOps := make([]bool, len(ops))
+	anyLeft, anyRight := false, false
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		switch op.(type) {
+		case PushLeftOp, PopLeftOp:
+			leftOps[i] = true
+			anyLeft = true
+		default:
+			anyRight = true
+		}
+	}
+	if anyLeft {
+		masked := make([]bool, len(ops))
+		copy(masked, done)
+		for i := range ops {
+			if !leftOps[i] {
+				masked[i] = true // hide right ops from the left pass
+			}
+		}
+		combineEnd(ctx, ops, res, masked, true)
+		for i := range ops {
+			if leftOps[i] {
+				done[i] = masked[i]
+			}
+		}
+	}
+	if anyRight {
+		combineEnd(ctx, ops, res, done, false)
+	}
+}

@@ -1,0 +1,257 @@
+// Package hashtable implements the sequential hash table evaluated in §3.3
+// of the paper: a fixed number of buckets, each a singly linked list of
+// key-value nodes, plus a doubly linked "table list" threading all pairs to
+// support efficient iteration.
+//
+// The structure is written as sequential code against memsim.Ctx, so it runs
+// unmodified under a lock, inside hardware transactions, or through any of
+// the synchronization engines. Its operation mix is the paper's motivating
+// case for HCF: Find and Remove rarely conflict (Remove unlinks from random
+// positions of the table list without touching its head), while every
+// Insert writes the table-list head — so Inserts conflict with each other
+// and benefit from combining via InsertN, which chains new nodes and
+// splices them with a single head update.
+package hashtable
+
+import "hcf/internal/memsim"
+
+// Node layout (one cache line per node to avoid false sharing between
+// unrelated keys, like a size-classed allocator would give):
+//
+//	word 0: key
+//	word 1: value
+//	word 2: next node in bucket chain (0 = none)
+//	word 3: previous node in table list (0 = head)
+//	word 4: next node in table list (0 = tail)
+const (
+	offKey      = 0
+	offVal      = 1
+	offBucket   = 2
+	offListPrev = 3
+	offListNext = 4
+	nodeWords   = memsim.WordsPerLine
+)
+
+// Table is a sequential hash table over simulated memory.
+type Table struct {
+	buckets  memsim.Addr // array of nbuckets head pointers
+	listHead memsim.Addr // head of the table list (its own line)
+	nbuckets uint64
+}
+
+// New builds a table with nbuckets buckets (rounded up to a power of two)
+// using ctx for initialization.
+func New(ctx memsim.Ctx, nbuckets int) *Table {
+	n := uint64(1)
+	for n < uint64(nbuckets) {
+		n <<= 1
+	}
+	t := &Table{
+		buckets:  ctx.Alloc(int(n)),
+		listHead: ctx.Alloc(memsim.WordsPerLine),
+		nbuckets: n,
+	}
+	for i := uint64(0); i < n; i++ {
+		ctx.Store(t.buckets+memsim.Addr(i), 0)
+	}
+	ctx.Store(t.listHead, 0)
+	return t
+}
+
+// hash mixes the key (Fibonacci hashing) into a bucket index.
+func (t *Table) hash(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 32 & (t.nbuckets - 1)
+}
+
+func (t *Table) bucketAddr(key uint64) memsim.Addr {
+	return t.buckets + memsim.Addr(t.hash(key))
+}
+
+// findNode returns the node holding key, or 0.
+func (t *Table) findNode(ctx memsim.Ctx, key uint64) memsim.Addr {
+	n := memsim.Addr(ctx.Load(t.bucketAddr(key)))
+	for n != 0 {
+		if ctx.Load(n+offKey) == key {
+			return n
+		}
+		n = memsim.Addr(ctx.Load(n + offBucket))
+	}
+	return 0
+}
+
+// Find returns the value stored under key.
+func (t *Table) Find(ctx memsim.Ctx, key uint64) (uint64, bool) {
+	n := t.findNode(ctx, key)
+	if n == 0 {
+		return 0, false
+	}
+	return ctx.Load(n + offVal), true
+}
+
+// Insert stores (key, value). It returns true if the key was newly
+// inserted, false if an existing key's value was updated.
+func (t *Table) Insert(ctx memsim.Ctx, key, value uint64) bool {
+	if n := t.findNode(ctx, key); n != 0 {
+		ctx.Store(n+offVal, value)
+		return false
+	}
+	n := t.newNode(ctx, key, value)
+	// Splice into the table list head.
+	head := memsim.Addr(ctx.Load(t.listHead))
+	ctx.Store(n+offListNext, uint64(head))
+	if head != 0 {
+		ctx.Store(head+offListPrev, uint64(n))
+	}
+	ctx.Store(t.listHead, uint64(n))
+	return true
+}
+
+// newNode allocates a node linked into its bucket chain but not yet into
+// the table list.
+func (t *Table) newNode(ctx memsim.Ctx, key, value uint64) memsim.Addr {
+	n := ctx.Alloc(nodeWords)
+	b := t.bucketAddr(key)
+	ctx.Store(n+offKey, key)
+	ctx.Store(n+offVal, value)
+	ctx.Store(n+offBucket, ctx.Load(b))
+	ctx.Store(n+offListPrev, 0)
+	ctx.Store(n+offListNext, 0)
+	ctx.Store(b, uint64(n))
+	return n
+}
+
+// InsertN applies a batch of inserts, combining the table-list splices of
+// all newly created nodes into a single head update (the paper's Insert-n:
+// "its ability to chain new key-value pairs ... with just one modification
+// of the head pointer"). results[i] reports whether pair i was a new
+// insertion. Duplicate keys within the batch behave exactly as sequential
+// Inserts.
+func (t *Table) InsertN(ctx memsim.Ctx, keys, values []uint64, results []bool) {
+	var chainHead, chainTail memsim.Addr
+	for i := range keys {
+		if n := t.findNode(ctx, keys[i]); n != 0 {
+			ctx.Store(n+offVal, values[i])
+			results[i] = false
+			continue
+		}
+		n := t.newNode(ctx, keys[i], values[i])
+		results[i] = true
+		if chainHead == 0 {
+			chainHead, chainTail = n, n
+		} else {
+			// Prepend, preserving the order sequential Inserts would give
+			// (each insert lands at the head, so later inserts precede).
+			ctx.Store(n+offListNext, uint64(chainHead))
+			ctx.Store(chainHead+offListPrev, uint64(n))
+			chainHead = n
+		}
+	}
+	if chainHead == 0 {
+		return
+	}
+	head := memsim.Addr(ctx.Load(t.listHead))
+	ctx.Store(chainTail+offListNext, uint64(head))
+	if head != 0 {
+		ctx.Store(head+offListPrev, uint64(chainTail))
+	}
+	ctx.Store(t.listHead, uint64(chainHead))
+}
+
+// Remove deletes key, returning whether it was present. The node is
+// unlinked from both the bucket chain and the table list; note that a
+// random key's table-list unlink does not read the list head, which is why
+// Removes rarely conflict (§3.3).
+func (t *Table) Remove(ctx memsim.Ctx, key uint64) bool {
+	b := t.bucketAddr(key)
+	prev := memsim.Addr(0)
+	n := memsim.Addr(ctx.Load(b))
+	for n != 0 {
+		if ctx.Load(n+offKey) == key {
+			break
+		}
+		prev = n
+		n = memsim.Addr(ctx.Load(n + offBucket))
+	}
+	if n == 0 {
+		return false
+	}
+	// Unlink from the bucket chain.
+	next := ctx.Load(n + offBucket)
+	if prev == 0 {
+		ctx.Store(b, next)
+	} else {
+		ctx.Store(prev+offBucket, next)
+	}
+	// Unlink from the table list.
+	lp := memsim.Addr(ctx.Load(n + offListPrev))
+	ln := memsim.Addr(ctx.Load(n + offListNext))
+	if lp == 0 {
+		ctx.Store(t.listHead, uint64(ln))
+	} else {
+		ctx.Store(lp+offListNext, uint64(ln))
+	}
+	if ln != 0 {
+		ctx.Store(ln+offListPrev, uint64(lp))
+	}
+	ctx.Free(n, nodeWords)
+	return true
+}
+
+// Len walks the table list and returns the number of stored pairs.
+func (t *Table) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(t.listHead)); n != 0; n = memsim.Addr(ctx.Load(n + offListNext)) {
+		count++
+	}
+	return count
+}
+
+// Iterate calls fn for every pair in table-list order (most recently
+// inserted first) until fn returns false.
+func (t *Table) Iterate(ctx memsim.Ctx, fn func(key, value uint64) bool) {
+	for n := memsim.Addr(ctx.Load(t.listHead)); n != 0; n = memsim.Addr(ctx.Load(n + offListNext)) {
+		if !fn(ctx.Load(n+offKey), ctx.Load(n+offVal)) {
+			return
+		}
+	}
+}
+
+// CheckInvariants validates the structural invariants: every bucket node's
+// key hashes to its bucket, the table list is consistently doubly linked,
+// and the bucket chains and table list contain exactly the same nodes.
+// It returns a descriptive error string, or "" when consistent.
+func (t *Table) CheckInvariants(ctx memsim.Ctx) string {
+	inBuckets := map[memsim.Addr]bool{}
+	for i := uint64(0); i < t.nbuckets; i++ {
+		for n := memsim.Addr(ctx.Load(t.buckets + memsim.Addr(i))); n != 0; n = memsim.Addr(ctx.Load(n + offBucket)) {
+			if inBuckets[n] {
+				return "node appears twice in bucket chains"
+			}
+			inBuckets[n] = true
+			if t.hash(ctx.Load(n+offKey)) != i {
+				return "node hashed to wrong bucket"
+			}
+		}
+	}
+	inList := map[memsim.Addr]bool{}
+	prev := memsim.Addr(0)
+	for n := memsim.Addr(ctx.Load(t.listHead)); n != 0; n = memsim.Addr(ctx.Load(n + offListNext)) {
+		if inList[n] {
+			return "cycle in table list"
+		}
+		inList[n] = true
+		if memsim.Addr(ctx.Load(n+offListPrev)) != prev {
+			return "table list prev pointer inconsistent"
+		}
+		prev = n
+	}
+	if len(inList) != len(inBuckets) {
+		return "table list and bucket chains disagree on node set"
+	}
+	for n := range inList {
+		if !inBuckets[n] {
+			return "table list node missing from buckets"
+		}
+	}
+	return ""
+}

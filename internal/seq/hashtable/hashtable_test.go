@@ -1,0 +1,420 @@
+package hashtable
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvTable(buckets int) (*memsim.DetEnv, *Table) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot(), buckets)
+}
+
+func TestEmptyTable(t *testing.T) {
+	env, tbl := newEnvTable(16)
+	boot := env.Boot()
+	if _, ok := tbl.Find(boot, 1); ok {
+		t.Error("found key in empty table")
+	}
+	if tbl.Remove(boot, 1) {
+		t.Error("removed key from empty table")
+	}
+	if tbl.Len(boot) != 0 {
+		t.Error("empty table has nonzero length")
+	}
+}
+
+func TestInsertFindRemove(t *testing.T) {
+	env, tbl := newEnvTable(16)
+	boot := env.Boot()
+	if !tbl.Insert(boot, 5, 50) {
+		t.Fatal("fresh insert reported update")
+	}
+	if v, ok := tbl.Find(boot, 5); !ok || v != 50 {
+		t.Fatalf("Find(5) = (%d,%v)", v, ok)
+	}
+	if tbl.Insert(boot, 5, 55) {
+		t.Fatal("update reported fresh insert")
+	}
+	if v, _ := tbl.Find(boot, 5); v != 55 {
+		t.Fatalf("value after update = %d", v)
+	}
+	if !tbl.Remove(boot, 5) {
+		t.Fatal("remove of present key failed")
+	}
+	if _, ok := tbl.Find(boot, 5); ok {
+		t.Fatal("key present after removal")
+	}
+	if tbl.Remove(boot, 5) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestCollidingKeysCoexist(t *testing.T) {
+	// With 1 bucket every key collides; chains must still work.
+	env, tbl := newEnvTable(1)
+	boot := env.Boot()
+	for k := uint64(0); k < 50; k++ {
+		tbl.Insert(boot, k, k*10)
+	}
+	for k := uint64(0); k < 50; k++ {
+		if v, ok := tbl.Find(boot, k); !ok || v != k*10 {
+			t.Fatalf("Find(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	for k := uint64(0); k < 50; k += 2 {
+		if !tbl.Remove(boot, k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+	}
+	for k := uint64(0); k < 50; k++ {
+		_, ok := tbl.Find(boot, k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("after removals Find(%d) = %v, want %v", k, ok, want)
+		}
+	}
+	if msg := tbl.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestIterateOrderMostRecentFirst(t *testing.T) {
+	env, tbl := newEnvTable(16)
+	boot := env.Boot()
+	for k := uint64(1); k <= 3; k++ {
+		tbl.Insert(boot, k, k)
+	}
+	var order []uint64
+	tbl.Iterate(boot, func(k, v uint64) bool {
+		order = append(order, k)
+		return true
+	})
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("iteration order = %v, want [3 2 1]", order)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	env, tbl := newEnvTable(16)
+	boot := env.Boot()
+	for k := uint64(1); k <= 10; k++ {
+		tbl.Insert(boot, k, k)
+	}
+	count := 0
+	tbl.Iterate(boot, func(k, v uint64) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Fatalf("visited %d entries, want 4", count)
+	}
+}
+
+func TestRemoveListPositions(t *testing.T) {
+	// Remove the table-list head, middle and tail and verify consistency.
+	env, tbl := newEnvTable(16)
+	boot := env.Boot()
+	for k := uint64(1); k <= 5; k++ {
+		tbl.Insert(boot, k, k)
+	}
+	// list order: 5 4 3 2 1 (head..tail)
+	for _, k := range []uint64{5, 3, 1} { // head, middle, tail
+		if !tbl.Remove(boot, k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+		if msg := tbl.CheckInvariants(boot); msg != "" {
+			t.Fatalf("after Remove(%d): %s", k, msg)
+		}
+	}
+	if got := tbl.Len(boot); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	env, tbl := newEnvTable(64)
+	boot := env.Boot()
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 5000; i++ {
+		key := rng.Uint64N(200)
+		switch rng.IntN(3) {
+		case 0:
+			val := rng.Uint64N(1 << 30)
+			_, existed := model[key]
+			if got := tbl.Insert(boot, key, val); got != !existed {
+				t.Fatalf("Insert(%d) returned %v, model says %v", key, got, !existed)
+			}
+			model[key] = val
+		case 1:
+			v, ok := tbl.Find(boot, key)
+			mv, mok := model[key]
+			if ok != mok || (ok && v != mv) {
+				t.Fatalf("Find(%d) = (%d,%v), model (%d,%v)", key, v, ok, mv, mok)
+			}
+		case 2:
+			_, existed := model[key]
+			if got := tbl.Remove(boot, key); got != existed {
+				t.Fatalf("Remove(%d) returned %v, model says %v", key, got, existed)
+			}
+			delete(model, key)
+		}
+	}
+	if got := tbl.Len(boot); got != len(model) {
+		t.Fatalf("Len = %d, model has %d", got, len(model))
+	}
+	if msg := tbl.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestInsertNMatchesSequentialInserts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 50; trial++ {
+		envA, a := newEnvTable(8)
+		envB, b := newEnvTable(8)
+		bootA, bootB := envA.Boot(), envB.Boot()
+		// Random prefill.
+		n := rng.IntN(20)
+		for i := 0; i < n; i++ {
+			k := rng.Uint64N(30)
+			a.Insert(bootA, k, k)
+			b.Insert(bootB, k, k)
+		}
+		// Batch with possible duplicates.
+		batch := 1 + rng.IntN(10)
+		keys := make([]uint64, batch)
+		vals := make([]uint64, batch)
+		want := make([]bool, batch)
+		for i := range keys {
+			keys[i] = rng.Uint64N(30)
+			vals[i] = rng.Uint64N(1000)
+			want[i] = a.Insert(bootA, keys[i], vals[i])
+		}
+		got := make([]bool, batch)
+		b.InsertN(bootB, keys, vals, got)
+		for i := range keys {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: InsertN result[%d] = %v, sequential = %v",
+					trial, i, got[i], want[i])
+			}
+		}
+		// Same contents and same table-list order.
+		var seqOrder, batchOrder []uint64
+		a.Iterate(bootA, func(k, v uint64) bool { seqOrder = append(seqOrder, k, v); return true })
+		b.Iterate(bootB, func(k, v uint64) bool { batchOrder = append(batchOrder, k, v); return true })
+		if len(seqOrder) != len(batchOrder) {
+			t.Fatalf("trial %d: lengths differ: %v vs %v", trial, seqOrder, batchOrder)
+		}
+		for i := range seqOrder {
+			if seqOrder[i] != batchOrder[i] {
+				t.Fatalf("trial %d: order differs at %d: %v vs %v", trial, i, seqOrder, batchOrder)
+			}
+		}
+		if msg := b.CheckInvariants(bootB); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+// buildEngines constructs all six engines for a fresh table in env.
+func buildEngines(t *testing.T, env memsim.Env, tbl *Table) map[string]engine.Engine {
+	t.Helper()
+	hcf, err := core.New(env, core.Config{Policies: Policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() engines.Options { return engines.Options{Combine: CombineMixed} }
+	return map[string]engine.Engine{
+		"Lock":   engines.NewLock(env, mk()),
+		"TLE":    engines.NewTLE(env, mk()),
+		"FC":     engines.NewFC(env, mk()),
+		"SCM":    engines.NewSCM(env, mk()),
+		"TLE+FC": engines.NewTLEFC(env, mk()),
+		"HCF":    hcf,
+	}
+}
+
+// TestConcurrentConformanceAllEngines runs a mixed workload on every engine
+// and checks conservation (inserts succeeded - removes succeeded == final
+// size) plus structural invariants.
+func TestConcurrentConformanceAllEngines(t *testing.T) {
+	const threads, perThread = 8, 60
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			tbl := New(env.Boot(), 64)
+			eng := buildEngines(t, env, tbl)[name]
+			inserted := make([]int, threads)
+			removed := make([]int, threads)
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 42))
+				for i := 0; i < perThread; i++ {
+					key := rng.Uint64N(100)
+					switch rng.IntN(3) {
+					case 0:
+						if engine.UnpackBool(eng.Execute(th, InsertOp{T: tbl, Key: key, Val: key})) {
+							inserted[th.ID()]++
+						}
+					case 1:
+						eng.Execute(th, FindOp{T: tbl, Key: key})
+					case 2:
+						if engine.UnpackBool(eng.Execute(th, RemoveOp{T: tbl, Key: key})) {
+							removed[th.ID()]++
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := tbl.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			totalIns, totalRem := 0, 0
+			for i := 0; i < threads; i++ {
+				totalIns += inserted[i]
+				totalRem += removed[i]
+			}
+			if got := tbl.Len(boot); got != totalIns-totalRem {
+				t.Fatalf("size = %d, want %d inserted - %d removed = %d",
+					got, totalIns, totalRem, totalIns-totalRem)
+			}
+			if m := eng.Metrics(); m.Ops != threads*perThread {
+				t.Fatalf("ops = %d, want %d", m.Ops, threads*perThread)
+			}
+		})
+	}
+}
+
+// TestDisjointKeyRangesExactState gives each thread a private key range so
+// the final table state is exactly predictable under any engine.
+func TestDisjointKeyRangesExactState(t *testing.T) {
+	const threads = 6
+	for _, name := range []string{"TLE", "HCF", "FC"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			tbl := New(env.Boot(), 64)
+			eng := buildEngines(t, env, tbl)[name]
+			env.Run(func(th *memsim.Thread) {
+				base := uint64(th.ID()) * 1000
+				for k := uint64(0); k < 20; k++ {
+					eng.Execute(th, InsertOp{T: tbl, Key: base + k, Val: k})
+				}
+				for k := uint64(0); k < 20; k += 2 {
+					eng.Execute(th, RemoveOp{T: tbl, Key: base + k})
+				}
+			})
+			boot := env.Boot()
+			for tid := 0; tid < threads; tid++ {
+				base := uint64(tid) * 1000
+				for k := uint64(0); k < 20; k++ {
+					v, ok := tbl.Find(boot, base+k)
+					wantPresent := k%2 == 1
+					if ok != wantPresent {
+						t.Fatalf("key %d present=%v want %v", base+k, ok, wantPresent)
+					}
+					if ok && v != k {
+						t.Fatalf("key %d value=%d want %d", base+k, v, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHCFPhaseSplitMatchesPaperSetup(t *testing.T) {
+	// Finds/Removes must never complete in TryVisible/TryCombining (their
+	// policy skips those phases), while contended Inserts should reach the
+	// combining phases.
+	const threads = 12
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	tbl := New(env.Boot(), 16)
+	hcf, err := core.New(env, core.Config{Policies: Policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID()), 7))
+		for i := 0; i < 60; i++ {
+			key := rng.Uint64N(50)
+			if i%2 == 0 {
+				hcf.Execute(th, InsertOp{T: tbl, Key: key, Val: 1})
+			} else {
+				hcf.Execute(th, FindOp{T: tbl, Key: key})
+			}
+		}
+	})
+	bd := hcf.PhaseBreakdown()
+	if bd[ClassFind][core.PhaseTryVisible] != 0 || bd[ClassFind][core.PhaseTryCombining] != 0 {
+		t.Fatalf("find completed in skipped phases: %v", bd[ClassFind])
+	}
+	insTotal := uint64(0)
+	for _, c := range bd[ClassInsert] {
+		insTotal += c
+	}
+	if insTotal != threads*30 {
+		t.Fatalf("insert completions = %d, want %d", insTotal, threads*30)
+	}
+}
+
+func TestSumOpSequential(t *testing.T) {
+	env, tbl := newEnvTable(32)
+	boot := env.Boot()
+	var want uint64
+	for k := uint64(1); k <= 20; k++ {
+		tbl.Insert(boot, k, k*10)
+		want += k * 10
+	}
+	got, ok := engine.Unpack(SumOp{T: tbl}.Apply(boot))
+	if !ok || got != want {
+		t.Fatalf("Sum = (%d,%v), want %d", got, ok, want)
+	}
+}
+
+// TestSumOpConcurrentWithUpdates runs whole-table scans concurrently with
+// updates under HCF: each scan must return an atomic snapshot sum, i.e. a
+// value that equals total-inserted-minus-removed at some instant. We use
+// insert-only updates of constant value so the sum is v * (size at some
+// instant) and sizes are monotonically non-decreasing.
+func TestSumOpConcurrentWithUpdates(t *testing.T) {
+	const threads = 6
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	tbl := New(env.Boot(), 64)
+	hcf, err := core.New(env, core.Config{Policies: Policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := make([][]uint64, threads)
+	env.Run(func(th *memsim.Thread) {
+		if th.ID() == 0 {
+			for i := 0; i < 15; i++ {
+				s, _ := engine.Unpack(hcf.Execute(th, SumOp{T: tbl}))
+				sums[0] = append(sums[0], s)
+			}
+			return
+		}
+		base := uint64(th.ID()) * 1000
+		for i := uint64(0); i < 40; i++ {
+			hcf.Execute(th, InsertOp{T: tbl, Key: base + i, Val: 1})
+		}
+	})
+	boot := env.Boot()
+	finalSize := uint64(tbl.Len(boot))
+	prev := uint64(0)
+	for i, s := range sums[0] {
+		if s > finalSize {
+			t.Fatalf("scan %d saw impossible sum %d (> final size %d)", i, s, finalSize)
+		}
+		if s < prev {
+			t.Fatalf("scan %d went backwards: %d after %d (non-atomic snapshot)", i, s, prev)
+		}
+		prev = s
+	}
+	if msg := tbl.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}

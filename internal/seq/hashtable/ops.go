@@ -1,0 +1,170 @@
+package hashtable
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation classes. Find and Remove share a publication array and a
+// TLE-like policy; Insert gets its own array and the full four-phase
+// treatment (§3.3).
+const (
+	ClassFind = iota
+	ClassInsert
+	ClassRemove
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// FindOp looks up a key. Result: Pack(value, found).
+type FindOp struct {
+	T   *Table
+	Key uint64
+}
+
+var _ engine.Op = FindOp{}
+
+// Apply implements engine.Op.
+func (o FindOp) Apply(ctx memsim.Ctx) uint64 {
+	v, ok := o.T.Find(ctx, o.Key)
+	return engine.Pack(v, ok)
+}
+
+// Class implements engine.Op.
+func (o FindOp) Class() int { return ClassFind }
+
+// InsertOp stores a pair. Result: PackBool(newly inserted).
+type InsertOp struct {
+	T   *Table
+	Key uint64
+	Val uint64
+}
+
+var _ engine.Op = InsertOp{}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Insert(ctx, o.Key, o.Val))
+}
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return ClassInsert }
+
+// SumOp iterates the whole table through the table list (the reason the
+// list exists, §3.3) and returns the sum of all values modulo 2^63. Its
+// read set spans the entire structure, so under load it typically exceeds
+// HTM capacity and drains through the combining phases — a realistic
+// "analytics scan" stressor. Result: Pack(sum mod 2^63, true).
+type SumOp struct {
+	T *Table
+}
+
+var _ engine.Op = SumOp{}
+
+// Apply implements engine.Op.
+func (o SumOp) Apply(ctx memsim.Ctx) uint64 {
+	var sum uint64
+	o.T.Iterate(ctx, func(k, v uint64) bool {
+		sum += v
+		return true
+	})
+	return engine.Pack(sum&((1<<63)-1), true)
+}
+
+// Class implements engine.Op: scans share the Find/Remove array.
+func (o SumOp) Class() int { return ClassFind }
+
+// RemoveOp deletes a key. Result: PackBool(was present).
+type RemoveOp struct {
+	T   *Table
+	Key uint64
+}
+
+var _ engine.Op = RemoveOp{}
+
+// Apply implements engine.Op.
+func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.T.Remove(ctx, o.Key))
+}
+
+// Class implements engine.Op.
+func (o RemoveOp) Class() int { return ClassRemove }
+
+// CombineInserts is the RunMulti for the Insert publication array: all
+// pending inserts are applied through InsertN, chaining their table-list
+// splices into one head update.
+func CombineInserts(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var (
+		table   *Table
+		keys    []uint64
+		values  []uint64
+		indices []int
+	)
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		ins, ok := op.(InsertOp)
+		if !ok {
+			// Foreign op type in the batch (possible for FC, which mixes
+			// classes): run it directly.
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		table = ins.T
+		keys = append(keys, ins.Key)
+		values = append(values, ins.Val)
+		indices = append(indices, i)
+	}
+	if table == nil {
+		return
+	}
+	results := make([]bool, len(keys))
+	table.InsertN(ctx, keys, values, results)
+	for j, i := range indices {
+		res[i] = engine.PackBool(results[j])
+		done[i] = true
+	}
+}
+
+// Policies returns the paper's HCF configuration for the hash table
+// (§3.3): Find and Remove behave like TLE on publication array 0 (all ten
+// speculation attempts private, straight to the lock afterwards), Insert
+// uses array 1 with the 2/3/5 trial split and InsertN combining.
+func Policies() []core.Policy {
+	tleLike := func(name string) core.Policy {
+		return core.Policy{
+			Name:             name,
+			PubArray:         0,
+			TryPrivateTrials: 10,
+			ShouldHelp:       engine.HelpNone,
+		}
+	}
+	find := tleLike("find")
+	remove := tleLike("remove")
+	insert := core.Policy{
+		Name:               "insert",
+		PubArray:           1,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineInserts,
+		MaxBatch:           8,
+	}
+	out := make([]core.Policy, NumClasses)
+	out[ClassFind] = find
+	out[ClassInsert] = insert
+	out[ClassRemove] = remove
+	return out
+}
+
+// CombineMixed is the combining function for the FC and TLE+FC baselines:
+// announced Inserts are combined with InsertN while Finds and Removes are
+// applied sequentially afterwards (the paper's FC variant, §3.3).
+func CombineMixed(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	CombineInserts(ctx, ops, res, done)
+	engine.ApplyEach(ctx, ops, res, done)
+}

@@ -1,0 +1,146 @@
+package queue
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation classes: enqueues and dequeues conflict only within their own
+// end, so each gets its own publication array and combiner.
+const (
+	ClassEnqueue = iota
+	ClassDequeue
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// EnqueueOp appends a value. Result: PackBool(true).
+type EnqueueOp struct {
+	Q   *Queue
+	Val uint64
+}
+
+// DequeueOp removes the oldest value. Result: Pack(value, nonEmpty).
+type DequeueOp struct {
+	Q *Queue
+}
+
+var (
+	_ engine.Op = EnqueueOp{}
+	_ engine.Op = DequeueOp{}
+)
+
+// Apply implements engine.Op.
+func (o EnqueueOp) Apply(ctx memsim.Ctx) uint64 {
+	o.Q.Enqueue(ctx, o.Val)
+	return engine.PackBool(true)
+}
+
+// Apply implements engine.Op.
+func (o DequeueOp) Apply(ctx memsim.Ctx) uint64 {
+	v, ok := o.Q.Dequeue(ctx)
+	return engine.Pack(v, ok)
+}
+
+// Class implements engine.Op.
+func (o EnqueueOp) Class() int { return ClassEnqueue }
+
+// Class implements engine.Op.
+func (o DequeueOp) Class() int { return ClassDequeue }
+
+// CombineEnqueues splices all pending enqueues with a single tail update.
+// Operations of other kinds are left undone (CombineMixed composes the two
+// per-kind combiners for the FC baseline's mixed batches).
+func CombineEnqueues(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var q *Queue
+	var vals []uint64
+	var idx []int
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		e, ok := op.(EnqueueOp)
+		if !ok {
+			continue
+		}
+		q = e.Q
+		vals = append(vals, e.Val)
+		idx = append(idx, i)
+	}
+	if q == nil {
+		return
+	}
+	q.EnqueueN(ctx, vals)
+	for _, i := range idx {
+		res[i] = engine.PackBool(true)
+		done[i] = true
+	}
+}
+
+// CombineDequeues serves all pending dequeues from one DequeueN pass; the
+// i-th pending dequeue receives the i-th oldest value.
+func CombineDequeues(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var q *Queue
+	var idx []int
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		d, ok := op.(DequeueOp)
+		if !ok {
+			continue
+		}
+		q = d.Q
+		idx = append(idx, i)
+	}
+	if q == nil {
+		return
+	}
+	vals, n := q.DequeueN(ctx, len(idx), nil)
+	for j, i := range idx {
+		if j < n {
+			res[i] = engine.Pack(vals[j], true)
+		} else {
+			res[i] = engine.Pack(0, false)
+		}
+		done[i] = true
+	}
+}
+
+// Policies returns the queue HCF configuration: one publication array per
+// end, chain-splicing combiners, standard 2/3/5 budgets.
+func Policies() []core.Policy {
+	out := make([]core.Policy, NumClasses)
+	out[ClassEnqueue] = core.Policy{
+		Name:               "enqueue",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineEnqueues,
+		MaxBatch:           16,
+	}
+	out[ClassDequeue] = core.Policy{
+		Name:               "dequeue",
+		PubArray:           1,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineDequeues,
+		MaxBatch:           16,
+	}
+	return out
+}
+
+// CombineMixed is the combining function for the FC baseline: enqueues are
+// spliced first, then dequeues are served (so a dequeue in the batch can
+// observe the batch's enqueues, matching the replay order used by the
+// linearizability witness when enqueues rank first).
+func CombineMixed(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	CombineEnqueues(ctx, ops, res, done)
+	CombineDequeues(ctx, ops, res, done)
+	engine.ApplyEach(ctx, ops, res, done) // any foreign op kinds
+}

@@ -1,0 +1,158 @@
+// Package queue implements a sequential FIFO queue — with stacks, the
+// structure flat combining was originally shown to dominate on [Hendler et
+// al., cited as [11]]. Enqueues conflict only with enqueues (the tail) and
+// dequeues only with dequeues (the head), so the HCF configuration gives
+// each end its own publication array with chain-splicing combined variants
+// (EnqueueN / DequeueN), while the two combiners run concurrently with
+// each other.
+package queue
+
+import "hcf/internal/memsim"
+
+// Node layout: word 0 value, word 1 next. Padded to a line.
+const (
+	offVal    = 0
+	offNext   = 1
+	nodeWords = memsim.WordsPerLine
+)
+
+// Queue is a sequential FIFO queue over simulated memory. The head and
+// tail pointers live on separate cache lines so the two ends do not
+// false-share.
+type Queue struct {
+	head memsim.Addr // first node (0 = empty)
+	tail memsim.Addr // last node (0 = empty)
+}
+
+// New builds an empty queue using ctx.
+func New(ctx memsim.Ctx) *Queue {
+	q := &Queue{
+		head: ctx.Alloc(memsim.WordsPerLine),
+		tail: ctx.Alloc(memsim.WordsPerLine),
+	}
+	ctx.Store(q.head, 0)
+	ctx.Store(q.tail, 0)
+	return q
+}
+
+// Enqueue appends value.
+func (q *Queue) Enqueue(ctx memsim.Ctx, value uint64) {
+	n := ctx.Alloc(nodeWords)
+	ctx.Store(n+offVal, value)
+	ctx.Store(n+offNext, 0)
+	tail := memsim.Addr(ctx.Load(q.tail))
+	if tail == 0 {
+		ctx.Store(q.head, uint64(n))
+	} else {
+		ctx.Store(tail+offNext, uint64(n))
+	}
+	ctx.Store(q.tail, uint64(n))
+}
+
+// Dequeue removes and returns the oldest value.
+func (q *Queue) Dequeue(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(q.head))
+	if n == 0 {
+		return 0, false
+	}
+	v := ctx.Load(n + offVal)
+	next := ctx.Load(n + offNext)
+	ctx.Store(q.head, next)
+	if next == 0 {
+		ctx.Store(q.tail, 0)
+	}
+	ctx.Free(n, nodeWords)
+	return v, true
+}
+
+// EnqueueN appends values in order with a single tail-pointer update — the
+// combined enqueue.
+func (q *Queue) EnqueueN(ctx memsim.Ctx, values []uint64) {
+	if len(values) == 0 {
+		return
+	}
+	var first, last memsim.Addr
+	for _, v := range values {
+		n := ctx.Alloc(nodeWords)
+		ctx.Store(n+offVal, v)
+		ctx.Store(n+offNext, 0)
+		if first == 0 {
+			first, last = n, n
+			continue
+		}
+		ctx.Store(last+offNext, uint64(n))
+		last = n
+	}
+	tail := memsim.Addr(ctx.Load(q.tail))
+	if tail == 0 {
+		ctx.Store(q.head, uint64(first))
+	} else {
+		ctx.Store(tail+offNext, uint64(first))
+	}
+	ctx.Store(q.tail, uint64(last))
+}
+
+// DequeueN removes up to n oldest values in one pass, appending them to
+// out — the combined dequeue.
+func (q *Queue) DequeueN(ctx memsim.Ctx, n int, out []uint64) ([]uint64, int) {
+	count := 0
+	node := memsim.Addr(ctx.Load(q.head))
+	for node != 0 && count < n {
+		out = append(out, ctx.Load(node+offVal))
+		next := memsim.Addr(ctx.Load(node + offNext))
+		ctx.Free(node, nodeWords)
+		node = next
+		count++
+	}
+	if count == 0 {
+		return out, 0
+	}
+	ctx.Store(q.head, uint64(node))
+	if node == 0 {
+		ctx.Store(q.tail, 0)
+	}
+	return out, count
+}
+
+// Len returns the number of stored values.
+func (q *Queue) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(q.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Items appends the values oldest-first to dst.
+func (q *Queue) Items(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(q.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offVal))
+	}
+	return dst
+}
+
+// CheckInvariants verifies head/tail consistency. Returns "" when
+// consistent.
+func (q *Queue) CheckInvariants(ctx memsim.Ctx) string {
+	head := memsim.Addr(ctx.Load(q.head))
+	tail := memsim.Addr(ctx.Load(q.tail))
+	if (head == 0) != (tail == 0) {
+		return "head/tail emptiness disagrees"
+	}
+	if head == 0 {
+		return ""
+	}
+	seen := map[memsim.Addr]bool{}
+	last := memsim.Addr(0)
+	for n := head; n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		if seen[n] {
+			return "cycle in queue"
+		}
+		seen[n] = true
+		last = n
+	}
+	if last != tail {
+		return "tail does not point at the last node"
+	}
+	return ""
+}

@@ -1,0 +1,233 @@
+package queue
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvQueue() (*memsim.DetEnv, *Queue) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyQueue(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	if _, ok := q.Dequeue(boot); ok {
+		t.Error("dequeue on empty succeeded")
+	}
+	if q.Len(boot) != 0 {
+		t.Error("empty queue nonzero length")
+	}
+	if msg := q.CheckInvariants(boot); msg != "" {
+		t.Error(msg)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	for v := uint64(1); v <= 5; v++ {
+		q.Enqueue(boot, v)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		v, ok := q.Dequeue(boot)
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(boot); ok {
+		t.Fatal("queue should be empty")
+	}
+	if msg := q.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestDrainRefill(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	for round := 0; round < 5; round++ {
+		for v := uint64(0); v < 10; v++ {
+			q.Enqueue(boot, v)
+		}
+		for v := uint64(0); v < 10; v++ {
+			got, ok := q.Dequeue(boot)
+			if !ok || got != v {
+				t.Fatalf("round %d: Dequeue = (%d,%v), want %d", round, got, ok, v)
+			}
+		}
+		if msg := q.CheckInvariants(boot); msg != "" {
+			t.Fatalf("round %d: %s", round, msg)
+		}
+	}
+}
+
+func TestEnqueueNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	for trial := 0; trial < 30; trial++ {
+		envA, a := newEnvQueue()
+		envB, b := newEnvQueue()
+		bootA, bootB := envA.Boot(), envB.Boot()
+		pre := rng.IntN(4)
+		for i := 0; i < pre; i++ {
+			a.Enqueue(bootA, uint64(i))
+			b.Enqueue(bootB, uint64(i))
+		}
+		vals := make([]uint64, 1+rng.IntN(6))
+		for i := range vals {
+			vals[i] = rng.Uint64N(100)
+		}
+		for _, v := range vals {
+			a.Enqueue(bootA, v)
+		}
+		b.EnqueueN(bootB, vals)
+		ia, ib := a.Items(bootA, nil), b.Items(bootB, nil)
+		if len(ia) != len(ib) {
+			t.Fatalf("trial %d: lengths differ", trial)
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				t.Fatalf("trial %d: %v vs %v", trial, ia, ib)
+			}
+		}
+		if msg := b.CheckInvariants(bootB); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+func TestDequeueNMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 30; trial++ {
+		envA, a := newEnvQueue()
+		envB, b := newEnvQueue()
+		bootA, bootB := envA.Boot(), envB.Boot()
+		n := rng.IntN(12)
+		for i := 0; i < n; i++ {
+			v := rng.Uint64N(100)
+			a.Enqueue(bootA, v)
+			b.Enqueue(bootB, v)
+		}
+		take := rng.IntN(n + 3)
+		var want []uint64
+		for i := 0; i < take; i++ {
+			v, ok := a.Dequeue(bootA)
+			if !ok {
+				break
+			}
+			want = append(want, v)
+		}
+		got, cnt := b.DequeueN(bootB, take, nil)
+		if cnt != len(want) {
+			t.Fatalf("trial %d: DequeueN removed %d, want %d", trial, cnt, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: value %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if a.Len(bootA) != b.Len(bootB) {
+			t.Fatalf("trial %d: lengths diverge", trial)
+		}
+		if msg := b.CheckInvariants(bootB); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+func TestCombineMixedCompletesEverything(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	q.Enqueue(boot, 100)
+	ops := []engine.Op{
+		DequeueOp{Q: q},
+		EnqueueOp{Q: q, Val: 1},
+		DequeueOp{Q: q},
+		EnqueueOp{Q: q, Val: 2},
+	}
+	res := make([]uint64, len(ops))
+	done := make([]bool, len(ops))
+	CombineMixed(boot, ops, res, done)
+	for i, d := range done {
+		if !d {
+			t.Fatalf("op %d undone", i)
+		}
+	}
+	// Enqueues splice first (1,2), then dequeues serve oldest-first:
+	// dequeue[0] gets 100, dequeue[2] gets 1; 2 remains.
+	if v, ok := engine.Unpack(res[0]); !ok || v != 100 {
+		t.Fatalf("first dequeue = (%d,%v)", v, ok)
+	}
+	if v, ok := engine.Unpack(res[2]); !ok || v != 1 {
+		t.Fatalf("second dequeue = (%d,%v)", v, ok)
+	}
+	items := q.Items(boot, nil)
+	if len(items) != 1 || items[0] != 2 {
+		t.Fatalf("queue = %v, want [2]", items)
+	}
+}
+
+func TestConcurrentConservationAllEngines(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			q := New(env.Boot())
+			hcf, err := core.New(env, core.Config{Policies: Policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func() engines.Options { return engines.Options{Combine: CombineMixed} }
+			engs := map[string]engine.Engine{
+				"Lock":   engines.NewLock(env, mk()),
+				"TLE":    engines.NewTLE(env, mk()),
+				"FC":     engines.NewFC(env, mk()),
+				"SCM":    engines.NewSCM(env, mk()),
+				"TLE+FC": engines.NewTLEFC(env, mk()),
+				"HCF":    hcf,
+			}
+			eng := engs[name]
+			in := make([][]uint64, threads)
+			out := make([][]uint64, threads)
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 88))
+				for i := 0; i < perThread; i++ {
+					if rng.IntN(2) == 0 {
+						v := uint64(th.ID()*1000 + i)
+						eng.Execute(th, EnqueueOp{Q: q, Val: v})
+						in[th.ID()] = append(in[th.ID()], v)
+					} else if v, ok := engine.Unpack(eng.Execute(th, DequeueOp{Q: q})); ok {
+						out[th.ID()] = append(out[th.ID()], v)
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := q.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			var ins, outs []uint64
+			for i := 0; i < threads; i++ {
+				ins = append(ins, in[i]...)
+				outs = append(outs, out[i]...)
+			}
+			outs = q.Items(boot, outs)
+			sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+			sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+			if len(ins) != len(outs) {
+				t.Fatalf("enqueued %d, accounted %d", len(ins), len(outs))
+			}
+			for i := range ins {
+				if ins[i] != outs[i] {
+					t.Fatalf("multiset mismatch at %d", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package skiplist
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation classes. Inserts and RemoveMins use separate publication
+// arrays, as sketched for the priority queue in the paper's §2.1: inserts
+// speculate through all phases (they rarely conflict), RemoveMins skip
+// speculation entirely and go straight to combining after announcing.
+const (
+	ClassInsert = iota
+	ClassRemoveMin
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// InsertOp adds a key with a pre-drawn level (so retries reuse it).
+// Result: PackBool(true).
+type InsertOp struct {
+	Q     *Queue
+	Key   uint64
+	Level int
+}
+
+var _ engine.Op = InsertOp{}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	o.Q.Insert(ctx, o.Key, o.Level)
+	return engine.PackBool(true)
+}
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return ClassInsert }
+
+// RemoveMinOp extracts the minimum. Result: Pack(key, nonEmpty).
+type RemoveMinOp struct {
+	Q *Queue
+}
+
+var _ engine.Op = RemoveMinOp{}
+
+// Apply implements engine.Op.
+func (o RemoveMinOp) Apply(ctx memsim.Ctx) uint64 {
+	k, ok := o.Q.RemoveMin(ctx)
+	return engine.Pack(k, ok)
+}
+
+// Class implements engine.Op.
+func (o RemoveMinOp) Class() int { return ClassRemoveMin }
+
+// CombineRemoveMins is the RunMulti for the RemoveMin array: all pending
+// RemoveMins are served by a single RemoveMinN pass; the i-th pending
+// operation receives the i-th smallest extracted key.
+func CombineRemoveMins(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var q *Queue
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		rm, ok := op.(RemoveMinOp)
+		if !ok {
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		q = rm.Q
+		idx = append(idx, i)
+	}
+	if q == nil {
+		return
+	}
+	keys, n := q.RemoveMinN(ctx, len(idx), nil)
+	for j, i := range idx {
+		if j < n {
+			res[i] = engine.Pack(keys[j], true)
+		} else {
+			res[i] = engine.Pack(0, false) // queue drained
+		}
+		done[i] = true
+	}
+}
+
+// Policies returns the priority-queue HCF configuration from §2.1: Insert
+// uses all four phases on array 0; RemoveMin announces on array 1 and goes
+// directly to the combining phases.
+func Policies() []core.Policy {
+	out := make([]core.Policy, NumClasses)
+	out[ClassInsert] = core.Policy{
+		Name:               "insert",
+		PubArray:           0,
+		TryPrivateTrials:   4,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 3,
+		ShouldHelp:         engine.HelpNone,
+	}
+	out[ClassRemoveMin] = core.Policy{
+		Name:               "removemin",
+		PubArray:           1,
+		TryPrivateTrials:   0,
+		TryVisibleTrials:   0,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineRemoveMins,
+		MaxBatch:           16,
+	}
+	return out
+}
+
+// CombineMixed is the combining function for the FC baseline: RemoveMins
+// are batched through RemoveMinN, inserts applied sequentially.
+func CombineMixed(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	CombineRemoveMins(ctx, ops, res, done)
+	engine.ApplyEach(ctx, ops, res, done)
+}

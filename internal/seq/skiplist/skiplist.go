@@ -1,0 +1,230 @@
+// Package skiplist implements a sequential skip-list-based priority queue,
+// the motivating example of the paper's introduction: Insert operations on
+// random priorities rarely conflict and run well speculatively, while
+// RemoveMin operations always conflict with each other (they all remove the
+// head) but combine trivially — one combiner can extract n minima in a
+// single pass (RemoveMinN) and hand them out.
+package skiplist
+
+import (
+	"math/rand/v2"
+
+	"hcf/internal/memsim"
+)
+
+// MaxLevel is the maximum number of skip-list levels.
+const MaxLevel = 12
+
+// Node layout:
+//
+//	word 0: key (priority; duplicates allowed)
+//	word 1: level (1..MaxLevel)
+//	word 2..2+level-1: next pointers
+//
+// Nodes with level <= 6 fit one cache line; taller nodes take two.
+const (
+	offKey   = 0
+	offLevel = 1
+	offNext  = 2
+)
+
+func nodeWords(level int) int {
+	w := offNext + level
+	if w <= memsim.WordsPerLine {
+		return memsim.WordsPerLine
+	}
+	return 2 * memsim.WordsPerLine
+}
+
+// Queue is a sequential skip-list priority queue over simulated memory.
+type Queue struct {
+	head memsim.Addr // MaxLevel head pointers
+}
+
+// New builds an empty queue using ctx.
+func New(ctx memsim.Ctx) *Queue {
+	q := &Queue{head: ctx.Alloc(2 * memsim.WordsPerLine)}
+	for l := 0; l < MaxLevel; l++ {
+		ctx.Store(q.head+memsim.Addr(l), 0)
+	}
+	return q
+}
+
+// RandomLevel draws a geometric(1/2) level in [1, MaxLevel]. Callers draw
+// the level outside the operation so retried speculative attempts reuse it.
+func RandomLevel(rng *rand.Rand) int {
+	level := 1
+	for level < MaxLevel && rng.Uint64()&1 == 0 {
+		level++
+	}
+	return level
+}
+
+// Insert adds key with the given level (1..MaxLevel).
+func (q *Queue) Insert(ctx memsim.Ctx, key uint64, level int) {
+	if level < 1 {
+		level = 1
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	// Standard search: find, per level, the last cell whose successor has a
+	// key >= key.
+	var update [MaxLevel]memsim.Addr // cell to rewrite at each level
+	cur := memsim.Addr(0)            // 0 means "the head"
+	for l := MaxLevel - 1; l >= 0; l-- {
+		cell := q.nextCell(cur, l)
+		for {
+			nxt := memsim.Addr(ctx.Load(cell))
+			if nxt == 0 || ctx.Load(nxt+offKey) >= key {
+				break
+			}
+			cur = nxt
+			cell = q.nextCell(cur, l)
+		}
+		update[l] = cell
+	}
+	n := ctx.Alloc(nodeWords(level))
+	ctx.Store(n+offKey, key)
+	ctx.Store(n+offLevel, uint64(level))
+	for l := 0; l < level; l++ {
+		ctx.Store(n+offNext+memsim.Addr(l), ctx.Load(update[l]))
+		ctx.Store(update[l], uint64(n))
+	}
+}
+
+// nextCell returns the cell holding node's level-l next pointer (or the
+// head's when node is 0).
+func (q *Queue) nextCell(node memsim.Addr, l int) memsim.Addr {
+	if node == 0 {
+		return q.head + memsim.Addr(l)
+	}
+	return node + offNext + memsim.Addr(l)
+}
+
+// Min returns the minimum key without removing it.
+func (q *Queue) Min(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(q.head))
+	if n == 0 {
+		return 0, false
+	}
+	return ctx.Load(n + offKey), true
+}
+
+// RemoveMin removes and returns the minimum key.
+func (q *Queue) RemoveMin(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(q.head))
+	if n == 0 {
+		return 0, false
+	}
+	key := ctx.Load(n + offKey)
+	level := int(ctx.Load(n + offLevel))
+	// The minimum is the first node at every level it participates in.
+	for l := 0; l < level; l++ {
+		ctx.Store(q.head+memsim.Addr(l), ctx.Load(n+offNext+memsim.Addr(l)))
+	}
+	ctx.Free(n, nodeWords(level))
+	return key, true
+}
+
+// RemoveMinN removes up to n minima in one pass, appending them (in
+// ascending order) to out and returning how many were removed. This is the
+// combined operation a RemoveMin combiner uses: one level-0 walk plus one
+// head-pointer update per level, instead of n full removals.
+func (q *Queue) RemoveMinN(ctx memsim.Ctx, n int, out []uint64) ([]uint64, int) {
+	if n <= 0 {
+		return out, 0
+	}
+	type victim struct {
+		addr  memsim.Addr
+		level int
+	}
+	victims := make([]victim, 0, n)
+	removed := make(map[memsim.Addr]struct{}, n)
+	count := 0
+	node := memsim.Addr(ctx.Load(q.head))
+	for node != 0 && count < n {
+		out = append(out, ctx.Load(node+offKey))
+		victims = append(victims, victim{addr: node, level: int(ctx.Load(node + offLevel))})
+		removed[node] = struct{}{}
+		count++
+		node = memsim.Addr(ctx.Load(node + offNext))
+	}
+	if count == 0 {
+		return out, 0
+	}
+	// At each level, skip past removed nodes (they form a prefix of every
+	// level's chain, since they are the globally smallest keys).
+	for l := 0; l < MaxLevel; l++ {
+		cur := memsim.Addr(ctx.Load(q.head + memsim.Addr(l)))
+		for cur != 0 {
+			if _, ok := removed[cur]; !ok {
+				break
+			}
+			cur = memsim.Addr(ctx.Load(cur + offNext + memsim.Addr(l)))
+		}
+		ctx.Store(q.head+memsim.Addr(l), uint64(cur))
+	}
+	for _, v := range victims {
+		ctx.Free(v.addr, nodeWords(v.level))
+	}
+	return out, count
+}
+
+// Len walks level 0 and returns the number of stored keys.
+func (q *Queue) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(q.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Keys appends all keys in ascending order to dst.
+func (q *Queue) Keys(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(q.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offKey))
+	}
+	return dst
+}
+
+// CheckInvariants verifies level-0 ordering and that each level's chain is
+// a subsequence of level 0. Returns a description or "".
+func (q *Queue) CheckInvariants(ctx memsim.Ctx) string {
+	level0 := map[memsim.Addr]int{}
+	pos := 0
+	var prevKey uint64
+	for n := memsim.Addr(ctx.Load(q.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		if _, dup := level0[n]; dup {
+			return "cycle at level 0"
+		}
+		k := ctx.Load(n + offKey)
+		if pos > 0 && k < prevKey {
+			return "level 0 out of order"
+		}
+		lv := ctx.Load(n + offLevel)
+		if lv < 1 || lv > MaxLevel {
+			return "node level out of range"
+		}
+		prevKey = k
+		level0[n] = pos
+		pos++
+	}
+	for l := 1; l < MaxLevel; l++ {
+		last := -1
+		for n := memsim.Addr(ctx.Load(q.head + memsim.Addr(l))); n != 0; n = memsim.Addr(ctx.Load(n + offNext + memsim.Addr(l))) {
+			p, ok := level0[n]
+			if !ok {
+				return "higher-level node missing from level 0"
+			}
+			if p <= last {
+				return "higher level not a subsequence"
+			}
+			if int(ctx.Load(n+offLevel)) <= l {
+				return "node linked above its level"
+			}
+			last = p
+		}
+	}
+	return ""
+}

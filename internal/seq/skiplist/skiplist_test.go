@@ -1,0 +1,247 @@
+package skiplist
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvQueue() (*memsim.DetEnv, *Queue) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyQueue(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	if _, ok := q.Min(boot); ok {
+		t.Error("Min on empty queue succeeded")
+	}
+	if _, ok := q.RemoveMin(boot); ok {
+		t.Error("RemoveMin on empty queue succeeded")
+	}
+	if q.Len(boot) != 0 {
+		t.Error("empty queue has nonzero length")
+	}
+}
+
+func TestInsertRemoveMinOrdering(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(1, 1))
+	keys := []uint64{5, 3, 9, 1, 7, 3, 5, 2}
+	for _, k := range keys {
+		q.Insert(boot, k, RandomLevel(rng))
+	}
+	if msg := q.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	want := append([]uint64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		k, ok := q.RemoveMin(boot)
+		if !ok || k != w {
+			t.Fatalf("RemoveMin #%d = (%d,%v), want %d", i, k, ok, w)
+		}
+	}
+	if _, ok := q.RemoveMin(boot); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestRandomLevelBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	histogram := make([]int, MaxLevel+1)
+	for i := 0; i < 10000; i++ {
+		l := RandomLevel(rng)
+		if l < 1 || l > MaxLevel {
+			t.Fatalf("level %d out of range", l)
+		}
+		histogram[l]++
+	}
+	if histogram[1] < 4000 || histogram[1] > 6000 {
+		t.Errorf("level-1 frequency %d not ~50%%", histogram[1])
+	}
+}
+
+func TestRemoveMinNMatchesRepeatedRemoveMin(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 40; trial++ {
+		envA, a := newEnvQueue()
+		envB, b := newEnvQueue()
+		bootA, bootB := envA.Boot(), envB.Boot()
+		n := rng.IntN(40)
+		for i := 0; i < n; i++ {
+			k := rng.Uint64N(100)
+			l := RandomLevel(rng)
+			a.Insert(bootA, k, l)
+			b.Insert(bootB, k, l)
+		}
+		take := rng.IntN(n + 5)
+		var want []uint64
+		for i := 0; i < take; i++ {
+			k, ok := a.RemoveMin(bootA)
+			if !ok {
+				break
+			}
+			want = append(want, k)
+		}
+		got, cnt := b.RemoveMinN(bootB, take, nil)
+		if cnt != len(want) {
+			t.Fatalf("trial %d: RemoveMinN removed %d, want %d", trial, cnt, len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: key %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+		if msg := b.CheckInvariants(bootB); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+		if a.Len(bootA) != b.Len(bootB) {
+			t.Fatalf("trial %d: lengths diverge", trial)
+		}
+	}
+}
+
+func TestRemoveMinNZeroAndOverdrain(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	if _, n := q.RemoveMinN(boot, 0, nil); n != 0 {
+		t.Fatal("RemoveMinN(0) removed something")
+	}
+	q.Insert(boot, 4, 1)
+	q.Insert(boot, 6, 2)
+	keys, n := q.RemoveMinN(boot, 10, nil)
+	if n != 2 || keys[0] != 4 || keys[1] != 6 {
+		t.Fatalf("overdrain = (%v,%d)", keys, n)
+	}
+	if q.Len(boot) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestTallNodesAcrossLines(t *testing.T) {
+	env, q := newEnvQueue()
+	boot := env.Boot()
+	for k := uint64(0); k < 50; k++ {
+		q.Insert(boot, k, MaxLevel) // two-line nodes
+	}
+	if msg := q.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+	for k := uint64(0); k < 50; k++ {
+		got, ok := q.RemoveMin(boot)
+		if !ok || got != k {
+			t.Fatalf("RemoveMin = (%d,%v), want %d", got, ok, k)
+		}
+	}
+}
+
+func buildPQEngines(t *testing.T, env memsim.Env) (map[string]engine.Engine, *Queue) {
+	t.Helper()
+	q := New(env.Boot())
+	hcf, err := core.New(env, core.Config{Policies: Policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() engines.Options { return engines.Options{Combine: CombineMixed} }
+	return map[string]engine.Engine{
+		"Lock":   engines.NewLock(env, mk()),
+		"TLE":    engines.NewTLE(env, mk()),
+		"FC":     engines.NewFC(env, mk()),
+		"SCM":    engines.NewSCM(env, mk()),
+		"TLE+FC": engines.NewTLEFC(env, mk()),
+		"HCF":    hcf,
+	}, q
+}
+
+// TestConcurrentMultisetConservation checks, for every engine, that the
+// multiset of removed keys plus the remaining queue equals the multiset of
+// inserted keys, and that no RemoveMin returned a key twice.
+func TestConcurrentMultisetConservation(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			engs, q := buildPQEngines(t, env)
+			eng := engs[name]
+			inserted := make([][]uint64, threads)
+			removedKeys := make([][]uint64, threads)
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 17))
+				for i := 0; i < perThread; i++ {
+					if rng.IntN(2) == 0 {
+						k := rng.Uint64N(1000)
+						eng.Execute(th, InsertOp{Q: q, Key: k, Level: RandomLevel(rng)})
+						inserted[th.ID()] = append(inserted[th.ID()], k)
+					} else {
+						r := eng.Execute(th, RemoveMinOp{Q: q})
+						if k, ok := engine.Unpack(r); ok {
+							removedKeys[th.ID()] = append(removedKeys[th.ID()], k)
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := q.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			var ins, outs []uint64
+			for i := 0; i < threads; i++ {
+				ins = append(ins, inserted[i]...)
+				outs = append(outs, removedKeys[i]...)
+			}
+			outs = q.Keys(boot, outs)
+			sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+			sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+			if len(ins) != len(outs) {
+				t.Fatalf("inserted %d keys, accounted for %d", len(ins), len(outs))
+			}
+			for i := range ins {
+				if ins[i] != outs[i] {
+					t.Fatalf("multiset mismatch at %d: %d vs %d", i, ins[i], outs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHCFRemoveMinsCombine verifies RemoveMins complete in the combining
+// phases (their policy skips speculation) and are actually batched.
+func TestHCFRemoveMinsCombine(t *testing.T) {
+	const threads = 12
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	q := New(env.Boot())
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 4000; i++ {
+		q.Insert(boot, rng.Uint64N(10000), RandomLevel(rng))
+	}
+	hcf, err := core.New(env, core.Config{Policies: Policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < 30; i++ {
+			hcf.Execute(th, RemoveMinOp{Q: q})
+		}
+	})
+	bd := hcf.PhaseBreakdown()
+	rm := bd[ClassRemoveMin]
+	if rm[core.PhaseTryPrivate] != 0 || rm[core.PhaseTryVisible] != 0 {
+		t.Fatalf("RemoveMin completed in speculative phases: %v", rm)
+	}
+	m := hcf.Metrics()
+	if m.CombiningDegree() <= 1.0 {
+		t.Fatalf("combining degree %.2f, want > 1", m.CombiningDegree())
+	}
+	if msg := q.CheckInvariants(boot); msg != "" {
+		t.Fatal(msg)
+	}
+}

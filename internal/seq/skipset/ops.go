@@ -1,0 +1,186 @@
+package skipset
+
+import (
+	"sort"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation kinds.
+const (
+	kindContains = iota
+	kindInsert
+	kindRemove
+)
+
+// Op is the common interface of skip-set operations.
+type Op interface {
+	engine.Op
+	Key() uint64
+	Set() *Set
+	kind() int
+}
+
+// ContainsOp tests membership. Result: PackBool(present).
+type ContainsOp struct {
+	S *Set
+	K uint64
+}
+
+// InsertOp adds a key with a pre-drawn level. Result: PackBool(was absent).
+type InsertOp struct {
+	S     *Set
+	K     uint64
+	Level int
+}
+
+// RemoveOp deletes a key. Result: PackBool(was present).
+type RemoveOp struct {
+	S *Set
+	K uint64
+}
+
+var (
+	_ Op = ContainsOp{}
+	_ Op = InsertOp{}
+	_ Op = RemoveOp{}
+)
+
+// Apply implements engine.Op.
+func (o ContainsOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.S.Contains(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.S.Insert(ctx, o.K, o.Level))
+}
+
+// Apply implements engine.Op.
+func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.S.Remove(ctx, o.K))
+}
+
+// Class implements engine.Op (one class: every op uses the same policy).
+func (o ContainsOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o RemoveOp) Class() int { return 0 }
+
+// Key implements Op.
+func (o ContainsOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o InsertOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o RemoveOp) Key() uint64 { return o.K }
+
+// Set implements Op.
+func (o ContainsOp) Set() *Set { return o.S }
+
+// Set implements Op.
+func (o InsertOp) Set() *Set { return o.S }
+
+// Set implements Op.
+func (o RemoveOp) Set() *Set { return o.S }
+
+func (o ContainsOp) kind() int { return kindContains }
+func (o InsertOp) kind() int   { return kindInsert }
+func (o RemoveOp) kind() int   { return kindRemove }
+
+// CombineOps sorts selected operations by key and type, eliminates
+// same-key groups under set semantics, and applies at most one physical
+// update per key — the same runMulti discipline as the AVL set (§3.4).
+func CombineOps(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	type item struct {
+		key   uint64
+		kind  int
+		level int
+		idx   int
+	}
+	items := make([]item, 0, len(ops))
+	var set *Set
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		so, ok := op.(Op)
+		if !ok {
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		set = so.Set()
+		it := item{key: so.Key(), kind: so.kind(), idx: i}
+		if ins, ok := op.(InsertOp); ok {
+			it.level = ins.Level
+		}
+		items = append(items, it)
+	}
+	if set == nil {
+		return
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].key != items[b].key {
+			return items[a].key < items[b].key
+		}
+		if items[a].kind != items[b].kind {
+			return items[a].kind < items[b].kind
+		}
+		return items[a].idx < items[b].idx
+	})
+	for g := 0; g < len(items); {
+		h := g
+		for h < len(items) && items[h].key == items[g].key {
+			h++
+		}
+		key := items[g].key
+		initial := set.Contains(ctx, key)
+		cur := initial
+		level := 1
+		for _, it := range items[g:h] {
+			switch it.kind {
+			case kindContains:
+				res[it.idx] = engine.PackBool(cur)
+			case kindInsert:
+				res[it.idx] = engine.PackBool(!cur)
+				if !cur {
+					level = it.level // the winning insert's level
+				}
+				cur = true
+			case kindRemove:
+				res[it.idx] = engine.PackBool(cur)
+				cur = false
+			}
+			done[it.idx] = true
+		}
+		switch {
+		case cur && !initial:
+			set.Insert(ctx, key, level)
+		case !cur && initial:
+			set.Remove(ctx, key)
+		}
+		g = h
+	}
+}
+
+// Policies returns the skip-set HCF configuration: one publication array,
+// the standard 2/3/5 budget split, and sort/combine/eliminate application.
+func Policies() []core.Policy {
+	return []core.Policy{{
+		Name:               "setop",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineOps,
+		MaxBatch:           8,
+	}}
+}

@@ -1,0 +1,223 @@
+// Package skipset implements a sequential skip-list-based ordered set.
+// §3.1 of the paper names skip lists (with hash tables and search trees)
+// as structures where HCF's parallelism-preserving combining should beat
+// FC: operations on random keys rarely conflict and run speculatively,
+// while skewed workloads create hot regions whose operations combine.
+//
+// The combining function mirrors the AVL set's (§3.4): selected operations
+// are sorted by key, operations on the same key are combined and
+// eliminated under set semantics, and at most one physical update per key
+// is applied.
+package skipset
+
+import (
+	"math/rand/v2"
+
+	"hcf/internal/memsim"
+)
+
+// MaxLevel is the maximum number of levels.
+const MaxLevel = 12
+
+// Node layout:
+//
+//	word 0: key
+//	word 1: level
+//	word 2..: next pointers (one per level)
+const (
+	offKey   = 0
+	offLevel = 1
+	offNext  = 2
+)
+
+func nodeWords(level int) int {
+	w := offNext + level
+	if w <= memsim.WordsPerLine {
+		return memsim.WordsPerLine
+	}
+	return 2 * memsim.WordsPerLine
+}
+
+// Set is a sequential ordered set of uint64 keys over simulated memory.
+type Set struct {
+	head memsim.Addr // MaxLevel head pointers
+}
+
+// New builds an empty set using ctx.
+func New(ctx memsim.Ctx) *Set {
+	s := &Set{head: ctx.Alloc(2 * memsim.WordsPerLine)}
+	for l := 0; l < MaxLevel; l++ {
+		ctx.Store(s.head+memsim.Addr(l), 0)
+	}
+	return s
+}
+
+// RandomLevel draws a geometric(1/2) level in [1, MaxLevel].
+func RandomLevel(rng *rand.Rand) int {
+	level := 1
+	for level < MaxLevel && rng.Uint64()&1 == 0 {
+		level++
+	}
+	return level
+}
+
+func (s *Set) nextCell(node memsim.Addr, l int) memsim.Addr {
+	if node == 0 {
+		return s.head + memsim.Addr(l)
+	}
+	return node + offNext + memsim.Addr(l)
+}
+
+// findPredecessors fills update with, per level, the cell whose successor
+// is the first node with key >= key, and returns that node (0 if none).
+func (s *Set) findPredecessors(ctx memsim.Ctx, key uint64, update *[MaxLevel]memsim.Addr) memsim.Addr {
+	cur := memsim.Addr(0)
+	for l := MaxLevel - 1; l >= 0; l-- {
+		cell := s.nextCell(cur, l)
+		for {
+			nxt := memsim.Addr(ctx.Load(cell))
+			if nxt == 0 || ctx.Load(nxt+offKey) >= key {
+				break
+			}
+			cur = nxt
+			cell = s.nextCell(cur, l)
+		}
+		update[l] = cell
+	}
+	return memsim.Addr(ctx.Load(update[0]))
+}
+
+// Contains reports whether key is in the set.
+func (s *Set) Contains(ctx memsim.Ctx, key uint64) bool {
+	cur := memsim.Addr(0)
+	for l := MaxLevel - 1; l >= 0; l-- {
+		for {
+			nxt := memsim.Addr(ctx.Load(s.nextCell(cur, l)))
+			if nxt == 0 {
+				break
+			}
+			k := ctx.Load(nxt + offKey)
+			if k == key {
+				return true
+			}
+			if k > key {
+				break
+			}
+			cur = nxt
+		}
+	}
+	return false
+}
+
+// Insert adds key with a pre-drawn level, returning true if it was absent.
+func (s *Set) Insert(ctx memsim.Ctx, key uint64, level int) bool {
+	if level < 1 {
+		level = 1
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	var update [MaxLevel]memsim.Addr
+	at := s.findPredecessors(ctx, key, &update)
+	if at != 0 && ctx.Load(at+offKey) == key {
+		return false
+	}
+	n := ctx.Alloc(nodeWords(level))
+	ctx.Store(n+offKey, key)
+	ctx.Store(n+offLevel, uint64(level))
+	for l := 0; l < level; l++ {
+		ctx.Store(n+offNext+memsim.Addr(l), ctx.Load(update[l]))
+		ctx.Store(update[l], uint64(n))
+	}
+	return true
+}
+
+// Remove deletes key, returning true if it was present.
+func (s *Set) Remove(ctx memsim.Ctx, key uint64) bool {
+	var update [MaxLevel]memsim.Addr
+	at := s.findPredecessors(ctx, key, &update)
+	if at == 0 || ctx.Load(at+offKey) != key {
+		return false
+	}
+	level := int(ctx.Load(at + offLevel))
+	for l := 0; l < level; l++ {
+		if memsim.Addr(ctx.Load(update[l])) == at {
+			ctx.Store(update[l], ctx.Load(at+offNext+memsim.Addr(l)))
+		}
+	}
+	ctx.Free(at, nodeWords(level))
+	return true
+}
+
+// Len returns the number of keys (level-0 walk).
+func (s *Set) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(s.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Keys appends all keys in ascending order to dst.
+func (s *Set) Keys(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(s.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offKey))
+	}
+	return dst
+}
+
+// RangeCount returns how many keys fall in [lo, hi] — an example of a
+// read-mostly operation that profits from running speculatively alongside
+// combined updates.
+func (s *Set) RangeCount(ctx memsim.Ctx, lo, hi uint64) int {
+	var update [MaxLevel]memsim.Addr
+	n := s.findPredecessors(ctx, lo, &update)
+	count := 0
+	for n != 0 {
+		k := ctx.Load(n + offKey)
+		if k > hi {
+			break
+		}
+		count++
+		n = memsim.Addr(ctx.Load(n + offNext))
+	}
+	return count
+}
+
+// CheckInvariants verifies ordering, key uniqueness and level-subsequence
+// structure. Returns a description or "".
+func (s *Set) CheckInvariants(ctx memsim.Ctx) string {
+	level0 := map[memsim.Addr]int{}
+	pos := 0
+	var prevKey uint64
+	for n := memsim.Addr(ctx.Load(s.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		if _, dup := level0[n]; dup {
+			return "cycle at level 0"
+		}
+		k := ctx.Load(n + offKey)
+		if pos > 0 && k <= prevKey {
+			return "level 0 not strictly ascending"
+		}
+		lv := ctx.Load(n + offLevel)
+		if lv < 1 || lv > MaxLevel {
+			return "node level out of range"
+		}
+		prevKey = k
+		level0[n] = pos
+		pos++
+	}
+	for l := 1; l < MaxLevel; l++ {
+		last := -1
+		for n := memsim.Addr(ctx.Load(s.head + memsim.Addr(l))); n != 0; n = memsim.Addr(ctx.Load(n + offNext + memsim.Addr(l))) {
+			p, ok := level0[n]
+			if !ok {
+				return "higher-level node missing from level 0"
+			}
+			if p <= last {
+				return "higher level not a subsequence"
+			}
+			last = p
+		}
+	}
+	return ""
+}

@@ -1,0 +1,208 @@
+package skipset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvSet() (*memsim.DetEnv, *Set) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptySet(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	if s.Contains(boot, 1) {
+		t.Error("empty set contains 1")
+	}
+	if s.Remove(boot, 1) {
+		t.Error("removed from empty set")
+	}
+	if s.Len(boot) != 0 {
+		t.Error("empty set nonzero length")
+	}
+}
+
+func TestInsertContainsRemove(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(1, 1))
+	if !s.Insert(boot, 42, RandomLevel(rng)) {
+		t.Fatal("fresh insert failed")
+	}
+	if s.Insert(boot, 42, RandomLevel(rng)) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !s.Contains(boot, 42) {
+		t.Fatal("inserted key missing")
+	}
+	if !s.Remove(boot, 42) {
+		t.Fatal("remove failed")
+	}
+	if s.Contains(boot, 42) || s.Remove(boot, 42) {
+		t.Fatal("key still present after removal")
+	}
+}
+
+func TestQuickRandomOpsMatchModel(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(2, 2))
+	model := map[uint64]bool{}
+	f := func(key uint8, action uint8) bool {
+		k := uint64(key % 100)
+		switch action % 3 {
+		case 0:
+			want := !model[k]
+			model[k] = true
+			if s.Insert(boot, k, RandomLevel(rng)) != want {
+				return false
+			}
+		case 1:
+			if s.Contains(boot, k) != model[k] {
+				return false
+			}
+		case 2:
+			want := model[k]
+			delete(model, k)
+			if s.Remove(boot, k) != want {
+				return false
+			}
+		}
+		return s.CheckInvariants(boot) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeysAscending(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, k := range []uint64{9, 3, 7, 1, 5} {
+		s.Insert(boot, k, RandomLevel(rng))
+	}
+	keys := s.Keys(boot, nil)
+	want := []uint64{1, 3, 5, 7, 9}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v", keys)
+		}
+	}
+}
+
+func TestRangeCount(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	rng := rand.New(rand.NewPCG(4, 4))
+	for k := uint64(0); k < 100; k += 2 { // evens 0..98
+		s.Insert(boot, k, RandomLevel(rng))
+	}
+	if got := s.RangeCount(boot, 10, 20); got != 6 {
+		t.Fatalf("RangeCount(10,20) = %d, want 6", got)
+	}
+	if got := s.RangeCount(boot, 1, 1); got != 0 {
+		t.Fatalf("RangeCount(1,1) = %d, want 0", got)
+	}
+	if got := s.RangeCount(boot, 0, 98); got != 50 {
+		t.Fatalf("full range = %d, want 50", got)
+	}
+}
+
+func TestCombineOpsEliminationSemantics(t *testing.T) {
+	env, s := newEnvSet()
+	boot := env.Boot()
+	ops := []engine.Op{
+		InsertOp{S: s, K: 5, Level: 2},
+		InsertOp{S: s, K: 5, Level: 3},
+		RemoveOp{S: s, K: 5},
+		ContainsOp{S: s, K: 5},
+	}
+	res := make([]uint64, len(ops))
+	done := make([]bool, len(ops))
+	CombineOps(boot, ops, res, done)
+	for i, d := range done {
+		if !d {
+			t.Fatalf("op %d undone", i)
+		}
+	}
+	// Sorted order per key: contains, insert, insert, remove.
+	if engine.UnpackBool(res[3]) {
+		t.Error("contains (sorted first) should miss")
+	}
+	if !engine.UnpackBool(res[0]) || engine.UnpackBool(res[1]) {
+		t.Error("exactly the first insert should win")
+	}
+	if !engine.UnpackBool(res[2]) {
+		t.Error("remove should succeed")
+	}
+	if s.Contains(boot, 5) {
+		t.Error("key should not be physically present")
+	}
+	if s.Len(boot) != 0 {
+		t.Error("eliminated group touched the set")
+	}
+}
+
+func TestConcurrentConformanceAllEngines(t *testing.T) {
+	const threads, perThread = 8, 50
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			s := New(env.Boot())
+			hcf, err := core.New(env, core.Config{Policies: Policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func() engines.Options { return engines.Options{Combine: CombineOps} }
+			engs := map[string]engine.Engine{
+				"Lock":   engines.NewLock(env, mk()),
+				"TLE":    engines.NewTLE(env, mk()),
+				"FC":     engines.NewFC(env, mk()),
+				"SCM":    engines.NewSCM(env, mk()),
+				"TLE+FC": engines.NewTLEFC(env, mk()),
+				"HCF":    hcf,
+			}
+			eng := engs[name]
+			var inserted, removed [threads]int
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 77))
+				for i := 0; i < perThread; i++ {
+					key := rng.Uint64N(64)
+					switch rng.IntN(3) {
+					case 0:
+						if engine.UnpackBool(eng.Execute(th, InsertOp{S: s, K: key, Level: RandomLevel(rng)})) {
+							inserted[th.ID()]++
+						}
+					case 1:
+						eng.Execute(th, ContainsOp{S: s, K: key})
+					default:
+						if engine.UnpackBool(eng.Execute(th, RemoveOp{S: s, K: key})) {
+							removed[th.ID()]++
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			if msg := s.CheckInvariants(boot); msg != "" {
+				t.Fatal(msg)
+			}
+			ins, rem := 0, 0
+			for i := 0; i < threads; i++ {
+				ins += inserted[i]
+				rem += removed[i]
+			}
+			if got := s.Len(boot); got != ins-rem {
+				t.Fatalf("size = %d, want %d", got, ins-rem)
+			}
+		})
+	}
+}

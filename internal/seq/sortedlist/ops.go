@@ -1,0 +1,185 @@
+package sortedlist
+
+import (
+	"sort"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// Operation kinds.
+const (
+	kindContains = iota
+	kindInsert
+	kindRemove
+)
+
+// Op is the common interface of sorted-list operations.
+type Op interface {
+	engine.Op
+	Key() uint64
+	List() *List
+	kind() int
+}
+
+// ContainsOp tests membership. Result: PackBool(present).
+type ContainsOp struct {
+	L *List
+	K uint64
+}
+
+// InsertOp adds a key. Result: PackBool(was absent).
+type InsertOp struct {
+	L *List
+	K uint64
+}
+
+// RemoveOp deletes a key. Result: PackBool(was present).
+type RemoveOp struct {
+	L *List
+	K uint64
+}
+
+var (
+	_ Op = ContainsOp{}
+	_ Op = InsertOp{}
+	_ Op = RemoveOp{}
+)
+
+// Apply implements engine.Op.
+func (o ContainsOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.L.Contains(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o InsertOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.L.Insert(ctx, o.K))
+}
+
+// Apply implements engine.Op.
+func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
+	return engine.PackBool(o.L.Remove(ctx, o.K))
+}
+
+// Class implements engine.Op (a single class).
+func (o ContainsOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o InsertOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o RemoveOp) Class() int { return 0 }
+
+// Key implements Op.
+func (o ContainsOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o InsertOp) Key() uint64 { return o.K }
+
+// Key implements Op.
+func (o RemoveOp) Key() uint64 { return o.K }
+
+// List implements Op.
+func (o ContainsOp) List() *List { return o.L }
+
+// List implements Op.
+func (o InsertOp) List() *List { return o.L }
+
+// List implements Op.
+func (o RemoveOp) List() *List { return o.L }
+
+func (o ContainsOp) kind() int { return kindContains }
+func (o InsertOp) kind() int   { return kindInsert }
+func (o RemoveOp) kind() int   { return kindRemove }
+
+// CombineOps applies a whole batch in a single merge pass: operations are
+// sorted by key, same-key groups are combined and eliminated under set
+// semantics, and the list is walked exactly once — k operations for one
+// O(length) traversal instead of k traversals.
+func CombineOps(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	type item struct {
+		key  uint64
+		kind int
+		idx  int
+	}
+	items := make([]item, 0, len(ops))
+	var list *List
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		lo, ok := op.(Op)
+		if !ok {
+			res[i] = op.Apply(ctx)
+			done[i] = true
+			continue
+		}
+		list = lo.List()
+		items = append(items, item{key: lo.Key(), kind: lo.kind(), idx: i})
+	}
+	if list == nil {
+		return
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].key != items[b].key {
+			return items[a].key < items[b].key
+		}
+		if items[a].kind != items[b].kind {
+			return items[a].kind < items[b].kind
+		}
+		return items[a].idx < items[b].idx
+	})
+	cell := list.head
+	for g := 0; g < len(items); {
+		h := g
+		for h < len(items) && items[h].key == items[g].key {
+			h++
+		}
+		key := items[g].key
+		var node memsim.Addr
+		cell, node = list.locate(ctx, cell, key)
+		initial := node != 0 && ctx.Load(node+offKey) == key
+		cur := initial
+		for _, it := range items[g:h] {
+			switch it.kind {
+			case kindContains:
+				res[it.idx] = engine.PackBool(cur)
+			case kindInsert:
+				res[it.idx] = engine.PackBool(!cur)
+				cur = true
+			case kindRemove:
+				res[it.idx] = engine.PackBool(cur)
+				cur = false
+			}
+			done[it.idx] = true
+		}
+		switch {
+		case cur && !initial:
+			n := ctx.Alloc(nodeWords)
+			ctx.Store(n+offKey, key)
+			ctx.Store(n+offNext, uint64(node))
+			ctx.Store(cell, uint64(n))
+			cell = n + offNext // continue the walk after the new node
+		case !cur && initial:
+			ctx.Store(cell, ctx.Load(node+offNext))
+			ctx.Free(node, nodeWords)
+		}
+		g = h
+	}
+}
+
+// Policies returns the sorted-list HCF configuration: long scans make
+// speculation fragile, so the budgets lean toward combining.
+func Policies() []core.Policy {
+	return []core.Policy{{
+		Name:               "listop",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 6,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           CombineOps,
+		MaxBatch:           16,
+	}}
+}

@@ -1,0 +1,111 @@
+// Package sortedlist implements a sequential sorted singly-linked-list set.
+// Its operations are O(n) scans with large read footprints, which makes it
+// the opposite regime from the hash table: speculation suffers capacity and
+// conflict aborts on long walks, while a combiner amortizes beautifully —
+// a batch of k operations sorted by key applies in a single merge pass over
+// the list instead of k walks. Related work on combining for linked lists
+// ([8] in the paper) targets exactly this structure.
+package sortedlist
+
+import "hcf/internal/memsim"
+
+// Node layout: word 0 key, word 1 next. Padded to a line.
+const (
+	offKey    = 0
+	offNext   = 1
+	nodeWords = memsim.WordsPerLine
+)
+
+// List is a sequential sorted set of uint64 keys over simulated memory.
+type List struct {
+	head memsim.Addr // head pointer cell
+}
+
+// New builds an empty list using ctx.
+func New(ctx memsim.Ctx) *List {
+	l := &List{head: ctx.Alloc(memsim.WordsPerLine)}
+	ctx.Store(l.head, 0)
+	return l
+}
+
+// locate returns the cell whose successor is the first node with
+// key >= k, plus that node (0 if none), starting from a given position —
+// the primitive both single operations and the merge pass use.
+func (l *List) locate(ctx memsim.Ctx, fromCell memsim.Addr, k uint64) (cell, node memsim.Addr) {
+	cell = fromCell
+	for {
+		node = memsim.Addr(ctx.Load(cell))
+		if node == 0 || ctx.Load(node+offKey) >= k {
+			return cell, node
+		}
+		cell = node + offNext
+	}
+}
+
+// Contains reports whether key is in the set.
+func (l *List) Contains(ctx memsim.Ctx, key uint64) bool {
+	_, node := l.locate(ctx, l.head, key)
+	return node != 0 && ctx.Load(node+offKey) == key
+}
+
+// Insert adds key, returning true if it was absent.
+func (l *List) Insert(ctx memsim.Ctx, key uint64) bool {
+	cell, node := l.locate(ctx, l.head, key)
+	if node != 0 && ctx.Load(node+offKey) == key {
+		return false
+	}
+	n := ctx.Alloc(nodeWords)
+	ctx.Store(n+offKey, key)
+	ctx.Store(n+offNext, uint64(node))
+	ctx.Store(cell, uint64(n))
+	return true
+}
+
+// Remove deletes key, returning true if it was present.
+func (l *List) Remove(ctx memsim.Ctx, key uint64) bool {
+	cell, node := l.locate(ctx, l.head, key)
+	if node == 0 || ctx.Load(node+offKey) != key {
+		return false
+	}
+	ctx.Store(cell, ctx.Load(node+offNext))
+	ctx.Free(node, nodeWords)
+	return true
+}
+
+// Len returns the number of keys.
+func (l *List) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(l.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Keys appends all keys in ascending order to dst.
+func (l *List) Keys(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(l.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offKey))
+	}
+	return dst
+}
+
+// CheckInvariants verifies strict ascending order. Returns "" when
+// consistent.
+func (l *List) CheckInvariants(ctx memsim.Ctx) string {
+	seen := map[memsim.Addr]bool{}
+	first := true
+	var prev uint64
+	for n := memsim.Addr(ctx.Load(l.head)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		if seen[n] {
+			return "cycle in list"
+		}
+		seen[n] = true
+		k := ctx.Load(n + offKey)
+		if !first && k <= prev {
+			return "list not strictly ascending"
+		}
+		first = false
+		prev = k
+	}
+	return ""
+}

@@ -1,0 +1,106 @@
+package stack
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// PushOp pushes a value. Result: PackBool(true).
+type PushOp struct {
+	S   *Stack
+	Val uint64
+}
+
+// PopOp pops a value. Result: Pack(value, nonEmpty).
+type PopOp struct {
+	S *Stack
+}
+
+var (
+	_ engine.Op = PushOp{}
+	_ engine.Op = PopOp{}
+)
+
+// Apply implements engine.Op.
+func (o PushOp) Apply(ctx memsim.Ctx) uint64 {
+	o.S.Push(ctx, o.Val)
+	return engine.PackBool(true)
+}
+
+// Apply implements engine.Op.
+func (o PopOp) Apply(ctx memsim.Ctx) uint64 {
+	v, ok := o.S.Pop(ctx)
+	return engine.Pack(v, ok)
+}
+
+// Class implements engine.Op.
+func (o PushOp) Class() int { return 0 }
+
+// Class implements engine.Op.
+func (o PopOp) Class() int { return 0 }
+
+// Combine eliminates concurrent push/pop pairs (the pop takes the pushed
+// value without touching the stack), applies surplus pops, and splices
+// surplus pushes with one PushN.
+func Combine(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+	var s *Stack
+	type push struct {
+		idx int
+		val uint64
+	}
+	var pending []push
+	for i, op := range ops {
+		if done[i] {
+			continue
+		}
+		switch o := op.(type) {
+		case PushOp:
+			s = o.S
+			pending = append(pending, push{i, o.Val})
+		case PopOp:
+			s = o.S
+			if n := len(pending); n > 0 {
+				p := pending[n-1]
+				pending = pending[:n-1]
+				res[p.idx] = engine.PackBool(true)
+				done[p.idx] = true
+				res[i] = engine.Pack(p.val, true)
+				done[i] = true
+				continue
+			}
+			v, ok := s.Pop(ctx)
+			res[i] = engine.Pack(v, ok)
+			done[i] = true
+		default:
+			res[i] = op.Apply(ctx)
+			done[i] = true
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	vals := make([]uint64, len(pending))
+	for j, p := range pending {
+		vals[j] = p.val
+		res[p.idx] = engine.PackBool(true)
+		done[p.idx] = true
+	}
+	s.PushN(ctx, vals)
+}
+
+// Policies returns an HCF configuration for the stack: one publication
+// array, full phase budgets, elimination-aware combining. The paper expects
+// this NOT to beat plain FC — the stack has no exploitable parallelism.
+func Policies() []core.Policy {
+	return []core.Policy{{
+		Name:               "stackop",
+		PubArray:           0,
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   3,
+		TryCombiningTrials: 5,
+		ShouldHelp:         engine.HelpAll,
+		RunMulti:           Combine,
+		MaxBatch:           16,
+	}}
+}

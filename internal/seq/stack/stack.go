@@ -1,0 +1,84 @@
+// Package stack implements a sequential linked stack. The paper's §3.1
+// qualitative analysis predicts HCF should NOT win here: every operation
+// conflicts on the top-of-stack pointer, so there is no parallelism for HTM
+// to exploit and flat combining with elimination is the right tool. The
+// stack is included to reproduce that negative result honestly.
+package stack
+
+import "hcf/internal/memsim"
+
+// Node layout: word 0 value, word 1 next. Padded to a line.
+const (
+	offVal    = 0
+	offNext   = 1
+	nodeWords = memsim.WordsPerLine
+)
+
+// Stack is a sequential linked stack over simulated memory.
+type Stack struct {
+	top memsim.Addr // top pointer cell
+}
+
+// New builds an empty stack using ctx.
+func New(ctx memsim.Ctx) *Stack {
+	s := &Stack{top: ctx.Alloc(memsim.WordsPerLine)}
+	ctx.Store(s.top, 0)
+	return s
+}
+
+// Push adds value on top.
+func (s *Stack) Push(ctx memsim.Ctx, value uint64) {
+	n := ctx.Alloc(nodeWords)
+	ctx.Store(n+offVal, value)
+	ctx.Store(n+offNext, ctx.Load(s.top))
+	ctx.Store(s.top, uint64(n))
+}
+
+// Pop removes and returns the top value.
+func (s *Stack) Pop(ctx memsim.Ctx) (uint64, bool) {
+	n := memsim.Addr(ctx.Load(s.top))
+	if n == 0 {
+		return 0, false
+	}
+	v := ctx.Load(n + offVal)
+	ctx.Store(s.top, ctx.Load(n+offNext))
+	ctx.Free(n, nodeWords)
+	return v, true
+}
+
+// PushN pushes values in order with a single top-pointer update.
+func (s *Stack) PushN(ctx memsim.Ctx, values []uint64) {
+	if len(values) == 0 {
+		return
+	}
+	var head, tail memsim.Addr
+	for _, v := range values {
+		n := ctx.Alloc(nodeWords)
+		ctx.Store(n+offVal, v)
+		if head == 0 {
+			head, tail = n, n
+			continue
+		}
+		ctx.Store(n+offNext, uint64(head))
+		head = n
+	}
+	ctx.Store(tail+offNext, ctx.Load(s.top))
+	ctx.Store(s.top, uint64(head))
+}
+
+// Len returns the number of stored values.
+func (s *Stack) Len(ctx memsim.Ctx) int {
+	count := 0
+	for n := memsim.Addr(ctx.Load(s.top)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		count++
+	}
+	return count
+}
+
+// Items appends the values top-to-bottom to dst.
+func (s *Stack) Items(ctx memsim.Ctx, dst []uint64) []uint64 {
+	for n := memsim.Addr(ctx.Load(s.top)); n != 0; n = memsim.Addr(ctx.Load(n + offNext)) {
+		dst = append(dst, ctx.Load(n+offVal))
+	}
+	return dst
+}

@@ -1,0 +1,174 @@
+package stack
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/engines"
+	"hcf/internal/memsim"
+)
+
+func newEnvStack() (*memsim.DetEnv, *Stack) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	return env, New(env.Boot())
+}
+
+func TestEmptyStack(t *testing.T) {
+	env, s := newEnvStack()
+	boot := env.Boot()
+	if _, ok := s.Pop(boot); ok {
+		t.Error("Pop on empty succeeded")
+	}
+	if s.Len(boot) != 0 {
+		t.Error("empty stack nonzero length")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	env, s := newEnvStack()
+	boot := env.Boot()
+	for v := uint64(1); v <= 5; v++ {
+		s.Push(boot, v)
+	}
+	for want := uint64(5); want >= 1; want-- {
+		v, ok := s.Pop(boot)
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+func TestRandomOpsAgainstModel(t *testing.T) {
+	env, s := newEnvStack()
+	boot := env.Boot()
+	var model []uint64
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 3000; i++ {
+		if rng.IntN(2) == 0 {
+			v := rng.Uint64N(1 << 30)
+			s.Push(boot, v)
+			model = append(model, v)
+		} else {
+			got, ok := s.Pop(boot)
+			if ok != (len(model) > 0) {
+				t.Fatalf("step %d: ok=%v model=%d", i, ok, len(model))
+			}
+			if ok {
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if got != want {
+					t.Fatalf("step %d: Pop=%d want %d", i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPushNMatchesSequential(t *testing.T) {
+	envA, a := newEnvStack()
+	envB, b := newEnvStack()
+	bootA, bootB := envA.Boot(), envB.Boot()
+	vals := []uint64{3, 1, 4, 1, 5}
+	a.Push(bootA, 9)
+	b.Push(bootB, 9)
+	for _, v := range vals {
+		a.Push(bootA, v)
+	}
+	b.PushN(bootB, vals)
+	ia := a.Items(bootA, nil)
+	ib := b.Items(bootB, nil)
+	if len(ia) != len(ib) {
+		t.Fatalf("lengths differ: %v vs %v", ia, ib)
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("contents differ: %v vs %v", ia, ib)
+		}
+	}
+}
+
+func TestCombineElimination(t *testing.T) {
+	env, s := newEnvStack()
+	boot := env.Boot()
+	s.Push(boot, 100)
+	ops := []engine.Op{
+		PushOp{S: s, Val: 1},
+		PopOp{S: s},
+		PopOp{S: s},
+		PushOp{S: s, Val: 2},
+	}
+	res := make([]uint64, 4)
+	done := make([]bool, 4)
+	Combine(boot, ops, res, done)
+	// Pop[1] eliminates with Push(1); Pop[2] pops 100; Push(2) lands.
+	if v, ok := engine.Unpack(res[1]); !ok || v != 1 {
+		t.Fatalf("eliminated pop = (%d,%v)", v, ok)
+	}
+	if v, ok := engine.Unpack(res[2]); !ok || v != 100 {
+		t.Fatalf("physical pop = (%d,%v)", v, ok)
+	}
+	items := s.Items(boot, nil)
+	if len(items) != 1 || items[0] != 2 {
+		t.Fatalf("stack = %v, want [2]", items)
+	}
+}
+
+func TestConcurrentConservationAllEngines(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			s := New(env.Boot())
+			hcf, err := core.New(env, core.Config{Policies: Policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func() engines.Options { return engines.Options{Combine: Combine} }
+			engs := map[string]engine.Engine{
+				"Lock":   engines.NewLock(env, mk()),
+				"TLE":    engines.NewTLE(env, mk()),
+				"FC":     engines.NewFC(env, mk()),
+				"SCM":    engines.NewSCM(env, mk()),
+				"TLE+FC": engines.NewTLEFC(env, mk()),
+				"HCF":    hcf,
+			}
+			eng := engs[name]
+			pushed := make([][]uint64, threads)
+			popped := make([][]uint64, threads)
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 31))
+				for i := 0; i < perThread; i++ {
+					if rng.IntN(2) == 0 {
+						v := uint64(th.ID()*1000 + i)
+						eng.Execute(th, PushOp{S: s, Val: v})
+						pushed[th.ID()] = append(pushed[th.ID()], v)
+					} else {
+						if x, ok := engine.Unpack(eng.Execute(th, PopOp{S: s})); ok {
+							popped[th.ID()] = append(popped[th.ID()], x)
+						}
+					}
+				}
+			})
+			boot := env.Boot()
+			var in, out []uint64
+			for i := 0; i < threads; i++ {
+				in = append(in, pushed[i]...)
+				out = append(out, popped[i]...)
+			}
+			out = s.Items(boot, out)
+			sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			if len(in) != len(out) {
+				t.Fatalf("pushed %d, accounted %d", len(in), len(out))
+			}
+			for i := range in {
+				if in[i] != out[i] {
+					t.Fatalf("multiset mismatch at %d", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Package trace collects and summarizes HCF lifecycle events — the
+// performance-debugging companion to the framework: where speculation
+// fails and why, how large combiner selections get, how often operations
+// get helped vs self-completed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hcf/internal/core"
+	"hcf/internal/htm"
+)
+
+// Collector records framework events. Safe for concurrent use; install it
+// with Framework.SetTracer. Use Limit to bound memory on long runs.
+type Collector struct {
+	mu sync.Mutex
+	// Limit bounds the number of retained events (0 = unlimited). Summary
+	// counters keep aggregating past the limit.
+	Limit int
+
+	events []core.TraceEvent
+
+	attempts [core.NumPhases][htm.NumReasons]uint64
+	dones    [core.NumPhases]uint64
+	helped   [core.NumPhases]uint64
+	selects  []int
+	starts   uint64
+	locks    uint64
+}
+
+var _ core.Tracer = (*Collector)(nil)
+
+// Trace implements core.Tracer.
+func (c *Collector) Trace(ev core.TraceEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Limit == 0 || len(c.events) < c.Limit {
+		c.events = append(c.events, ev)
+	}
+	switch ev.Kind {
+	case core.TraceStart:
+		c.starts++
+	case core.TraceAttempt:
+		c.attempts[ev.Phase][ev.Reason]++
+	case core.TraceSelect:
+		c.selects = append(c.selects, ev.N)
+	case core.TraceLock:
+		c.locks++
+	case core.TraceDone:
+		c.dones[ev.Phase]++
+	case core.TraceHelped:
+		c.helped[ev.Phase]++
+	}
+}
+
+// Events returns the retained event stream.
+func (c *Collector) Events() []core.TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.TraceEvent, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Starts returns the number of operations that entered Execute.
+func (c *Collector) Starts() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.starts
+}
+
+// Summary renders an aggregate report.
+func (c *Collector) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "operations started: %d\n", c.starts)
+
+	fmt.Fprintf(&b, "speculative attempts by phase and outcome:\n")
+	for p := core.Phase(0); p < core.NumPhases; p++ {
+		var total uint64
+		for _, n := range c.attempts[p] {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s total %-8d", p, total)
+		fmt.Fprintf(&b, "commit %d", c.attempts[p][htm.ReasonNone])
+		for r := htm.ReasonConflict; r < htm.NumReasons; r++ {
+			if n := c.attempts[p][r]; n > 0 {
+				fmt.Fprintf(&b, ", %s %d", r, n)
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "completions by phase (self / helped):\n")
+	for p := core.Phase(0); p < core.NumPhases; p++ {
+		if c.dones[p] == 0 && c.helped[p] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %d / %d\n", p, c.dones[p]-c.helped[p], c.helped[p])
+	}
+
+	if len(c.selects) > 0 {
+		sorted := make([]int, len(c.selects))
+		copy(sorted, c.selects)
+		sort.Ints(sorted)
+		var sum int
+		for _, n := range sorted {
+			sum += n
+		}
+		fmt.Fprintf(&b, "combiner selections: %d (sizes min %d, median %d, max %d, mean %.1f)\n",
+			len(sorted), sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1],
+			float64(sum)/float64(len(sorted)))
+	}
+	fmt.Fprintf(&b, "lock acquisitions by combiners: %d\n", c.locks)
+	return b.String()
+}
+
+// FormatTimeline renders the first n retained events as a per-line log.
+func (c *Collector) FormatTimeline(n int) string {
+	events := c.Events()
+	if n > 0 && len(events) > n {
+		events = events[:n]
+	}
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "t%-3d @%-10d %-9s", ev.Thread, ev.Now, ev.Kind)
+		switch ev.Kind {
+		case core.TraceStart, core.TraceAnnounce:
+			fmt.Fprintf(&b, " class=%d", ev.Class)
+		case core.TraceAttempt:
+			if ev.Reason == htm.ReasonNone {
+				fmt.Fprintf(&b, " %s commit", ev.Phase)
+			} else {
+				fmt.Fprintf(&b, " %s abort(%s)", ev.Phase, ev.Reason)
+			}
+		case core.TraceSelect:
+			fmt.Fprintf(&b, " n=%d", ev.N)
+		case core.TraceDone, core.TraceHelped:
+			fmt.Fprintf(&b, " in %s", ev.Phase)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+type incOp struct{ addr memsim.Addr }
+
+func (o incOp) Apply(ctx memsim.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o incOp) Class() int { return 0 }
+
+func tracedRun(t *testing.T, threads, perThread int, limit int) (*Collector, uint64) {
+	t.Helper()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	fw, err := core.New(env, core.Config{Policies: []core.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 4,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &Collector{Limit: limit}
+	fw.SetTracer(col)
+	counter := env.Alloc(1)
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < perThread; i++ {
+			fw.Execute(th, incOp{addr: counter})
+		}
+	})
+	return col, env.Boot().Load(counter)
+}
+
+func TestCollectorCountsStartsAndDones(t *testing.T) {
+	const threads, perThread = 8, 25
+	col, final := tracedRun(t, threads, perThread, 0)
+	if final != threads*perThread {
+		t.Fatalf("counter = %d", final)
+	}
+	if col.Starts() != threads*perThread {
+		t.Fatalf("starts = %d, want %d", col.Starts(), threads*perThread)
+	}
+	var dones uint64
+	for _, ev := range col.Events() {
+		if ev.Kind == core.TraceDone {
+			dones++
+		}
+	}
+	if dones != threads*perThread {
+		t.Fatalf("done events = %d, want %d", dones, threads*perThread)
+	}
+}
+
+func TestEventStreamStructure(t *testing.T) {
+	col, _ := tracedRun(t, 4, 20, 0)
+	// Per thread: every op's first event is start, last is done; attempts
+	// and announces sit in between.
+	perThread := map[int][]core.TraceEvent{}
+	for _, ev := range col.Events() {
+		perThread[ev.Thread] = append(perThread[ev.Thread], ev)
+	}
+	for tid, evs := range perThread {
+		depth := 0
+		for i, ev := range evs {
+			switch ev.Kind {
+			case core.TraceStart:
+				if depth != 0 {
+					t.Fatalf("thread %d event %d: nested start", tid, i)
+				}
+				depth = 1
+			case core.TraceDone:
+				if depth != 1 {
+					t.Fatalf("thread %d event %d: done without start", tid, i)
+				}
+				depth = 0
+			case core.TraceAttempt, core.TraceAnnounce, core.TraceSelect,
+				core.TraceLock, core.TraceHelped:
+				if depth != 1 {
+					t.Fatalf("thread %d event %d: %s outside an operation", tid, i, ev.Kind)
+				}
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("thread %d ended mid-operation", tid)
+		}
+	}
+}
+
+func TestLimitBoundsRetentionNotCounters(t *testing.T) {
+	col, _ := tracedRun(t, 6, 30, 10)
+	if len(col.Events()) != 10 {
+		t.Fatalf("retained %d events, want 10", len(col.Events()))
+	}
+	if col.Starts() != 180 {
+		t.Fatalf("starts = %d, want 180 (aggregation must continue)", col.Starts())
+	}
+}
+
+func TestSummaryAndTimelineRender(t *testing.T) {
+	col, _ := tracedRun(t, 8, 25, 0)
+	sum := col.Summary()
+	for _, want := range []string{"operations started: 200", "TryPrivate", "completions by phase"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	tl := col.FormatTimeline(5)
+	if lines := strings.Count(tl, "\n"); lines != 5 {
+		t.Fatalf("timeline has %d lines, want 5:\n%s", lines, tl)
+	}
+	if !strings.HasPrefix(tl, "t") {
+		t.Fatalf("timeline format: %q", tl)
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	want := map[core.TraceKind]string{
+		core.TraceStart:    "start",
+		core.TraceAttempt:  "attempt",
+		core.TraceAnnounce: "announce",
+		core.TraceSelect:   "select",
+		core.TraceLock:     "lock",
+		core.TraceDone:     "done",
+		core.TraceHelped:   "helped",
+		core.TraceKind(0):  "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestAttemptOutcomesRecorded(t *testing.T) {
+	col, _ := tracedRun(t, 12, 30, 0)
+	commits := uint64(0)
+	aborts := uint64(0)
+	for _, ev := range col.Events() {
+		if ev.Kind == core.TraceAttempt {
+			if ev.Reason == htm.ReasonNone {
+				commits++
+			} else {
+				aborts++
+			}
+		}
+	}
+	if commits == 0 {
+		t.Fatal("no committed attempts recorded")
+	}
+	if aborts == 0 {
+		t.Fatal("no aborted attempts recorded under contention")
+	}
+}

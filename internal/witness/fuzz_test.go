@@ -1,0 +1,77 @@
+package witness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"hcf/internal/memsim"
+	"hcf/internal/seq/hashtable"
+)
+
+// TestScheduleFuzzHashTable explores many distinct interleavings by
+// perturbing the cost model with seeded jitter, and requires a valid
+// linearization witness from every engine under every schedule. Each
+// failing seed is exactly reproducible.
+func TestScheduleFuzzHashTable(t *testing.T) {
+	const threads, perThread = 6, 40
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, name := range []string{"TLE", "FC", "TLE+FC", "HCF"} {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, name), func(t *testing.T) {
+				cost := memsim.DefaultCostParams()
+				cost.JitterPct = 40
+				env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cost, Seed: seed})
+				tbl := hashtable.New(env.Boot(), 32)
+				rec := &Recorder{}
+				eng := witnessedEngines(t, env, hashtable.Policies(), hashtable.CombineMixed, rec)[name]
+				env.Run(func(th *memsim.Thread) {
+					rng := rand.New(rand.NewPCG(uint64(th.ID()), seed))
+					for i := 0; i < perThread; i++ {
+						key := rng.Uint64N(48)
+						switch rng.IntN(3) {
+						case 0:
+							eng.Execute(th, hashtable.InsertOp{T: tbl, Key: key, Val: key + seed})
+						case 1:
+							eng.Execute(th, hashtable.FindOp{T: tbl, Key: key})
+						default:
+							eng.Execute(th, hashtable.RemoveOp{T: tbl, Key: key})
+						}
+					}
+				})
+				if err := Check(rec, &mapModel{m: map[uint64]uint64{}}, threads*perThread, insertsLast); err != nil {
+					t.Fatal(err)
+				}
+				if msg := tbl.CheckInvariants(env.Boot()); msg != "" {
+					t.Fatal(msg)
+				}
+			})
+		}
+	}
+}
+
+// TestScheduleFuzzCounter does the same with the counter workload across
+// all six engines (cheaper, so more seeds).
+func TestScheduleFuzzCounter(t *testing.T) {
+	const threads, perThread = 5, 30
+	pols := counterPolicies()
+	for seed := uint64(0); seed < 10; seed++ {
+		for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, name), func(t *testing.T) {
+				cost := memsim.DefaultCostParams()
+				cost.JitterPct = 50
+				env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cost, Seed: seed})
+				rec := &Recorder{}
+				eng := witnessedEngines(t, env, pols, combineIncs, rec)[name]
+				counter := env.Alloc(1)
+				env.Run(func(th *memsim.Thread) {
+					for i := 0; i < perThread; i++ {
+						eng.Execute(th, incOp{addr: counter})
+					}
+				})
+				if err := Check(rec, &counterModel{}, threads*perThread, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

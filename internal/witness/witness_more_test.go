@@ -1,0 +1,170 @@
+package witness
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/seq/btree"
+	"hcf/internal/seq/queue"
+	"hcf/internal/seq/skipset"
+)
+
+// fifoModel replays queue operations.
+type fifoModel struct{ vals []uint64 }
+
+func (m *fifoModel) Apply(op engine.Op) uint64 {
+	switch o := op.(type) {
+	case queue.EnqueueOp:
+		m.vals = append(m.vals, o.Val)
+		return engine.PackBool(true)
+	case queue.DequeueOp:
+		if len(m.vals) == 0 {
+			return engine.Pack(0, false)
+		}
+		v := m.vals[0]
+		m.vals = m.vals[1:]
+		return engine.Pack(v, true)
+	}
+	return 0
+}
+
+// setModel replays skip-set operations.
+type setModel struct{ m map[uint64]bool }
+
+func (sm *setModel) Apply(op engine.Op) uint64 {
+	switch o := op.(type) {
+	case skipset.ContainsOp:
+		return engine.PackBool(sm.m[o.K])
+	case skipset.InsertOp:
+		had := sm.m[o.K]
+		sm.m[o.K] = true
+		return engine.PackBool(!had)
+	case skipset.RemoveOp:
+		had := sm.m[o.K]
+		delete(sm.m, o.K)
+		return engine.PackBool(had)
+	}
+	return 0
+}
+
+// dequeuesLast mirrors queue.CombineMixed: enqueues splice first, dequeues
+// serve afterwards.
+func dequeuesLast(op engine.Op) int {
+	if _, ok := op.(queue.DequeueOp); ok {
+		return 1
+	}
+	return 0
+}
+
+func TestQueueLinearizableAllEngines(t *testing.T) {
+	const threads, perThread = 8, 40
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			q := queue.New(env.Boot())
+			rec := &Recorder{}
+			eng := witnessedEngines(t, env, queue.Policies(), queue.CombineMixed, rec)[name]
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 8))
+				for i := 0; i < perThread; i++ {
+					if rng.IntN(2) == 0 {
+						eng.Execute(th, queue.EnqueueOp{Q: q, Val: rng.Uint64() >> 1})
+					} else {
+						eng.Execute(th, queue.DequeueOp{Q: q})
+					}
+				}
+			})
+			if err := Check(rec, &fifoModel{}, threads*perThread, dequeuesLast); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The skip-set's CombineOps sorts its batch by key, so intra-batch replay
+// order is not the announcement order: only the engines that never batch
+// (Lock, TLE, SCM) are witness-checkable; the batching engines are covered
+// by the skipset package's conservation tests.
+func TestSkipSetLinearizableNonBatchingEngines(t *testing.T) {
+	const threads, perThread = 8, 50
+	for _, name := range []string{"Lock", "TLE", "SCM"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			s := skipset.New(env.Boot())
+			rec := &Recorder{}
+			eng := witnessedEngines(t, env, skipset.Policies(), skipset.CombineOps, rec)[name]
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 9))
+				for i := 0; i < perThread; i++ {
+					k := rng.Uint64N(64)
+					switch rng.IntN(3) {
+					case 0:
+						eng.Execute(th, skipset.InsertOp{S: s, K: k, Level: skipset.RandomLevel(rng)})
+					case 1:
+						eng.Execute(th, skipset.ContainsOp{S: s, K: k})
+					default:
+						eng.Execute(th, skipset.RemoveOp{S: s, K: k})
+					}
+				}
+			})
+			if err := Check(rec, &setModel{m: map[uint64]bool{}}, threads*perThread, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// btreeModel replays B-tree set operations.
+type btreeModel struct{ m map[uint64]bool }
+
+func (bm *btreeModel) Apply(op engine.Op) uint64 {
+	switch o := op.(type) {
+	case btree.ContainsOp:
+		return engine.PackBool(bm.m[o.K])
+	case btree.InsertOp:
+		had := bm.m[o.K]
+		bm.m[o.K] = true
+		return engine.PackBool(!had)
+	case btree.RemoveOp:
+		had := bm.m[o.K]
+		delete(bm.m, o.K)
+		return engine.PackBool(had)
+	}
+	return 0
+}
+
+// The B-tree's CombineOps sorts batches by key, so only non-batching
+// engines are witness-checkable (same situation as the skip set).
+func TestBTreeLinearizableNonBatchingEngines(t *testing.T) {
+	const threads, perThread = 8, 50
+	for _, name := range []string{"Lock", "TLE", "SCM"} {
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+			tr := btree.New(env.Boot())
+			rec := &Recorder{}
+			eng := witnessedEngines(t, env, btree.Policies(), btree.CombineOps, rec)[name]
+			env.Run(func(th *memsim.Thread) {
+				rng := rand.New(rand.NewPCG(uint64(th.ID()), 10))
+				for i := 0; i < perThread; i++ {
+					k := rng.Uint64N(96)
+					switch rng.IntN(3) {
+					case 0:
+						eng.Execute(th, btree.InsertOp{T: tr, K: k})
+					case 1:
+						eng.Execute(th, btree.ContainsOp{T: tr, K: k})
+					default:
+						eng.Execute(th, btree.RemoveOp{T: tr, K: k})
+					}
+				}
+			})
+			if err := Check(rec, &btreeModel{m: map[uint64]bool{}}, threads*perThread, nil); err != nil {
+				t.Fatal(err)
+			}
+			if msg := tr.CheckInvariants(env.Boot()); msg != "" {
+				t.Fatal(msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,135 @@
+// Package workload provides the key and operation-mix generators used by
+// the paper's experiments: uniform keys for the hash table (§3.3), a
+// Zipfian distribution with parameter theta in [0,1) for the skewed AVL
+// workloads (§3.4, using the standard Gray et al. generator YCSB also
+// uses), and weighted operation mixes.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// KeyGen draws keys from some distribution.
+type KeyGen interface {
+	// Next draws a key using r.
+	Next(r *rand.Rand) uint64
+	// Range returns the exclusive upper bound of generated keys.
+	Range() uint64
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct {
+	N uint64
+}
+
+var _ KeyGen = Uniform{}
+
+// Next implements KeyGen.
+func (u Uniform) Next(r *rand.Rand) uint64 { return r.Uint64N(u.N) }
+
+// Range implements KeyGen.
+func (u Uniform) Range() uint64 { return u.N }
+
+// Zipf draws keys from [0, n) with a Zipfian distribution of skew theta in
+// [0, 1): higher theta gives the lower part of the key range higher
+// probability (the paper's Figure 5 uses theta = 0.9).
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // (1 + 0.5^theta) threshold precomputed
+}
+
+var _ KeyGen = (*Zipf)(nil)
+
+// NewZipf builds a generator over [0, n) with skew theta in [0, 1).
+func NewZipf(n uint64, theta float64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipf needs a nonempty range")
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta %v outside [0,1)", theta)
+	}
+	z := &Zipf{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.half = 1 + math.Pow(0.5, theta)
+	return z, nil
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyGen (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD 1994).
+func (z *Zipf) Next(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Range implements KeyGen.
+func (z *Zipf) Range() uint64 { return z.n }
+
+// Mix picks an operation kind from weighted percentages.
+type Mix struct {
+	cum []int
+}
+
+// NewMix builds a mix from percentage weights (they must sum to 100).
+func NewMix(weights ...int) (*Mix, error) {
+	total := 0
+	cum := make([]int, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("workload: negative weight %d", w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total != 100 {
+		return nil, fmt.Errorf("workload: weights sum to %d, want 100", total)
+	}
+	return &Mix{cum: cum}, nil
+}
+
+// Pick draws an operation kind index.
+func (m *Mix) Pick(r *rand.Rand) int {
+	x := int(r.Uint64N(100))
+	for i, c := range m.cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(m.cum) - 1
+}
+
+// UpdateMix is the paper's standard mix shape: findPct% Finds with the
+// remainder split evenly between Inserts and Removes (kind indices: 0 find,
+// 1 insert, 2 remove).
+func UpdateMix(findPct int) (*Mix, error) {
+	if findPct < 0 || findPct > 100 {
+		return nil, fmt.Errorf("workload: find percentage %d outside [0,100]", findPct)
+	}
+	rest := 100 - findPct
+	ins := rest / 2
+	return NewMix(findPct, ins, rest-ins)
+}

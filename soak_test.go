@@ -1,0 +1,94 @@
+package hcf_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"hcf"
+	"hcf/internal/harness"
+	"hcf/internal/memsim"
+	"hcf/verify"
+)
+
+// TestSoakEveryFigureScenario drives every registered experiment scenario
+// under every engine for a short burst and validates invariants — the
+// whole-repository integration smoke. Skipped under -short.
+func TestSoakEveryFigureScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in short mode")
+	}
+	for _, fig := range harness.Figures() {
+		for _, name := range fig.Engines {
+			r, err := harness.RunPoint(fig.Scenario, name, 5, harness.Config{
+				Horizon: 12_000,
+				Seed:    99,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fig.ID, name, err)
+			}
+			if r.Ops == 0 {
+				t.Fatalf("%s/%s: no ops", fig.ID, name)
+			}
+			if r.InvariantViolation != "" {
+				t.Fatalf("%s/%s: %s", fig.ID, name, r.InvariantViolation)
+			}
+		}
+	}
+}
+
+// TestSoakWitnessedHCFUnderJitter runs a longer witnessed HCF burst across
+// several fuzzed schedules through the public API. Skipped under -short.
+func TestSoakWitnessedHCFUnderJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in short mode")
+	}
+	const threads, perThread = 9, 120
+	for seed := uint64(100); seed < 104; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cost := memsim.DefaultCostParams()
+			cost.JitterPct = 35
+			env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cost, Seed: seed})
+			fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+				TryPrivateTrials:   2,
+				TryVisibleTrials:   2,
+				TryCombiningTrials: 4,
+			}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &verify.Recorder{}
+			fw.SetWitness(rec.Func())
+			counter := env.Alloc(1)
+			env.Run(func(th *hcf.Thread) {
+				rng := rand.New(rand.NewPCG(seed, uint64(th.ID())))
+				for i := 0; i < perThread; i++ {
+					fw.Execute(th, soakIncOp{addr: counter})
+					if rng.IntN(16) == 0 {
+						th.Yield()
+					}
+				}
+			})
+			if err := verify.Check(rec, &soakCounterModel{}, threads*perThread, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+type soakIncOp struct{ addr hcf.Addr }
+
+func (o soakIncOp) Apply(ctx hcf.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o soakIncOp) Class() int { return 0 }
+
+type soakCounterModel struct{ v uint64 }
+
+func (m *soakCounterModel) Apply(op hcf.Op) uint64 {
+	m.v++
+	return m.v - 1
+}

@@ -1,0 +1,20 @@
+// Package tracing exposes the HCF lifecycle-trace collector for users of
+// the hcf module: install a Collector on a framework to see where each
+// operation went — per-phase speculative attempt outcomes with abort
+// reasons, combiner selection sizes, self vs helped completions, and lock
+// acquisitions.
+//
+//	col := &tracing.Collector{Limit: 100_000}
+//	fw.SetTracer(col)
+//	env.Run(...)
+//	fmt.Print(col.Summary())
+//
+// See cmd/hcftrace for a ready-made command built on this package.
+package tracing
+
+import "hcf/internal/trace"
+
+// Collector records and summarizes framework lifecycle events. Install
+// with (*hcf.Framework).SetTracer. Safe for concurrent use; set Limit to
+// bound retained events (aggregate counters keep counting past it).
+type Collector = trace.Collector

@@ -1,0 +1,57 @@
+package tracing_test
+
+import (
+	"strings"
+	"testing"
+
+	"hcf"
+	"hcf/tracing"
+)
+
+type incOp struct{ addr hcf.Addr }
+
+func (o incOp) Apply(ctx hcf.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o incOp) Class() int { return 0 }
+
+func TestPublicCollectorFlow(t *testing.T) {
+	env := hcf.NewDetEnv(6)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 3,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &tracing.Collector{Limit: 500}
+	fw.SetTracer(col)
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 30; i++ {
+			fw.Execute(th, incOp{addr: counter})
+		}
+	})
+	if col.Starts() != 180 {
+		t.Fatalf("starts = %d, want 180", col.Starts())
+	}
+	sum := col.Summary()
+	if !strings.Contains(sum, "operations started: 180") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+	if tl := col.FormatTimeline(3); strings.Count(tl, "\n") != 3 {
+		t.Fatalf("timeline:\n%s", tl)
+	}
+	// Detaching the tracer must not break execution.
+	fw.SetTracer(nil)
+	env.Run(func(th *hcf.Thread) {
+		fw.Execute(th, incOp{addr: counter})
+	})
+	if got := env.Boot().Load(counter); got != 186 {
+		t.Fatalf("counter = %d", got)
+	}
+}

@@ -1,0 +1,216 @@
+package verify_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"hcf"
+	"hcf/internal/seq/queue"
+	"hcf/tracing"
+	"hcf/verify"
+)
+
+// pushOp / popOp: a tiny user-defined stack over simulated memory, written
+// exactly the way a downstream user would write one.
+type pushOp struct {
+	top hcf.Addr
+	val uint64
+}
+
+func (o pushOp) Apply(ctx hcf.Ctx) uint64 {
+	n := ctx.Alloc(hcf.WordsPerLine)
+	ctx.Store(n, o.val)
+	ctx.Store(n+1, ctx.Load(o.top))
+	ctx.Store(o.top, uint64(n))
+	return hcf.PackBool(true)
+}
+
+func (o pushOp) Class() int { return 0 }
+
+type popOp struct {
+	top hcf.Addr
+}
+
+func (o popOp) Apply(ctx hcf.Ctx) uint64 {
+	n := hcf.Addr(ctx.Load(o.top))
+	if n == 0 {
+		return hcf.Pack(0, false)
+	}
+	v := ctx.Load(n)
+	ctx.Store(o.top, ctx.Load(n+1))
+	ctx.Free(n, hcf.WordsPerLine)
+	return hcf.Pack(v, true)
+}
+
+func (o popOp) Class() int { return 0 }
+
+// stackModel is the user's sequential reference implementation.
+type stackModel struct{ vals []uint64 }
+
+func (m *stackModel) Apply(op hcf.Op) uint64 {
+	switch o := op.(type) {
+	case pushOp:
+		m.vals = append(m.vals, o.val)
+		return hcf.PackBool(true)
+	case popOp:
+		if len(m.vals) == 0 {
+			return hcf.Pack(0, false)
+		}
+		v := m.vals[len(m.vals)-1]
+		m.vals = m.vals[:len(m.vals)-1]
+		return hcf.Pack(v, true)
+	}
+	return 0
+}
+
+func TestPublicVerifyAndTracingFlow(t *testing.T) {
+	const threads, perThread = 8, 40
+	env := hcf.NewDetEnv(threads)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 4,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &verify.Recorder{}
+	fw.SetWitness(rec.Func())
+	col := &tracing.Collector{}
+	fw.SetTracer(col)
+
+	top := env.Alloc(hcf.WordsPerLine)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < perThread; i++ {
+			if (th.ID()+i)%2 == 0 {
+				fw.Execute(th, pushOp{top: top, val: uint64(th.ID()*1000 + i)})
+			} else {
+				fw.Execute(th, popOp{top: top})
+			}
+		}
+	})
+	if err := verify.Check(rec, &stackModel{}, threads*perThread, nil); err != nil {
+		t.Fatal(err)
+	}
+	if col.Starts() != threads*perThread {
+		t.Fatalf("tracing saw %d starts, want %d", col.Starts(), threads*perThread)
+	}
+	if col.Summary() == "" {
+		t.Fatal("empty trace summary")
+	}
+}
+
+func TestVerifyCatchesBrokenModel(t *testing.T) {
+	env := hcf.NewDetEnv(2)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{TryPrivateTrials: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &verify.Recorder{}
+	fw.SetWitness(rec.Func())
+	top := env.Alloc(hcf.WordsPerLine)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 10; i++ {
+			fw.Execute(th, pushOp{top: top, val: 1})
+		}
+	})
+	// A model whose pushes "fail" must diverge immediately.
+	broken := modelFunc(func(op hcf.Op) uint64 { return hcf.PackBool(false) })
+	if err := verify.Check(rec, broken, 20, nil); err == nil {
+		t.Fatal("broken model not detected")
+	}
+}
+
+type modelFunc func(op hcf.Op) uint64
+
+func (f modelFunc) Apply(op hcf.Op) uint64 { return f(op) }
+
+func TestCheckCombinerValidatesQueueCombiner(t *testing.T) {
+	err := verify.CheckCombiner(queue.CombineMixed, 40, 7,
+		func(ctx hcf.Ctx, r *rand.Rand) verify.CombinerTrial {
+			q := queue.New(ctx)
+			m := &fifoModel{}
+			for i := 0; i < r.IntN(6); i++ {
+				v := r.Uint64N(100)
+				q.Enqueue(ctx, v)
+				m.vals = append(m.vals, v)
+			}
+			n := 1 + r.IntN(8)
+			batch := make([]hcf.Op, n)
+			for i := range batch {
+				if r.IntN(2) == 0 {
+					batch[i] = queue.EnqueueOp{Q: q, Val: r.Uint64N(100)}
+				} else {
+					batch[i] = queue.DequeueOp{Q: q}
+				}
+			}
+			return verify.CombinerTrial{
+				Batch: batch,
+				Model: m,
+				Rank: func(op hcf.Op) int {
+					if _, ok := op.(queue.DequeueOp); ok {
+						return 1 // dequeues apply after the enqueue splice
+					}
+					return 0
+				},
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCombinerDetectsBrokenCombiner(t *testing.T) {
+	// A "combiner" that marks everything done with wrong results.
+	broken := func(ctx hcf.Ctx, ops []hcf.Op, res []uint64, done []bool) {
+		for i := range ops {
+			res[i] = 0xDEAD
+			done[i] = true
+		}
+	}
+	err := verify.CheckCombiner(broken, 3, 1,
+		func(ctx hcf.Ctx, r *rand.Rand) verify.CombinerTrial {
+			q := queue.New(ctx)
+			return verify.CombinerTrial{
+				Batch: []hcf.Op{queue.EnqueueOp{Q: q, Val: 1}},
+				Model: &fifoModel{},
+			}
+		})
+	if err == nil {
+		t.Fatal("broken combiner accepted")
+	}
+}
+
+func TestCheckCombinerDetectsNoProgress(t *testing.T) {
+	stuck := func(ctx hcf.Ctx, ops []hcf.Op, res []uint64, done []bool) {}
+	err := verify.CheckCombiner(stuck, 1, 1,
+		func(ctx hcf.Ctx, r *rand.Rand) verify.CombinerTrial {
+			q := queue.New(ctx)
+			return verify.CombinerTrial{
+				Batch: []hcf.Op{queue.EnqueueOp{Q: q, Val: 1}},
+				Model: &fifoModel{},
+			}
+		})
+	if err == nil {
+		t.Fatal("stuck combiner accepted")
+	}
+}
+
+// fifoModel is the user-side sequential queue model.
+type fifoModel struct{ vals []uint64 }
+
+func (m *fifoModel) Apply(op hcf.Op) uint64 {
+	switch o := op.(type) {
+	case queue.EnqueueOp:
+		m.vals = append(m.vals, o.Val)
+		return hcf.PackBool(true)
+	case queue.DequeueOp:
+		if len(m.vals) == 0 {
+			return hcf.Pack(0, false)
+		}
+		v := m.vals[0]
+		m.vals = m.vals[1:]
+		return hcf.Pack(v, true)
+	}
+	return 0
+}
