@@ -7,6 +7,7 @@
 //	hcfbench -fig 2c               # reproduce one figure
 //	hcfbench -fig all              # reproduce everything
 //	hcfbench -fig 5a -csv          # emit CSV for external plotting
+//	hcfbench -fig 5a -json         # emit JSON Lines (one record per cell)
 //	hcfbench -fig 2a -threads 1,8,36 -horizon 500000 -seed 7
 package main
 
@@ -39,11 +40,15 @@ func run(args []string) error {
 		horizon  = fs.Int64("horizon", 200_000, "virtual cycles per measurement")
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		jsonFlg  = fs.Bool("json", false, "emit JSON Lines (one record per scenario/engine/threads cell) instead of tables")
 		threads  = fs.String("threads", "", "comma-separated thread counts (override)")
 		engs     = fs.String("engines", "", "comma-separated engine names (override)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonFlg && *realFlg {
+		return fmt.Errorf("-json is not supported with -real")
 	}
 	if *list {
 		for _, f := range harness.Figures() {
@@ -65,9 +70,16 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			if *csv {
+			switch {
+			case *jsonFlg:
+				out, err := harness.FormatJSONL(results)
+				if err != nil {
+					return err
+				}
+				fmt.Print(out)
+			case *csv:
 				fmt.Print(harness.FormatCSV(results))
-			} else {
+			default:
 				fmt.Print(harness.FormatThroughputTable(results))
 			}
 		}
@@ -122,9 +134,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if *csv {
+		switch {
+		case *jsonFlg:
+			out, err := harness.FormatJSONL(results)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		case *csv:
 			fmt.Print(harness.FormatCSV(results))
-		} else {
+		default:
 			fmt.Println(harness.FormatFigure(figs[i], results))
 		}
 	}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("1, 8,36")
@@ -41,5 +47,48 @@ func TestRunTinyFigure(t *testing.T) {
 		"-engines", "Lock,HCF", "-csv"})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunJSONL checks -json emits one parseable record per
+// (scenario, engine, threads) cell.
+func TestRunJSONL(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-fig", "stack", "-threads", "2,3", "-horizon", "5000",
+		"-engines", "Lock,HCF", "-json"})
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 4 { // 2 thread counts x 2 engines
+		t.Fatalf("got %d JSONL records, want 4:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("record does not parse: %v\n%s", err, line)
+		}
+		for _, key := range []string{"scenario", "engine", "threads", "ops", "throughput"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("record missing %q: %s", key, line)
+			}
+		}
+	}
+}
+
+func TestJSONRejectedWithReal(t *testing.T) {
+	if err := run([]string{"-fig", "stack", "-real", "-json"}); err == nil {
+		t.Error("-json with -real accepted")
 	}
 }

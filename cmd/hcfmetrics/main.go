@@ -1,0 +1,110 @@
+// Command hcfmetrics runs one (scenario, engine, threads) configuration
+// with the metrics subsystem enabled and prints the time-resolved picture
+// the aggregate counters of hcfstat cannot show: a per-interval series of
+// throughput, abort taxonomy and combining degree, plus latency percentile
+// tables (p50/p90/p99/max) per operation class and completion path.
+//
+// Usage:
+//
+//	hcfmetrics -scenario hashtable -engine HCF -threads 18 -interval 10000
+//	hcfmetrics -scenario avl -engine TLE -threads 36 -format json
+//	hcfmetrics -scenario hashtable -engine HCF -format csv > run.csv
+//	hcfmetrics -scenario hashtable -engine HCF -format prom
+//	hcfmetrics -scenario stack -engine FC -real -real-ops 5000
+//
+// Formats: text (default, human tables), json (one indented object), csv
+// (two tables: intervals, then latencies), prom (Prometheus text
+// exposition). Latencies and interval timestamps are virtual cycles on the
+// default deterministic backend and wall nanoseconds with -real.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcf/internal/harness"
+	"hcf/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hcfmetrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hcfmetrics", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque")
+		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF")
+		threads  = fs.Int("threads", 18, "worker threads")
+		find     = fs.Int("find", 40, "find percentage (hashtable, avl)")
+		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
+		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		interval = fs.Int64("interval", 10_000, "sampling interval (virtual cycles, or ns with -real)")
+		format   = fs.String("format", "text", "text | json | csv | prom")
+		realFlg  = fs.Bool("real", false, "run on the real-concurrency backend (wall-clock nanoseconds)")
+		realOps  = fs.Int("real-ops", 2000, "operations per thread in -real mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sc harness.Scenario
+	switch *scenario {
+	case "hashtable":
+		sc = harness.HashTableScenario(*find, 16384)
+	case "avl":
+		sc = harness.AVLScenario(*find, 1024, *theta, harness.AVLCombining)
+	case "pqueue":
+		sc = harness.PQScenario(50, 1<<20, 4096)
+	case "stack":
+		sc = harness.StackScenario(1024)
+	case "deque":
+		sc = harness.DequeScenario(2048, true)
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	cfg := harness.Config{Horizon: *horizon, Seed: *seed}
+
+	var report *metrics.Report
+	if *realFlg {
+		res, rep, err := harness.RunPointRealMetered(sc, *engName, *threads, *realOps, cfg, *interval)
+		if err != nil {
+			return err
+		}
+		if res.InvariantViolation != "" {
+			fmt.Fprintf(os.Stderr, "!! INVARIANT VIOLATION: %s\n", res.InvariantViolation)
+		}
+		report = rep
+	} else {
+		res, rep, err := harness.RunPointMetered(sc, *engName, *threads, cfg, *interval)
+		if err != nil {
+			return err
+		}
+		if res.InvariantViolation != "" {
+			fmt.Fprintf(os.Stderr, "!! INVARIANT VIOLATION: %s\n", res.InvariantViolation)
+		}
+		report = rep
+	}
+
+	switch *format {
+	case "text":
+		fmt.Print(report.Text())
+	case "json":
+		out, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	case "csv":
+		fmt.Print(report.CSV())
+	case "prom":
+		fmt.Print(report.Prometheus())
+	default:
+		return fmt.Errorf("unknown format %q (want text, json, csv or prom)", *format)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	hcfstat -scenario hashtable -find 40 -engine HCF -threads 18
 //	hcfstat -scenario avl -find 0 -theta 0.9 -engine TLE -threads 36
 //	hcfstat -scenario pqueue|stack|deque -engine FC -threads 8
+//	hcfstat -scenario hashtable -engine HCF -json   # machine-readable output
 package main
 
 import (
@@ -37,6 +38,7 @@ func run(args []string) error {
 		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
 		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
 		seed     = fs.Uint64("seed", 1, "workload seed")
+		jsonFlg  = fs.Bool("json", false, "emit one machine-readable JSON object instead of the text report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +64,14 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *jsonFlg {
+		out, err := harness.FormatJSON(res)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
 	}
 	report(res)
 	return nil

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunAllScenarios(t *testing.T) {
 	for _, sc := range []string{"hashtable", "avl", "pqueue", "stack", "deque"} {
@@ -8,6 +13,39 @@ func TestRunAllScenarios(t *testing.T) {
 			"-horizon", "5000"}); err != nil {
 			t.Fatalf("%s: %v", sc, err)
 		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-scenario", "hashtable", "-engine", "HCF",
+		"-threads", "4", "-horizon", "20000", "-json"})
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(out, &rec); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	for _, key := range []string{"scenario", "engine", "threads", "ops", "throughput",
+		"htm_started", "phase_by_class"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("record missing %q", key)
+		}
+	}
+	if rec["engine"] != "HCF" || rec["threads"] != float64(4) {
+		t.Errorf("identity fields wrong: %v", rec)
 	}
 }
 

@@ -180,6 +180,8 @@ type Framework struct {
 	witness engine.WitnessFunc
 	// tracer, when set, receives lifecycle events (see trace.go).
 	tracer Tracer
+	// rec, when set, receives latency and counter samples (see metrics.go).
+	rec Recorder
 }
 
 type combineScratch struct {
@@ -338,9 +340,11 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 
 	bud := &f.budgets[class]
 	pa := f.arrays[bud.pubArray.Load()]
+	start := f.opStart(th)
 	f.emit(th, TraceEvent{Kind: TraceStart, Class: class})
 	if res, ok := f.tryPrivate(th, int(bud.private.Load()), op); ok {
 		f.complete(tm, class, PhaseTryPrivate)
+		f.finishOp(th, class, PhaseTryPrivate, start)
 		f.emit(th, TraceEvent{Kind: TraceDone, Phase: PhaseTryPrivate})
 		return res
 	}
@@ -348,11 +352,13 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	f.emit(th, TraceEvent{Kind: TraceAnnounce, Class: class})
 	if res, phase, ok := f.tryVisible(th, t, d, int(bud.visible.Load()), pa, op); ok {
 		f.complete(tm, class, phase)
+		f.finishOp(th, class, phase, start)
 		f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
 		return res
 	}
 	res, phase := f.tryCombining(th, t, d, pol, int(bud.combining.Load()), pa)
 	f.complete(tm, class, phase)
+	f.finishOp(th, class, phase, start)
 	f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
 	return res
 }
@@ -458,6 +464,9 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 	}
 	sc := &f.scratch[t]
 	f.chooseOpsToHelp(th, t, d, pol, pa, sc)
+	if f.rec != nil {
+		f.rec.RecordCombine(t, len(sc.pend))
+	}
 	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.pend)})
 	if !f.hold {
 		pa.sel.Unlock(th)
@@ -493,6 +502,10 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 	if len(sc.pend) > 0 {
 		f.lock.Lock(th)
 		tm.m.LockAcquisitions++
+		var lockStart int64
+		if f.rec != nil {
+			lockStart = th.Now()
+		}
 		f.emit(th, TraceEvent{Kind: TraceLock})
 		for len(sc.pend) > 0 {
 			n := min(pol.MaxBatch, len(sc.pend))
@@ -514,6 +527,9 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 			if r, done := f.finalizeBatch(th, t, sc, n, PhaseCombineUnderLock, htm.LockStamp(th)); done {
 				ownRes, ownPhase, ownDone = r, PhaseCombineUnderLock, true
 			}
+		}
+		if f.rec != nil {
+			f.rec.RecordLockHold(t, th.Now()-lockStart)
 		}
 		f.lock.Unlock(th)
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+)
+
+// Recorder is the sample sink the framework drives; it is satisfied by
+// *metrics.Recorder (see engine.Recorder for the contract).
+type Recorder = engine.Recorder
+
+var _ engine.MeteredEngine = (*Framework)(nil)
+
+// CompletionPaths returns the labels of the framework's completion paths —
+// the four HCF phases — for dimensioning a metrics recorder.
+func (f *Framework) CompletionPaths() []string {
+	return []string{
+		PhaseTryPrivate.String(),
+		PhaseTryVisible.String(),
+		PhaseTryCombining.String(),
+		PhaseCombineUnderLock.String(),
+	}
+}
+
+// SetRecorder installs a latency/counter recorder (nil disables). With a
+// recorder installed the framework records, per operation, its class,
+// completion phase and end-to-end latency; per combining session, the
+// selection size; per lock acquisition, the hold time; and, through the
+// HTM engine's observer, every transaction attempt's outcome and duration.
+// Recording reads thread-local clocks only and charges no simulated
+// cycles, so deterministic results are identical with and without it.
+func (f *Framework) SetRecorder(r Recorder) {
+	f.rec = r
+	if r == nil {
+		f.eng.SetObserver(nil)
+		return
+	}
+	f.eng.SetObserver(func(t int, reason htm.Reason, duration int64) {
+		r.RecordTx(t, int(reason), duration)
+	})
+}
+
+// opStart returns the operation start timestamp, or 0 with metrics off.
+func (f *Framework) opStart(th *memsim.Thread) int64 {
+	if f.rec == nil {
+		return 0
+	}
+	return th.Now()
+}
+
+// finishOp records one completed operation if a recorder is installed.
+func (f *Framework) finishOp(th *memsim.Thread, class int, phase Phase, start int64) {
+	if f.rec == nil {
+		return
+	}
+	f.rec.RecordOp(th.ID(), class, int(phase), th.Now()-start)
+}

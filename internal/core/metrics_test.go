@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/metrics"
+)
+
+// newMeteredFW builds a framework with a dimensioned recorder installed.
+func newMeteredFW(t *testing.T, threads int) (memsim.Env, *Framework, *metrics.Recorder) {
+	t.Helper()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads})
+	fw := newFW(t, env, Config{Policies: []Policy{defaultPolicy()}})
+	rec := metrics.MustNew(metrics.Config{
+		Shards:   threads + 1,
+		Classes:  []string{"inc"},
+		Paths:    fw.CompletionPaths(),
+		Outcomes: []string{"commit", "conflict", "capacity", "explicit", "lock-held", "noise"},
+		TimeUnit: "cycles",
+	})
+	fw.SetRecorder(rec)
+	return env, fw, rec
+}
+
+// TestRecorderSeesEveryOperation checks that with a recorder installed the
+// framework reports exactly one completion per executed operation, with the
+// path breakdown agreeing with the engine's own phase counters.
+func TestRecorderSeesEveryOperation(t *testing.T) {
+	const threads, perThread = 8, 40
+	env, fw, rec := newMeteredFW(t, threads)
+	counter := env.Alloc(1)
+	runIncWorkload(t, env, fw, counter, perThread, 0)
+
+	c := rec.Counters()
+	total := uint64(threads * perThread)
+	if c.Ops != total {
+		t.Fatalf("recorded ops = %d, want %d", c.Ops, total)
+	}
+	m := fw.Metrics()
+	for p := 0; p < NumPhases; p++ {
+		if c.OpsByPath[p] != m.PhaseCompleted[p] {
+			t.Errorf("path %s: recorded %d, engine counted %d",
+				Phase(p), c.OpsByPath[p], m.PhaseCompleted[p])
+		}
+	}
+	// The HTM observer must have seen the engine's commits and aborts.
+	if c.Commits() != m.HTM.Commits {
+		t.Errorf("recorded tx commits = %d, engine counted %d", c.Commits(), m.HTM.Commits)
+	}
+	if c.Aborts() != m.HTM.TotalAborts() {
+		t.Errorf("recorded tx aborts = %d, engine counted %d", c.Aborts(), m.HTM.TotalAborts())
+	}
+	// Combining activity matches too.
+	if c.CombinerSessions != m.CombinerSessions {
+		t.Errorf("recorded sessions = %d, engine counted %d", c.CombinerSessions, m.CombinerSessions)
+	}
+	if c.CombinedOps != m.CombinedOps {
+		t.Errorf("recorded combined ops = %d, engine counted %d", c.CombinedOps, m.CombinedOps)
+	}
+	if c.LockAcquisitions != m.LockAcquisitions {
+		t.Errorf("recorded lock acqs = %d, engine counted %d", c.LockAcquisitions, m.LockAcquisitions)
+	}
+	// Latencies are positive: every op costs at least one access.
+	if h := rec.ClassHistogram(0); h.Count != total || h.Sum == 0 {
+		t.Errorf("class histogram = count %d sum %d, want count %d, sum > 0", h.Count, h.Sum, total)
+	}
+}
+
+// TestSetRecorderNilDisables checks recording can be turned off again.
+func TestSetRecorderNilDisables(t *testing.T) {
+	env, fw, rec := newMeteredFW(t, 2)
+	fw.SetRecorder(nil)
+	counter := env.Alloc(1)
+	runIncWorkload(t, env, fw, counter, 10, 0)
+	if c := rec.Counters(); c.Ops != 0 || c.Commits() != 0 {
+		t.Fatalf("recording continued after SetRecorder(nil): %+v", c)
+	}
+}
+
+// TestExecuteFastPathNoAllocs asserts the acceptance criterion that the
+// per-operation execution path does not allocate in steady state — neither
+// with metrics and tracing disabled (the nil-check fast path) nor with a
+// recorder installed (the histogram record path is allocation-free).
+func TestExecuteFastPathNoAllocs(t *testing.T) {
+	for _, metered := range []bool{false, true} {
+		name := "disabled"
+		if metered {
+			name = "recorder"
+		}
+		t.Run(name, func(t *testing.T) {
+			env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+			fw := newFW(t, env, Config{Policies: []Policy{defaultPolicy()}})
+			if metered {
+				fw.SetRecorder(metrics.MustNew(metrics.Config{
+					Shards: 2,
+					Paths:  fw.CompletionPaths(),
+				}))
+			}
+			counter := env.Alloc(1)
+			var op engine.Op = incOp{addr: counter} // pre-boxed: exclude interface conversion
+			env.Run(func(th *memsim.Thread) {
+				fw.Execute(th, op) // warm up lazily-allocated state
+				if n := testing.AllocsPerRun(200, func() { fw.Execute(th, op) }); n != 0 {
+					t.Errorf("Execute allocates %.1f per op, want 0", n)
+				}
+			})
+		})
+	}
+}
+
+// benchExecute measures single-thread Execute cost; the disabled case is
+// the baseline for the <2% metrics-off overhead budget.
+func benchExecute(b *testing.B, metered bool) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	fw, err := New(env, Config{Policies: []Policy{defaultPolicy()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if metered {
+		fw.SetRecorder(metrics.MustNew(metrics.Config{
+			Shards: 2,
+			Paths:  fw.CompletionPaths(),
+		}))
+	}
+	counter := env.Alloc(1)
+	var op engine.Op = incOp{addr: counter}
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Run(func(th *memsim.Thread) {
+		for i := 0; i < b.N; i++ {
+			fw.Execute(th, op)
+		}
+	})
+}
+
+// BenchmarkExecuteMetricsOff is the framework with no recorder installed:
+// the only added cost over a build without the metrics subsystem is a nil
+// check per completion, so this is the number to compare against
+// BenchmarkExecuteMetricsOn.
+func BenchmarkExecuteMetricsOff(b *testing.B) { benchExecute(b, false) }
+
+// BenchmarkExecuteMetricsOn is the same workload with a recorder recording
+// every operation, transaction and clock read.
+func BenchmarkExecuteMetricsOn(b *testing.B) { benchExecute(b, true) }

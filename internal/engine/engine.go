@@ -98,6 +98,38 @@ type WitnessedEngine interface {
 	SetWitness(fn WitnessFunc)
 }
 
+// Recorder receives latency and counter samples from an engine's hot path.
+// It is satisfied by *metrics.Recorder (internal/metrics). Implementations
+// must be cheap and allocation-free: they run inline on the execution path,
+// and on the real backend concurrently from all threads.
+type Recorder interface {
+	// RecordOp records one completed operation: its class, the index of
+	// the completion path it drained through (see MeteredEngine
+	// CompletionPaths), and its end-to-end latency in the environment's
+	// time unit (virtual cycles or wall nanoseconds).
+	RecordOp(t, class, path int, latency int64)
+	// RecordTx records one finished transaction attempt: outcome 0 is a
+	// commit, other values are htm.Reason abort codes.
+	RecordTx(t, outcome int, latency int64)
+	// RecordLockHold records one data-structure lock hold interval.
+	RecordLockHold(t int, held int64)
+	// RecordCombine records one combining session selecting n operations.
+	RecordCombine(t, n int)
+}
+
+// MeteredEngine is implemented by engines that can stream per-operation
+// latencies and lock/combining samples into a Recorder. All six engines in
+// this repository implement it.
+type MeteredEngine interface {
+	Engine
+	// SetRecorder installs rec (nil disables). Install before running ops.
+	SetRecorder(rec Recorder)
+	// CompletionPaths labels the engine's completion paths, indexed by the
+	// path values it passes to Recorder.RecordOp — for HCF the four
+	// phases, for baselines their own completion routes.
+	CompletionPaths() []string
+}
+
 // Metrics aggregates engine activity counters used by the experiment
 // harness.
 type Metrics struct {

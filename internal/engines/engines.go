@@ -68,15 +68,48 @@ type threadMetrics struct {
 }
 
 // metricsSet is the shared per-thread metrics plumbing; it also carries
-// the optional serialization witness.
+// the optional serialization witness and metrics recorder.
 type metricsSet struct {
 	per     []threadMetrics
 	eng     *htm.Engine // may be nil (Lock, FC)
 	witness engine.WitnessFunc
+	rec     engine.Recorder
 }
 
 // SetWitness installs a serialization-witness observer (nil disables).
 func (s *metricsSet) SetWitness(fn engine.WitnessFunc) { s.witness = fn }
+
+// SetRecorder installs a metrics recorder (nil disables). Engines with an
+// HTM component also stream per-transaction outcomes through it.
+func (s *metricsSet) SetRecorder(rec engine.Recorder) {
+	s.rec = rec
+	if s.eng == nil {
+		return
+	}
+	if rec == nil {
+		s.eng.SetObserver(nil)
+		return
+	}
+	s.eng.SetObserver(func(t int, reason htm.Reason, duration int64) {
+		rec.RecordTx(t, int(reason), duration)
+	})
+}
+
+// opStart returns the operation start timestamp, or 0 with metrics off.
+func (s *metricsSet) opStart(th *memsim.Thread) int64 {
+	if s.rec == nil {
+		return 0
+	}
+	return th.Now()
+}
+
+// opDone records one completed operation if a recorder is installed.
+func (s *metricsSet) opDone(th *memsim.Thread, class, path int, start int64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.RecordOp(th.ID(), class, path, th.Now()-start)
+}
 
 func newMetricsSet(env memsim.Env, eng *htm.Engine) metricsSet {
 	return metricsSet{per: make([]threadMetrics, env.NumThreads()+1), eng: eng}
@@ -109,7 +142,7 @@ type LockEngine struct {
 	metricsSet
 }
 
-var _ engine.Engine = (*LockEngine)(nil)
+var _ engine.MeteredEngine = (*LockEngine)(nil)
 
 // NewLock builds the Lock baseline.
 func NewLock(env memsim.Env, opts Options) *LockEngine {
@@ -120,17 +153,29 @@ func NewLock(env memsim.Env, opts Options) *LockEngine {
 // Name implements engine.Engine.
 func (e *LockEngine) Name() string { return "Lock" }
 
+// CompletionPaths implements engine.MeteredEngine.
+func (e *LockEngine) CompletionPaths() []string { return []string{"lock"} }
+
 // Execute applies op under the data-structure lock.
 func (e *LockEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
+	start := e.opStart(th)
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	var holdStart int64
+	if e.rec != nil {
+		holdStart = th.Now()
+	}
 	res := op.Apply(th)
 	if e.witness != nil {
 		e.witness(htm.LockStamp(th), 0, op, res)
 	}
+	if e.rec != nil {
+		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
+	}
 	e.lock.Unlock(th)
 	tm.Ops++
+	e.opDone(th, op.Class(), 0, start)
 	return res
 }
 
@@ -144,7 +189,7 @@ type TLEEngine struct {
 	metricsSet
 }
 
-var _ engine.Engine = (*TLEEngine)(nil)
+var _ engine.MeteredEngine = (*TLEEngine)(nil)
 
 // NewTLE builds the TLE baseline.
 func NewTLE(env memsim.Env, opts Options) *TLEEngine {
@@ -161,9 +206,13 @@ func NewTLE(env memsim.Env, opts Options) *TLEEngine {
 // Name implements engine.Engine.
 func (e *TLEEngine) Name() string { return "TLE" }
 
+// CompletionPaths implements engine.MeteredEngine.
+func (e *TLEEngine) CompletionPaths() []string { return []string{"htm", "lock"} }
+
 // Execute applies op with TLE.
 func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
+	start := e.opStart(th)
 	var res uint64
 	for i := 0; i < e.trials; i++ {
 		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
@@ -177,6 +226,7 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
+			e.opDone(th, op.Class(), 0, start)
 			return res
 		}
 		for e.lock.Locked(th) {
@@ -185,12 +235,20 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	}
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	var holdStart int64
+	if e.rec != nil {
+		holdStart = th.Now()
+	}
 	res = op.Apply(th)
 	if e.witness != nil {
 		e.witness(htm.LockStamp(th), 0, op, res)
 	}
+	if e.rec != nil {
+		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
+	}
 	e.lock.Unlock(th)
 	tm.Ops++
+	e.opDone(th, op.Class(), 1, start)
 	return res
 }
 
@@ -206,7 +264,7 @@ type SCMEngine struct {
 	metricsSet
 }
 
-var _ engine.Engine = (*SCMEngine)(nil)
+var _ engine.MeteredEngine = (*SCMEngine)(nil)
 
 // NewSCM builds the SCM baseline.
 func NewSCM(env memsim.Env, opts Options) *SCMEngine {
@@ -224,9 +282,13 @@ func NewSCM(env memsim.Env, opts Options) *SCMEngine {
 // Name implements engine.Engine.
 func (e *SCMEngine) Name() string { return "SCM" }
 
+// CompletionPaths implements engine.MeteredEngine.
+func (e *SCMEngine) CompletionPaths() []string { return []string{"htm", "htm-managed", "lock"} }
+
 // Execute applies op with TLE plus auxiliary-lock conflict management.
 func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
+	start := e.opStart(th)
 	var res uint64
 	attempt := func(tx *htm.Tx) {
 		if e.lock.Locked(tx) {
@@ -246,6 +308,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
+			e.opDone(th, op.Class(), 0, start)
 			return res
 		}
 		if reason == htm.ReasonConflict {
@@ -272,6 +335,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 			}
 			e.aux.Unlock(th)
 			tm.Ops++
+			e.opDone(th, op.Class(), 1, start)
 			return res
 		}
 		for e.lock.Locked(th) {
@@ -281,13 +345,21 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	// Pessimistic fallback, still holding aux to keep the queue orderly.
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	var holdStart int64
+	if e.rec != nil {
+		holdStart = th.Now()
+	}
 	res = op.Apply(th)
 	if e.witness != nil {
 		e.witness(htm.LockStamp(th), 0, op, res)
 	}
+	if e.rec != nil {
+		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
+	}
 	e.lock.Unlock(th)
 	e.aux.Unlock(th)
 	tm.Ops++
+	e.opDone(th, op.Class(), 2, start)
 	return res
 }
 
@@ -308,6 +380,7 @@ const (
 // fcCore is the announcement/combining machinery shared by FC and TLE+FC.
 type fcCore struct {
 	witness engine.WitnessFunc
+	rec     engine.Recorder
 	lock    *locks.TATAS // combiner lock (= the data-structure lock)
 	pub     *pubarr.Array
 	descs   []fcDesc
@@ -348,8 +421,9 @@ func newFCCore(env memsim.Env, opts *Options) *fcCore {
 }
 
 // execute runs the flat-combining protocol for thread th's op: announce,
-// then either get helped or become the combiner.
-func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) uint64 {
+// then either get helped or become the combiner. The second return value
+// reports whether the thread acted as combiner (vs being helped).
+func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (uint64, bool) {
 	t := th.ID()
 	d := &c.descs[t]
 	d.op = op
@@ -358,11 +432,15 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) ui
 	for {
 		if th.Load(d.status) == fcDone {
 			tm.Ops++
-			return d.result
+			return d.result, false
 		}
 		if !c.lock.Locked(th) {
 			if c.lock.TryLock(th) {
 				tm.LockAcquisitions++
+				var holdStart int64
+				if c.rec != nil {
+					holdStart = th.Now()
+				}
 				// Classic FC: keep scanning for newly announced requests
 				// for a few passes before handing the lock over.
 				ownDone, ownRes := false, uint64(0)
@@ -375,6 +453,9 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) ui
 						break // nothing announced; stop scanning
 					}
 				}
+				if c.rec != nil {
+					c.rec.RecordLockHold(t, th.Now()-holdStart)
+				}
 				c.lock.Unlock(th)
 				if !ownDone {
 					// Our op was completed by the previous combiner
@@ -385,7 +466,7 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) ui
 					ownRes = d.result
 				}
 				tm.Ops++
-				return ownRes
+				return ownRes, true
 			}
 		}
 		th.Yield()
@@ -415,6 +496,9 @@ func (c *fcCore) combineSession(th *memsim.Thread, t int, tm *engine.Metrics) (b
 	selected := len(sel)
 	tm.CombinerSessions++
 	tm.CombinedOps += uint64(len(sel))
+	if c.rec != nil {
+		c.rec.RecordCombine(t, len(sel))
+	}
 	ownDone, ownRes := false, uint64(0)
 	for len(sel) > 0 {
 		n := len(sel)
@@ -479,7 +563,7 @@ type FCEngine struct {
 	metricsSet
 }
 
-var _ engine.Engine = (*FCEngine)(nil)
+var _ engine.MeteredEngine = (*FCEngine)(nil)
 
 // NewFC builds the FC baseline.
 func NewFC(env memsim.Env, opts Options) *FCEngine {
@@ -490,15 +574,31 @@ func NewFC(env memsim.Env, opts Options) *FCEngine {
 // Name implements engine.Engine.
 func (e *FCEngine) Name() string { return "FC" }
 
+// CompletionPaths implements engine.MeteredEngine.
+func (e *FCEngine) CompletionPaths() []string { return []string{"combiner", "helped"} }
+
 // SetWitness installs a serialization-witness observer (nil disables).
 func (e *FCEngine) SetWitness(fn engine.WitnessFunc) {
 	e.metricsSet.SetWitness(fn)
 	e.core.witness = fn
 }
 
+// SetRecorder installs a metrics recorder (nil disables).
+func (e *FCEngine) SetRecorder(rec engine.Recorder) {
+	e.metricsSet.SetRecorder(rec)
+	e.core.rec = rec
+}
+
 // Execute applies op with flat combining.
 func (e *FCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
-	return e.core.execute(th, op, &e.per[th.ID()].m)
+	start := e.opStart(th)
+	res, combined := e.core.execute(th, op, &e.per[th.ID()].m)
+	path := 1
+	if combined {
+		path = 0
+	}
+	e.opDone(th, op.Class(), path, start)
+	return res
 }
 
 // TLEFCEngine is the naive TLE+FC combination from the paper's
@@ -514,7 +614,7 @@ type TLEFCEngine struct {
 	metricsSet
 }
 
-var _ engine.Engine = (*TLEFCEngine)(nil)
+var _ engine.MeteredEngine = (*TLEFCEngine)(nil)
 
 // NewTLEFC builds the TLE+FC baseline.
 func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
@@ -533,15 +633,25 @@ func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
 // Name implements engine.Engine.
 func (e *TLEFCEngine) Name() string { return "TLE+FC" }
 
+// CompletionPaths implements engine.MeteredEngine.
+func (e *TLEFCEngine) CompletionPaths() []string { return []string{"htm", "combiner", "helped"} }
+
 // SetWitness installs a serialization-witness observer (nil disables).
 func (e *TLEFCEngine) SetWitness(fn engine.WitnessFunc) {
 	e.metricsSet.SetWitness(fn)
 	e.core.witness = fn
 }
 
+// SetRecorder installs a metrics recorder (nil disables).
+func (e *TLEFCEngine) SetRecorder(rec engine.Recorder) {
+	e.metricsSet.SetRecorder(rec)
+	e.core.rec = rec
+}
+
 // Execute applies op with TLE first, then flat combining.
 func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
+	start := e.opStart(th)
 	var res uint64
 	for i := 0; i < e.trials; i++ {
 		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
@@ -555,11 +665,18 @@ func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
+			e.opDone(th, op.Class(), 0, start)
 			return res
 		}
 		for e.lock.Locked(th) {
 			th.Yield()
 		}
 	}
-	return e.core.execute(th, op, tm)
+	res, combined := e.core.execute(th, op, tm)
+	path := 2
+	if combined {
+		path = 1
+	}
+	e.opDone(th, op.Class(), path, start)
+	return res
 }

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
 	"hcf/internal/core"
+	"hcf/internal/htm"
 )
 
 // seriesKey identifies one line of a throughput chart: engine name plus, if
@@ -80,6 +82,100 @@ func FormatCSV(results []Result) string {
 			r.Mem.MissRate())
 	}
 	return b.String()
+}
+
+// ResultRecord is the machine-readable (JSON) form of one Result: flat
+// snake_case fields plus derived rates, so external tooling needs no
+// knowledge of internal types.
+type ResultRecord struct {
+	Scenario           string             `json:"scenario"`
+	Engine             string             `json:"engine"`
+	Threads            int                `json:"threads"`
+	Ops                uint64             `json:"ops"`
+	Cycles             int64              `json:"cycles"`
+	Throughput         float64            `json:"throughput"`
+	LockAcquisitions   uint64             `json:"lock_acquisitions"`
+	AuxAcquisitions    uint64             `json:"aux_acquisitions"`
+	CombinerSessions   uint64             `json:"combiner_sessions"`
+	CombinedOps        uint64             `json:"combined_ops"`
+	CombiningDegree    float64            `json:"combining_degree"`
+	HTMStarted         uint64             `json:"htm_started"`
+	HTMCommits         uint64             `json:"htm_commits"`
+	HTMAborts          map[string]uint64  `json:"htm_aborts,omitempty"`
+	Loads              uint64             `json:"loads"`
+	Stores             uint64             `json:"stores"`
+	L1MissRate         float64            `json:"l1_miss_rate"`
+	CoherenceMisses    uint64             `json:"coherence_misses"`
+	RemoteMisses       uint64             `json:"remote_misses"`
+	PhaseByClass       []map[string]uint64 `json:"phase_by_class,omitempty"`
+	InvariantViolation string             `json:"invariant_violation,omitempty"`
+}
+
+// RecordOf converts a Result to its machine-readable record.
+func RecordOf(r Result) ResultRecord {
+	m := &r.Metrics
+	rec := ResultRecord{
+		Scenario:         r.Scenario,
+		Engine:           r.Engine,
+		Threads:          r.Threads,
+		Ops:              r.Ops,
+		Cycles:           r.Cycles,
+		Throughput:       r.Throughput,
+		LockAcquisitions: m.LockAcquisitions,
+		AuxAcquisitions:  m.AuxAcquisitions,
+		CombinerSessions: m.CombinerSessions,
+		CombinedOps:      m.CombinedOps,
+		CombiningDegree:  m.CombiningDegree(),
+		HTMStarted:       m.HTM.Started,
+		HTMCommits:       m.HTM.Commits,
+		Loads:            r.Mem.Loads,
+		Stores:           r.Mem.Stores,
+		L1MissRate:       r.Mem.MissRate(),
+		CoherenceMisses:  r.Mem.CoherenceMisses,
+		RemoteMisses:     r.Mem.RemoteMisses,
+
+		InvariantViolation: r.InvariantViolation,
+	}
+	for reason := htm.ReasonConflict; reason < htm.NumReasons; reason++ {
+		if n := m.HTM.Aborts[reason]; n > 0 {
+			if rec.HTMAborts == nil {
+				rec.HTMAborts = make(map[string]uint64)
+			}
+			rec.HTMAborts[reason.String()] = n
+		}
+	}
+	for _, phases := range r.PhaseByClass {
+		row := make(map[string]uint64, core.NumPhases)
+		for p := 0; p < core.NumPhases; p++ {
+			row[core.Phase(p).String()] = phases[p]
+		}
+		rec.PhaseByClass = append(rec.PhaseByClass, row)
+	}
+	return rec
+}
+
+// FormatJSON renders one result as an indented JSON object.
+func FormatJSON(r Result) (string, error) {
+	out, err := json.MarshalIndent(RecordOf(r), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// FormatJSONL renders results as JSON Lines: one compact record per
+// (scenario, engine, threads) cell.
+func FormatJSONL(results []Result) (string, error) {
+	var b strings.Builder
+	for _, r := range results {
+		out, err := json.Marshal(RecordOf(r))
+		if err != nil {
+			return "", err
+		}
+		b.Write(out)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 // classGroup maps the hash-table classes onto Figure 3's three panels.

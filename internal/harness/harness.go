@@ -32,6 +32,9 @@ type Scenario struct {
 type Instance struct {
 	// Policies is the HCF configuration for this structure.
 	Policies []core.Policy
+	// ClassNames labels the operation classes in metrics output; nil
+	// falls back to "class0".."classN-1".
+	ClassNames []string
 	// HoldSelectionLock selects the specialized HCF variant (§2.4).
 	HoldSelectionLock bool
 	// Combine is the combining function for the FC / TLE+FC baselines.

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/memsim"
+	"hcf/internal/metrics"
+)
+
+// outcomeNames labels the transaction outcomes for the metrics recorder:
+// index 0 is commit, the rest follow htm.Reason.
+func outcomeNames() []string {
+	out := make([]string, htm.NumReasons)
+	out[0] = "commit"
+	for r := 1; r < htm.NumReasons; r++ {
+		out[r] = htm.Reason(r).String()
+	}
+	return out
+}
+
+// classNames returns the class labels for inst, defaulting to classN.
+func classNames(inst *Instance) []string {
+	if len(inst.ClassNames) > 0 {
+		return inst.ClassNames
+	}
+	n := len(inst.Policies)
+	if n == 0 {
+		n = 1
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("class%d", i)
+	}
+	return out
+}
+
+// Instrument dimensions a metrics recorder for (eng, inst) and installs it.
+// unit should be "cycles" on the deterministic backend and "ns" on the real
+// backend. It fails only for engines that do not implement
+// engine.MeteredEngine (all six in this repository do).
+func Instrument(eng engine.Engine, inst *Instance, threads int, unit string) (*metrics.Recorder, error) {
+	met, ok := eng.(engine.MeteredEngine)
+	if !ok {
+		return nil, fmt.Errorf("harness: engine %s does not support metrics", eng.Name())
+	}
+	rec, err := metrics.New(metrics.Config{
+		Shards:   threads + 1, // workers + bootstrap thread
+		Classes:  classNames(inst),
+		Paths:    met.CompletionPaths(),
+		Outcomes: outcomeNames(),
+		TimeUnit: unit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	met.SetRecorder(rec)
+	return rec, nil
+}
+
+// RunPointMetered is RunPoint with the metrics subsystem wired in: it
+// instruments the engine with a recorder, samples all counters every
+// `interval` virtual cycles (thread 0 drives the sampler), and returns the
+// usual Result plus the full metrics report (latency percentiles per
+// operation class × completion path, transaction-outcome durations, lock
+// hold times, and the per-interval time series).
+//
+// Recording charges no simulated cycles, so Result is bit-identical to the
+// uninstrumented RunPoint for the same configuration.
+func RunPointMetered(sc Scenario, engineName string, threads int, cfg Config, interval int64) (Result, *metrics.Report, error) {
+	cfg.normalize()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	inst := sc.Setup(env, cfg.Seed)
+	eng, err := BuildEngine(engineName, env, inst, cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	rec, err := Instrument(eng, &inst, threads, "cycles")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	env.ResetStats()
+	eng.ResetMetrics()
+	sampler := metrics.NewSampler(rec, interval)
+	opWork := env.Cost().OpWork
+	opsByThread := make([]uint64, threads)
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0x9E3779B9, uint64(th.ID())+1))
+		for th.Now() < cfg.Horizon {
+			th.Work(opWork)
+			eng.Execute(th, inst.NextOp(rng))
+			opsByThread[th.ID()]++
+			if th.ID() == 0 {
+				sampler.MaybeSample(th.Now())
+			}
+		}
+	})
+	res := Result{
+		Scenario: sc.Name,
+		Engine:   engineName,
+		Threads:  threads,
+		Metrics:  eng.Metrics(),
+	}
+	for t := 0; t < threads; t++ {
+		res.Ops += opsByThread[t]
+		if now := env.Now(t); now > res.Cycles {
+			res.Cycles = now
+		}
+		res.Mem.Merge(env.Stats(t))
+	}
+	if res.Cycles > 0 {
+		res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
+	}
+	if hcf, ok := eng.(phaseBreakdowner); ok {
+		res.PhaseByClass = hcf.PhaseBreakdown()
+	}
+	if inst.Check != nil {
+		res.InvariantViolation = inst.Check(env.Boot())
+	}
+	sampler.Flush(res.Cycles)
+	report := metrics.BuildReport(rec, sampler, sc.Name, engineName, threads)
+	return res, &report, nil
+}
+
+// phaseBreakdowner is implemented by HCF frameworks.
+type phaseBreakdowner interface {
+	PhaseBreakdown() [][4]uint64
+}
+
+// RunPointRealMetered is RunPointReal with the metrics subsystem wired in.
+// Latencies and intervals are measured in wall nanoseconds; thread 0
+// drives the sampler, so `interval` is wall nanoseconds too.
+func RunPointRealMetered(sc Scenario, engineName string, threads, opsPerThread int, cfg Config, interval int64) (RealResult, *metrics.Report, error) {
+	cfg.normalize()
+	env := memsim.NewReal(memsim.RealConfig{Threads: threads})
+	inst := sc.Setup(env, cfg.Seed)
+	eng, err := BuildEngine(engineName, env, inst, cfg)
+	if err != nil {
+		return RealResult{}, nil, err
+	}
+	rec, err := Instrument(eng, &inst, threads, "ns")
+	if err != nil {
+		return RealResult{}, nil, err
+	}
+	sampler := metrics.NewSampler(rec, interval)
+	start := time.Now()
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0xFEED, uint64(th.ID())+1))
+		for i := 0; i < opsPerThread; i++ {
+			eng.Execute(th, inst.NextOp(rng))
+			if th.ID() == 0 {
+				sampler.MaybeSample(th.Now())
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	res := RealResult{
+		Scenario: sc.Name,
+		Engine:   engineName,
+		Threads:  threads,
+		Ops:      uint64(threads * opsPerThread),
+		Elapsed:  elapsed,
+	}
+	if ms := elapsed.Seconds() * 1000; ms > 0 {
+		res.Throughput = float64(res.Ops) / ms
+	}
+	if inst.Check != nil {
+		res.InvariantViolation = inst.Check(env.Boot())
+	}
+	sampler.Flush(elapsed.Nanoseconds())
+	report := metrics.BuildReport(rec, sampler, sc.Name, engineName, threads)
+	return res, &report, nil
+}

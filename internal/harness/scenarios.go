@@ -38,8 +38,9 @@ func HashTableScenario(findPct, buckets int) Scenario {
 				tbl.Insert(boot, k, k)
 			}
 			return Instance{
-				Policies: hashtable.Policies(),
-				Combine:  hashtable.CombineMixed,
+				Policies:   hashtable.Policies(),
+				ClassNames: []string{"find", "insert", "remove"},
+				Combine:    hashtable.CombineMixed,
 				NextOp: func(r *rand.Rand) engine.Op {
 					k := keys.Next(r)
 					switch mix.Pick(r) {

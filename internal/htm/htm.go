@@ -144,13 +144,24 @@ func (s *Stats) Merge(o *Stats) {
 	}
 }
 
+// TxObserver receives the outcome of every finished transaction attempt:
+// the thread, the abort reason (ReasonNone on commit), and the attempt's
+// duration in the environment's time unit (virtual cycles or wall
+// nanoseconds). Observers run inline on the transaction path and must be
+// cheap; nil disables observation with only a nil check left behind.
+type TxObserver func(t int, reason Reason, duration int64)
+
 // Engine runs transactions for the threads of one environment.
 type Engine struct {
 	env   memsim.Env
 	cfg   Config
 	txs   []Tx
 	stats []Stats
+	obs   TxObserver
 }
+
+// SetObserver installs a transaction-outcome observer (nil disables).
+func (e *Engine) SetObserver(obs TxObserver) { e.obs = obs }
 
 // New creates an engine for env.
 func New(env memsim.Env, cfg Config) *Engine {
@@ -447,6 +458,10 @@ func (e *Engine) Run(th *memsim.Thread, body func(tx *Tx)) (bool, Reason) {
 		panic("htm: nested transactions are not supported")
 	}
 	e.stats[t].Started++
+	var obsStart int64
+	if e.obs != nil {
+		obsStart = th.Now()
+	}
 	th.Work(e.cfg.BeginCost)
 	tx.begin(th)
 	reason := func() (r Reason) {
@@ -467,9 +482,12 @@ func (e *Engine) Run(th *memsim.Thread, body func(tx *Tx)) (bool, Reason) {
 	tx.active = false
 	if reason == ReasonNone {
 		e.stats[t].Commits++
-		return true, ReasonNone
+	} else {
+		tx.rollback()
+		e.stats[t].Aborts[reason]++
 	}
-	tx.rollback()
-	e.stats[t].Aborts[reason]++
-	return false, reason
+	if e.obs != nil {
+		e.obs(t, reason, th.Now()-obsStart)
+	}
+	return reason == ReasonNone, reason
 }

@@ -1,0 +1,518 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1 << 20} {
+		h.Record(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 0+1+2+3+100+(1<<20) {
+		t.Errorf("Sum = %d", got)
+	}
+	s := h.Snapshot()
+	if s.Max != 1<<20 {
+		t.Errorf("Max = %d, want %d", s.Max, 1<<20)
+	}
+	// Bucket placement: 0 → bucket 0, 1 → 1, 2,3 → 2, 100 → 7, 2^20 → 21.
+	wantBuckets := map[int]uint64{0: 1, 1: 1, 2: 2, 7: 1, 21: 1}
+	for b, n := range s.Buckets {
+		if n != wantBuckets[b] {
+			t.Errorf("bucket %d = %d, want %d", b, n, wantBuckets[b])
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Buckets[0] != 1 {
+		t.Errorf("negative value not clamped to zero: %+v", s)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		b      int
+		lo, hi uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{64, 1 << 63, ^uint64(0)},
+	}
+	for _, c := range cases {
+		lo, hi := bucketBounds(c.b)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bucketBounds(%d) = [%d, %d], want [%d, %d]", c.b, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	var h Histogram
+	h.Record(7) // single observation: every quantile is 7
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %d, want 0", got)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{3, 5000, 17, 4096, 900} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	// Quantile(0) resolves to the minimum's bucket lower bound (3 lives in
+	// bucket [2,3]; only Max is tracked exactly).
+	if got := s.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %d, want 2 (lower bound of the minimum's bucket)", got)
+	}
+	if got := s.Quantile(1); got != 5000 {
+		t.Errorf("Quantile(1) = %d, want 5000 (the maximum)", got)
+	}
+	// Out-of-range q is clamped.
+	if got := s.Quantile(-1); got != 2 {
+		t.Errorf("Quantile(-1) = %d, want 2", got)
+	}
+	if got := s.Quantile(2); got != 5000 {
+		t.Errorf("Quantile(2) = %d, want 5000", got)
+	}
+}
+
+// TestQuantileMonotone fuzzes random histograms and checks that the
+// estimator is monotone in q, stays within the observed range, and that
+// Quantile(1) equals the tracked exact maximum — the regression that
+// motivated the frac clamp (a rank falling in the gap between one bucket's
+// last observation and the next bucket's first drove frac negative,
+// producing p90 < p50).
+func TestQuantileMonotone(t *testing.T) {
+	for trial := 0; trial < 500; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xA11CE))
+		var h Histogram
+		n := 1 + rng.IntN(60)
+		lo, hi := int64(1<<40), int64(0)
+		for i := 0; i < n; i++ {
+			v := rng.Int64N(1 << uint(1+rng.IntN(20)))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			h.Record(v)
+		}
+		s := h.Snapshot()
+		prev := uint64(0)
+		for qi := 0; qi <= 100; qi++ {
+			q := float64(qi) / 100
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%g) = %d < Quantile(%g) = %d (non-monotone)",
+					trial, q, v, float64(qi-1)/100, prev)
+			}
+			if v > uint64(hi) {
+				t.Fatalf("trial %d: Quantile(%g) = %d above max %d", trial, q, v, hi)
+			}
+			prev = v
+		}
+		if got := s.Quantile(1); got != uint64(hi) {
+			t.Fatalf("trial %d: Quantile(1) = %d, want max %d", trial, got, hi)
+		}
+	}
+}
+
+// TestQuantileAccuracy checks the log₂ estimate stays within one bucket
+// width of the exact sample quantile.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	var h Histogram
+	vals := make([]int64, 10_000)
+	for i := range vals {
+		vals[i] = rng.Int64N(100_000)
+		h.Record(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := float64(s.Quantile(q))
+		// A log₂ bucket spans [2^(b-1), 2^b-1], so the estimate can be off
+		// by at most a factor of two.
+		if got < float64(exact)/2 || got > float64(exact)*2 {
+			t.Errorf("Quantile(%g) = %.0f, exact %d: outside one bucket width", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(3000)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count != 3 || sa.Sum != 3030 || sa.Max != 3000 {
+		t.Errorf("merged = %+v", sa)
+	}
+}
+
+func newTestRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	return MustNew(Config{
+		Shards:   4,
+		Classes:  []string{"find", "insert"},
+		Paths:    []string{"fast", "slow"},
+		Outcomes: []string{"commit", "conflict", "capacity"},
+		TimeUnit: "cycles",
+	})
+}
+
+func TestRecorderCounters(t *testing.T) {
+	r := newTestRecorder(t)
+	r.RecordOp(0, 0, 0, 100) // find/fast on shard 0
+	r.RecordOp(1, 0, 0, 200) // find/fast on shard 1
+	r.RecordOp(2, 1, 1, 300) // insert/slow on shard 2
+	r.RecordTx(0, 0, 50)
+	r.RecordTx(1, 1, 60)
+	r.RecordTx(1, 1, 70)
+	r.RecordLockHold(3, 500)
+	r.RecordCombine(2, 5)
+
+	c := r.Counters()
+	if c.Ops != 3 {
+		t.Errorf("Ops = %d, want 3", c.Ops)
+	}
+	if c.OpsByClass[0] != 2 || c.OpsByClass[1] != 1 {
+		t.Errorf("OpsByClass = %v", c.OpsByClass)
+	}
+	if c.OpsByPath[0] != 2 || c.OpsByPath[1] != 1 {
+		t.Errorf("OpsByPath = %v", c.OpsByPath)
+	}
+	if c.LatencySum != 600 {
+		t.Errorf("LatencySum = %d, want 600", c.LatencySum)
+	}
+	if c.Commits() != 1 || c.Aborts() != 2 {
+		t.Errorf("Commits/Aborts = %d/%d, want 1/2", c.Commits(), c.Aborts())
+	}
+	if c.LockAcquisitions != 1 || c.LockHoldTime != 500 {
+		t.Errorf("lock counters = %d/%d", c.LockAcquisitions, c.LockHoldTime)
+	}
+	if c.CombinerSessions != 1 || c.CombinedOps != 5 {
+		t.Errorf("combining counters = %d/%d", c.CombinerSessions, c.CombinedOps)
+	}
+	if deg := c.CombiningDegree(); deg != 5 {
+		t.Errorf("CombiningDegree = %g, want 5", deg)
+	}
+
+	// Cross-shard merge: find/fast was recorded on shards 0 and 1.
+	if s := r.OpHistogram(0, 0); s.Count != 2 || s.Sum != 300 {
+		t.Errorf("OpHistogram(0,0) = %+v", s)
+	}
+	if s := r.ClassHistogram(0); s.Count != 2 {
+		t.Errorf("ClassHistogram(0).Count = %d, want 2", s.Count)
+	}
+	if s := r.TxHistogram(1); s.Count != 2 || s.Max != 70 {
+		t.Errorf("TxHistogram(1) = %+v", s)
+	}
+	if s := r.LockHoldHistogram(); s.Count != 1 || s.Sum != 500 {
+		t.Errorf("LockHoldHistogram = %+v", s)
+	}
+}
+
+func TestRecorderOutOfRangeDropped(t *testing.T) {
+	r := newTestRecorder(t)
+	// None of these may panic or be counted.
+	r.RecordOp(-1, 0, 0, 1)
+	r.RecordOp(99, 0, 0, 1)
+	r.RecordOp(0, -1, 0, 1)
+	r.RecordOp(0, 7, 0, 1)
+	r.RecordOp(0, 0, -1, 1)
+	r.RecordOp(0, 0, 7, 1)
+	r.RecordTx(-1, 0, 1)
+	r.RecordTx(0, 9, 1)
+	r.RecordLockHold(42, 1)
+	r.RecordCombine(-3, 1)
+	c := r.Counters()
+	if c.Ops != 0 || c.Commits() != 0 || c.LockAcquisitions != 0 || c.CombinerSessions != 0 {
+		t.Errorf("out-of-range records were counted: %+v", c)
+	}
+}
+
+func TestRecorderDefaults(t *testing.T) {
+	if _, err := New(Config{Shards: 0}); err == nil {
+		t.Error("New with Shards=0 should fail")
+	}
+	r := MustNew(Config{Shards: 1})
+	if got := r.Classes(); len(got) != 1 || got[0] != "all" {
+		t.Errorf("default Classes = %v", got)
+	}
+	if got := r.Paths(); len(got) != 1 || got[0] != "op" {
+		t.Errorf("default Paths = %v", got)
+	}
+	if got := r.Outcomes(); len(got) != 1 || got[0] != "commit" {
+		t.Errorf("default Outcomes = %v", got)
+	}
+	if got := r.TimeUnit(); got != "cycles" {
+		t.Errorf("default TimeUnit = %q", got)
+	}
+}
+
+// TestRecordAllocationFree asserts the histogram record path does not
+// allocate in steady state — an acceptance criterion for the subsystem.
+func TestRecordAllocationFree(t *testing.T) {
+	r := newTestRecorder(t)
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Errorf("Histogram.Record allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.RecordOp(1, 1, 1, 777) }); n != 0 {
+		t.Errorf("Recorder.RecordOp allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.RecordTx(1, 1, 9) }); n != 0 {
+		t.Errorf("Recorder.RecordTx allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.RecordLockHold(1, 9) }); n != 0 {
+		t.Errorf("Recorder.RecordLockHold allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { r.RecordCombine(1, 3) }); n != 0 {
+		t.Errorf("Recorder.RecordCombine allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestSamplerIntervals(t *testing.T) {
+	r := newTestRecorder(t)
+	s := NewSampler(r, 100)
+
+	r.RecordOp(0, 0, 0, 10)
+	r.RecordOp(0, 0, 0, 10)
+	if s.MaybeSample(50) {
+		t.Error("sampled before one interval elapsed")
+	}
+	if !s.MaybeSample(100) {
+		t.Error("did not sample at interval boundary")
+	}
+	r.RecordOp(0, 1, 1, 10)
+	if !s.MaybeSample(250) {
+		t.Error("did not sample after interval elapsed")
+	}
+	r.RecordOp(0, 0, 0, 10)
+	s.Flush(300) // partial final interval
+
+	ivs := s.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals, want 3: %+v", len(ivs), ivs)
+	}
+	if ivs[0].Start != 0 || ivs[0].End != 100 || ivs[0].Ops != 2 {
+		t.Errorf("interval 0 = %+v", ivs[0])
+	}
+	if ivs[0].Throughput != 2*1e6/100 {
+		t.Errorf("interval 0 throughput = %g", ivs[0].Throughput)
+	}
+	if ivs[1].Start != 100 || ivs[1].End != 250 || ivs[1].Ops != 1 {
+		t.Errorf("interval 1 = %+v", ivs[1])
+	}
+	if ivs[1].OpsByClass[1] != 1 || ivs[1].OpsByClass[0] != 0 {
+		t.Errorf("interval 1 OpsByClass = %v (deltas, not cumulative)", ivs[1].OpsByClass)
+	}
+	if ivs[2].Start != 250 || ivs[2].End != 300 || ivs[2].Ops != 1 {
+		t.Errorf("interval 2 = %+v", ivs[2])
+	}
+
+	// A second Flush at the same time must not duplicate.
+	s.Flush(300)
+	if got := len(s.Intervals()); got != 3 {
+		t.Errorf("idempotent Flush: got %d intervals, want 3", got)
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	r := newTestRecorder(t)
+	s := NewSampler(r, 0)
+	r.RecordOp(0, 0, 0, 10)
+	if s.MaybeSample(1_000_000) {
+		t.Error("disabled sampler must never MaybeSample")
+	}
+	s.Flush(500)
+	ivs := s.Intervals()
+	if len(ivs) != 1 || ivs[0].Start != 0 || ivs[0].End != 500 || ivs[0].Ops != 1 {
+		t.Errorf("disabled sampler Flush: %+v", ivs)
+	}
+}
+
+func buildTestReport(t *testing.T) Report {
+	t.Helper()
+	r := newTestRecorder(t)
+	s := NewSampler(r, 100)
+	r.RecordOp(0, 0, 0, 10)
+	r.RecordOp(1, 0, 1, 90)
+	r.RecordOp(2, 1, 1, 250)
+	r.RecordTx(0, 0, 40)
+	r.RecordTx(0, 1, 15)
+	r.RecordLockHold(1, 77)
+	r.RecordCombine(1, 3)
+	s.MaybeSample(100)
+	r.RecordOp(0, 0, 0, 20)
+	s.Flush(150)
+	return BuildReport(r, s, "testsc", "TestEngine", 4)
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := buildTestReport(t)
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.Scenario != "testsc" || back.Engine != "TestEngine" || back.Threads != 4 {
+		t.Errorf("identity fields: %+v", back)
+	}
+	if back.Totals.Ops != 4 {
+		t.Errorf("Totals.Ops = %d, want 4", back.Totals.Ops)
+	}
+	if len(back.Intervals) != 2 {
+		t.Errorf("intervals = %d, want 2", len(back.Intervals))
+	}
+	if len(back.ClassLatency) != 2 || back.ClassLatency[0].Class != "find" {
+		t.Errorf("ClassLatency = %+v", back.ClassLatency)
+	}
+	// op rows: find/fast, find/slow, insert/slow
+	if len(back.OpLatency) != 3 {
+		t.Errorf("OpLatency rows = %d, want 3", len(back.OpLatency))
+	}
+	if len(back.TxLatency) != 2 {
+		t.Errorf("TxLatency rows = %d, want 2", len(back.TxLatency))
+	}
+}
+
+func TestReportCSVParses(t *testing.T) {
+	rep := buildTestReport(t)
+
+	ivCSV := rep.IntervalsCSV()
+	rows, err := csv.NewReader(strings.NewReader(ivCSV)).ReadAll()
+	if err != nil {
+		t.Fatalf("IntervalsCSV does not parse: %v\n%s", err, ivCSV)
+	}
+	if len(rows) != 3 { // header + 2 intervals
+		t.Fatalf("IntervalsCSV rows = %d, want 3", len(rows))
+	}
+	header := rows[0]
+	want := []string{"aborts_conflict", "aborts_capacity", "ops_find", "ops_insert"}
+	for _, w := range want {
+		found := false
+		for _, h := range header {
+			if h == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("IntervalsCSV header missing %q: %v", w, header)
+		}
+	}
+
+	latCSV := rep.LatencyCSV()
+	rows, err = csv.NewReader(strings.NewReader(latCSV)).ReadAll()
+	if err != nil {
+		t.Fatalf("LatencyCSV does not parse: %v\n%s", err, latCSV)
+	}
+	// header + 2 class rows + 3 op rows
+	if len(rows) != 6 {
+		t.Fatalf("LatencyCSV rows = %d, want 6:\n%s", len(rows), latCSV)
+	}
+
+	// The combined export is both tables separated by a blank line.
+	parts := strings.Split(rep.CSV(), "\n\n")
+	if len(parts) != 2 {
+		t.Errorf("CSV() should contain two tables, got %d", len(parts))
+	}
+}
+
+func TestReportPrometheusFormat(t *testing.T) {
+	rep := buildTestReport(t)
+	out := rep.Prometheus()
+
+	wantSubstrings := []string{
+		`hcf_ops_total{scenario="testsc",engine="TestEngine",class="find",path="fast"} 2`,
+		`hcf_op_latency{scenario="testsc",engine="TestEngine",class="find",quantile="0.5"}`,
+		`hcf_op_latency_count{scenario="testsc",engine="TestEngine",class="find"} 3`,
+		`hcf_tx_total{scenario="testsc",engine="TestEngine",outcome="commit"} 1`,
+		`hcf_combiner_sessions_total{scenario="testsc",engine="TestEngine"} 1`,
+		`hcf_lock_acquisitions_total{scenario="testsc",engine="TestEngine"} 1`,
+	}
+	for _, w := range wantSubstrings {
+		if !strings.Contains(out, w) {
+			t.Errorf("Prometheus output missing %q\n%s", w, out)
+		}
+	}
+
+	// Structural check: every non-comment line is `name{labels} value` and
+	// every metric has HELP and TYPE comments.
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		closeBrace := strings.LastIndexByte(line, '}')
+		if brace < 0 || closeBrace < brace || closeBrace+2 > len(line) {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		name := line[:brace]
+		base := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !types[base] && !types[name] {
+			t.Errorf("sample %q has no TYPE declaration", name)
+		}
+	}
+}
+
+func TestReportPromEscape(t *testing.T) {
+	r := MustNew(Config{Shards: 1, Classes: []string{`we"ird\class`}})
+	r.RecordOp(0, 0, 0, 5)
+	rep := BuildReport(r, nil, `sc"n`, "E", 1)
+	out := rep.Prometheus()
+	if !strings.Contains(out, `scenario="sc\"n"`) {
+		t.Errorf("scenario label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `class="we\"ird\\class"`) {
+		t.Errorf("class label not escaped:\n%s", out)
+	}
+}
+
+func TestReportText(t *testing.T) {
+	rep := buildTestReport(t)
+	out := rep.Text()
+	for _, w := range []string{"interval series", "operation latency by class", "p50", "p90", "p99", "find", "insert", "lock hold time"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Text() missing %q:\n%s", w, out)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Config dimensions a Recorder. All label slices are copied.
+type Config struct {
+	// Shards is the number of recording threads (worker threads plus the
+	// bootstrap thread). Each shard is written by exactly one thread.
+	Shards int
+	// Classes labels the operation classes (histogram dimension 1).
+	Classes []string
+	// Paths labels the completion paths — for HCF the four phases, for the
+	// baselines their own completion routes (histogram dimension 2).
+	Paths []string
+	// Outcomes labels transaction outcomes; index 0 must be the commit
+	// outcome, the rest abort reasons.
+	Outcomes []string
+	// TimeUnit names the latency unit in reports: "cycles" on the
+	// deterministic simulator, "ns" on the real backend.
+	TimeUnit string
+}
+
+// shard holds one thread's recording state, padded against false sharing
+// with neighbouring shards' hot words.
+type shard struct {
+	lat              []Histogram // class-major: lat[class*numPaths+path]
+	tx               []Histogram // transaction duration per outcome
+	lockHold         Histogram   // data-structure lock hold time
+	combinerSessions atomic.Uint64
+	combinedOps      atomic.Uint64
+	_                [64]byte
+}
+
+// Recorder accumulates latency histograms and activity counters, sharded
+// per thread so that recording is a handful of uncontended atomic adds and
+// allocation-free in steady state. All Record* methods take the calling
+// thread's id; out-of-range dimensions are dropped rather than panicking so
+// a misconfigured recorder can never take down a run.
+type Recorder struct {
+	cfg    Config
+	nc, np int
+	shards []shard
+}
+
+// New builds a Recorder. Shards must be positive; empty label sets default
+// to a single unnamed entry.
+func New(cfg Config) (*Recorder, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("metrics: Shards must be positive, got %d", cfg.Shards)
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []string{"all"}
+	}
+	if len(cfg.Paths) == 0 {
+		cfg.Paths = []string{"op"}
+	}
+	if len(cfg.Outcomes) == 0 {
+		cfg.Outcomes = []string{"commit"}
+	}
+	if cfg.TimeUnit == "" {
+		cfg.TimeUnit = "cycles"
+	}
+	cfg.Classes = append([]string(nil), cfg.Classes...)
+	cfg.Paths = append([]string(nil), cfg.Paths...)
+	cfg.Outcomes = append([]string(nil), cfg.Outcomes...)
+	r := &Recorder{
+		cfg:    cfg,
+		nc:     len(cfg.Classes),
+		np:     len(cfg.Paths),
+		shards: make([]shard, cfg.Shards),
+	}
+	for i := range r.shards {
+		r.shards[i].lat = make([]Histogram, r.nc*r.np)
+		r.shards[i].tx = make([]Histogram, len(cfg.Outcomes))
+	}
+	return r, nil
+}
+
+// MustNew is New for statically correct configurations.
+func MustNew(cfg Config) *Recorder {
+	r, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Classes returns the class labels.
+func (r *Recorder) Classes() []string { return r.cfg.Classes }
+
+// Paths returns the completion-path labels.
+func (r *Recorder) Paths() []string { return r.cfg.Paths }
+
+// Outcomes returns the transaction-outcome labels.
+func (r *Recorder) Outcomes() []string { return r.cfg.Outcomes }
+
+// TimeUnit returns the latency unit label.
+func (r *Recorder) TimeUnit() string { return r.cfg.TimeUnit }
+
+// RecordOp records one completed operation of class, finished via path,
+// with the given end-to-end latency.
+func (r *Recorder) RecordOp(t, class, path int, latency int64) {
+	if t < 0 || t >= len(r.shards) || class < 0 || class >= r.nc || path < 0 || path >= r.np {
+		return
+	}
+	r.shards[t].lat[class*r.np+path].Record(latency)
+}
+
+// RecordTx records one finished transaction attempt with the given outcome
+// (0 = commit, 1.. = abort reasons) and duration.
+func (r *Recorder) RecordTx(t, outcome int, latency int64) {
+	if t < 0 || t >= len(r.shards) || outcome < 0 || outcome >= len(r.shards[t].tx) {
+		return
+	}
+	r.shards[t].tx[outcome].Record(latency)
+}
+
+// RecordLockHold records one data-structure lock acquisition that was held
+// for the given duration.
+func (r *Recorder) RecordLockHold(t int, held int64) {
+	if t < 0 || t >= len(r.shards) {
+		return
+	}
+	r.shards[t].lockHold.Record(held)
+}
+
+// RecordCombine records one combining session that selected n operations
+// (including the combiner's own).
+func (r *Recorder) RecordCombine(t, n int) {
+	if t < 0 || t >= len(r.shards) {
+		return
+	}
+	r.shards[t].combinerSessions.Add(1)
+	r.shards[t].combinedOps.Add(uint64(n))
+}
+
+// Counters is an aggregated snapshot of a Recorder's cumulative counters —
+// the raw material of interval sampling. Slices are indexed by the
+// Recorder's label sets.
+type Counters struct {
+	// Ops counts completed operations (sum of OpsByClass).
+	Ops uint64 `json:"ops"`
+	// OpsByClass and OpsByPath break Ops down by each dimension.
+	OpsByClass []uint64 `json:"ops_by_class"`
+	OpsByPath  []uint64 `json:"ops_by_path"`
+	// LatencySum is the summed operation latency (for mean latency).
+	LatencySum uint64 `json:"latency_sum"`
+	// Tx counts finished transaction attempts by outcome ([0] = commits).
+	Tx []uint64 `json:"tx"`
+	// CombinerSessions and CombinedOps count combining activity.
+	CombinerSessions uint64 `json:"combiner_sessions"`
+	CombinedOps      uint64 `json:"combined_ops"`
+	// LockAcquisitions and LockHoldTime count data-structure lock activity.
+	LockAcquisitions uint64 `json:"lock_acquisitions"`
+	LockHoldTime     uint64 `json:"lock_hold_time"`
+}
+
+// Sub returns c - prev, element-wise (the delta between two snapshots).
+func (c *Counters) Sub(prev *Counters) Counters {
+	d := Counters{
+		Ops:              c.Ops - prev.Ops,
+		LatencySum:       c.LatencySum - prev.LatencySum,
+		CombinerSessions: c.CombinerSessions - prev.CombinerSessions,
+		CombinedOps:      c.CombinedOps - prev.CombinedOps,
+		LockAcquisitions: c.LockAcquisitions - prev.LockAcquisitions,
+		LockHoldTime:     c.LockHoldTime - prev.LockHoldTime,
+		OpsByClass:       make([]uint64, len(c.OpsByClass)),
+		OpsByPath:        make([]uint64, len(c.OpsByPath)),
+		Tx:               make([]uint64, len(c.Tx)),
+	}
+	for i := range d.OpsByClass {
+		d.OpsByClass[i] = c.OpsByClass[i] - prev.OpsByClass[i]
+	}
+	for i := range d.OpsByPath {
+		d.OpsByPath[i] = c.OpsByPath[i] - prev.OpsByPath[i]
+	}
+	for i := range d.Tx {
+		d.Tx[i] = c.Tx[i] - prev.Tx[i]
+	}
+	return d
+}
+
+// Commits returns the committed-transaction count.
+func (c *Counters) Commits() uint64 {
+	if len(c.Tx) == 0 {
+		return 0
+	}
+	return c.Tx[0]
+}
+
+// Aborts returns the total aborted-transaction count.
+func (c *Counters) Aborts() uint64 {
+	var n uint64
+	for _, v := range c.Tx[min(1, len(c.Tx)):] {
+		n += v
+	}
+	return n
+}
+
+// CombiningDegree returns mean operations per combining session.
+func (c *Counters) CombiningDegree() float64 {
+	if c.CombinerSessions == 0 {
+		return 0
+	}
+	return float64(c.CombinedOps) / float64(c.CombinerSessions)
+}
+
+// Counters aggregates all shards' cumulative counters.
+func (r *Recorder) Counters() Counters {
+	c := Counters{
+		OpsByClass: make([]uint64, r.nc),
+		OpsByPath:  make([]uint64, r.np),
+		Tx:         make([]uint64, len(r.cfg.Outcomes)),
+	}
+	for s := range r.shards {
+		sh := &r.shards[s]
+		for cl := 0; cl < r.nc; cl++ {
+			for p := 0; p < r.np; p++ {
+				h := &sh.lat[cl*r.np+p]
+				n := h.Count()
+				c.Ops += n
+				c.OpsByClass[cl] += n
+				c.OpsByPath[p] += n
+				c.LatencySum += h.Sum()
+			}
+		}
+		for o := range sh.tx {
+			c.Tx[o] += sh.tx[o].Count()
+		}
+		c.CombinerSessions += sh.combinerSessions.Load()
+		c.CombinedOps += sh.combinedOps.Load()
+		c.LockAcquisitions += sh.lockHold.Count()
+		c.LockHoldTime += sh.lockHold.Sum()
+	}
+	return c
+}
+
+// OpHistogram returns the merged latency histogram for (class, path).
+func (r *Recorder) OpHistogram(class, path int) HistogramSnapshot {
+	var s HistogramSnapshot
+	if class < 0 || class >= r.nc || path < 0 || path >= r.np {
+		return s
+	}
+	for i := range r.shards {
+		o := r.shards[i].lat[class*r.np+path].Snapshot()
+		s.Merge(&o)
+	}
+	return s
+}
+
+// ClassHistogram returns the merged latency histogram for class across all
+// completion paths.
+func (r *Recorder) ClassHistogram(class int) HistogramSnapshot {
+	var s HistogramSnapshot
+	for p := 0; p < r.np; p++ {
+		o := r.OpHistogram(class, p)
+		s.Merge(&o)
+	}
+	return s
+}
+
+// TxHistogram returns the merged transaction-duration histogram for one
+// outcome.
+func (r *Recorder) TxHistogram(outcome int) HistogramSnapshot {
+	var s HistogramSnapshot
+	if outcome < 0 || outcome >= len(r.cfg.Outcomes) {
+		return s
+	}
+	for i := range r.shards {
+		o := r.shards[i].tx[outcome].Snapshot()
+		s.Merge(&o)
+	}
+	return s
+}
+
+// LockHoldHistogram returns the merged lock-hold-time histogram.
+func (r *Recorder) LockHoldHistogram() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range r.shards {
+		o := r.shards[i].lockHold.Snapshot()
+		s.Merge(&o)
+	}
+	return s
+}

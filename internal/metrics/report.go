@@ -1,0 +1,292 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// HistStat summarizes one histogram: count, mean and the latency
+// percentiles the evaluation aims at.
+type HistStat struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+func statOf(s HistogramSnapshot) HistStat {
+	return HistStat{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		Max:   s.Max,
+	}
+}
+
+// LatencyStat is a HistStat labelled by operation class and completion
+// path. Path is empty for per-class (all paths merged) rows.
+type LatencyStat struct {
+	Class string `json:"class"`
+	Path  string `json:"path,omitempty"`
+	HistStat
+}
+
+// TxStat is a HistStat of transaction durations for one outcome.
+type TxStat struct {
+	Outcome string `json:"outcome"`
+	HistStat
+}
+
+// Report is a complete machine-readable account of one instrumented run.
+type Report struct {
+	Scenario string `json:"scenario,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	Threads  int    `json:"threads,omitempty"`
+	// TimeUnit is the unit of every latency and timestamp in the report.
+	TimeUnit string `json:"time_unit"`
+	// SampleInterval is the sampler's interval length (0 = single interval).
+	SampleInterval int64 `json:"sample_interval"`
+
+	Classes  []string `json:"classes"`
+	Paths    []string `json:"paths"`
+	Outcomes []string `json:"outcomes"`
+
+	// Totals are the whole-run cumulative counters.
+	Totals Counters `json:"totals"`
+	// ClassLatency has one row per operation class (paths merged);
+	// OpLatency one row per (class, path) with observations.
+	ClassLatency []LatencyStat `json:"class_latency"`
+	OpLatency    []LatencyStat `json:"op_latency"`
+	// TxLatency summarizes transaction durations per outcome.
+	TxLatency []TxStat `json:"tx_latency,omitempty"`
+	// LockHold summarizes data-structure lock hold times.
+	LockHold HistStat `json:"lock_hold"`
+	// Intervals is the time series.
+	Intervals []Interval `json:"intervals"`
+}
+
+// BuildReport assembles a Report from a recorder and (optionally) a
+// sampler; pass nil sampler for totals-only reports.
+func BuildReport(rec *Recorder, s *Sampler, scenario, engine string, threads int) Report {
+	r := Report{
+		Scenario: scenario,
+		Engine:   engine,
+		Threads:  threads,
+		TimeUnit: rec.TimeUnit(),
+		Classes:  rec.Classes(),
+		Paths:    rec.Paths(),
+		Outcomes: rec.Outcomes(),
+		Totals:   rec.Counters(),
+	}
+	if s != nil {
+		r.SampleInterval = s.Interval()
+		r.Intervals = s.Intervals()
+	}
+	for c, class := range r.Classes {
+		if snap := rec.ClassHistogram(c); snap.Count > 0 {
+			r.ClassLatency = append(r.ClassLatency, LatencyStat{Class: class, HistStat: statOf(snap)})
+		}
+		for p, path := range r.Paths {
+			if snap := rec.OpHistogram(c, p); snap.Count > 0 {
+				r.OpLatency = append(r.OpLatency, LatencyStat{Class: class, Path: path, HistStat: statOf(snap)})
+			}
+		}
+	}
+	for o, outcome := range r.Outcomes {
+		if snap := rec.TxHistogram(o); snap.Count > 0 {
+			r.TxLatency = append(r.TxLatency, TxStat{Outcome: outcome, HistStat: statOf(snap)})
+		}
+	}
+	r.LockHold = statOf(rec.LockHoldHistogram())
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// csvEscape quotes a field if needed (commas, quotes, newlines).
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// IntervalsCSV renders the time series as one CSV table: fixed columns,
+// then one aborts column per abort reason and one ops column per class.
+func (r *Report) IntervalsCSV() string {
+	var b strings.Builder
+	b.WriteString("start,end,ops,throughput,commits,combiner_sessions,combined_ops," +
+		"combining_degree,lock_acquisitions,lock_hold_time")
+	for _, o := range r.Outcomes[min(1, len(r.Outcomes)):] {
+		fmt.Fprintf(&b, ",aborts_%s", csvEscape(o))
+	}
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, ",ops_%s", csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, iv := range r.Intervals {
+		fmt.Fprintf(&b, "%d,%d,%d,%.2f,%d,%d,%d,%.2f,%d,%d",
+			iv.Start, iv.End, iv.Ops, iv.Throughput, iv.Commits(),
+			iv.CombinerSessions, iv.CombinedOps, iv.CombiningDegree,
+			iv.LockAcquisitions, iv.LockHoldTime)
+		for _, n := range iv.Tx[min(1, len(iv.Tx)):] {
+			fmt.Fprintf(&b, ",%d", n)
+		}
+		for _, n := range iv.OpsByClass {
+			fmt.Fprintf(&b, ",%d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LatencyCSV renders the per-(class, path) latency table as CSV, with
+// per-class merged rows (empty path) included.
+func (r *Report) LatencyCSV() string {
+	var b strings.Builder
+	b.WriteString("class,path,count,mean,p50,p90,p99,max\n")
+	row := func(class, path string, h HistStat) {
+		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%d,%d,%d,%d\n",
+			csvEscape(class), csvEscape(path), h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+	}
+	for _, ls := range r.ClassLatency {
+		row(ls.Class, "", ls.HistStat)
+	}
+	for _, ls := range r.OpLatency {
+		row(ls.Class, ls.Path, ls.HistStat)
+	}
+	return b.String()
+}
+
+// CSV renders the whole report as two CSV tables (intervals, then
+// latencies) separated by a blank line.
+func (r *Report) CSV() string {
+	return r.IntervalsCSV() + "\n" + r.LatencyCSV()
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Prometheus renders the report's cumulative state in the Prometheus text
+// exposition format (intervals are inherently a scrape-side concern and are
+// not exported here). Every sample carries scenario/engine labels so
+// several runs can share one scrape file.
+func (r *Report) Prometheus() string {
+	var b strings.Builder
+	base := fmt.Sprintf(`scenario="%s",engine="%s"`, promEscape(r.Scenario), promEscape(r.Engine))
+
+	fmt.Fprintf(&b, "# HELP hcf_ops_total Completed operations by class and completion path.\n")
+	fmt.Fprintf(&b, "# TYPE hcf_ops_total counter\n")
+	for _, ls := range r.OpLatency {
+		fmt.Fprintf(&b, "hcf_ops_total{%s,class=\"%s\",path=\"%s\"} %d\n",
+			base, promEscape(ls.Class), promEscape(ls.Path), ls.Count)
+	}
+
+	unit := promEscape(r.TimeUnit)
+	fmt.Fprintf(&b, "# HELP hcf_op_latency Operation latency quantiles (%s).\n", unit)
+	fmt.Fprintf(&b, "# TYPE hcf_op_latency summary\n")
+	for _, ls := range r.ClassLatency {
+		labels := fmt.Sprintf("%s,class=\"%s\"", base, promEscape(ls.Class))
+		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.5\"} %d\n", labels, ls.P50)
+		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.9\"} %d\n", labels, ls.P90)
+		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.99\"} %d\n", labels, ls.P99)
+		fmt.Fprintf(&b, "hcf_op_latency_sum{%s} %.0f\n", labels, ls.Mean*float64(ls.Count))
+		fmt.Fprintf(&b, "hcf_op_latency_count{%s} %d\n", labels, ls.Count)
+	}
+
+	fmt.Fprintf(&b, "# HELP hcf_tx_total Finished transaction attempts by outcome.\n")
+	fmt.Fprintf(&b, "# TYPE hcf_tx_total counter\n")
+	for i, o := range r.Outcomes {
+		var n uint64
+		if i < len(r.Totals.Tx) {
+			n = r.Totals.Tx[i]
+		}
+		fmt.Fprintf(&b, "hcf_tx_total{%s,outcome=\"%s\"} %d\n", base, promEscape(o), n)
+	}
+
+	simple := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"hcf_combiner_sessions_total", "Combining passes.", r.Totals.CombinerSessions},
+		{"hcf_combined_ops_total", "Operations applied in combining passes.", r.Totals.CombinedOps},
+		{"hcf_lock_acquisitions_total", "Data-structure lock acquisitions.", r.Totals.LockAcquisitions},
+		{"hcf_lock_hold_time_total", "Total lock hold time (" + r.TimeUnit + ").", r.Totals.LockHoldTime},
+	}
+	for _, m := range simple {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n",
+			m.name, m.help, m.name, m.name, base, m.v)
+	}
+	return b.String()
+}
+
+// Text renders the report as human-readable tables: the interval series
+// followed by latency percentile tables.
+func (r *Report) Text() string {
+	var b strings.Builder
+	if r.Scenario != "" {
+		fmt.Fprintf(&b, "scenario  %s\nengine    %s\nthreads   %d\n", r.Scenario, r.Engine, r.Threads)
+	}
+	fmt.Fprintf(&b, "unit      %s\n\n", r.TimeUnit)
+
+	if len(r.Intervals) > 0 {
+		if r.SampleInterval > 0 {
+			fmt.Fprintf(&b, "interval series (every %d %s):\n", r.SampleInterval, r.TimeUnit)
+		} else {
+			fmt.Fprintf(&b, "interval series (whole run):\n")
+		}
+		fmt.Fprintf(&b, "  %12s %12s %8s %10s %8s %8s %8s %8s %10s\n",
+			"start", "end", "ops", "thrpt", "commits", "aborts", "sessions", "degree", "lock-hold")
+		for _, iv := range r.Intervals {
+			fmt.Fprintf(&b, "  %12d %12d %8d %10.1f %8d %8d %8d %8.2f %10d\n",
+				iv.Start, iv.End, iv.Ops, iv.Throughput, iv.Commits(), iv.Aborts(),
+				iv.CombinerSessions, iv.CombiningDegree, iv.LockHoldTime)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.ClassLatency) > 0 {
+		fmt.Fprintf(&b, "operation latency by class (%s):\n", r.TimeUnit)
+		fmt.Fprintf(&b, "  %-14s %-18s %10s %10s %8s %8s %8s %8s\n",
+			"class", "path", "count", "mean", "p50", "p90", "p99", "max")
+		for _, ls := range r.ClassLatency {
+			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d\n",
+				ls.Class, "(all)", ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.Max)
+		}
+		for _, ls := range r.OpLatency {
+			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d\n",
+				ls.Class, ls.Path, ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.Max)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.TxLatency) > 0 {
+		fmt.Fprintf(&b, "transaction duration by outcome (%s):\n", r.TimeUnit)
+		fmt.Fprintf(&b, "  %-14s %10s %10s %8s %8s %8s %8s\n",
+			"outcome", "count", "mean", "p50", "p90", "p99", "max")
+		for _, ts := range r.TxLatency {
+			fmt.Fprintf(&b, "  %-14s %10d %10.1f %8d %8d %8d %8d\n",
+				ts.Outcome, ts.Count, ts.Mean, ts.P50, ts.P90, ts.P99, ts.Max)
+		}
+		b.WriteByte('\n')
+	}
+
+	if r.LockHold.Count > 0 {
+		fmt.Fprintf(&b, "lock hold time (%s): count %d, mean %.1f, p50 %d, p99 %d, max %d\n",
+			r.TimeUnit, r.LockHold.Count, r.LockHold.Mean,
+			r.LockHold.P50, r.LockHold.P99, r.LockHold.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package metrics
+
+// Interval is one time-series sample: the delta of all counters over
+// [Start, End), plus derived rates. Time is in the recorder's TimeUnit
+// (virtual cycles on the deterministic simulator, wall nanoseconds on the
+// real backend).
+type Interval struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+	// Throughput is operations per million time units.
+	Throughput float64 `json:"throughput"`
+	// CombiningDegree is mean operations per combining session.
+	CombiningDegree float64 `json:"combining_degree"`
+	Counters
+}
+
+// Sampler turns a Recorder's cumulative counters into per-interval records.
+// Call MaybeSample periodically from a single driver thread (in the
+// deterministic simulator any worker works, since snapshots are consistent
+// under cooperative scheduling; on the real backend the counters are
+// atomics, so a sample is a fuzzy-but-monotonic cut, which is what interval
+// metrics want).
+type Sampler struct {
+	rec      *Recorder
+	interval int64
+	lastTime int64
+	last     Counters
+
+	intervals []Interval
+}
+
+// NewSampler builds a sampler that emits one Interval per `interval` time
+// units. A non-positive interval disables sampling (MaybeSample never
+// fires; Flush still emits one whole-run interval).
+func NewSampler(rec *Recorder, interval int64) *Sampler {
+	return &Sampler{
+		rec:      rec,
+		interval: interval,
+		last:     rec.Counters(),
+	}
+}
+
+// Interval returns the configured interval length.
+func (s *Sampler) Interval() int64 { return s.interval }
+
+// MaybeSample emits an interval record if at least one interval length has
+// elapsed since the previous sample. It returns whether it sampled.
+func (s *Sampler) MaybeSample(now int64) bool {
+	if s.interval <= 0 || now-s.lastTime < s.interval {
+		return false
+	}
+	s.sample(now)
+	return true
+}
+
+// Flush emits a final partial interval covering [lastSample, now) if any
+// operations completed in it.
+func (s *Sampler) Flush(now int64) {
+	if now <= s.lastTime {
+		return
+	}
+	cur := s.rec.Counters()
+	if cur.Ops == s.last.Ops && len(s.intervals) > 0 {
+		return
+	}
+	s.sampleAt(now, cur)
+}
+
+func (s *Sampler) sample(now int64) {
+	s.sampleAt(now, s.rec.Counters())
+}
+
+func (s *Sampler) sampleAt(now int64, cur Counters) {
+	iv := Interval{
+		Start:    s.lastTime,
+		End:      now,
+		Counters: cur.Sub(&s.last),
+	}
+	if span := now - s.lastTime; span > 0 {
+		iv.Throughput = float64(iv.Ops) * 1e6 / float64(span)
+	}
+	iv.CombiningDegree = iv.Counters.CombiningDegree()
+	s.intervals = append(s.intervals, iv)
+	s.last = cur
+	s.lastTime = now
+}
+
+// Intervals returns the emitted interval records.
+func (s *Sampler) Intervals() []Interval { return s.intervals }

@@ -22,7 +22,8 @@ type Collector struct {
 	// counters keep aggregating past the limit.
 	Limit int
 
-	events []core.TraceEvent
+	events  []core.TraceEvent
+	dropped uint64
 
 	attempts [core.NumPhases][htm.NumReasons]uint64
 	dones    [core.NumPhases]uint64
@@ -40,6 +41,8 @@ func (c *Collector) Trace(ev core.TraceEvent) {
 	defer c.mu.Unlock()
 	if c.Limit == 0 || len(c.events) < c.Limit {
 		c.events = append(c.events, ev)
+	} else {
+		c.dropped++
 	}
 	switch ev.Kind {
 	case core.TraceStart:
@@ -64,6 +67,14 @@ func (c *Collector) Events() []core.TraceEvent {
 	out := make([]core.TraceEvent, len(c.events))
 	copy(out, c.events)
 	return out
+}
+
+// Dropped returns the number of events discarded because the retained
+// stream had already reached Limit. Summary counters still cover them.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Starts returns the number of operations that entered Execute.
@@ -120,6 +131,10 @@ func (c *Collector) Summary() string {
 			float64(sum)/float64(len(sorted)))
 	}
 	fmt.Fprintf(&b, "lock acquisitions by combiners: %d\n", c.locks)
+	if c.dropped > 0 {
+		fmt.Fprintf(&b, "events dropped at Limit=%d: %d (retained %d; counters above cover all events)\n",
+			c.Limit, c.dropped, len(c.events))
+	}
 	return b.String()
 }
 

@@ -106,6 +106,39 @@ func TestLimitBoundsRetentionNotCounters(t *testing.T) {
 	}
 }
 
+// TestDroppedEventsReported is the regression test for the silent-drop bug:
+// a Collector with a Limit used to discard events past the limit without any
+// trace of having done so, so a truncated timeline was indistinguishable
+// from a complete one. Dropped() and Summary() must now report the count.
+func TestDroppedEventsReported(t *testing.T) {
+	col, _ := tracedRun(t, 6, 30, 10)
+	if got := len(col.Events()); got != 10 {
+		t.Fatalf("retained %d events, want 10", got)
+	}
+	dropped := col.Dropped()
+	if dropped == 0 {
+		t.Fatal("Dropped() = 0 after exceeding Limit; drops must be counted")
+	}
+	// Every op emits at least start+done, so 180 ops emit >= 360 events;
+	// 10 were retained, the rest dropped.
+	if dropped < 350 {
+		t.Fatalf("Dropped() = %d, want >= 350", dropped)
+	}
+	sum := col.Summary()
+	if !strings.Contains(sum, "events dropped at Limit=10:") {
+		t.Fatalf("Summary does not report dropped events:\n%s", sum)
+	}
+
+	// No limit => no drops, and no dropped line in the summary.
+	unlimited, _ := tracedRun(t, 2, 5, 0)
+	if got := unlimited.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d without a Limit, want 0", got)
+	}
+	if strings.Contains(unlimited.Summary(), "events dropped") {
+		t.Fatal("Summary mentions drops when none occurred")
+	}
+}
+
 func TestSummaryAndTimelineRender(t *testing.T) {
 	col, _ := tracedRun(t, 8, 25, 0)
 	sum := col.Summary()

@@ -1,0 +1,84 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hcf"
+	"hcf/metrics"
+)
+
+type incOp struct{ addr hcf.Addr }
+
+func (o incOp) Apply(ctx hcf.Ctx) uint64 {
+	v := ctx.Load(o.addr)
+	ctx.Store(o.addr, v+1)
+	return v
+}
+
+func (o incOp) Class() int { return 0 }
+
+// TestPublicAPIEndToEnd follows the package-doc recipe: instrument a
+// framework through the public facade, run a workload, sample, and export.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const threads, perThread = 4, 50
+	env := hcf.NewDetEnv(threads)
+	fw, err := hcf.New(env, hcf.Config{
+		Policies: []hcf.Policy{{
+			TryPrivateTrials:   2,
+			TryVisibleTrials:   3,
+			TryCombiningTrials: 5,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.MustNew(metrics.Config{
+		Shards:   threads + 1,
+		Classes:  []string{"inc"},
+		Paths:    fw.CompletionPaths(),
+		TimeUnit: "cycles",
+	})
+	fw.SetRecorder(rec)
+	sampler := metrics.NewSampler(rec, 2000)
+
+	counter := env.Alloc(1)
+	var end int64
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < perThread; i++ {
+			fw.Execute(th, incOp{addr: counter})
+			if th.ID() == 0 {
+				sampler.MaybeSample(th.Now())
+			}
+		}
+		if now := th.Now(); now > end {
+			end = now
+		}
+	})
+	sampler.Flush(end)
+
+	report := metrics.BuildReport(rec, sampler, "facade-test", fw.Name(), threads)
+	if report.Totals.Ops != threads*perThread {
+		t.Fatalf("recorded %d ops, want %d", report.Totals.Ops, threads*perThread)
+	}
+	if len(report.Intervals) == 0 || len(report.ClassLatency) != 1 {
+		t.Fatalf("report shape: %d intervals, %d classes",
+			len(report.Intervals), len(report.ClassLatency))
+	}
+
+	out, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back metrics.Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if !strings.Contains(report.Prometheus(), `scenario="facade-test"`) {
+		t.Error("Prometheus export missing scenario label")
+	}
+	if !strings.Contains(report.CSV(), "class,path,count,mean,p50,p90,p99,max") {
+		t.Error("CSV export missing latency header")
+	}
+}
