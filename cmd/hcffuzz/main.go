@@ -26,6 +26,7 @@ import (
 	"hcf/internal/engines"
 	"hcf/internal/memsim"
 	"hcf/internal/seq/hashtable"
+	"hcf/internal/trace"
 	"hcf/internal/witness"
 )
 
@@ -41,6 +42,7 @@ type fuzzCfg struct {
 	perThread int
 	jitterPct int64
 	scenario  string
+	flight    int
 }
 
 func run(args []string) error {
@@ -53,6 +55,7 @@ func run(args []string) error {
 		jitter    = fs.Int64("jitter", 40, "cost jitter percent")
 		engs      = fs.String("engines", "Lock,TLE,FC,SCM,TLE+FC,HCF", "engines to fuzz")
 		scenario  = fs.String("scenario", "hashtable", "counter | hashtable")
+		flight    = fs.Int("flight", 256, "flight-recorder ring size per thread (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +65,7 @@ func run(args []string) error {
 		perThread: *perThread,
 		jitterPct: *jitter,
 		scenario:  *scenario,
+		flight:    *flight,
 	}
 	names := strings.Split(*engs, ",")
 	checked := 0
@@ -205,11 +209,24 @@ func fuzzOne(cfg fuzzCfg, engineName string, seed uint64) error {
 		return fmt.Errorf("engine %s is not witnessable", engineName)
 	}
 	we.SetWitness(rec.Func())
+	// Always-on flight recorder: per-thread rings of the most recent
+	// lifecycle events, dumped with the error when the checker fails.
+	var flight *trace.Collector
+	if cfg.flight > 0 {
+		if te, ok := eng.(core.TracedEngine); ok {
+			flight = &trace.Collector{Limit: cfg.flight}
+			te.SetTracer(flight)
+		}
+	}
 	env.Run(func(th *memsim.Thread) {
 		rng := rand.New(rand.NewPCG(uint64(th.ID()), seed))
 		for i := 0; i < cfg.perThread; i++ {
 			eng.Execute(th, nextOp(rng))
 		}
 	})
-	return witness.Check(rec, model, cfg.threads*cfg.perThread, rank)
+	var fr witness.FlightSource
+	if flight != nil {
+		fr = flight
+	}
+	return witness.CheckDump(rec, model, cfg.threads*cfg.perThread, rank, fr, 120)
 }

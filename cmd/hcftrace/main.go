@@ -1,23 +1,34 @@
-// Command hcftrace runs a workload under HCF with lifecycle tracing and
-// prints where operations went: per-phase attempt outcomes with abort
-// reasons, self vs helped completions, combiner selection sizes, and
-// (optionally) a raw event timeline.
+// Command hcftrace runs a workload under any of the six engines with
+// lifecycle tracing and reports where operations went: per-phase attempt
+// outcomes with abort attribution (conflicting cache line + writer
+// thread, lock holders), self vs helped completions with latency and
+// time-in-phase breakdowns, combiner selection sizes, the hottest
+// conflicting cache lines, and (optionally) a raw event timeline.
+//
+// Output formats:
+//
+//	-format text    human-readable summary + span stats (default)
+//	-format json    machine-readable summary + span stats (also: -json)
+//	-format chrome  Chrome trace-event JSON — load the file in Perfetto
+//	                (ui.perfetto.dev) or chrome://tracing; threads are
+//	                tracks, operations are slices with nested phase
+//	                sub-slices, combining shows as flow arrows
 //
 // Usage:
 //
 //	hcftrace -scenario hashtable -threads 18
-//	hcftrace -scenario pqueue -threads 12 -timeline 60
+//	hcftrace -scenario pqueue -engine TLE+FC -threads 12 -timeline 60
+//	hcftrace -scenario hashtable -format chrome -out trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand/v2"
+	"io"
 	"os"
 
-	"hcf/internal/core"
 	"hcf/internal/harness"
-	"hcf/internal/memsim"
 	"hcf/internal/trace"
 )
 
@@ -28,18 +39,47 @@ func main() {
 	}
 }
 
+// report is the -format json document: run identity and results alongside
+// the aggregate trace summary and span statistics, field-compatible in
+// style with hcfbench/hcfstat output.
+type report struct {
+	Scenario   string            `json:"scenario"`
+	Engine     string            `json:"engine"`
+	Threads    int               `json:"threads"`
+	Horizon    int64             `json:"horizon"`
+	Seed       uint64            `json:"seed"`
+	Ops        uint64            `json:"ops"`
+	Cycles     int64             `json:"cycles"`
+	Throughput float64           `json:"throughput_ops_per_mcycle"`
+	Summary    trace.SummaryData `json:"summary"`
+	Spans      trace.SpanStats   `json:"spans"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hcftrace", flag.ContinueOnError)
 	var (
 		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque | sortedlist")
+		engine   = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF")
 		threads  = fs.Int("threads", 18, "worker threads")
 		find     = fs.Int("find", 40, "find percentage (hashtable, avl, sortedlist)")
 		horizon  = fs.Int64("horizon", 100_000, "virtual cycles")
 		seed     = fs.Uint64("seed", 1, "workload seed")
-		timeline = fs.Int("timeline", 0, "also print the first N raw events")
+		limit    = fs.Int("limit", 0, "flight-recorder ring size per thread (0 = retain all events)")
+		timeline = fs.Int("timeline", 0, "also print the first N raw events (text format)")
+		format   = fs.String("format", "text", "text | json | chrome")
+		jsonFlag = fs.Bool("json", false, "shorthand for -format json")
+		out      = fs.String("out", "", "write output to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonFlag {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "chrome":
+	default:
+		return fmt.Errorf("unknown format %q (want text, json, or chrome)", *format)
 	}
 	var sc harness.Scenario
 	switch *scenario {
@@ -58,33 +98,58 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
-	env := memsim.NewDet(memsim.DetConfig{Threads: *threads})
-	inst := sc.Setup(env, *seed)
-	fw, err := core.New(env, core.Config{
-		Policies:          inst.Policies,
-		HoldSelectionLock: inst.HoldSelectionLock,
-	})
+
+	cfg := harness.Config{Horizon: *horizon, Seed: *seed}
+	res, col, err := harness.RunPointTraced(sc, *engine, *threads, cfg, *limit)
 	if err != nil {
 		return err
 	}
-	col := &trace.Collector{Limit: 100_000}
-	fw.SetTracer(col)
-	env.ResetStats()
-	env.Run(func(th *memsim.Thread) {
-		rng := rand.New(rand.NewPCG(*seed, uint64(th.ID())+1))
-		for th.Now() < *horizon {
-			fw.Execute(th, inst.NextOp(rng))
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
 		}
-	})
-	fmt.Printf("scenario %s, %d threads, horizon %d cycles\n\n", sc.Name, *threads, *horizon)
-	fmt.Print(col.Summary())
-	if *timeline > 0 {
-		fmt.Printf("\nfirst %d events:\n%s", *timeline, col.FormatTimeline(*timeline))
+		defer f.Close()
+		w = f
 	}
-	if inst.Check != nil {
-		if msg := inst.Check(env.Boot()); msg != "" {
-			return fmt.Errorf("invariant violation: %s", msg)
+
+	switch *format {
+	case "chrome":
+		if err := trace.WriteChrome(w, col.Events(), *engine); err != nil {
+			return err
 		}
+	case "json":
+		doc := report{
+			Scenario:   res.Scenario,
+			Engine:     res.Engine,
+			Threads:    res.Threads,
+			Horizon:    *horizon,
+			Seed:       *seed,
+			Ops:        res.Ops,
+			Cycles:     res.Cycles,
+			Throughput: res.Throughput,
+			Summary:    col.SummaryData(),
+			Spans:      trace.ComputeSpanStats(trace.BuildSpans(col.Events())),
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	default:
+		fmt.Fprintf(w, "scenario %s, engine %s, %d threads, horizon %d cycles\n\n",
+			sc.Name, *engine, *threads, *horizon)
+		fmt.Fprint(w, col.Summary())
+		fmt.Fprintf(w, "\n")
+		fmt.Fprint(w, trace.FormatSpanStats(trace.ComputeSpanStats(trace.BuildSpans(col.Events()))))
+		if *timeline > 0 {
+			fmt.Fprintf(w, "\nfirst %d events:\n%s", *timeline, col.FormatTimeline(*timeline))
+		}
+	}
+	if res.InvariantViolation != "" {
+		return fmt.Errorf("invariant violation: %s", res.InvariantViolation)
 	}
 	return nil
 }

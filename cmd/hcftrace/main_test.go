@@ -1,11 +1,25 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunScenarios(t *testing.T) {
 	for _, sc := range []string{"hashtable", "avl", "pqueue", "stack", "deque", "sortedlist"} {
 		if err := run([]string{"-scenario", sc, "-threads", "3", "-horizon", "5000"}); err != nil {
 			t.Fatalf("%s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunAllEngines(t *testing.T) {
+	for _, eng := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		if err := run([]string{"-scenario", "hashtable", "-engine", eng,
+			"-threads", "3", "-horizon", "4000"}); err != nil {
+			t.Fatalf("%s: %v", eng, err)
 		}
 	}
 }
@@ -17,5 +31,79 @@ func TestRunTimelineAndErrors(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "nope"}); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-engine", "nope"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run([]string{"-format", "nope"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "summary.json")
+	if err := run([]string{"-scenario", "hashtable", "-threads", "3",
+		"-horizon", "5000", "-json", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Engine  string `json:"engine"`
+		Ops     uint64 `json:"ops"`
+		Summary struct {
+			Starts uint64 `json:"starts"`
+		} `json:"summary"`
+		Spans struct {
+			Spans uint64 `json:"spans"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.Engine != "HCF" || doc.Ops == 0 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Summary.Starts != doc.Ops || doc.Spans.Spans != doc.Ops {
+		t.Errorf("starts %d / spans %d / ops %d disagree",
+			doc.Summary.Starts, doc.Spans.Spans, doc.Ops)
+	}
+}
+
+func TestChromeOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-scenario", "hashtable", "-threads", "4",
+		"-horizon", "8000", "-format", "chrome", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if cat, ok := ev["cat"].(string); ok {
+			kinds[cat] = true
+		}
+	}
+	for _, want := range []string{"op", "phase"} {
+		if !kinds[want] {
+			t.Errorf("chrome trace has no %q slices", want)
+		}
+	}
+}
+
+func TestFlightRecorderLimit(t *testing.T) {
+	if err := run([]string{"-scenario", "hashtable", "-threads", "3",
+		"-horizon", "6000", "-limit", "32"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -132,6 +132,15 @@ type desc struct {
 	op        engine.Op
 	result    uint64
 	donePhase Phase
+	// span identifies the thread's current operation in the trace stream;
+	// spanSeq is the thread-local dense counter behind it.
+	span    uint64
+	spanSeq uint64
+	// helper and helperSpan name the combiner that completed this
+	// operation; like result, their cross-thread visibility is ordered by
+	// the Done status transition.
+	helper     int
+	helperSpan uint64
 }
 
 // array couples a publication array with its selection lock.
@@ -341,25 +350,31 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	bud := &f.budgets[class]
 	pa := f.arrays[bud.pubArray.Load()]
 	start := f.opStart(th)
-	f.emit(th, TraceEvent{Kind: TraceStart, Class: class})
+	if f.tracer != nil {
+		d.spanSeq++
+		d.span = SpanID(t, d.spanSeq)
+		d.helper = -1
+		d.helperSpan = 0
+	}
+	f.emit(th, TraceEvent{Kind: TraceStart, Class: class, Peer: -1})
 	if res, ok := f.tryPrivate(th, int(bud.private.Load()), op); ok {
 		f.complete(tm, class, PhaseTryPrivate)
 		f.finishOp(th, class, PhaseTryPrivate, start)
-		f.emit(th, TraceEvent{Kind: TraceDone, Phase: PhaseTryPrivate})
+		f.emit(th, TraceEvent{Kind: TraceDone, Phase: PhaseTryPrivate, Peer: -1})
 		return res
 	}
 	f.announce(th, t, d, pa)
-	f.emit(th, TraceEvent{Kind: TraceAnnounce, Class: class})
+	f.emit(th, TraceEvent{Kind: TraceAnnounce, Class: class, Peer: -1})
 	if res, phase, ok := f.tryVisible(th, t, d, int(bud.visible.Load()), pa, op); ok {
 		f.complete(tm, class, phase)
 		f.finishOp(th, class, phase, start)
-		f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
+		f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase, Peer: -1})
 		return res
 	}
 	res, phase := f.tryCombining(th, t, d, pol, int(bud.combining.Load()), pa)
 	f.complete(tm, class, phase)
 	f.finishOp(th, class, phase, start)
-	f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase})
+	f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase, Peer: -1})
 	return res
 }
 
@@ -376,11 +391,11 @@ func (f *Framework) tryPrivate(th *memsim.Thread, trials int, op engine.Op) (uin
 	for i := 0; i < trials; i++ {
 		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
 			if f.lock.Locked(tx) {
-				tx.AbortLockHeld()
+				f.abortLockHeld(tx, f.lock)
 			}
 			res = op.Apply(tx)
 		})
-		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryPrivate, Reason: reason})
+		f.emitAttempt(th, PhaseTryPrivate, reason)
 		if ok {
 			if f.witness != nil {
 				f.witness(f.eng.CommitStamp(th.ID()), 0, op, res)
@@ -412,8 +427,11 @@ func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa
 	var res uint64
 	for i := 0; i < trials; i++ {
 		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
-			if f.lock.Locked(tx) || pa.sel.Locked(tx) {
-				tx.AbortLockHeld()
+			if f.lock.Locked(tx) {
+				f.abortLockHeld(tx, f.lock)
+			}
+			if pa.sel.Locked(tx) {
+				f.abortLockHeld(tx, pa.sel)
 			}
 			if tx.Load(d.status) != statusAnnounced {
 				tx.Abort()
@@ -421,7 +439,7 @@ func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa
 			res = op.Apply(tx)
 			tx.Store(slot, 0) // remove from Pa as part of the transaction
 		})
-		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryVisible, Reason: reason})
+		f.emitAttempt(th, PhaseTryVisible, reason)
 		if ok {
 			if f.witness != nil {
 				f.witness(f.eng.CommitStamp(t), 0, op, res)
@@ -431,7 +449,7 @@ func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa
 		if th.Load(d.status) != statusAnnounced {
 			// A combiner helped or is helping us (Figure 1, line 27).
 			r := f.waitDone(th, d)
-			f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase})
+			f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase, Peer: d.helper, PeerSpan: d.helperSpan})
 			return r, d.donePhase, true
 		}
 	}
@@ -459,7 +477,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 		// for the selection lock (Figure 1, lines 38-41).
 		pa.sel.Unlock(th)
 		res := f.waitDone(th, d)
-		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase})
+		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase, Peer: d.helper, PeerSpan: d.helperSpan})
 		return res, d.donePhase
 	}
 	sc := &f.scratch[t]
@@ -467,7 +485,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 	if f.rec != nil {
 		f.rec.RecordCombine(t, len(sc.pend))
 	}
-	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.pend)})
+	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.pend), Peer: -1})
 	if !f.hold {
 		pa.sel.Unlock(th)
 	}
@@ -489,7 +507,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 			}
 			pol.RunMulti(tx, sc.ops[:n], sc.res[:n], sc.done[:n])
 		})
-		f.emit(th, TraceEvent{Kind: TraceAttempt, Phase: PhaseTryCombining, Reason: reason})
+		f.emitAttempt(th, PhaseTryCombining, reason)
 		if !ok {
 			failures++
 			continue
@@ -506,7 +524,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 		if f.rec != nil {
 			lockStart = th.Now()
 		}
-		f.emit(th, TraceEvent{Kind: TraceLock})
+		f.emit(th, TraceEvent{Kind: TraceLock, Peer: -1})
 		for len(sc.pend) > 0 {
 			n := min(pol.MaxBatch, len(sc.pend))
 			batch := sc.pend[:n]
@@ -615,6 +633,11 @@ func (f *Framework) finalizeBatch(th *memsim.Thread, t int, sc *combineScratch, 
 		od := &f.descs[tid]
 		od.result = sc.res[i]
 		od.donePhase = phase
+		if f.tracer != nil {
+			od.helper = t
+			od.helperSpan = f.descs[t].span
+			f.emit(th, TraceEvent{Kind: TraceHelp, Phase: phase, Peer: tid, PeerSpan: od.span})
+		}
 		th.Store(od.status, statusDone)
 	}
 	keep = append(keep, sc.pend[n:]...)

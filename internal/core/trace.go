@@ -2,6 +2,7 @@ package core
 
 import (
 	"hcf/internal/htm"
+	"hcf/internal/locks"
 	"hcf/internal/memsim"
 )
 
@@ -10,10 +11,12 @@ type TraceKind uint8
 
 // Trace event kinds.
 const (
-	// TraceStart: an operation entered Execute (Class valid).
+	// TraceStart: an operation entered Execute (Span and Class valid).
 	TraceStart TraceKind = iota + 1
 	// TraceAttempt: one speculative attempt finished (Phase and Reason
-	// valid; Reason is htm.ReasonNone on commit).
+	// valid; Reason is htm.ReasonNone on commit). Conflict aborts carry the
+	// conflicting cache line in Line and its last writer in Peer;
+	// lock-subscription aborts carry the lock holder in Peer (-1 unknown).
 	TraceAttempt
 	// TraceAnnounce: the operation was published (Class valid).
 	TraceAnnounce
@@ -24,8 +27,14 @@ const (
 	// TraceDone: the operation completed (Phase = completion phase).
 	TraceDone
 	// TraceHelped: the operation was completed by another thread
-	// (Phase = the helper's completion phase).
+	// (Phase = the helper's completion phase; Peer = the helper thread,
+	// PeerSpan = the helper's own operation span).
 	TraceHelped
+	// TraceHelp: a combiner completed another thread's operation
+	// (Phase = the completion phase; Peer = the helped thread,
+	// PeerSpan = the helped operation's span). The TraceHelp/TraceHelped
+	// pair is the causal combined-by edge between the two spans.
+	TraceHelp
 )
 
 // String names the kind.
@@ -45,6 +54,8 @@ func (k TraceKind) String() string {
 		return "done"
 	case TraceHelped:
 		return "helped"
+	case TraceHelp:
+		return "help"
 	default:
 		return "unknown"
 	}
@@ -62,12 +73,27 @@ type TraceEvent struct {
 	Kind TraceKind
 	// Class is the operation class (TraceStart / TraceAnnounce).
 	Class int
-	// Phase is the relevant phase (TraceAttempt / TraceDone / TraceHelped).
+	// Phase is the relevant phase (TraceAttempt / TraceDone / TraceHelped /
+	// TraceHelp).
 	Phase Phase
 	// Reason is the abort reason of a failed attempt (TraceAttempt).
 	Reason htm.Reason
 	// N is the selection size (TraceSelect).
 	N int
+	// Span identifies the emitting thread's current operation. Every event
+	// an operation's lifecycle produces carries the same span id, so the
+	// stream reconstructs into one span per operation.
+	Span uint64
+	// Peer is the other thread of a causal edge: the conflicting writer or
+	// lock holder (TraceAttempt aborts), the helped thread (TraceHelp), or
+	// the helping thread (TraceHelped). -1 when unknown or not applicable.
+	Peer int
+	// PeerSpan is the span id on the other end of a help edge
+	// (TraceHelp / TraceHelped).
+	PeerSpan uint64
+	// Line is the conflicting cache line (TraceAttempt with
+	// Reason == htm.ReasonConflict).
+	Line uint32
 }
 
 // Tracer receives lifecycle events. Implementations must be cheap; they
@@ -77,15 +103,74 @@ type Tracer interface {
 	Trace(ev TraceEvent)
 }
 
+// TracedEngine is implemented by engines that emit lifecycle trace events —
+// the HCF framework and all five baseline engines.
+type TracedEngine interface {
+	// SetTracer installs tr (nil disables). Install before running ops.
+	SetTracer(tr Tracer)
+}
+
 // SetTracer installs a lifecycle tracer (nil disables).
 func (f *Framework) SetTracer(tr Tracer) { f.tracer = tr }
 
-// emit sends an event to the tracer if one is installed.
+var _ TracedEngine = (*Framework)(nil)
+
+// SpanID builds the span id of thread t's seq-th operation: span ids are
+// unique per run, dense per thread, and deterministic on the deterministic
+// backend.
+func SpanID(t int, seq uint64) uint64 { return uint64(t+1)<<32 | seq }
+
+// SpanThread recovers the owning thread from a span id.
+func SpanThread(span uint64) int { return int(span>>32) - 1 }
+
+// emit sends an event to the tracer if one is installed, stamping it with
+// the thread, its local time, and its current operation span.
 func (f *Framework) emit(th *memsim.Thread, ev TraceEvent) {
 	if f.tracer == nil {
 		return
 	}
-	ev.Thread = th.ID()
+	t := th.ID()
+	ev.Thread = t
 	ev.Now = th.Now()
+	ev.Span = f.descs[t].span
 	f.tracer.Trace(ev)
+}
+
+// emitAttempt emits a TraceAttempt with abort attribution: conflict aborts
+// name the conflicting cache line and its last committed writer,
+// lock-subscription aborts name the holder captured at the abort site.
+func (f *Framework) emitAttempt(th *memsim.Thread, phase Phase, reason htm.Reason) {
+	if f.tracer == nil {
+		return
+	}
+	ev := TraceEvent{Kind: TraceAttempt, Phase: phase, Reason: reason, Peer: -1}
+	switch reason {
+	case htm.ReasonConflict, htm.ReasonLockHeld:
+		info := f.eng.LastAbortInfo(th.ID())
+		ev.Line = info.Line
+		if reason == htm.ReasonConflict {
+			ev.Peer = info.Writer
+		} else {
+			ev.Peer = info.Holder
+		}
+	}
+	f.emit(th, ev)
+}
+
+// HolderHint names the thread currently holding l via a raw uncharged
+// read, or -1 when the lock kind cannot report one.
+func HolderHint(env memsim.Env, l locks.Lock) int {
+	if h, ok := l.(locks.HolderHinter); ok {
+		return h.HolderHint(env)
+	}
+	return -1
+}
+
+// abortLockHeld aborts tx on a subscribed-lock observation; with a tracer
+// installed it first captures the holder of l for attribution.
+func (f *Framework) abortLockHeld(tx *htm.Tx, l locks.Lock) {
+	if f.tracer != nil {
+		tx.AbortLockHeldBy(HolderHint(f.env, l))
+	}
+	tx.AbortLockHeld()
 }

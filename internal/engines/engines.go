@@ -17,6 +17,7 @@
 package engines
 
 import (
+	"hcf/internal/core"
 	"hcf/internal/engine"
 	"hcf/internal/htm"
 	"hcf/internal/locks"
@@ -68,12 +69,15 @@ type threadMetrics struct {
 }
 
 // metricsSet is the shared per-thread metrics plumbing; it also carries
-// the optional serialization witness and metrics recorder.
+// the optional serialization witness, metrics recorder, and lifecycle
+// tracer (see trace.go).
 type metricsSet struct {
 	per     []threadMetrics
 	eng     *htm.Engine // may be nil (Lock, FC)
 	witness engine.WitnessFunc
 	rec     engine.Recorder
+	tracer  core.Tracer
+	spans   []spanState
 }
 
 // SetWitness installs a serialization-witness observer (nil disables).
@@ -160,8 +164,10 @@ func (e *LockEngine) CompletionPaths() []string { return []string{"lock"} }
 func (e *LockEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
 	start := e.opStart(th)
+	e.beginSpan(th, op.Class())
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
 	var holdStart int64
 	if e.rec != nil {
 		holdStart = th.Now()
@@ -176,6 +182,7 @@ func (e *LockEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	e.lock.Unlock(th)
 	tm.Ops++
 	e.opDone(th, op.Class(), 0, start)
+	e.emitDone(th, core.PhaseCombineUnderLock)
 	return res
 }
 
@@ -213,20 +220,23 @@ func (e *TLEEngine) CompletionPaths() []string { return []string{"htm", "lock"} 
 func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
 	start := e.opStart(th)
+	e.beginSpan(th, op.Class())
 	var res uint64
 	for i := 0; i < e.trials; i++ {
-		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
+		ok, reason := e.htm.Run(th, func(tx *htm.Tx) {
 			if e.lock.Locked(tx) {
-				tx.AbortLockHeld()
+				e.abortLockHeld(tx, e.lock)
 			}
 			res = op.Apply(tx)
 		})
+		e.emitAttempt(th, core.PhaseTryPrivate, reason)
 		if ok {
 			if e.witness != nil {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
 			e.opDone(th, op.Class(), 0, start)
+			e.emitDone(th, core.PhaseTryPrivate)
 			return res
 		}
 		for e.lock.Locked(th) {
@@ -235,6 +245,7 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	}
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
 	var holdStart int64
 	if e.rec != nil {
 		holdStart = th.Now()
@@ -249,6 +260,7 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	e.lock.Unlock(th)
 	tm.Ops++
 	e.opDone(th, op.Class(), 1, start)
+	e.emitDone(th, core.PhaseCombineUnderLock)
 	return res
 }
 
@@ -289,10 +301,11 @@ func (e *SCMEngine) CompletionPaths() []string { return []string{"htm", "htm-man
 func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
 	start := e.opStart(th)
+	e.beginSpan(th, op.Class())
 	var res uint64
 	attempt := func(tx *htm.Tx) {
 		if e.lock.Locked(tx) {
-			tx.AbortLockHeld()
+			e.abortLockHeld(tx, e.lock)
 		}
 		res = op.Apply(tx)
 	}
@@ -303,12 +316,14 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	conflicts := 0
 	for i := 0; i < optimistic; i++ {
 		ok, reason := e.htm.Run(th, attempt)
+		e.emitAttempt(th, core.PhaseTryPrivate, reason)
 		if ok {
 			if e.witness != nil {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
 			e.opDone(th, op.Class(), 0, start)
+			e.emitDone(th, core.PhaseTryPrivate)
 			return res
 		}
 		if reason == htm.ReasonConflict {
@@ -328,7 +343,8 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	e.aux.Lock(th)
 	tm.AuxAcquisitions++
 	for i := optimistic; i < e.trials; i++ {
-		ok, _ := e.htm.Run(th, attempt)
+		ok, reason := e.htm.Run(th, attempt)
+		e.emitAttempt(th, core.PhaseTryVisible, reason)
 		if ok {
 			if e.witness != nil {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
@@ -336,6 +352,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 			e.aux.Unlock(th)
 			tm.Ops++
 			e.opDone(th, op.Class(), 1, start)
+			e.emitDone(th, core.PhaseTryVisible)
 			return res
 		}
 		for e.lock.Locked(th) {
@@ -345,6 +362,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	// Pessimistic fallback, still holding aux to keep the queue orderly.
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
+	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
 	var holdStart int64
 	if e.rec != nil {
 		holdStart = th.Now()
@@ -360,16 +378,22 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	e.aux.Unlock(th)
 	tm.Ops++
 	e.opDone(th, op.Class(), 2, start)
+	e.emitDone(th, core.PhaseCombineUnderLock)
 	return res
 }
 
 // fcDesc is a flat-combining operation descriptor. Status lives in
 // simulated memory: 0 free, 1 announced; the Done transition is a direct
-// store of 2 ordered after the result write.
+// store of 2 ordered after the result write. span, helper and helperSpan
+// are trace attribution; like op and result, their cross-thread visibility
+// is ordered by the announce/Done protocol.
 type fcDesc struct {
-	status memsim.Addr
-	op     engine.Op
-	result uint64
+	status     memsim.Addr
+	op         engine.Op
+	result     uint64
+	span       uint64
+	helper     int
+	helperSpan uint64
 }
 
 const (
@@ -381,6 +405,7 @@ const (
 type fcCore struct {
 	witness engine.WitnessFunc
 	rec     engine.Recorder
+	ms      *metricsSet  // owning engine's metrics set (trace emission)
 	lock    *locks.TATAS // combiner lock (= the data-structure lock)
 	pub     *pubarr.Array
 	descs   []fcDesc
@@ -427,16 +452,25 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (u
 	t := th.ID()
 	d := &c.descs[t]
 	d.op = op
+	if c.ms != nil && c.ms.tracer != nil {
+		d.span = c.ms.spans[t].span
+		d.helper = -1
+		d.helperSpan = 0
+	}
 	th.Store(d.status, fcAnnounced)
 	c.pub.Announce(th, t, uint64(t)+1)
+	c.ms.emit(th, core.TraceEvent{Kind: core.TraceAnnounce, Class: op.Class(), Peer: -1})
 	for {
 		if th.Load(d.status) == fcDone {
 			tm.Ops++
+			c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
+				Peer: d.helper, PeerSpan: d.helperSpan})
 			return d.result, false
 		}
 		if !c.lock.Locked(th) {
 			if c.lock.TryLock(th) {
 				tm.LockAcquisitions++
+				c.ms.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
 				var holdStart int64
 				if c.rec != nil {
 					holdStart = th.Now()
@@ -464,6 +498,8 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (u
 						th.Yield()
 					}
 					ownRes = d.result
+					c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
+						Peer: d.helper, PeerSpan: d.helperSpan})
 				}
 				tm.Ops++
 				return ownRes, true
@@ -499,6 +535,7 @@ func (c *fcCore) combineSession(th *memsim.Thread, t int, tm *engine.Metrics) (b
 	if c.rec != nil {
 		c.rec.RecordCombine(t, len(sel))
 	}
+	c.ms.emit(th, core.TraceEvent{Kind: core.TraceSelect, N: len(sel), Peer: -1})
 	ownDone, ownRes := false, uint64(0)
 	for len(sel) > 0 {
 		n := len(sel)
@@ -537,8 +574,15 @@ func (c *fcCore) combineSession(th *memsim.Thread, t int, tm *engine.Metrics) (b
 				ownDone, ownRes = true, res[i]
 				continue
 			}
-			c.descs[tid].result = res[i]
-			th.Store(c.descs[tid].status, fcDone)
+			od := &c.descs[tid]
+			od.result = res[i]
+			if c.ms != nil && c.ms.tracer != nil {
+				od.helper = t
+				od.helperSpan = c.ms.spans[t].span
+				c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelp, Phase: core.PhaseCombineUnderLock,
+					Peer: tid, PeerSpan: od.span})
+			}
+			th.Store(od.status, fcDone)
 		}
 		keep = append(keep, sel[n:]...)
 		sel = keep
@@ -568,7 +612,9 @@ var _ engine.MeteredEngine = (*FCEngine)(nil)
 // NewFC builds the FC baseline.
 func NewFC(env memsim.Env, opts Options) *FCEngine {
 	opts.normalize(env)
-	return &FCEngine{core: newFCCore(env, &opts), metricsSet: newMetricsSet(env, nil)}
+	e := &FCEngine{core: newFCCore(env, &opts), metricsSet: newMetricsSet(env, nil)}
+	e.core.ms = &e.metricsSet
+	return e
 }
 
 // Name implements engine.Engine.
@@ -592,12 +638,14 @@ func (e *FCEngine) SetRecorder(rec engine.Recorder) {
 // Execute applies op with flat combining.
 func (e *FCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	start := e.opStart(th)
+	e.beginSpan(th, op.Class())
 	res, combined := e.core.execute(th, op, &e.per[th.ID()].m)
 	path := 1
 	if combined {
 		path = 0
 	}
 	e.opDone(th, op.Class(), path, start)
+	e.emitDone(th, core.PhaseCombineUnderLock)
 	return res
 }
 
@@ -621,13 +669,15 @@ func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
 	opts.normalize(env)
 	eng := htm.New(env, opts.HTM)
 	core := newFCCore(env, &opts)
-	return &TLEFCEngine{
+	e := &TLEFCEngine{
 		lock:       core.lock, // speculation elides the combiner lock
 		htm:        eng,
 		trials:     opts.Trials,
 		core:       core,
 		metricsSet: newMetricsSet(env, eng),
 	}
+	e.core.ms = &e.metricsSet
+	return e
 }
 
 // Name implements engine.Engine.
@@ -652,20 +702,23 @@ func (e *TLEFCEngine) SetRecorder(rec engine.Recorder) {
 func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
 	start := e.opStart(th)
+	e.beginSpan(th, op.Class())
 	var res uint64
 	for i := 0; i < e.trials; i++ {
-		ok, _ := e.htm.Run(th, func(tx *htm.Tx) {
+		ok, reason := e.htm.Run(th, func(tx *htm.Tx) {
 			if e.lock.Locked(tx) {
-				tx.AbortLockHeld()
+				e.abortLockHeld(tx, e.lock)
 			}
 			res = op.Apply(tx)
 		})
+		e.emitAttempt(th, core.PhaseTryPrivate, reason)
 		if ok {
 			if e.witness != nil {
 				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
 			}
 			tm.Ops++
 			e.opDone(th, op.Class(), 0, start)
+			e.emitDone(th, core.PhaseTryPrivate)
 			return res
 		}
 		for e.lock.Locked(th) {
@@ -678,5 +731,6 @@ func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		path = 1
 	}
 	e.opDone(th, op.Class(), path, start)
+	e.emitDone(th, core.PhaseCombineUnderLock)
 	return res
 }

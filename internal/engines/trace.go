@@ -1,0 +1,108 @@
+package engines
+
+import (
+	"hcf/internal/core"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+)
+
+// The baseline engines emit the same lifecycle-event vocabulary as HCF
+// (core.TraceEvent), so one collector, span builder, and exporter serve all
+// six engines. The HCF phase names map onto the baselines' paths as:
+//
+//   - PhaseTryPrivate:       private speculation over L (TLE, SCM
+//     optimistic, TLE+FC's TLE leg)
+//   - PhaseTryVisible:       SCM's managed speculation (serialized on the
+//     auxiliary lock)
+//   - PhaseCombineUnderLock: any completion under the data-structure lock
+//     (Lock, TLE/SCM fallback, FC and TLE+FC combining)
+//
+// Emission charges no simulated cycles; with no tracer installed only a
+// nil check remains on the hot path.
+
+// All five baselines emit lifecycle events.
+var (
+	_ core.TracedEngine = (*LockEngine)(nil)
+	_ core.TracedEngine = (*TLEEngine)(nil)
+	_ core.TracedEngine = (*FCEngine)(nil)
+	_ core.TracedEngine = (*SCMEngine)(nil)
+	_ core.TracedEngine = (*TLEFCEngine)(nil)
+)
+
+// spanState tracks one thread's current operation span, padded against
+// false sharing.
+type spanState struct {
+	span uint64
+	seq  uint64
+	_    [48]byte
+}
+
+// SetTracer installs a lifecycle tracer (nil disables).
+func (s *metricsSet) SetTracer(tr core.Tracer) {
+	s.tracer = tr
+	if s.spans == nil && tr != nil {
+		s.spans = make([]spanState, len(s.per))
+	}
+}
+
+// beginSpan opens a new operation span for th and emits its start event.
+func (s *metricsSet) beginSpan(th *memsim.Thread, class int) {
+	if s.tracer == nil {
+		return
+	}
+	t := th.ID()
+	ss := &s.spans[t]
+	ss.seq++
+	ss.span = core.SpanID(t, ss.seq)
+	s.emit(th, core.TraceEvent{Kind: core.TraceStart, Class: class, Peer: -1})
+}
+
+// emit stamps ev with the thread, its local time, and its current span,
+// then hands it to the tracer.
+func (s *metricsSet) emit(th *memsim.Thread, ev core.TraceEvent) {
+	if s.tracer == nil {
+		return
+	}
+	t := th.ID()
+	ev.Thread = t
+	ev.Now = th.Now()
+	ev.Span = s.spans[t].span
+	s.tracer.Trace(ev)
+}
+
+// emitAttempt emits a TraceAttempt with abort attribution (conflict line +
+// writer, or lock holder), mirroring the HCF framework's emission.
+func (s *metricsSet) emitAttempt(th *memsim.Thread, phase core.Phase, reason htm.Reason) {
+	if s.tracer == nil {
+		return
+	}
+	ev := core.TraceEvent{Kind: core.TraceAttempt, Phase: phase, Reason: reason, Peer: -1}
+	if s.eng != nil {
+		switch reason {
+		case htm.ReasonConflict, htm.ReasonLockHeld:
+			info := s.eng.LastAbortInfo(th.ID())
+			ev.Line = info.Line
+			if reason == htm.ReasonConflict {
+				ev.Peer = info.Writer
+			} else {
+				ev.Peer = info.Holder
+			}
+		}
+	}
+	s.emit(th, ev)
+}
+
+// abortLockHeld aborts tx on a subscribed-lock observation, capturing the
+// holder for attribution when a tracer is installed.
+func (s *metricsSet) abortLockHeld(tx *htm.Tx, l locks.Lock) {
+	if s.tracer != nil {
+		tx.AbortLockHeldBy(core.HolderHint(tx.Thread().Env(), l))
+	}
+	tx.AbortLockHeld()
+}
+
+// emitDone closes the current span with its completion phase.
+func (s *metricsSet) emitDone(th *memsim.Thread, phase core.Phase) {
+	s.emit(th, core.TraceEvent{Kind: core.TraceDone, Phase: phase, Peer: -1})
+}

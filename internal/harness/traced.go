@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/trace"
+)
+
+// InstrumentTrace installs a lifecycle-trace collector on eng. limit > 0
+// turns the collector into a bounded flight recorder (limit most recent
+// events per thread); limit == 0 retains everything. It fails only for
+// engines that do not implement core.TracedEngine (all six in this
+// repository do).
+func InstrumentTrace(eng engine.Engine, limit int) (*trace.Collector, error) {
+	te, ok := eng.(core.TracedEngine)
+	if !ok {
+		return nil, fmt.Errorf("harness: engine %s does not support tracing", eng.Name())
+	}
+	col := &trace.Collector{Limit: limit}
+	te.SetTracer(col)
+	return col, nil
+}
+
+// RunPointTraced is RunPoint with lifecycle tracing wired in: every
+// operation's span (start, attempts with abort attribution, announce,
+// combined-by edges, completion) lands in the returned collector.
+//
+// Tracing charges no simulated cycles, so Result is bit-identical to the
+// untraced RunPoint for the same configuration, and the collected event
+// stream is itself bit-identical across same-seed runs.
+func RunPointTraced(sc Scenario, engineName string, threads int, cfg Config, limit int) (Result, *trace.Collector, error) {
+	cfg.normalize()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	inst := sc.Setup(env, cfg.Seed)
+	eng, err := BuildEngine(engineName, env, inst, cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	col, err := InstrumentTrace(eng, limit)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	env.ResetStats()
+	eng.ResetMetrics()
+	opWork := env.Cost().OpWork
+	opsByThread := make([]uint64, threads)
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0x9E3779B9, uint64(th.ID())+1))
+		for th.Now() < cfg.Horizon {
+			th.Work(opWork)
+			eng.Execute(th, inst.NextOp(rng))
+			opsByThread[th.ID()]++
+		}
+	})
+	res := Result{
+		Scenario: sc.Name,
+		Engine:   engineName,
+		Threads:  threads,
+		Metrics:  eng.Metrics(),
+	}
+	for t := 0; t < threads; t++ {
+		res.Ops += opsByThread[t]
+		if now := env.Now(t); now > res.Cycles {
+			res.Cycles = now
+		}
+		res.Mem.Merge(env.Stats(t))
+	}
+	if res.Cycles > 0 {
+		res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
+	}
+	if hcf, ok := eng.(*core.Framework); ok {
+		res.PhaseByClass = hcf.PhaseBreakdown()
+	}
+	if inst.Check != nil {
+		res.InvariantViolation = inst.Check(env.Boot())
+	}
+	return res, col, nil
+}

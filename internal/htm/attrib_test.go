@@ -1,0 +1,116 @@
+package htm
+
+// Abort-attribution tests: conflict aborts must name the conflicting
+// cache line and its last committed writer; lock-subscription aborts via
+// AbortLockHeldBy must name the holder. LastAbortInfo surfaces both to
+// the tracing layer.
+
+import (
+	"testing"
+
+	"hcf/internal/memsim"
+)
+
+func TestConflictAbortAttributesLineAndWriter(t *testing.T) {
+	env := detEnv(2)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	var abortedThread = -1
+	env.Run(func(th *memsim.Thread) {
+		ok, r := eng.Run(th, func(tx *Tx) {
+			v := tx.Load(a)
+			th.Work(500) // widen the race window so both overlap
+			tx.Store(a, v+1)
+		})
+		if !ok {
+			if r != ReasonConflict {
+				t.Errorf("thread %d aborted with %v, want conflict", th.ID(), r)
+			}
+			abortedThread = th.ID()
+		}
+	})
+	if abortedThread < 0 {
+		t.Fatal("no transaction aborted")
+	}
+	info := eng.LastAbortInfo(abortedThread)
+	if info.Line != memsim.LineOf(a) {
+		t.Errorf("conflict line = %d, want %d", info.Line, memsim.LineOf(a))
+	}
+	// The winner is the other thread, and it committed a write to a's
+	// line, so it must be the attributed writer.
+	winner := 1 - abortedThread
+	if info.Writer != winner {
+		t.Errorf("conflict writer = %d, want %d", info.Writer, winner)
+	}
+	if info.Holder != -1 {
+		t.Errorf("holder = %d on a conflict abort, want -1", info.Holder)
+	}
+}
+
+func TestLoadConflictAttributesWriter(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	a := env.Alloc(1)
+	b := env.Alloc(WordsPerLineWords()) // force a different line
+	boot := env.Boot()
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		_ = tx.Load(a)
+		boot.Store(b, 5) // bumps b's line past the snapshot
+		_ = tx.Load(b)   // must abort: version is newer than the snapshot
+	})
+	if ok || reason != ReasonConflict {
+		t.Fatalf("expected conflict abort, got ok=%v reason=%v", ok, reason)
+	}
+	info := eng.LastAbortInfo(boot.ID())
+	if info.Line != memsim.LineOf(b) {
+		t.Errorf("conflict line = %d, want %d", info.Line, memsim.LineOf(b))
+	}
+	if info.Writer != boot.ID() {
+		t.Errorf("conflict writer = %d, want %d (the direct store)", info.Writer, boot.ID())
+	}
+}
+
+func TestAbortLockHeldByAttributesHolder(t *testing.T) {
+	env := detEnv(1)
+	eng := New(env, Config{})
+	boot := env.Boot()
+	ok, reason := eng.Run(boot, func(tx *Tx) {
+		tx.AbortLockHeldBy(5)
+	})
+	if ok || reason != ReasonLockHeld {
+		t.Fatalf("expected lock-held abort, got ok=%v reason=%v", ok, reason)
+	}
+	info := eng.LastAbortInfo(boot.ID())
+	if info.Holder != 5 {
+		t.Errorf("holder = %d, want 5", info.Holder)
+	}
+	if info.Writer != -1 {
+		t.Errorf("writer = %d on a lock-held abort, want -1", info.Writer)
+	}
+
+	// A fresh transaction resets the attribution.
+	ok, _ = eng.Run(boot, func(tx *Tx) {})
+	if !ok {
+		t.Fatal("empty transaction aborted")
+	}
+	info = eng.LastAbortInfo(boot.ID())
+	if info.Holder != -1 || info.Writer != -1 {
+		t.Errorf("attribution not reset: %+v", info)
+	}
+}
+
+func TestLastWriterTracksCommits(t *testing.T) {
+	env := detEnv(2)
+	a := env.Alloc(1)
+	if got := env.LastWriter(memsim.LineOf(a)); got != -1 {
+		t.Fatalf("LastWriter of untouched line = %d, want -1", got)
+	}
+	env.Run(func(th *memsim.Thread) {
+		if th.ID() == 1 {
+			th.Store(a, 9)
+		}
+	})
+	if got := env.LastWriter(memsim.LineOf(a)); got != 1 {
+		t.Fatalf("LastWriter = %d, want 1", got)
+	}
+}

@@ -144,6 +144,22 @@ func (s *Stats) Merge(o *Stats) {
 	}
 }
 
+// AbortInfo attributes a transaction abort to its cause: for conflict
+// aborts, the cache line whose version check failed and the thread that
+// last committed a write to it; for lock-subscription aborts, the thread
+// holding the subscribed lock. Fields not applicable to the abort reason
+// are -1 (threads) or 0 (line). Valid from the abort until the thread's
+// next transaction begins.
+type AbortInfo struct {
+	// Line is the conflicting cache line (conflict aborts).
+	Line uint32
+	// Writer is the thread whose write invalidated Line, or -1 unknown.
+	Writer int
+	// Holder is the thread holding the subscribed lock at abort time
+	// (lock-subscription aborts via AbortLockHeldBy), or -1 unknown.
+	Holder int
+}
+
 // TxObserver receives the outcome of every finished transaction attempt:
 // the thread, the abort reason (ReasonNone on commit), and the attempt's
 // duration in the environment's time unit (virtual cycles or wall
@@ -189,6 +205,11 @@ func (e *Engine) Env() memsim.Env { return e.env }
 
 // Stats returns thread t's transaction counters.
 func (e *Engine) Stats(t int) *Stats { return &e.stats[t] }
+
+// LastAbortInfo returns the attribution of thread t's most recent abort.
+// It is meaningful only after Run reported an abort and before t's next
+// transaction begins.
+func (e *Engine) LastAbortInfo(t int) AbortInfo { return e.txs[t].abortInfo }
 
 // CommitStamp returns the serialization stamp of thread t's most recent
 // committed transaction: commits are totally ordered by stamp, and a
@@ -251,6 +272,7 @@ type Tx struct {
 	frees     []span
 	noise     uint64 // deterministic per-thread noise generator state
 	stamp     uint64 // serialization stamp of the last commit
+	abortInfo AbortInfo
 }
 
 // noiseDraw advances the thread's splitmix64 noise generator.
@@ -280,11 +302,21 @@ func (tx *Tx) begin(th *memsim.Thread) {
 	tx.lockedOld = tx.lockedOld[:0]
 	tx.allocs = tx.allocs[:0]
 	tx.frees = tx.frees[:0]
+	tx.abortInfo = AbortInfo{Writer: -1, Holder: -1}
 }
 
 // abort unwinds the transaction with the given reason.
 func (tx *Tx) abort(r Reason) {
 	panic(txAbort{reason: r})
+}
+
+// abortConflict records the conflicting line and its last committed writer,
+// then unwinds with ReasonConflict. Attribution reads only bookkeeping the
+// substrate already maintains, so it charges no simulated cost.
+func (tx *Tx) abortConflict(line uint32) {
+	tx.abortInfo.Line = line
+	tx.abortInfo.Writer = tx.eng.env.LastWriter(line)
+	tx.abort(ReasonConflict)
 }
 
 // Abort explicitly aborts the transaction.
@@ -293,6 +325,14 @@ func (tx *Tx) Abort() { tx.abort(ReasonExplicit) }
 // AbortLockHeld aborts with the lock-subscription reason; engines call it
 // when a subscribed lock is observed held.
 func (tx *Tx) AbortLockHeld() { tx.abort(ReasonLockHeld) }
+
+// AbortLockHeldBy is AbortLockHeld with attribution: holder names the
+// thread observed holding the subscribed lock (-1 unknown). Engines use it
+// when a tracer wants lock-subscription aborts attributed.
+func (tx *Tx) AbortLockHeldBy(holder int) {
+	tx.abortInfo.Holder = holder
+	tx.abort(ReasonLockHeld)
+}
 
 // Load reads a word speculatively. The read is validated against the
 // transaction's snapshot; an inconsistency aborts immediately (opacity).
@@ -305,12 +345,12 @@ func (tx *Tx) Load(a memsim.Addr) uint64 {
 	line := memsim.LineOf(a)
 	m := env.LoadMeta(line)
 	if memsim.MetaLocked(m) || memsim.MetaVersion(m) > tx.rv {
-		tx.abort(ReasonConflict)
+		tx.abortConflict(line)
 	}
 	env.Access(tx.th.ID(), line, false)
 	v := env.LoadWord(a)
 	if env.LoadMeta(line) != m {
-		tx.abort(ReasonConflict)
+		tx.abortConflict(line)
 	}
 	if _, seen := tx.rvers[line]; !seen {
 		if len(tx.rvers) >= tx.eng.cfg.MaxReadLines {
@@ -399,7 +439,7 @@ func (tx *Tx) commit() {
 			}
 		}
 		if !acquired {
-			tx.abort(ReasonConflict)
+			tx.abortConflict(line)
 		}
 	}
 	wv := env.TickClock()
@@ -409,11 +449,11 @@ func (tx *Tx) commit() {
 		m := env.LoadMeta(line)
 		if memsim.MetaLocked(m) {
 			if _, mine := tx.wlineSeen[line]; !mine {
-				tx.abort(ReasonConflict)
+				tx.abortConflict(line)
 			}
 		}
 		if memsim.MetaVersion(m) != ver {
-			tx.abort(ReasonConflict)
+			tx.abortConflict(line)
 		}
 	}
 	// Phase 3: write back and release with the new version.

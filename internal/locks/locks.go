@@ -73,6 +73,26 @@ func (l *TATAS) Holder(c memsim.Ctx) int {
 	return int(v) - 1
 }
 
+// HolderHint returns the thread id holding the lock, or -1, via a raw
+// uncharged read: no cost accounting, no scheduling point, no transaction
+// footprint. Observability code uses it to attribute lock-subscription
+// aborts without perturbing the run.
+func (l *TATAS) HolderHint(env memsim.Env) int {
+	v := env.LoadWord(l.word)
+	if v == 0 {
+		return -1
+	}
+	return int(v) - 1
+}
+
+// HolderHinter is implemented by locks that can cheaply name their current
+// holder for conflict attribution (TATAS encodes the holder in the lock
+// word; Ticket cannot).
+type HolderHinter interface {
+	Lock
+	HolderHint(env memsim.Env) int
+}
+
 // Ticket is a FIFO ticket lock; it is starvation free, which the paper's
 // progress argument (§2.3) requires of both the data-structure lock and the
 // selection locks for HCF to be starvation free.

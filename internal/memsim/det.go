@@ -255,6 +255,11 @@ func (e *DetEnv) StoreWord(a Addr, v uint64) {
 	e.page(uint32(a)).words[uint32(a)%pageWords] = v
 }
 
+// LastWriter returns the last thread to commit a write to line, or -1.
+func (e *DetEnv) LastWriter(line uint32) int {
+	return int(e.page(line << LineShift).lastW[line%pageLines])
+}
+
 // ReadClock returns the global version clock.
 func (e *DetEnv) ReadClock() uint64 { return e.clock }
 

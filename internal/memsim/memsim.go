@@ -104,6 +104,12 @@ type Env interface {
 	LoadWord(a Addr) uint64
 	StoreWord(a Addr, v uint64)
 
+	// LastWriter returns the id of the last thread to commit a write to
+	// line, or -1 if the line was never written. It reads bookkeeping the
+	// coherence model already maintains and charges no cost — observers use
+	// it to attribute conflicts without perturbing the run.
+	LastWriter(line uint32) int
+
 	// ReadClock returns the current value of the global version clock.
 	ReadClock() uint64
 	// TickClock atomically increments the global version clock and returns

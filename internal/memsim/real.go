@@ -185,6 +185,11 @@ func (e *RealEnv) StoreWord(a Addr, v uint64) {
 	e.page(uint32(a)).words[uint32(a)%pageWords].Store(v)
 }
 
+// LastWriter returns the last thread to commit a write to line, or -1.
+func (e *RealEnv) LastWriter(line uint32) int {
+	return int(e.page(line << LineShift).lastW[line%pageLines].Load())
+}
+
 // ReadClock returns the global version clock.
 func (e *RealEnv) ReadClock() uint64 { return e.clock.Load() }
 

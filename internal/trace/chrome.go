@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hcf/internal/core"
+	"hcf/internal/htm"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// flavor Perfetto and chrome://tracing load). Timestamps are microseconds;
+// we map one simulated cycle (or one wall nanosecond on the real backend)
+// to one microsecond so the UI renders useful scales.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func dur(d int64) *int64 { return &d }
+
+// WriteChrome exports a merged event stream as Chrome trace-event JSON:
+// one track per thread, a complete slice per operation span with nested
+// phase sub-slices, instant markers for aborts (attributed to the
+// conflicting cache line and writer, or the lock holder), and flow arrows
+// from each combiner's help edge to the helped operation's span.
+func WriteChrome(w io.Writer, events []core.TraceEvent, engine string) error {
+	spans := BuildSpans(events)
+	seen := map[int]bool{}
+	var threads []int
+	for _, ev := range events {
+		if !seen[ev.Thread] {
+			seen[ev.Thread] = true
+			threads = append(threads, ev.Thread)
+		}
+	}
+	sort.Ints(threads)
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	add := func(ev chromeEvent) { out.TraceEvents = append(out.TraceEvents, ev) }
+
+	add(chromeEvent{
+		Name: "process_name", Phase: "M", Pid: 0,
+		Args: map[string]any{"name": "hcf " + engine},
+	})
+	for _, t := range threads {
+		add(chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: 0, Tid: t,
+			Args: map[string]any{"name": fmt.Sprintf("thread %d", t)},
+		})
+	}
+
+	for i := range spans {
+		sp := &spans[i]
+		args := map[string]any{
+			"span":     fmt.Sprintf("%x", sp.ID),
+			"class":    sp.Class,
+			"attempts": sp.Attempts,
+			"aborts":   sp.Aborts,
+			"done_in":  sp.DonePhase.String(),
+		}
+		if sp.Helped {
+			args["helped_by"] = sp.Helper
+		}
+		if !sp.Complete {
+			args["truncated"] = true
+		}
+		add(chromeEvent{
+			Name: fmt.Sprintf("op class=%d", sp.Class), Phase: "X",
+			Ts: sp.Start, Dur: dur(sp.End - sp.Start), Pid: 0, Tid: sp.Thread,
+			Cat: "op", Args: args,
+		})
+		// Phase sub-slices nest inside the op slice (same track, contained
+		// intervals).
+		for _, d := range sp.Dwell {
+			add(chromeEvent{
+				Name: d.Phase.String(), Phase: "X",
+				Ts: d.Start, Dur: dur(d.End - d.Start), Pid: 0, Tid: sp.Thread,
+				Cat: "phase",
+			})
+		}
+		// A helped span is the flow target: the arrow lands at its
+		// completion, identified by the helped span's id.
+		if sp.Helped {
+			add(chromeEvent{
+				Name: "combined", Phase: "f", BP: "e",
+				Ts: sp.End, Pid: 0, Tid: sp.Thread,
+				Cat: "combine", ID: fmt.Sprintf("%x", sp.ID),
+			})
+		}
+		// Each help edge is a flow source on the combiner's track.
+		for _, h := range sp.Helps {
+			add(chromeEvent{
+				Name: "combined", Phase: "s",
+				Ts: h.At, Pid: 0, Tid: sp.Thread,
+				Cat: "combine", ID: fmt.Sprintf("%x", h.PeerSpan),
+			})
+		}
+	}
+
+	// Abort instants with attribution.
+	for _, ev := range events {
+		if ev.Kind != core.TraceAttempt || ev.Reason == htm.ReasonNone {
+			continue
+		}
+		args := map[string]any{
+			"phase":  ev.Phase.String(),
+			"reason": ev.Reason.String(),
+		}
+		switch ev.Reason {
+		case htm.ReasonConflict:
+			args["line"] = ev.Line
+			if ev.Peer >= 0 {
+				args["writer"] = ev.Peer
+			}
+		case htm.ReasonLockHeld:
+			if ev.Peer >= 0 {
+				args["holder"] = ev.Peer
+			}
+		}
+		add(chromeEvent{
+			Name: "abort " + ev.Reason.String(), Phase: "i", Scope: "t",
+			Ts: ev.Now, Pid: 0, Tid: ev.Thread, Cat: "abort", Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

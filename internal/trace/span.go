@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hcf/internal/core"
+	"hcf/internal/htm"
+)
+
+// Dwell is one phase-labeled interval of a span's lifetime.
+type Dwell struct {
+	Phase core.Phase `json:"-"`
+	Start int64      `json:"start"`
+	End   int64      `json:"end"`
+}
+
+// HelpEdge is a causal combined-by edge recorded on the combiner's span:
+// at time At the span's thread completed Peer's operation PeerSpan.
+type HelpEdge struct {
+	At       int64
+	Peer     int
+	PeerSpan uint64
+	Phase    core.Phase
+}
+
+// Span is one reconstructed operation lifecycle: everything a single
+// Execute call did, from start to completion, with its time-in-phase
+// breakdown and causal edges.
+type Span struct {
+	// ID is the span id (core.SpanID of the owning thread + sequence).
+	ID uint64
+	// Thread is the owning thread.
+	Thread int
+	// Class is the operation class.
+	Class int
+	// Start and End are the owning thread's local times at TraceStart and
+	// at completion.
+	Start, End int64
+	// DonePhase is the phase the operation completed in.
+	DonePhase core.Phase
+	// Helped reports whether another thread completed the operation;
+	// Helper/HelperSpan then name the combiner and its span (-1/0 for
+	// self-completed spans).
+	Helped     bool
+	Helper     int
+	HelperSpan uint64
+	// Attempts counts speculative attempts; Aborts counts the failed ones.
+	Attempts, Aborts int
+	// Dwell is the span's lifetime split into phase-labeled intervals
+	// (start→announce = TryPrivate, announce→select = TryVisible,
+	// select→lock = TryCombining, lock→done = CombineUnderLock; segments
+	// the operation never entered are absent).
+	Dwell []Dwell
+	// Helps are the operations this span completed for other threads
+	// while combining.
+	Helps []HelpEdge
+	// Events are the span's raw events in emission order.
+	Events []core.TraceEvent
+	// Complete reports whether both the start and the completion event
+	// were retained; spans truncated by the flight-recorder ring are kept
+	// but marked incomplete.
+	Complete bool
+}
+
+// BuildSpans reconstructs operation spans from a merged event stream.
+// Spans are returned ordered by (Start, Thread). Spans whose start or
+// completion fell outside the flight-recorder window have Complete ==
+// false and best-effort bounds.
+func BuildSpans(events []core.TraceEvent) []Span {
+	byID := make(map[uint64]*Span)
+	order := make([]uint64, 0)
+	for _, ev := range events {
+		if ev.Span == 0 {
+			continue
+		}
+		sp := byID[ev.Span]
+		if sp == nil {
+			sp = &Span{
+				ID:     ev.Span,
+				Thread: ev.Thread,
+				Start:  ev.Now,
+				Helper: -1,
+			}
+			byID[ev.Span] = sp
+			order = append(order, ev.Span)
+		}
+		sp.Events = append(sp.Events, ev)
+		sp.End = ev.Now
+		switch ev.Kind {
+		case core.TraceStart:
+			sp.Class = ev.Class
+			sp.Start = ev.Now
+		case core.TraceAttempt:
+			sp.Attempts++
+			if ev.Reason != htm.ReasonNone {
+				sp.Aborts++
+			}
+		case core.TraceDone:
+			sp.DonePhase = ev.Phase
+		case core.TraceHelped:
+			sp.Helped = true
+			sp.DonePhase = ev.Phase
+			sp.Helper = ev.Peer
+			sp.HelperSpan = ev.PeerSpan
+		case core.TraceHelp:
+			sp.Helps = append(sp.Helps, HelpEdge{
+				At: ev.Now, Peer: ev.Peer, PeerSpan: ev.PeerSpan, Phase: ev.Phase,
+			})
+		}
+	}
+	out := make([]Span, 0, len(order))
+	for _, id := range order {
+		sp := byID[id]
+		sp.Complete = len(sp.Events) > 0 &&
+			sp.Events[0].Kind == core.TraceStart &&
+			lastIsCompletion(sp.Events)
+		sp.Dwell = segmentDwell(sp)
+		out = append(out, *sp)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Thread < out[j].Thread
+	})
+	return out
+}
+
+func lastIsCompletion(evs []core.TraceEvent) bool {
+	k := evs[len(evs)-1].Kind
+	return k == core.TraceDone || k == core.TraceHelped
+}
+
+// segmentDwell splits a span's lifetime into phase-labeled intervals at
+// its announce/select/lock boundary events. Baseline engines emit the
+// same boundaries under the phase mapping documented in
+// internal/engines/trace.go, so the segmentation applies to all six
+// engines.
+func segmentDwell(sp *Span) []Dwell {
+	var out []Dwell
+	cur := Dwell{Phase: core.PhaseTryPrivate, Start: sp.Start}
+	closeAt := func(now int64, next core.Phase) {
+		if now > cur.Start {
+			cur.End = now
+			out = append(out, cur)
+		}
+		cur = Dwell{Phase: next, Start: now}
+	}
+	for _, ev := range sp.Events {
+		switch ev.Kind {
+		case core.TraceAnnounce:
+			closeAt(ev.Now, core.PhaseTryVisible)
+		case core.TraceSelect:
+			closeAt(ev.Now, core.PhaseTryCombining)
+		case core.TraceLock:
+			closeAt(ev.Now, core.PhaseCombineUnderLock)
+		case core.TraceDone, core.TraceHelped:
+			closeAt(ev.Now, ev.Phase)
+		}
+	}
+	return out
+}
+
+// LatencyStats summarizes a latency population (virtual cycles on the
+// deterministic backend, nanoseconds on the real one).
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+func computeLatency(samples []int64) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum int64
+	for _, s := range samples {
+		sum += s
+	}
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencyStats{
+		Count: uint64(len(samples)),
+		Min:   samples[0],
+		P50:   pct(0.50),
+		P99:   pct(0.99),
+		Max:   samples[len(samples)-1],
+		Mean:  float64(sum) / float64(len(samples)),
+	}
+}
+
+// PhaseDwellStats aggregates time spent in one phase across spans.
+type PhaseDwellStats struct {
+	Phase string  `json:"phase"`
+	Spans uint64  `json:"spans"`
+	Total int64   `json:"total"`
+	Mean  float64 `json:"mean"`
+}
+
+// SpanStats is the aggregate span report: how many operations completed
+// by themselves vs by a combiner, their end-to-end latency, and where the
+// time went.
+type SpanStats struct {
+	Spans      uint64 `json:"spans"`
+	Incomplete uint64 `json:"incomplete"`
+	Self       uint64 `json:"self"`
+	Helped     uint64 `json:"helped"`
+	// HelpEdges counts combined-by edges (operations completed for other
+	// threads by combiners).
+	HelpEdges uint64 `json:"help_edges"`
+	// Attempts / Aborts cover speculative attempts across all spans.
+	Attempts uint64 `json:"attempts"`
+	Aborts   uint64 `json:"aborts"`
+	// SelfLatency / HelpedLatency are end-to-end latencies of complete
+	// spans, split by completion mode.
+	SelfLatency   LatencyStats `json:"self_latency"`
+	HelpedLatency LatencyStats `json:"helped_latency"`
+	// Dwell is the per-phase time breakdown over complete spans.
+	Dwell []PhaseDwellStats `json:"dwell,omitempty"`
+}
+
+// ComputeSpanStats aggregates reconstructed spans.
+func ComputeSpanStats(spans []Span) SpanStats {
+	var st SpanStats
+	var selfLat, helpedLat []int64
+	var dwellTotal [core.NumPhases]int64
+	var dwellSpans [core.NumPhases]uint64
+	for i := range spans {
+		sp := &spans[i]
+		st.Spans++
+		st.Attempts += uint64(sp.Attempts)
+		st.Aborts += uint64(sp.Aborts)
+		st.HelpEdges += uint64(len(sp.Helps))
+		if !sp.Complete {
+			st.Incomplete++
+			continue
+		}
+		if sp.Helped {
+			st.Helped++
+			helpedLat = append(helpedLat, sp.End-sp.Start)
+		} else {
+			st.Self++
+			selfLat = append(selfLat, sp.End-sp.Start)
+		}
+		var seen [core.NumPhases]bool
+		for _, d := range sp.Dwell {
+			dwellTotal[d.Phase] += d.End - d.Start
+			if !seen[d.Phase] {
+				seen[d.Phase] = true
+				dwellSpans[d.Phase]++
+			}
+		}
+	}
+	st.SelfLatency = computeLatency(selfLat)
+	st.HelpedLatency = computeLatency(helpedLat)
+	for p := core.Phase(0); p < core.NumPhases; p++ {
+		if dwellSpans[p] == 0 {
+			continue
+		}
+		st.Dwell = append(st.Dwell, PhaseDwellStats{
+			Phase: p.String(),
+			Spans: dwellSpans[p],
+			Total: dwellTotal[p],
+			Mean:  float64(dwellTotal[p]) / float64(dwellSpans[p]),
+		})
+	}
+	return st
+}
+
+// FormatSpanStats renders the span report as text.
+func FormatSpanStats(st SpanStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spans: %d (self %d, helped %d", st.Spans, st.Self, st.Helped)
+	if st.Incomplete > 0 {
+		fmt.Fprintf(&b, ", %d truncated by flight recorder", st.Incomplete)
+	}
+	fmt.Fprintf(&b, ")\n")
+	fmt.Fprintf(&b, "combined-by edges: %d\n", st.HelpEdges)
+	if st.Attempts > 0 {
+		fmt.Fprintf(&b, "speculative attempts: %d (%d aborted)\n", st.Attempts, st.Aborts)
+	}
+	writeLat := func(name string, l LatencyStats) {
+		if l.Count == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-17s n=%-7d min %-7d p50 %-7d p99 %-7d max %-7d mean %.1f\n",
+			name, l.Count, l.Min, l.P50, l.P99, l.Max, l.Mean)
+	}
+	writeLat("self latency:", st.SelfLatency)
+	writeLat("helped latency:", st.HelpedLatency)
+	if len(st.Dwell) > 0 {
+		fmt.Fprintf(&b, "time in phase (over complete spans):\n")
+		for _, d := range st.Dwell {
+			fmt.Fprintf(&b, "  %-16s total %-10d mean %-9.1f across %d spans\n",
+				d.Phase, d.Total, d.Mean, d.Spans)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/htm"
+)
+
+// synthetic stream: thread 0 self-completes with one conflict abort;
+// thread 1 announces and is helped by thread 0's second op (a combiner).
+func syntheticEvents() []core.TraceEvent {
+	s0a := core.SpanID(0, 1)
+	s0b := core.SpanID(0, 2)
+	s1 := core.SpanID(1, 1)
+	return []core.TraceEvent{
+		{Thread: 0, Now: 0, Kind: core.TraceStart, Class: 2, Span: s0a, Peer: -1},
+		{Thread: 1, Now: 5, Kind: core.TraceStart, Class: 0, Span: s1, Peer: -1},
+		{Thread: 0, Now: 10, Kind: core.TraceAttempt, Phase: core.PhaseTryPrivate,
+			Reason: htm.ReasonConflict, Span: s0a, Line: 99, Peer: 1},
+		{Thread: 1, Now: 12, Kind: core.TraceAttempt, Phase: core.PhaseTryPrivate,
+			Reason: htm.ReasonLockHeld, Span: s1, Peer: 0},
+		{Thread: 0, Now: 20, Kind: core.TraceAttempt, Phase: core.PhaseTryPrivate,
+			Reason: htm.ReasonNone, Span: s0a, Peer: -1},
+		{Thread: 0, Now: 20, Kind: core.TraceDone, Phase: core.PhaseTryPrivate, Span: s0a, Peer: -1},
+		{Thread: 1, Now: 25, Kind: core.TraceAnnounce, Class: 0, Span: s1, Peer: -1},
+		{Thread: 0, Now: 30, Kind: core.TraceStart, Class: 1, Span: s0b, Peer: -1},
+		{Thread: 0, Now: 35, Kind: core.TraceAnnounce, Class: 1, Span: s0b, Peer: -1},
+		{Thread: 0, Now: 40, Kind: core.TraceSelect, N: 2, Span: s0b, Peer: -1},
+		{Thread: 0, Now: 45, Kind: core.TraceLock, Span: s0b, Peer: -1},
+		{Thread: 0, Now: 55, Kind: core.TraceHelp, Phase: core.PhaseCombineUnderLock,
+			Span: s0b, Peer: 1, PeerSpan: s1},
+		{Thread: 0, Now: 60, Kind: core.TraceDone, Phase: core.PhaseCombineUnderLock, Span: s0b, Peer: -1},
+		{Thread: 1, Now: 62, Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
+			Span: s1, Peer: 0, PeerSpan: s0b},
+	}
+}
+
+func TestBuildSpans(t *testing.T) {
+	spans := BuildSpans(syntheticEvents())
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byID := map[uint64]Span{}
+	for _, sp := range spans {
+		if !sp.Complete {
+			t.Errorf("span %x incomplete", sp.ID)
+		}
+		byID[sp.ID] = sp
+	}
+
+	self := byID[core.SpanID(0, 1)]
+	if self.Helped || self.DonePhase != core.PhaseTryPrivate ||
+		self.Attempts != 2 || self.Aborts != 1 {
+		t.Errorf("self span wrong: %+v", self)
+	}
+	if self.Start != 0 || self.End != 20 {
+		t.Errorf("self span bounds [%d,%d], want [0,20]", self.Start, self.End)
+	}
+
+	helped := byID[core.SpanID(1, 1)]
+	if !helped.Helped || helped.Helper != 0 || helped.HelperSpan != core.SpanID(0, 2) {
+		t.Errorf("helped span wrong: %+v", helped)
+	}
+
+	combiner := byID[core.SpanID(0, 2)]
+	if len(combiner.Helps) != 1 || combiner.Helps[0].Peer != 1 ||
+		combiner.Helps[0].PeerSpan != core.SpanID(1, 1) {
+		t.Errorf("combiner help edges wrong: %+v", combiner.Helps)
+	}
+	// Dwell: start(30)→announce(35) TryPrivate, →select(40) TryVisible,
+	// →lock(45) TryCombining, →done(60) CombineUnderLock.
+	wantDwell := []Dwell{
+		{Phase: core.PhaseTryPrivate, Start: 30, End: 35},
+		{Phase: core.PhaseTryVisible, Start: 35, End: 40},
+		{Phase: core.PhaseTryCombining, Start: 40, End: 45},
+		{Phase: core.PhaseCombineUnderLock, Start: 45, End: 60},
+	}
+	if len(combiner.Dwell) != len(wantDwell) {
+		t.Fatalf("combiner dwell = %+v, want %+v", combiner.Dwell, wantDwell)
+	}
+	for i, d := range combiner.Dwell {
+		if d != wantDwell[i] {
+			t.Errorf("dwell[%d] = %+v, want %+v", i, d, wantDwell[i])
+		}
+	}
+}
+
+func TestComputeSpanStats(t *testing.T) {
+	st := ComputeSpanStats(BuildSpans(syntheticEvents()))
+	if st.Spans != 3 || st.Self != 2 || st.Helped != 1 || st.HelpEdges != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.Attempts != 3 || st.Aborts != 2 {
+		t.Errorf("attempts/aborts = %d/%d, want 3/2", st.Attempts, st.Aborts)
+	}
+	if st.HelpedLatency.Count != 1 || st.HelpedLatency.Min != 57 {
+		t.Errorf("helped latency: %+v", st.HelpedLatency)
+	}
+	txt := FormatSpanStats(st)
+	for _, want := range []string{"spans: 3", "combined-by edges: 1", "helped latency"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("FormatSpanStats missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestBuildSpansTruncated(t *testing.T) {
+	evs := syntheticEvents()
+	// Drop the first event: thread 0's first span loses its start,
+	// thread 1's span survives intact.
+	spans := BuildSpans(evs[1:])
+	byID := map[uint64]Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	if sp := byID[core.SpanID(0, 1)]; sp.Complete {
+		t.Errorf("span without start marked complete: %+v", sp)
+	}
+	if sp := byID[core.SpanID(1, 1)]; !sp.Complete {
+		t.Errorf("intact span marked incomplete: %+v", sp)
+	}
+	st := ComputeSpanStats(spans)
+	if st.Incomplete != 1 {
+		t.Errorf("incomplete = %d, want 1", st.Incomplete)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, syntheticEvents(), "HCF"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	var flowIDs []string
+	for _, ev := range doc.TraceEvents {
+		key := ev["ph"].(string)
+		if cat, ok := ev["cat"].(string); ok {
+			key += ":" + cat
+		}
+		count[key]++
+		if ev["ph"] == "s" || ev["ph"] == "f" {
+			flowIDs = append(flowIDs, ev["id"].(string))
+		}
+	}
+	if count["X:op"] != 3 {
+		t.Errorf("op slices = %d, want 3", count["X:op"])
+	}
+	if count["X:phase"] < 4 {
+		t.Errorf("phase sub-slices = %d, want >= 4", count["X:phase"])
+	}
+	if count["s:combine"] != 1 || count["f:combine"] != 1 {
+		t.Errorf("flow events s=%d f=%d, want 1/1", count["s:combine"], count["f:combine"])
+	}
+	if len(flowIDs) == 2 && flowIDs[0] != flowIDs[1] {
+		t.Errorf("flow source and target ids differ: %v", flowIDs)
+	}
+	if count["i:abort"] != 2 {
+		t.Errorf("abort instants = %d, want 2", count["i:abort"])
+	}
+	// Conflict abort carries line + writer attribution.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["cat"] == "abort" {
+			args := ev["args"].(map[string]any)
+			if args["reason"] == "conflict" {
+				found = true
+				if args["line"] != float64(99) || args["writer"] != float64(1) {
+					t.Errorf("conflict abort attribution wrong: %v", args)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no attributed conflict abort in chrome output")
+	}
+}
+
+func TestHotLines(t *testing.T) {
+	col := &Collector{}
+	for i := 0; i < 5; i++ {
+		col.Trace(core.TraceEvent{Thread: 0, Kind: core.TraceAttempt,
+			Reason: htm.ReasonConflict, Line: 7, Peer: 2})
+	}
+	col.Trace(core.TraceEvent{Thread: 1, Kind: core.TraceAttempt,
+		Reason: htm.ReasonConflict, Line: 7, Peer: 3})
+	col.Trace(core.TraceEvent{Thread: 1, Kind: core.TraceAttempt,
+		Reason: htm.ReasonConflict, Line: 9, Peer: -1})
+	hot := col.HotLines(0)
+	if len(hot) != 2 {
+		t.Fatalf("got %d hot lines, want 2", len(hot))
+	}
+	if hot[0].Line != 7 || hot[0].Aborts != 6 || hot[0].TopWriter != 2 || hot[0].TopWriterAborts != 5 {
+		t.Errorf("hot[0] = %+v", hot[0])
+	}
+	if hot[1].Line != 9 || hot[1].TopWriter != -1 {
+		t.Errorf("hot[1] = %+v", hot[1])
+	}
+	if got := col.HotLines(1); len(got) != 1 || got[0].Line != 7 {
+		t.Errorf("HotLines(1) = %+v", got)
+	}
+}
+
+func TestFlightDumpKeepsNewest(t *testing.T) {
+	col := &Collector{Limit: 4}
+	for i := 0; i < 10; i++ {
+		col.Trace(core.TraceEvent{Thread: 0, Now: int64(i), Kind: core.TraceStart,
+			Span: core.SpanID(0, uint64(i+1)), Peer: -1})
+	}
+	dump := col.FlightDump(2)
+	if strings.Count(dump, "\n") != 2 {
+		t.Fatalf("dump has %d lines, want 2:\n%s", strings.Count(dump, "\n"), dump)
+	}
+	if !strings.Contains(dump, "@8") || !strings.Contains(dump, "@9") {
+		t.Errorf("dump does not hold the newest events:\n%s", dump)
+	}
+	if col.Dropped() != 6 {
+		t.Errorf("Dropped() = %d, want 6", col.Dropped())
+	}
+}
+
+func TestSummaryDataJSON(t *testing.T) {
+	col := &Collector{}
+	for _, ev := range syntheticEvents() {
+		col.Trace(ev)
+	}
+	data := col.SummaryData()
+	if data.Starts != 3 {
+		t.Errorf("starts = %d, want 3", data.Starts)
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"starts":3`, `"hot_lines"`, `"lock_acquisitions":1`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("JSON missing %s:\n%s", want, raw)
+		}
+	}
+}

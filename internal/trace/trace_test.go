@@ -97,12 +97,27 @@ func TestEventStreamStructure(t *testing.T) {
 }
 
 func TestLimitBoundsRetentionNotCounters(t *testing.T) {
+	// Limit is a per-thread flight-recorder ring: 6 threads x 10 newest.
 	col, _ := tracedRun(t, 6, 30, 10)
-	if len(col.Events()) != 10 {
-		t.Fatalf("retained %d events, want 10", len(col.Events()))
+	if len(col.Events()) != 60 {
+		t.Fatalf("retained %d events, want 60 (10 per thread)", len(col.Events()))
+	}
+	if col.Retained() != 60 {
+		t.Fatalf("Retained() = %d, want 60", col.Retained())
 	}
 	if col.Starts() != 180 {
 		t.Fatalf("starts = %d, want 180 (aggregation must continue)", col.Starts())
+	}
+	// The ring keeps the newest events: each thread's final event must be
+	// its last op's done.
+	last := map[int]core.TraceEvent{}
+	for _, ev := range col.Events() {
+		last[ev.Thread] = ev
+	}
+	for tid, ev := range last {
+		if ev.Kind != core.TraceDone {
+			t.Fatalf("thread %d last retained event is %s, want done", tid, ev.Kind)
+		}
 	}
 }
 
@@ -112,17 +127,17 @@ func TestLimitBoundsRetentionNotCounters(t *testing.T) {
 // from a complete one. Dropped() and Summary() must now report the count.
 func TestDroppedEventsReported(t *testing.T) {
 	col, _ := tracedRun(t, 6, 30, 10)
-	if got := len(col.Events()); got != 10 {
-		t.Fatalf("retained %d events, want 10", got)
+	if got := len(col.Events()); got != 60 {
+		t.Fatalf("retained %d events, want 60 (10 per thread)", got)
 	}
 	dropped := col.Dropped()
 	if dropped == 0 {
 		t.Fatal("Dropped() = 0 after exceeding Limit; drops must be counted")
 	}
 	// Every op emits at least start+done, so 180 ops emit >= 360 events;
-	// 10 were retained, the rest dropped.
-	if dropped < 350 {
-		t.Fatalf("Dropped() = %d, want >= 350", dropped)
+	// 60 were retained, the rest dropped.
+	if dropped < 300 {
+		t.Fatalf("Dropped() = %d, want >= 300", dropped)
 	}
 	sum := col.Summary()
 	if !strings.Contains(sum, "events dropped at Limit=10:") {

@@ -100,6 +100,30 @@ type Model interface {
 	Apply(op engine.Op) uint64
 }
 
+// FlightSource is anything that can dump its most recent lifecycle
+// events — typically *trace.Collector, whose per-thread rings make it an
+// always-on bounded flight recorder. Declared here as an interface so the
+// checker stays independent of the trace package.
+type FlightSource interface {
+	// FlightDump renders the last n recorded events (0 = all retained).
+	FlightDump(n int) string
+}
+
+// CheckDump is Check with a flight recorder attached: when the check
+// fails, the error carries the last n traced events so the history
+// leading up to the violation is visible without a re-run.
+func CheckDump(r *Recorder, model Model, expectOps int, rank func(op engine.Op) int, fr FlightSource, n int) error {
+	err := Check(r, model, expectOps, rank)
+	if err == nil || fr == nil {
+		return err
+	}
+	dump := fr.FlightDump(n)
+	if dump == "" {
+		return err
+	}
+	return fmt.Errorf("%w\nflight recorder (most recent events):\n%s", err, dump)
+}
+
 // Check replays the recorder's serialization against model and returns an
 // error describing the first divergence, if any. expectOps, when >= 0,
 // additionally requires exactly that many recorded applications (exactly

@@ -3,6 +3,7 @@ package witness
 import (
 	"math/rand/v2"
 	"sort"
+	"strings"
 	"testing"
 
 	"hcf/internal/core"
@@ -321,6 +322,39 @@ func TestCheckDetectsMissingApplications(t *testing.T) {
 	rec.Func()(2, 0, incOp{}, 0)
 	if err := Check(rec, &counterModel{}, 2, nil); err == nil {
 		t.Fatal("missing application accepted")
+	}
+}
+
+// fakeFlight is a FlightSource returning a fixed dump.
+type fakeFlight struct{ dump string }
+
+func (f fakeFlight) FlightDump(n int) string { return f.dump }
+
+func TestCheckDumpAttachesFlightRecorder(t *testing.T) {
+	rec := &Recorder{}
+	fn := rec.Func()
+	fn(2, 0, incOp{}, 0)
+	fn(4, 0, incOp{}, 99) // wrong: replay expects 1
+	fr := fakeFlight{dump: "t0 @5 done\n"}
+	err := CheckDump(rec, &counterModel{}, 2, nil, fr, 10)
+	if err == nil {
+		t.Fatal("divergent history accepted")
+	}
+	if !strings.Contains(err.Error(), "flight recorder") ||
+		!strings.Contains(err.Error(), "t0 @5 done") {
+		t.Fatalf("error lacks the flight dump: %v", err)
+	}
+
+	// A passing check attaches nothing; a nil source degrades to Check.
+	good := &Recorder{}
+	good.Func()(2, 0, incOp{}, 0)
+	if err := CheckDump(good, &counterModel{}, 1, nil, fr, 10); err != nil {
+		t.Fatalf("passing check returned %v", err)
+	}
+	if err := CheckDump(rec, &counterModel{}, 2, nil, nil, 10); err == nil {
+		t.Fatal("nil source hid the violation")
+	} else if strings.Contains(err.Error(), "flight recorder") {
+		t.Fatalf("nil source produced a dump: %v", err)
 	}
 }
 

@@ -14,7 +14,16 @@ package tracing
 
 import "hcf/internal/trace"
 
-// Collector records and summarizes framework lifecycle events. Install
-// with (*hcf.Framework).SetTracer. Safe for concurrent use; set Limit to
-// bound retained events (aggregate counters keep counting past it).
+// Collector records and summarizes framework lifecycle events into
+// lock-free per-thread buffers. Install with (*hcf.Framework).SetTracer
+// (or any baseline engine's SetTracer). Set Limit to turn it into a
+// bounded flight recorder: each thread keeps a ring of its Limit most
+// recent events while the aggregate counters keep counting past it.
 type Collector = trace.Collector
+
+// HotLine is one entry of the conflict-attribution report: a cache line,
+// its conflict-abort count, and the dominant writer thread.
+type HotLine = trace.HotLine
+
+// SummaryData is the machine-readable form of Collector.Summary.
+type SummaryData = trace.SummaryData

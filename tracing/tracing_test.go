@@ -55,3 +55,38 @@ func TestPublicCollectorFlow(t *testing.T) {
 		t.Fatalf("counter = %d", got)
 	}
 }
+
+// TestCollectorConcurrentRealBackend drives the collector from real OS
+// threads (exercised under -race in CI): the per-thread shards must accept
+// concurrent emission, and the counter accessors must be safe mid-run.
+func TestCollectorConcurrentRealBackend(t *testing.T) {
+	const threads, perThread = 6, 200
+	env := hcf.NewRealEnv(threads)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 3,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &tracing.Collector{Limit: 64}
+	fw.SetTracer(col)
+	counter := env.Alloc(1)
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < perThread; i++ {
+			fw.Execute(th, incOp{addr: counter})
+			_ = col.Starts() // live counter reads race-test the accessors
+			_ = col.Dropped()
+		}
+	})
+	if got := env.Boot().Load(counter); got != threads*perThread {
+		t.Fatalf("counter = %d, want %d", got, threads*perThread)
+	}
+	if col.Starts() != threads*perThread {
+		t.Fatalf("starts = %d, want %d", col.Starts(), threads*perThread)
+	}
+	if got := len(col.Events()); got > threads*64 {
+		t.Fatalf("retained %d events over the %d ring bound", got, threads*64)
+	}
+}
