@@ -12,9 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -27,6 +30,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hcfbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startCPUProfile begins CPU profiling to path ("" = disabled) and returns a
+// stop function.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps an allocation profile to path ("" = disabled).
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final heap state
+	return pprof.WriteHeapProfile(f)
 }
 
 func run(args []string) error {
@@ -43,12 +80,35 @@ func run(args []string) error {
 		jsonFlg  = fs.Bool("json", false, "emit JSON Lines (one record per scenario/engine/threads cell) instead of tables")
 		threads  = fs.String("threads", "", "comma-separated thread counts (override)")
 		engs     = fs.String("engines", "", "comma-separated engine names (override)")
+		parallel = fs.Int("parallel", 0, "max concurrently measured sweep points (0 = all host cores, 1 = serial)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof allocation profile to this file")
+		benchFlg = fs.Bool("bench", false, "measure host throughput of the reference sweep and emit a BENCH_sim.json record")
+		benchOut = fs.String("bench-out", "", "write the -bench record to this file instead of stdout")
+		baseline = fs.String("baseline", "", "compare the -bench record against this BENCH_sim.json; exit non-zero on >25% host-throughput regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startCPUProfile(*cpuProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	defer func() {
+		if err := writeMemProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "hcfbench: memprofile:", err)
+		}
+	}()
 	if *jsonFlg && *realFlg {
 		return fmt.Errorf("-json is not supported with -real")
+	}
+	if *benchFlg {
+		fig := *figID
+		if fig == "" {
+			fig = "2c" // the reference sweep: hashtable 40% finds, all engines
+		}
+		return runBench(fig, *threads, *engs, *horizon, *seed, *parallel, *benchOut, *baseline)
 	}
 	if *list {
 		for _, f := range harness.Figures() {
@@ -66,7 +126,7 @@ func run(args []string) error {
 		}
 		fmt.Println("== adaptive (§2.4 future work): shifting workload, static vs adaptive budgets")
 		for _, t := range ts {
-			results, err := harness.RunAdaptiveComparison(t, harness.Config{Horizon: *horizon, Seed: *seed})
+			results, err := harness.RunAdaptiveComparison(t, harness.Config{Horizon: *horizon, Seed: *seed, Parallel: *parallel})
 			if err != nil {
 				return err
 			}
@@ -99,7 +159,7 @@ func run(args []string) error {
 		}
 		figs = []harness.Figure{f}
 	}
-	cfg := harness.Config{Horizon: *horizon, Seed: *seed}
+	cfg := harness.Config{Horizon: *horizon, Seed: *seed, Parallel: *parallel}
 	for i := range figs {
 		if *threads != "" {
 			ts, err := parseInts(*threads)
@@ -145,6 +205,123 @@ func run(args []string) error {
 			fmt.Print(harness.FormatCSV(results))
 		default:
 			fmt.Println(harness.FormatFigure(figs[i], results))
+		}
+	}
+	return nil
+}
+
+// benchRecord is the machine-readable host-throughput record emitted by
+// -bench (BENCH_sim.json). Throughput is simulated work done per host
+// second, so the number is meaningful across horizon choices; regressions
+// are judged on sim_mcycles_per_host_sec.
+type benchRecord struct {
+	Kind       string   `json:"kind"` // "hcf-host-bench"
+	Figure     string   `json:"figure"`
+	Threads    []int    `json:"threads"`
+	Engines    []string `json:"engines"`
+	Horizon    int64    `json:"horizon"`
+	Seed       uint64   `json:"seed"`
+	Parallel   int      `json:"parallel"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	WallSec    float64  `json:"wall_seconds"`
+	Points     int      `json:"points"`
+	TotalOps   uint64   `json:"total_ops"`
+	// SimMcyclesPerHostSec is the headline metric: simulated megacycles
+	// executed per second of host wall-clock time.
+	SimMcyclesPerHostSec float64 `json:"sim_mcycles_per_host_sec"`
+	OpsPerHostSec        float64 `json:"ops_per_host_sec"`
+	// Baseline is filled when -baseline is given: the reference record's
+	// throughput and the measured speedup over it.
+	Baseline *benchBaseline `json:"baseline,omitempty"`
+}
+
+type benchBaseline struct {
+	Path                 string  `json:"path"`
+	SimMcyclesPerHostSec float64 `json:"sim_mcycles_per_host_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+// runBench measures the host wall-clock cost of one reference sweep and
+// emits a benchRecord, optionally enforcing a regression threshold against
+// a checked-in baseline record.
+func runBench(figID, threadsCSV, engsCSV string, horizon int64, seed uint64, parallel int, outPath, basePath string) error {
+	fig, err := harness.FigureByID(figID)
+	if err != nil {
+		return err
+	}
+	if threadsCSV != "" {
+		if fig.Threads, err = parseInts(threadsCSV); err != nil {
+			return err
+		}
+	}
+	if engsCSV != "" {
+		fig.Engines = strings.Split(engsCSV, ",")
+	}
+	cfg := harness.Config{Horizon: horizon, Seed: seed, Parallel: parallel}
+	start := time.Now()
+	results, err := harness.RunFigure(fig, cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+	rec := benchRecord{
+		Kind:       "hcf-host-bench",
+		Figure:     fig.ID,
+		Threads:    fig.Threads,
+		Engines:    fig.Engines,
+		Horizon:    horizon,
+		Seed:       seed,
+		Parallel:   parallel,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		WallSec:    wall,
+		Points:     len(results),
+	}
+	var simCycles int64
+	for _, r := range results {
+		rec.TotalOps += r.Ops
+		simCycles += r.Cycles
+	}
+	if wall > 0 {
+		rec.SimMcyclesPerHostSec = float64(simCycles) / 1e6 / wall
+		rec.OpsPerHostSec = float64(rec.TotalOps) / wall
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base benchRecord
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", basePath, err)
+		}
+		if base.SimMcyclesPerHostSec > 0 {
+			rec.Baseline = &benchBaseline{
+				Path:                 basePath,
+				SimMcyclesPerHostSec: base.SimMcyclesPerHostSec,
+				Speedup:              rec.SimMcyclesPerHostSec / base.SimMcyclesPerHostSec,
+			}
+		}
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench: %s in %.2fs (%.1f sim Mcycles/s) -> %s\n",
+			fig.ID, wall, rec.SimMcyclesPerHostSec, outPath)
+	} else {
+		fmt.Print(string(out))
+	}
+	if rec.Baseline != nil {
+		fmt.Fprintf(os.Stderr, "bench: %.2fx the baseline's host throughput (%s)\n",
+			rec.Baseline.Speedup, basePath)
+		if rec.Baseline.Speedup < 0.75 {
+			return fmt.Errorf("host-throughput regression: %.1f sim Mcycles/s is %.0f%% of baseline %.1f",
+				rec.SimMcyclesPerHostSec, 100*rec.Baseline.Speedup, rec.Baseline.SimMcyclesPerHostSec)
 		}
 	}
 	return nil

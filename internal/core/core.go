@@ -404,9 +404,7 @@ func (f *Framework) tryPrivate(th *memsim.Thread, trials int, op engine.Op) (uin
 		}
 		// Standard TLE practice: wait for the lock to be free before
 		// burning another speculation attempt.
-		for f.lock.Locked(th) {
-			th.Yield()
-		}
+		f.lock.WaitUnlocked(th)
 	}
 	return 0, false
 }
@@ -456,12 +454,10 @@ func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa
 	return 0, 0, false
 }
 
-// waitDone spins until a combiner completes the operation and returns its
-// result.
+// waitDone waits (passively) until a combiner completes the operation and
+// returns its result.
 func (f *Framework) waitDone(th *memsim.Thread, d *desc) uint64 {
-	for th.Load(d.status) != statusDone {
-		th.Yield()
-	}
+	th.SpinLoadUntilEq(d.status, statusDone)
 	return d.result
 }
 

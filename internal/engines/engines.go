@@ -239,9 +239,7 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 			e.emitDone(th, core.PhaseTryPrivate)
 			return res
 		}
-		for e.lock.Locked(th) {
-			th.Yield()
-		}
+		e.lock.WaitUnlocked(th)
 	}
 	e.lock.Lock(th)
 	tm.LockAcquisitions++
@@ -334,9 +332,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		} else {
 			conflicts = 0
 		}
-		for e.lock.Locked(th) {
-			th.Yield()
-		}
+		e.lock.WaitUnlocked(th)
 	}
 	// Managed phase: serialize with other conflicting threads on the
 	// auxiliary lock and keep eliding L.
@@ -355,9 +351,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 			e.emitDone(th, core.PhaseTryVisible)
 			return res
 		}
-		for e.lock.Locked(th) {
-			th.Yield()
-		}
+		e.lock.WaitUnlocked(th)
 	}
 	// Pessimistic fallback, still holding aux to keep the queue orderly.
 	e.lock.Lock(th)
@@ -461,49 +455,48 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (u
 	c.pub.Announce(th, t, uint64(t)+1)
 	c.ms.emit(th, core.TraceEvent{Kind: core.TraceAnnounce, Class: op.Class(), Peer: -1})
 	for {
-		if th.Load(d.status) == fcDone {
+		// Wait (passively) until either our op is marked done or the
+		// combiner lock is observed free — the same probe order and cycle
+		// charges as checking status then lock then yielding in a loop.
+		if c.lock.WaitUnlockedOr(th, d.status, fcDone) == 0 {
 			tm.Ops++
 			c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
 				Peer: d.helper, PeerSpan: d.helperSpan})
 			return d.result, false
 		}
-		if !c.lock.Locked(th) {
-			if c.lock.TryLock(th) {
-				tm.LockAcquisitions++
-				c.ms.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
-				var holdStart int64
-				if c.rec != nil {
-					holdStart = th.Now()
-				}
-				// Classic FC: keep scanning for newly announced requests
-				// for a few passes before handing the lock over.
-				ownDone, ownRes := false, uint64(0)
-				for pass := 0; pass < c.passes; pass++ {
-					done1, res1, n := c.combineSession(th, t, tm)
-					if done1 {
-						ownDone, ownRes = true, res1
-					}
-					if n == 0 {
-						break // nothing announced; stop scanning
-					}
-				}
-				if c.rec != nil {
-					c.rec.RecordLockHold(t, th.Now()-holdStart)
-				}
-				c.lock.Unlock(th)
-				if !ownDone {
-					// Our op was completed by the previous combiner
-					// between our status check and lock acquisition.
-					for th.Load(d.status) != fcDone {
-						th.Yield()
-					}
-					ownRes = d.result
-					c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
-						Peer: d.helper, PeerSpan: d.helperSpan})
-				}
-				tm.Ops++
-				return ownRes, true
+		if c.lock.TryLock(th) {
+			tm.LockAcquisitions++
+			c.ms.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
+			var holdStart int64
+			if c.rec != nil {
+				holdStart = th.Now()
 			}
+			// Classic FC: keep scanning for newly announced requests
+			// for a few passes before handing the lock over.
+			ownDone, ownRes := false, uint64(0)
+			for pass := 0; pass < c.passes; pass++ {
+				done1, res1, n := c.combineSession(th, t, tm)
+				if done1 {
+					ownDone, ownRes = true, res1
+				}
+				if n == 0 {
+					break // nothing announced; stop scanning
+				}
+			}
+			if c.rec != nil {
+				c.rec.RecordLockHold(t, th.Now()-holdStart)
+			}
+			c.lock.Unlock(th)
+			if !ownDone {
+				// Our op was completed by the previous combiner
+				// between our status check and lock acquisition.
+				th.SpinLoadUntilEq(d.status, fcDone)
+				ownRes = d.result
+				c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
+					Peer: d.helper, PeerSpan: d.helperSpan})
+			}
+			tm.Ops++
+			return ownRes, true
 		}
 		th.Yield()
 	}
@@ -721,9 +714,7 @@ func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 			e.emitDone(th, core.PhaseTryPrivate)
 			return res
 		}
-		for e.lock.Locked(th) {
-			th.Yield()
-		}
+		e.lock.WaitUnlocked(th)
 	}
 	res, combined := e.core.execute(th, op, tm)
 	path := 2

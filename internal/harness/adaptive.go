@@ -31,7 +31,7 @@ func RunAdaptiveComparison(threads int, cfg Config) ([]Result, error) {
 	}
 	var out []Result
 	for _, v := range variants {
-		env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+		env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
 		boot := env.Boot()
 		const keyRange = 512 // small table: the update phase is genuinely hot
 		tbl := hashtable.New(boot, keyRange)

@@ -8,6 +8,9 @@ package harness
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hcf/internal/core"
 	"hcf/internal/engine"
@@ -60,6 +63,15 @@ type Config struct {
 	Trials int
 	// HTM configures the transactional engine for all engines.
 	HTM htm.Config
+	// Parallel bounds how many sweep points RunSweep measures concurrently
+	// on the host: 0 uses all host cores (GOMAXPROCS), 1 forces a serial
+	// sweep. Each point owns an independent DetEnv, so parallelism changes
+	// only host wall-clock time — results are identical, in identical
+	// order, at any setting.
+	Parallel int
+	// CapacityHint pre-sizes each point's simulated arena (in words); see
+	// memsim.DetConfig.CapacityHint. Zero grows on demand.
+	CapacityHint int
 }
 
 func (c *Config) normalize() {
@@ -129,7 +141,7 @@ func BuildEngine(name string, env memsim.Env, inst Instance, cfg Config) (engine
 // fresh deterministic environment.
 func RunPoint(sc Scenario, engineName string, threads int, cfg Config) (Result, error) {
 	cfg.normalize()
-	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
 	inst := sc.Setup(env, cfg.Seed)
 	eng, err := BuildEngine(engineName, env, inst, cfg)
 	if err != nil {
@@ -172,16 +184,60 @@ func RunPoint(sc Scenario, engineName string, threads int, cfg Config) (Result, 
 	return res, nil
 }
 
-// RunSweep measures every engine at every thread count.
+// RunSweep measures every engine at every thread count. Points are measured
+// concurrently across host cores (bounded by cfg.Parallel) — each point
+// builds its own deterministic environment, engine and scenario instance, so
+// measurements do not interact; results are returned in the same
+// deterministic (threads-major, engine-minor) order as a serial sweep.
 func RunSweep(sc Scenario, engineNames []string, threads []int, cfg Config) ([]Result, error) {
-	results := make([]Result, 0, len(engineNames)*len(threads))
+	type point struct {
+		threads int
+		name    string
+	}
+	pts := make([]point, 0, len(engineNames)*len(threads))
 	for _, t := range threads {
 		for _, name := range engineNames {
-			r, err := RunPoint(sc, name, t, cfg)
+			pts = append(pts, point{threads: t, name: name})
+		}
+	}
+	par := cfg.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pts) {
+		par = len(pts)
+	}
+	results := make([]Result, len(pts))
+	if par <= 1 {
+		for i, p := range pts {
+			r, err := RunPoint(sc, p.name, p.threads, cfg)
 			if err != nil {
 				return nil, err
 			}
-			results = append(results, r)
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(pts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pts) {
+					return
+				}
+				results[i], errs[i] = RunPoint(sc, pts[i].name, pts[i].threads, cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return results, nil

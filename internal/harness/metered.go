@@ -72,7 +72,7 @@ func Instrument(eng engine.Engine, inst *Instance, threads int, unit string) (*m
 // uninstrumented RunPoint for the same configuration.
 func RunPointMetered(sc Scenario, engineName string, threads int, cfg Config, interval int64) (Result, *metrics.Report, error) {
 	cfg.normalize()
-	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
 	inst := sc.Setup(env, cfg.Seed)
 	eng, err := BuildEngine(engineName, env, inst, cfg)
 	if err != nil {

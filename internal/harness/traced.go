@@ -34,7 +34,7 @@ func InstrumentTrace(eng engine.Engine, limit int) (*trace.Collector, error) {
 // stream is itself bit-identical across same-seed runs.
 func RunPointTraced(sc Scenario, engineName string, threads int, cfg Config, limit int) (Result, *trace.Collector, error) {
 	cfg.normalize()
-	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost})
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
 	inst := sc.Setup(env, cfg.Seed)
 	eng, err := BuildEngine(engineName, env, inst, cfg)
 	if err != nil {

@@ -1,0 +1,63 @@
+package htm
+
+import (
+	"testing"
+
+	"hcf/internal/memsim"
+)
+
+// TestTransactionZeroSteadyStateAllocs asserts that the begin/load/store/
+// commit hot path performs no heap allocations once the pooled transaction's
+// read/write sets have grown to their working size. This is the contract
+// that keeps long simulator sweeps out of the Go garbage collector.
+func TestTransactionZeroSteadyStateAllocs(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := New(env, Config{})
+	th := env.Boot()
+
+	const spans = 24
+	addrs := make([]memsim.Addr, spans)
+	for i := range addrs {
+		addrs[i] = env.Alloc(memsim.WordsPerLine)
+		env.StoreWord(addrs[i], 0)
+	}
+	body := func(tx *Tx) {
+		for _, a := range addrs {
+			tx.Store(a, tx.Load(a)+1)
+		}
+	}
+	// Warm up: grow the read/write tables and any runtime-internal state.
+	for i := 0; i < 10; i++ {
+		if ok, reason := eng.Run(th, body); !ok {
+			t.Fatalf("warmup transaction aborted: %v", reason)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if ok, _ := eng.Run(th, body); !ok {
+			t.Fatal("transaction aborted")
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state transaction allocates %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestAbortRetryZeroSteadyStateAllocs exercises the rollback path: an
+// explicitly aborted transaction must also leave no garbage behind.
+func TestAbortRetryZeroSteadyStateAllocs(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 1})
+	eng := New(env, Config{})
+	th := env.Boot()
+	a := env.Alloc(1)
+	env.StoreWord(a, 0)
+
+	body := func(tx *Tx) {
+		tx.Store(a, tx.Load(a)+1)
+		tx.Abort()
+	}
+	for i := 0; i < 10; i++ {
+		eng.Run(th, body)
+	}
+	if avg := testing.AllocsPerRun(100, func() { eng.Run(th, body) }); avg != 0 {
+		t.Errorf("steady-state aborting transaction allocates %.1f objects per run, want 0", avg)
+	}
+}

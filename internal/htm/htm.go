@@ -192,9 +192,9 @@ func New(env memsim.Env, cfg Config) *Engine {
 	for i := range e.txs {
 		tx := &e.txs[i]
 		tx.eng = e
-		tx.rvers = make(map[uint32]uint64, 64)
-		tx.windex = make(map[memsim.Addr]int32, 32)
-		tx.wlineSeen = make(map[uint32]struct{}, 32)
+		tx.rindex = newU32index(64)
+		tx.windex = newU32index(32)
+		tx.wlineIdx = newU32index(32)
 		tx.noise = uint64(i+1) * 0x5851F42D4C957F2D
 	}
 	return e
@@ -251,6 +251,15 @@ type span struct {
 	words int32
 }
 
+// rline is one read-set entry: a cache line and the version observed when
+// it was first read. Entries are kept in first-read order, which makes
+// commit-time validation (and conflict attribution on a failed validation)
+// deterministic — unlike the map iteration it replaces.
+type rline struct {
+	line uint32
+	ver  uint64
+}
+
 // Tx is an in-flight transaction. It implements memsim.Ctx so sequential
 // data-structure code runs unmodified inside a transaction. A Tx is only
 // valid within the body passed to Engine.Run.
@@ -260,11 +269,15 @@ type Tx struct {
 	rv     uint64
 	active bool
 
-	rvers     map[uint32]uint64 // read line -> observed version
-	writes    []wentry
-	windex    map[memsim.Addr]int32
-	wlineList []uint32
-	wlineSeen map[uint32]struct{}
+	// The read set, write buffer and write-line set live in pooled,
+	// generation-cleared open-addressing tables (see lineset.go) so that a
+	// steady-state transaction attempt allocates nothing.
+	rlines    []rline  // read lines in first-read order
+	rindex    u32index // line -> index into rlines
+	writes    []wentry // buffered writes in program order
+	windex    u32index // word address -> index into writes
+	wlineList []uint32 // written lines in first-write order
+	wlineIdx  u32index // line -> 1 (membership)
 
 	locked    []uint32 // lines locked during commit
 	lockedOld []uint64 // their pre-lock metadata
@@ -293,11 +306,12 @@ func (tx *Tx) begin(th *memsim.Thread) {
 	tx.th = th
 	tx.active = true
 	tx.rv = tx.eng.env.ReadClock()
-	clear(tx.rvers)
+	tx.rlines = tx.rlines[:0]
+	tx.rindex.reset()
 	tx.writes = tx.writes[:0]
-	clear(tx.windex)
+	tx.windex.reset()
 	tx.wlineList = tx.wlineList[:0]
-	clear(tx.wlineSeen)
+	tx.wlineIdx.reset()
 	tx.locked = tx.locked[:0]
 	tx.lockedOld = tx.lockedOld[:0]
 	tx.allocs = tx.allocs[:0]
@@ -337,7 +351,7 @@ func (tx *Tx) AbortLockHeldBy(holder int) {
 // Load reads a word speculatively. The read is validated against the
 // transaction's snapshot; an inconsistency aborts immediately (opacity).
 func (tx *Tx) Load(a memsim.Addr) uint64 {
-	if i, ok := tx.windex[a]; ok {
+	if i, ok := tx.windex.get(uint32(a)); ok {
 		tx.th.Work(1) // served from the write buffer / store queue
 		return tx.writes[i].val
 	}
@@ -352,31 +366,32 @@ func (tx *Tx) Load(a memsim.Addr) uint64 {
 	if env.LoadMeta(line) != m {
 		tx.abortConflict(line)
 	}
-	if _, seen := tx.rvers[line]; !seen {
-		if len(tx.rvers) >= tx.eng.cfg.MaxReadLines {
+	if _, seen := tx.rindex.get(line); !seen {
+		if len(tx.rlines) >= tx.eng.cfg.MaxReadLines {
 			tx.abort(ReasonCapacity)
 		}
-		tx.rvers[line] = memsim.MetaVersion(m)
+		tx.rindex.put(line, int32(len(tx.rlines)))
+		tx.rlines = append(tx.rlines, rline{line: line, ver: memsim.MetaVersion(m)})
 	}
 	return v
 }
 
 // Store buffers a speculative write; it becomes visible only at commit.
 func (tx *Tx) Store(a memsim.Addr, v uint64) {
-	if i, ok := tx.windex[a]; ok {
+	if i, ok := tx.windex.get(uint32(a)); ok {
 		tx.writes[i].val = v
 		tx.th.Work(1)
 		return
 	}
 	line := memsim.LineOf(a)
-	if _, seen := tx.wlineSeen[line]; !seen {
+	if _, seen := tx.wlineIdx.get(line); !seen {
 		if len(tx.wlineList) >= tx.eng.cfg.MaxWriteLines {
 			tx.abort(ReasonCapacity)
 		}
-		tx.wlineSeen[line] = struct{}{}
+		tx.wlineIdx.put(line, 1)
 		tx.wlineList = append(tx.wlineList, line)
 	}
-	tx.windex[a] = int32(len(tx.writes))
+	tx.windex.put(uint32(a), int32(len(tx.writes)))
 	tx.writes = append(tx.writes, wentry{addr: a, val: v})
 	tx.th.Work(1)
 }
@@ -405,7 +420,7 @@ func (tx *Tx) commit() {
 		tx.abort(ReasonInjected)
 	}
 	if cfg.NoisePPMPerLine > 0 {
-		lines := uint64(len(tx.rvers) + len(tx.wlineList))
+		lines := uint64(len(tx.rlines) + len(tx.wlineList))
 		if tx.noiseDraw()%1_000_000 < lines*cfg.NoisePPMPerLine {
 			tx.abort(ReasonNoise)
 		}
@@ -444,16 +459,16 @@ func (tx *Tx) commit() {
 	}
 	wv := env.TickClock()
 	tx.stamp = wv << 1
-	// Phase 2: validate the read set.
-	for line, ver := range tx.rvers {
-		m := env.LoadMeta(line)
+	// Phase 2: validate the read set, in first-read order.
+	for _, r := range tx.rlines {
+		m := env.LoadMeta(r.line)
 		if memsim.MetaLocked(m) {
-			if _, mine := tx.wlineSeen[line]; !mine {
-				tx.abortConflict(line)
+			if _, mine := tx.wlineIdx.get(r.line); !mine {
+				tx.abortConflict(r.line)
 			}
 		}
-		if memsim.MetaVersion(m) != ver {
-			tx.abortConflict(line)
+		if memsim.MetaVersion(m) != r.ver {
+			tx.abortConflict(r.line)
 		}
 	}
 	// Phase 3: write back and release with the new version.

@@ -1,0 +1,109 @@
+package htm
+
+// u32index is a small open-addressing hash table from uint32 keys to int32
+// values, used for a transaction's read-set, write-buffer and write-line
+// indexes. It is built for the begin/load/store/commit hot path:
+//
+//   - slots are embedded in a flat slice (one cache line holds ~5 slots),
+//     probed linearly — no per-entry boxing and no hashing of Go interface
+//     values as in the built-in map;
+//   - clearing is O(1): each slot is stamped with the generation that wrote
+//     it, and reset simply bumps the table generation, so pooled transaction
+//     objects start every attempt without touching memory;
+//   - the table only grows (doubling), so in steady state begin/load/store/
+//     commit perform zero heap allocations.
+//
+// Keys are arbitrary uint32s (cache-line indexes or word addresses); values
+// are small ints (version-table or write-buffer positions). Entries cannot
+// be deleted, which with a load factor capped at 3/4 guarantees probe
+// termination.
+type u32index struct {
+	slots []u32slot
+	gen   uint32
+	count int
+}
+
+type u32slot struct {
+	gen uint32
+	key uint32
+	val int32
+}
+
+// newU32index returns a table with capacity for at least hint entries
+// before the first growth. The table starts at generation 1 so zeroed slots
+// are never live.
+func newU32index(hint int) u32index {
+	size := 16
+	for size*3 < hint*4 {
+		size *= 2
+	}
+	return u32index{slots: make([]u32slot, size), gen: 1}
+}
+
+// hashU32 is a multiplicative finalizer (Knuth-style with avalanche): cheap
+// and well-spread for the dense line/address keys the transaction sees.
+func hashU32(k uint32) uint32 {
+	k *= 0x9E3779B1
+	return k ^ (k >> 16)
+}
+
+// reset empties the table in O(1) by advancing the generation.
+func (m *u32index) reset() {
+	m.count = 0
+	m.gen++
+	if m.gen == 0 { // generation wrapped: invalidate stale stamps for real
+		for i := range m.slots {
+			m.slots[i].gen = 0
+		}
+		m.gen = 1
+	}
+}
+
+// get returns the value stored under key.
+func (m *u32index) get(key uint32) (int32, bool) {
+	mask := uint32(len(m.slots) - 1)
+	i := hashU32(key) & mask
+	for {
+		s := &m.slots[i]
+		if s.gen != m.gen {
+			return 0, false
+		}
+		if s.key == key {
+			return s.val, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put inserts key→val. The key must not already be present.
+func (m *u32index) put(key uint32, val int32) {
+	if (m.count+1)*4 > len(m.slots)*3 {
+		m.grow()
+	}
+	mask := uint32(len(m.slots) - 1)
+	i := hashU32(key) & mask
+	for m.slots[i].gen == m.gen {
+		i = (i + 1) & mask
+	}
+	m.slots[i] = u32slot{gen: m.gen, key: key, val: val}
+	m.count++
+}
+
+// grow doubles the table and rehashes the live entries.
+func (m *u32index) grow() {
+	old := m.slots
+	oldGen := m.gen
+	m.slots = make([]u32slot, 2*len(old))
+	m.gen = 1
+	mask := uint32(len(m.slots) - 1)
+	for _, s := range old {
+		if s.gen != oldGen {
+			continue
+		}
+		i := hashU32(s.key) & mask
+		for m.slots[i].gen == m.gen {
+			i = (i + 1) & mask
+		}
+		m.slots[i] = u32slot{gen: m.gen, key: s.key, val: s.val}
+	}
+}

@@ -16,6 +16,14 @@ type Lock interface {
 	Lock(th *memsim.Thread)
 	Unlock(th *memsim.Thread)
 	Locked(c memsim.Ctx) bool
+	// WaitUnlocked blocks until the lock is observed free. It charges
+	// exactly the cycles of the open-coded wait
+	//
+	//	for l.Locked(th) { th.Yield() }
+	//
+	// but lets the deterministic backend park the waiting goroutine
+	// passively instead of context-switching through every futile probe.
+	WaitUnlocked(th *memsim.Thread)
 }
 
 // TATAS is a test-and-test-and-set spin lock: unfair but cheap, the common
@@ -33,13 +41,14 @@ func NewTATAS(env memsim.Env) *TATAS {
 	return l
 }
 
-// Lock spins until the lock is acquired.
+// Lock spins until the lock is acquired. The wait between acquisition
+// attempts is a passive SpinLoadUntilEq, so only rounds that actually
+// observe the lock free wake the waiter's goroutine.
 func (l *TATAS) Lock(th *memsim.Thread) {
 	for {
-		if th.Load(l.word) == 0 {
-			if _, ok := th.CAS(l.word, 0, uint64(th.ID())+1); ok {
-				return
-			}
+		th.SpinLoadUntilEq(l.word, 0)
+		if _, ok := th.CAS(l.word, 0, uint64(th.ID())+1); ok {
+			return
 		}
 		th.Yield()
 	}
@@ -62,6 +71,27 @@ func (l *TATAS) Unlock(th *memsim.Thread) {
 // Locked reports whether the lock is held.
 func (l *TATAS) Locked(c memsim.Ctx) bool {
 	return c.Load(l.word) != 0
+}
+
+// WaitUnlocked blocks until the lock is observed free.
+func (l *TATAS) WaitUnlocked(th *memsim.Thread) {
+	th.SpinLoadUntilEq(l.word, 0)
+}
+
+// WaitUnlockedOr blocks until a coherent load of a observes want (returns
+// 0) or — probed second within each round — the lock is observed free
+// (returns 1). It charges exactly the cycles of the open-coded wait
+//
+//	for {
+//		if th.Load(a) == want { return 0 }
+//		if !l.Locked(th) { return 1 }
+//		th.Yield()
+//	}
+//
+// Flat combining's announce-then-wait loop has this shape: wait until
+// helped, or until the combiner lock frees up.
+func (l *TATAS) WaitUnlockedOr(th *memsim.Thread, a memsim.Addr, want uint64) int {
+	return th.SpinUntilEitherEq(a, want, l.word, 0)
 }
 
 // Holder returns the thread id holding the lock, or -1.
@@ -116,12 +146,10 @@ func NewTicket(env memsim.Env) *Ticket {
 	return l
 }
 
-// Lock takes a ticket and spins until it is served.
+// Lock takes a ticket and waits passively until it is served.
 func (l *Ticket) Lock(th *memsim.Thread) {
 	ticket := th.Add(l.next, 1)
-	for th.Load(l.owner) != ticket {
-		th.Yield()
-	}
+	th.SpinLoadUntilEq(l.owner, ticket)
 }
 
 // Unlock serves the next ticket.
@@ -134,4 +162,13 @@ func (l *Ticket) Unlock(th *memsim.Thread) {
 // wants: speculation should not proceed while the lock is contended.
 func (l *Ticket) Locked(c memsim.Ctx) bool {
 	return c.Load(l.owner) != c.Load(l.next)
+}
+
+// WaitUnlocked blocks until the lock is observed uncontended. The condition
+// compares two loaded words, which the passive-wait primitives cannot
+// express, so the wait stays open-coded.
+func (l *Ticket) WaitUnlocked(th *memsim.Thread) {
+	for l.Locked(th) {
+		th.Yield()
+	}
 }

@@ -1,7 +1,6 @@
 package memsim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -40,6 +39,11 @@ type DetConfig struct {
 	// CostParams.JitterPct). Runs with equal configuration and seed are
 	// bit-identical.
 	Seed uint64
+	// CapacityHint pre-sizes the arena to at least this many words, so long
+	// runs do not grow the page table (and the host allocator) incrementally.
+	// Zero allocates pages on demand. The hint has no effect on simulated
+	// results; pages are identical whether created eagerly or lazily.
+	CapacityHint int
 }
 
 // DetEnv is the deterministic multicore simulator backend. Virtual threads
@@ -47,36 +51,68 @@ type DetConfig struct {
 // each memory access advances the accessing thread's cycle clock by a cost
 // from the coherence model. Runs are fully deterministic for a given
 // configuration and workload seed.
+//
+// Scheduling is run-until-preempted: after charging an access, the current
+// thread keeps running as long as it is still the minimum-(clock, id)
+// runnable thread (a heap peek, no synchronization), and when another thread
+// becomes the minimum the CPU is handed to it directly — one channel
+// rendezvous per switch instead of a park/resume round-trip through a
+// central scheduler loop. The thread selected at every scheduling point is
+// identical to the classic pop-min design, so simulated results are
+// bit-for-bit unchanged; only host time is saved.
 type DetEnv struct {
 	n    int
 	cost CostParams
 
 	pages    []*detPage
 	nextFree Addr
-	freelist map[int][]Addr
+	freelist [][]Addr // freelist[words] = LIFO of freed spans of that size
 	clock    uint64
 
 	threads []*Thread
-	dts     []*detThread
+	resume  []chan struct{} // per worker thread wake-up rendezvous
 	caches  []*l1Cache
 	stats   []ThreadStats
 	clocks  []int64
 	jitter  []uint64 // per-thread splitmix states (0 slice = disabled)
 
 	running bool
-	parkCh  chan parkMsg
+	done    chan struct{}
 	sched   detHeap
+	waits   []detWait
 	panicV  any
 }
 
-type detThread struct {
-	resume chan struct{}
+// detWait is a worker thread's declarative wait state. While passive, the
+// thread's goroutine stays parked and its spin-loop events (access charges,
+// seqlock reads, yield charges) are executed inline — one step per
+// scheduling quantum — by whichever goroutine is driving the scheduler at
+// that moment. The step stream is bit-identical to the open-coded spin loop
+// the primitive replaces; only the host context switches are elided.
+type detWait struct {
+	passive bool
+	kind    uint8
+	phase   uint8
+	which   int
+	addr    Addr
+	addr2   Addr
+	want    uint64
+	want2   uint64
 }
 
-type parkMsg struct {
-	id       int
-	finished bool
-}
+// Wait kinds.
+const (
+	waitUntilEq       uint8 = iota // until Load(addr) == want
+	waitUntilEitherEq              // until Load(addr)==want or Load(addr2)==want2
+)
+
+// Step phases of a passive wait.
+const (
+	phAccess1 uint8 = iota // charge the access for addr
+	phRead1                // seqlock-read addr, check want
+	phAccess2              // charge the access for addr2
+	phRead2                // seqlock-read addr2, check want2
+)
 
 var _ Env = (*DetEnv)(nil)
 
@@ -91,12 +127,20 @@ func NewDet(cfg DetConfig) *DetEnv {
 		n:        cfg.Threads,
 		cost:     cfg.Cost,
 		nextFree: WordsPerLine, // reserve line 0 so Addr 0 stays nil
-		freelist: make(map[int][]Addr),
-		parkCh:   make(chan parkMsg),
+		freelist: make([][]Addr, 64),
+		done:     make(chan struct{}),
+	}
+	if cfg.CapacityHint > 0 {
+		npages := (cfg.CapacityHint + pageWords - 1) / pageWords
+		e.pages = make([]*detPage, 0, npages)
+		for i := 0; i < npages; i++ {
+			e.pages = append(e.pages, newDetPage())
+		}
 	}
 	total := cfg.Threads + 1 // + bootstrap
 	e.threads = make([]*Thread, total)
-	e.dts = make([]*detThread, cfg.Threads)
+	e.resume = make([]chan struct{}, cfg.Threads)
+	e.waits = make([]detWait, cfg.Threads)
 	e.caches = make([]*l1Cache, total)
 	e.stats = make([]ThreadStats, total)
 	e.clocks = make([]int64, total)
@@ -105,7 +149,7 @@ func NewDet(cfg DetConfig) *DetEnv {
 		e.caches[i] = newL1Cache(cfg.Cost.L1Sets, cfg.Cost.L1Ways)
 	}
 	for i := 0; i < cfg.Threads; i++ {
-		e.dts[i] = &detThread{resume: make(chan struct{})}
+		e.resume[i] = make(chan struct{})
 	}
 	if cfg.Cost.JitterPct > 0 {
 		e.jitter = make([]uint64, total)
@@ -129,53 +173,198 @@ func (e *DetEnv) Boot() *Thread { return e.threads[e.n] }
 // Run executes body once per worker thread under the deterministic
 // scheduler and returns when every body has returned. It must not be called
 // concurrently with itself. A panic in any body is re-raised from Run after
-// the remaining threads are abandoned.
+// the remaining threads have finished.
+//
+// Run only seeds the schedule (resuming the minimum-clock thread) and waits
+// for completion; thereafter the virtual CPU moves between threads by direct
+// handoff at scheduling points, never returning to this goroutine.
 func (e *DetEnv) Run(body func(th *Thread)) {
 	if e.running {
 		panic("memsim: DetEnv.Run called reentrantly")
 	}
 	e.running = true
 	e.panicV = nil
+	for i := range e.waits {
+		e.waits[i] = detWait{}
+	}
 	for i := 0; i < e.n; i++ {
 		go func(id int) {
-			<-e.dts[id].resume
+			<-e.resume[id]
 			defer func() {
 				if r := recover(); r != nil && e.panicV == nil {
-					// Record before parking: the scheduler reads panicV
-					// after draining the heap.
+					// Record before handing off: Run reads panicV after
+					// the last thread signals done.
 					e.panicV = r
 				}
-				e.parkCh <- parkMsg{id: id, finished: true}
+				e.finish()
 			}()
 			body(e.threads[id])
 		}(i)
 	}
-	e.sched.ids = e.sched.ids[:0]
-	for i := 0; i < e.n; i++ {
-		e.sched.ids = append(e.sched.ids, i)
-	}
-	heap.Init(&e.sched)
-	for e.sched.Len() > 0 {
-		id := heap.Pop(&e.sched).(int)
-		e.dts[id].resume <- struct{}{}
-		msg := <-e.parkCh
-		if !msg.finished {
-			heap.Push(&e.sched, msg.id)
-		}
-	}
+	e.sched.reset(e.n)
+	e.resume[e.dispatch()] <- struct{}{}
+	<-e.done
 	e.running = false
 	if e.panicV != nil {
 		panic(e.panicV)
 	}
 }
 
-// schedPoint parks the calling virtual thread and waits to be rescheduled.
+// finish retires the calling virtual thread: it hands the CPU to the next
+// runnable thread, or signals Run when it was the last one.
+func (e *DetEnv) finish() {
+	if next := e.dispatch(); next >= 0 {
+		e.resume[next] <- struct{}{}
+	} else {
+		e.done <- struct{}{}
+	}
+}
+
+// schedPoint preempts the calling virtual thread if it is no longer the
+// minimum-(clock, id) runnable thread. The common case — still minimum —
+// is a heap peek with no synchronization at all (and this function is small
+// enough to inline into Access/Work/Yield); a switch is one direct channel
+// handoff to the new minimum thread.
 func (e *DetEnv) schedPoint(t int) {
 	if !e.running || t >= e.n {
 		return
 	}
-	e.parkCh <- parkMsg{id: t}
-	<-e.dts[t].resume
+	ids := e.sched.ids
+	if len(ids) == 0 {
+		return // only runnable thread
+	}
+	m := ids[0]
+	if ct, cm := e.clocks[t], e.clocks[m]; ct < cm || (ct == cm && t < int(m)) {
+		return // still the minimum: keep running
+	}
+	e.switchTo(t)
+}
+
+// switchTo re-enters the scheduler from thread t. If the next thread due to
+// run is t itself (possible when the threads ahead of it are all passive
+// waiters whose steps dispatch executes inline), t simply keeps the CPU;
+// otherwise the CPU is handed over with a single channel rendezvous and t
+// parks until it is scheduled — or, if t is a passive waiter, until its wait
+// completes.
+func (e *DetEnv) switchTo(t int) {
+	e.sched.push(int32(t))
+	next := e.dispatch()
+	if int(next) == t {
+		return
+	}
+	e.resume[next] <- struct{}{}
+	<-e.resume[t]
+}
+
+// dispatch drives the schedule until an active (non-waiting) thread is the
+// minimum-(clock, id) runnable thread and pops it, executing passive
+// waiters' spin-loop steps inline on the calling goroutine along the way.
+// Returns -1 when no runnable thread remains.
+func (e *DetEnv) dispatch() int32 {
+	for {
+		ids := e.sched.ids
+		if len(ids) == 0 {
+			return -1
+		}
+		w := &e.waits[ids[0]]
+		if !w.passive {
+			return e.sched.pop()
+		}
+		if e.stepWait(int(ids[0]), w) {
+			// The wait completed without a charge, so the thread is still
+			// the minimum: schedule it now.
+			w.passive = false
+			return e.sched.pop()
+		}
+		e.sched.siftDown(0) // the step charged the waiter; restore order
+	}
+}
+
+// stepWait executes one scheduling quantum of a passive wait on behalf of
+// thread t: the events between two scheduling points of the open-coded spin
+// loop the wait replaces (one charge, plus the seqlock reads that precede
+// it). It reports whether the wait's predicate was satisfied. The event
+// stream is bit-identical to Thread.Load/Thread.Yield executing the same
+// loop; only the goroutine switches between quanta are elided.
+func (e *DetEnv) stepWait(t int, w *detWait) bool {
+	switch w.phase {
+	case phAccess1: // Thread.Load(addr) charges its access first
+		e.accessBook(t, LineOf(w.addr), false)
+		w.phase = phRead1
+	case phRead1: // ... then seqlock-reads the word
+		line := LineOf(w.addr)
+		m1 := e.LoadMeta(line)
+		if MetaLocked(m1) {
+			e.yieldBook(t)
+			return false // retry the read after the yield, as Load does
+		}
+		v := e.LoadWord(w.addr)
+		if e.LoadMeta(line) != m1 {
+			e.yieldBook(t)
+			return false
+		}
+		if v == w.want {
+			w.which = 0
+			return true
+		}
+		if w.kind == waitUntilEq {
+			e.yieldBook(t) // failed round: Yield, then re-access addr
+			w.phase = phAccess1
+			return false
+		}
+		// Either-shape: probe addr2 next, with no yield in between — the
+		// loop this replaces falls straight through to its second Load.
+		w.phase = phAccess2
+	case phAccess2:
+		e.accessBook(t, LineOf(w.addr2), false)
+		w.phase = phRead2
+	case phRead2:
+		line := LineOf(w.addr2)
+		m1 := e.LoadMeta(line)
+		if MetaLocked(m1) {
+			e.yieldBook(t)
+			return false
+		}
+		v := e.LoadWord(w.addr2)
+		if e.LoadMeta(line) != m1 {
+			e.yieldBook(t)
+			return false
+		}
+		if v == w.want2 {
+			w.which = 1
+			return true
+		}
+		e.yieldBook(t) // both probes failed: Yield, restart at addr
+		w.phase = phAccess1
+	}
+	return false
+}
+
+// spinUntilEq parks worker t until a coherent load of a observes want,
+// replaying the exact charge/yield stream of
+//
+//	for th.Load(a) != want { th.Yield() }
+//
+// The first access is charged here, on the calling goroutine, exactly where
+// Thread.Load would charge it — before the scheduler is consulted — so
+// equal-clock ties resolve identically.
+func (e *DetEnv) spinUntilEq(t int, a Addr, want uint64) {
+	e.accessBook(t, LineOf(a), false)
+	e.waits[t] = detWait{passive: true, kind: waitUntilEq, phase: phRead1, addr: a, want: want}
+	e.switchTo(t)
+}
+
+// spinUntilEitherEq parks worker t until a load of a1 observes want1
+// (returns 0) or, probed second within each round, a load of a2 observes
+// want2 (returns 1).
+func (e *DetEnv) spinUntilEitherEq(t int, a1 Addr, want1 uint64, a2 Addr, want2 uint64) int {
+	e.accessBook(t, LineOf(a1), false)
+	e.waits[t] = detWait{
+		passive: true, kind: waitUntilEitherEq, phase: phRead1,
+		addr: a1, want: want1, addr2: a2, want2: want2,
+	}
+	e.switchTo(t)
+	return e.waits[t].which
 }
 
 // page returns the arena page holding word index w, growing the arena as
@@ -193,10 +382,12 @@ func (e *DetEnv) Alloc(words int) Addr {
 	if words <= 0 {
 		panic("memsim: Alloc of non-positive span")
 	}
-	if fl := e.freelist[words]; len(fl) > 0 {
-		a := fl[len(fl)-1]
-		e.freelist[words] = fl[:len(fl)-1]
-		return a
+	if words < len(e.freelist) {
+		if fl := e.freelist[words]; len(fl) > 0 {
+			a := fl[len(fl)-1]
+			e.freelist[words] = fl[:len(fl)-1]
+			return a
+		}
 	}
 	// Keep spans within a line when they fit, and line-aligned when they
 	// span lines, so capacity accounting and false sharing behave like a
@@ -214,6 +405,9 @@ func (e *DetEnv) Alloc(words int) Addr {
 
 // Free returns a span to the allocator.
 func (e *DetEnv) Free(a Addr, words int) {
+	for words >= len(e.freelist) {
+		e.freelist = append(e.freelist, make([][]Addr, len(e.freelist))...)
+	}
 	e.freelist[words] = append(e.freelist[words], a)
 }
 
@@ -272,6 +466,13 @@ func (e *DetEnv) TickClock() uint64 {
 // Access charges thread t for one logical access to line and yields to the
 // scheduler.
 func (e *DetEnv) Access(t int, line uint32, write bool) {
+	e.accessBook(t, line, write)
+	e.schedPoint(t)
+}
+
+// accessBook performs the bookkeeping and cycle charge of Access without the
+// scheduling point; the passive-wait step executor uses it directly.
+func (e *DetEnv) accessBook(t int, line uint32, write bool) {
 	st := &e.stats[t]
 	if write {
 		st.Stores++
@@ -302,7 +503,6 @@ func (e *DetEnv) Access(t int, line uint32, write bool) {
 		p.lastW[li] = int32(t)
 	}
 	e.charge(t, cost)
-	e.schedPoint(t)
 }
 
 // charge adds cost cycles (with SMT inflation and optional schedule-fuzzing
@@ -339,9 +539,14 @@ func (e *DetEnv) Work(t int, c int64) {
 
 // Yield charges the yield cost and reschedules.
 func (e *DetEnv) Yield(t int) {
+	e.yieldBook(t)
+	e.schedPoint(t)
+}
+
+// yieldBook is Yield's bookkeeping and charge without the scheduling point.
+func (e *DetEnv) yieldBook(t int) {
 	e.stats[t].Yields++
 	e.charge(t, e.cost.YieldCost)
-	e.schedPoint(t)
 }
 
 // Now returns thread t's virtual cycle clock.
@@ -363,30 +568,74 @@ func (e *DetEnv) ResetStats() {
 // Cost returns the environment's cost parameters.
 func (e *DetEnv) Cost() CostParams { return e.cost }
 
-// detHeap orders runnable thread ids by (virtual clock, id).
+// detHeap is a binary min-heap of runnable thread ids ordered by
+// (virtual clock, id). It is hand-rolled (rather than container/heap) so the
+// per-access peek/push/pop path has no interface conversions and no
+// allocations. The (clock, id) order is a strict total order, so the popped
+// minimum is unique and the schedule does not depend on internal layout.
 type detHeap struct {
-	ids []int
+	ids []int32
 	env *DetEnv
 }
 
-func (h *detHeap) Len() int { return len(h.ids) }
-
-func (h *detHeap) Less(i, j int) bool {
-	ci, cj := h.env.clocks[h.ids[i]], h.env.clocks[h.ids[j]]
-	if ci != cj {
-		return ci < cj
+func (h *detHeap) less(a, b int32) bool {
+	ca, cb := h.env.clocks[a], h.env.clocks[b]
+	if ca != cb {
+		return ca < cb
 	}
-	return h.ids[i] < h.ids[j]
+	return a < b
 }
 
-func (h *detHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+// reset refills the heap with ids 0..n-1 and restores heap order.
+func (h *detHeap) reset(n int) {
+	h.ids = h.ids[:0]
+	for i := 0; i < n; i++ {
+		h.ids = append(h.ids, int32(i))
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
 
-func (h *detHeap) Push(x any) { h.ids = append(h.ids, x.(int)) }
+func (h *detHeap) push(id int32) {
+	h.ids = append(h.ids, id)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.ids[i], h.ids[parent]) {
+			break
+		}
+		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		i = parent
+	}
+}
 
-func (h *detHeap) Pop() any {
-	old := h.ids
-	n := len(old)
-	x := old[n-1]
-	h.ids = old[:n-1]
-	return x
+func (h *detHeap) pop() int32 {
+	ids := h.ids
+	top := ids[0]
+	last := len(ids) - 1
+	ids[0] = ids[last]
+	h.ids = ids[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *detHeap) siftDown(i int) {
+	ids := h.ids
+	n := len(ids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h.less(ids[r], ids[l]) {
+			min = r
+		}
+		if !h.less(ids[min], ids[i]) {
+			return
+		}
+		ids[i], ids[min] = ids[min], ids[i]
+		i = min
+	}
 }

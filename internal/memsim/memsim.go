@@ -230,6 +230,53 @@ func (t *Thread) Free(a Addr, words int) { t.env.Free(a, words) }
 // Yield cedes the (virtual) CPU; used in spin loops.
 func (t *Thread) Yield() { t.env.Yield(t.id) }
 
+// SpinLoadUntilEq waits until a coherent Load of a observes want. It is
+// observably identical — the same accesses, yields and cycle charges in the
+// same order — to the open-coded loop
+//
+//	for t.Load(a) != want {
+//		t.Yield()
+//	}
+//
+// On the deterministic backend the waiting goroutine parks and the
+// scheduler replays the loop's events inline on whichever goroutine holds
+// the host CPU, so futile spin iterations cost no host context switches.
+func (t *Thread) SpinLoadUntilEq(a Addr, want uint64) {
+	if e, ok := t.env.(*DetEnv); ok && e.running && t.id < e.n {
+		e.spinUntilEq(t.id, a, want)
+		return
+	}
+	for t.Load(a) != want {
+		t.Yield()
+	}
+}
+
+// SpinUntilEitherEq waits until a coherent Load of a1 observes want1
+// (returning 0) or — probed second within each round — a Load of a2
+// observes want2 (returning 1). It is observably identical to
+//
+//	for {
+//		if t.Load(a1) == want1 { return 0 }
+//		if t.Load(a2) == want2 { return 1 }
+//		t.Yield()
+//	}
+//
+// with the same passive-waiting host behaviour as SpinLoadUntilEq.
+func (t *Thread) SpinUntilEitherEq(a1 Addr, want1 uint64, a2 Addr, want2 uint64) int {
+	if e, ok := t.env.(*DetEnv); ok && e.running && t.id < e.n {
+		return e.spinUntilEitherEq(t.id, a1, want1, a2, want2)
+	}
+	for {
+		if t.Load(a1) == want1 {
+			return 0
+		}
+		if t.Load(a2) == want2 {
+			return 1
+		}
+		t.Yield()
+	}
+}
+
 // Work charges c cycles of local computation to the thread.
 func (t *Thread) Work(c int64) { t.env.Work(t.id, c) }
 
