@@ -1,17 +1,23 @@
 // Command hcffuzz runs the serialization-witness linearizability checker
 // over many perturbed deterministic schedules. Each seed produces a
 // different — but exactly reproducible — interleaving via cost-model
-// jitter; every engine must produce a valid linearization witness under
-// every schedule.
+// jitter and, with -explore, adversarial schedule exploration (randomized
+// thread priorities plus bounded forced-preemption injection; see
+// memsim.ExploreConfig). Every engine must produce a valid linearization
+// witness under every schedule.
 //
 // Usage:
 //
 //	hcffuzz -seeds 50                       # fuzz all engines, default workload
 //	hcffuzz -seeds 200 -engines HCF -threads 9 -jitter 60
-//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable
+//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable | avl
+//	hcffuzz -explore -seeds 200 -scenario hashtable,avl
 //
-// A failure prints the seed; rerunning with -seeds-from <seed> -seeds 1
-// reproduces it exactly.
+// Without -explore a failure aborts the run and prints the seed; rerunning
+// with -seeds-from <seed> -seeds 1 reproduces it exactly. With -explore the
+// sweep keeps going: failures are aggregated, each one prints a single-line
+// `go run ./cmd/hcffuzz ...` repro command plus the flight-recorder dump
+// and a minimized span trace, and the process exits non-zero at the end.
 package main
 
 import (
@@ -19,12 +25,14 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"sort"
 	"strings"
 
 	"hcf/internal/core"
 	"hcf/internal/engine"
 	"hcf/internal/engines"
 	"hcf/internal/memsim"
+	"hcf/internal/seq/avl"
 	"hcf/internal/seq/hashtable"
 	"hcf/internal/trace"
 	"hcf/internal/witness"
@@ -41,8 +49,24 @@ type fuzzCfg struct {
 	threads   int
 	perThread int
 	jitterPct int64
-	scenario  string
 	flight    int
+	explore   memsim.ExploreConfig // Seed filled in per run
+}
+
+func (c fuzzCfg) exploring() bool {
+	return c.explore.PreemptBudget > 0 || c.explore.JitterClass > 0
+}
+
+// reproCommand renders the exact single-line command that replays one
+// (engine, scenario, seed) combination.
+func (c fuzzCfg) reproCommand(engineName, scenario string, seed uint64) string {
+	cmd := fmt.Sprintf("go run ./cmd/hcffuzz -seeds 1 -seeds-from %d -engines %s -scenario %s -threads %d -ops %d -jitter %d -flight %d",
+		seed, engineName, scenario, c.threads, c.perThread, c.jitterPct, c.flight)
+	if c.exploring() {
+		cmd += fmt.Sprintf(" -explore -preempt-budget %d -jitter-class %d",
+			c.explore.PreemptBudget, c.explore.JitterClass)
+	}
+	return cmd
 }
 
 func run(args []string) error {
@@ -54,8 +78,11 @@ func run(args []string) error {
 		perThread = fs.Int("ops", 40, "operations per thread")
 		jitter    = fs.Int64("jitter", 40, "cost jitter percent")
 		engs      = fs.String("engines", "Lock,TLE,FC,SCM,TLE+FC,HCF", "engines to fuzz")
-		scenario  = fs.String("scenario", "hashtable", "counter | hashtable")
+		scenario  = fs.String("scenario", "hashtable", "comma-separated workloads: counter | hashtable | avl")
 		flight    = fs.Int("flight", 256, "flight-recorder ring size per thread (0 disables)")
+		explore   = fs.Bool("explore", false, "adversarial schedule exploration: sweep mode, aggregate failures")
+		budget    = fs.Int("preempt-budget", 48, "forced preemptions injected per explored run")
+		jclass    = fs.Int("jitter-class", 2, "priority-perturbation intensity 0..3 for explored runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,21 +91,44 @@ func run(args []string) error {
 		threads:   *threads,
 		perThread: *perThread,
 		jitterPct: *jitter,
-		scenario:  *scenario,
 		flight:    *flight,
 	}
-	names := strings.Split(*engs, ",")
-	checked := 0
-	for s := 0; s < *seeds; s++ {
-		seed := *seedsFrom + uint64(s)
-		for _, name := range names {
-			if err := fuzzOne(cfg, name, seed); err != nil {
-				return fmt.Errorf("engine %s, seed %d: %w", name, seed, err)
-			}
-			checked++
+	if *explore {
+		cfg.explore = memsim.ExploreConfig{PreemptBudget: *budget, JitterClass: *jclass}
+		if !cfg.exploring() {
+			return fmt.Errorf("-explore needs -preempt-budget or -jitter-class > 0")
 		}
 	}
-	fmt.Printf("ok: %d schedule×engine combinations produced valid linearizations\n", checked)
+	names := strings.Split(*engs, ",")
+	scens := strings.Split(*scenario, ",")
+	checked, failed := 0, 0
+	for s := 0; s < *seeds; s++ {
+		seed := *seedsFrom + uint64(s)
+		for _, scen := range scens {
+			for _, name := range names {
+				_, err := fuzzOne(cfg, name, scen, seed)
+				checked++
+				if err == nil {
+					continue
+				}
+				if !*explore {
+					return fmt.Errorf("engine %s, scenario %s, seed %d: %w", name, scen, seed, err)
+				}
+				failed++
+				fmt.Printf("FAIL engine=%s scenario=%s seed=%d\n", name, scen, seed)
+				fmt.Printf("repro: %s\n", cfg.reproCommand(name, scen, seed))
+				fmt.Printf("%v\n", err)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d schedule×engine×workload combinations failed the witness", failed, checked)
+	}
+	mode := "schedules"
+	if *explore {
+		mode = "explored schedules"
+	}
+	fmt.Printf("ok: %d %s×engine×workload combinations produced valid linearizations\n", checked, mode)
 	return nil
 }
 
@@ -121,6 +171,25 @@ func (mm *mapModel) Apply(op engine.Op) uint64 {
 	return 0
 }
 
+// setModel replays AVL set ops.
+type setModel struct{ m map[uint64]bool }
+
+func (sm *setModel) Apply(op engine.Op) uint64 {
+	switch o := op.(type) {
+	case avl.FindOp:
+		return engine.PackBool(sm.m[o.K])
+	case avl.InsertOp:
+		existed := sm.m[o.K]
+		sm.m[o.K] = true
+		return engine.PackBool(!existed)
+	case avl.RemoveOp:
+		existed := sm.m[o.K]
+		delete(sm.m, o.K)
+		return engine.PackBool(existed)
+	}
+	return 0
+}
+
 func insertsLast(op engine.Op) int {
 	if _, ok := op.(hashtable.InsertOp); ok {
 		return 1
@@ -128,23 +197,56 @@ func insertsLast(op engine.Op) int {
 	return 0
 }
 
-func fuzzOne(cfg fuzzCfg, engineName string, seed uint64) error {
-	cost := memsim.DefaultCostParams()
-	cost.JitterPct = cfg.jitterPct
-	env := memsim.NewDet(memsim.DetConfig{Threads: cfg.threads, Cost: cost, Seed: seed})
-	rec := &witness.Recorder{}
+// avlBatchOrder mirrors avl.CombineOps' in-batch application order — sorted
+// by (key, kind) — so the witness replay follows the combiner.
+func avlBatchOrder(op engine.Op) int {
+	switch o := op.(type) {
+	case avl.FindOp:
+		return int(o.K * 3)
+	case avl.InsertOp:
+		return int(o.K*3) + 1
+	case avl.RemoveOp:
+		return int(o.K*3) + 2
+	}
+	return 0
+}
 
-	var (
-		policies []core.Policy
-		combine  engine.CombineFunc
-		nextOp   func(r *rand.Rand) engine.Op
-		model    witness.Model
-		rank     func(op engine.Op) int
-	)
-	switch cfg.scenario {
+// opString renders an operation without pointer identities, for the
+// byte-comparable witness artifact.
+func opString(op engine.Op) string {
+	switch o := op.(type) {
+	case incOp:
+		return "inc"
+	case hashtable.FindOp:
+		return fmt.Sprintf("ht.find(%d)", o.Key)
+	case hashtable.InsertOp:
+		return fmt.Sprintf("ht.insert(%d,%d)", o.Key, o.Val)
+	case hashtable.RemoveOp:
+		return fmt.Sprintf("ht.remove(%d)", o.Key)
+	case avl.FindOp:
+		return fmt.Sprintf("avl.find(%d)", o.K)
+	case avl.InsertOp:
+		return fmt.Sprintf("avl.insert(%d)", o.K)
+	case avl.RemoveOp:
+		return fmt.Sprintf("avl.remove(%d)", o.K)
+	}
+	return fmt.Sprintf("%T", op)
+}
+
+// fuzzScenario is one constructed workload over a fresh environment.
+type fuzzScenario struct {
+	policies []core.Policy
+	combine  engine.CombineFunc
+	nextOp   func(r *rand.Rand) engine.Op
+	model    witness.Model
+	rank     func(op engine.Op) int
+}
+
+func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, error) {
+	switch name {
 	case "counter":
 		counter := env.Alloc(1)
-		combine = func(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
+		combine := func(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
 			v := ctx.Load(counter)
 			for i := range ops {
 				if !done[i] {
@@ -155,35 +257,134 @@ func fuzzOne(cfg fuzzCfg, engineName string, seed uint64) error {
 			}
 			ctx.Store(counter, v)
 		}
-		policies = []core.Policy{{
-			TryPrivateTrials: 2, TryVisibleTrials: 2, TryCombiningTrials: 4,
-			RunMulti: combine,
-		}}
-		nextOp = func(r *rand.Rand) engine.Op { return incOp{addr: counter} }
-		model = &counterModel{}
+		return &fuzzScenario{
+			policies: []core.Policy{{
+				TryPrivateTrials: 2, TryVisibleTrials: 2, TryCombiningTrials: 4,
+				RunMulti: combine,
+			}},
+			combine: combine,
+			nextOp:  func(r *rand.Rand) engine.Op { return incOp{addr: counter} },
+			model:   &counterModel{},
+		}, nil
 	case "hashtable":
 		tbl := hashtable.New(env.Boot(), 32)
-		policies = hashtable.Policies()
-		combine = hashtable.CombineMixed
-		nextOp = func(r *rand.Rand) engine.Op {
-			key := r.Uint64N(48)
-			switch r.IntN(3) {
-			case 0:
-				return hashtable.InsertOp{T: tbl, Key: key, Val: key ^ seed}
-			case 1:
-				return hashtable.FindOp{T: tbl, Key: key}
-			default:
-				return hashtable.RemoveOp{T: tbl, Key: key}
-			}
+		return &fuzzScenario{
+			policies: hashtable.Policies(),
+			combine:  hashtable.CombineMixed,
+			nextOp: func(r *rand.Rand) engine.Op {
+				key := r.Uint64N(48)
+				switch r.IntN(3) {
+				case 0:
+					return hashtable.InsertOp{T: tbl, Key: key, Val: key ^ seed}
+				case 1:
+					return hashtable.FindOp{T: tbl, Key: key}
+				default:
+					return hashtable.RemoveOp{T: tbl, Key: key}
+				}
+			},
+			model: &mapModel{m: map[uint64]uint64{}},
+			rank:  insertsLast,
+		}, nil
+	case "avl":
+		boot := env.Boot()
+		tree := avl.New(boot)
+		model := &setModel{m: map[uint64]bool{}}
+		pre := rand.New(rand.NewPCG(seed, 0xAB1))
+		for i := 0; i < 24; i++ {
+			k := pre.Uint64N(48)
+			tree.Insert(boot, k)
+			model.m[k] = true
 		}
-		model = &mapModel{m: map[uint64]uint64{}}
-		rank = insertsLast
+		return &fuzzScenario{
+			policies: avl.Policies(1),
+			combine:  avl.CombineOps,
+			nextOp: func(r *rand.Rand) engine.Op {
+				key := r.Uint64N(48)
+				switch r.IntN(3) {
+				case 0:
+					return avl.InsertOp{T: tree, K: key}
+				case 1:
+					return avl.FindOp{T: tree, K: key}
+				default:
+					return avl.RemoveOp{T: tree, K: key}
+				}
+			},
+			model: model,
+			rank:  avlBatchOrder,
+		}, nil
 	default:
-		return fmt.Errorf("unknown scenario %q", cfg.scenario)
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+// minimizedSpanTrace reduces the flight recorder's events to the last few
+// complete operation spans — the causal neighborhood of a failure — one
+// line per span.
+func minimizedSpanTrace(col *trace.Collector, n int) string {
+	spans := trace.BuildSpans(col.Events())
+	if len(spans) == 0 {
+		return ""
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].End < spans[j].End })
+	if len(spans) > n {
+		spans = spans[len(spans)-n:]
+	}
+	var b strings.Builder
+	for i := range spans {
+		sp := &spans[i]
+		fmt.Fprintf(&b, "span t%d/#%d class=%d [%d..%d] done=%s attempts=%d aborts=%d",
+			sp.Thread, sp.ID&0xFFFFFFFF, sp.Class, sp.Start, sp.End, sp.DonePhase, sp.Attempts, sp.Aborts)
+		if sp.Helped {
+			fmt.Fprintf(&b, " helped-by=t%d", sp.Helper)
+		}
+		for _, h := range sp.Helps {
+			fmt.Fprintf(&b, " helps=t%d@%d", h.Peer, h.At)
+		}
+		if !sp.Complete {
+			b.WriteString(" (truncated)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// artifact renders the witness recording (arrival order) plus the flight
+// dump as a byte-comparable string: deterministic replays must reproduce it
+// exactly.
+func artifact(rec *witness.Recorder, flight *trace.Collector) string {
+	var b strings.Builder
+	for _, e := range rec.Entries() {
+		fmt.Fprintf(&b, "%d %d %s = %d\n", e.Stamp, e.Intra, opString(e.Op), e.Result)
+	}
+	if flight != nil {
+		b.WriteString("-- flight --\n")
+		b.WriteString(flight.FlightDump(0))
+	}
+	return b.String()
+}
+
+// fuzzOne checks one (engine, scenario, seed) combination and returns the
+// run's witness/flight artifact. On a witness violation the error carries
+// the flight-recorder dump (via witness.CheckDump) and, in explore mode, a
+// minimized span trace of the failure's causal neighborhood.
+func fuzzOne(cfg fuzzCfg, engineName, scenario string, seed uint64) (string, error) {
+	cost := memsim.DefaultCostParams()
+	cost.JitterPct = cfg.jitterPct
+	det := memsim.DetConfig{Threads: cfg.threads, Cost: cost, Seed: seed}
+	if cfg.exploring() {
+		det.Explore = cfg.explore
+		det.Explore.Seed = seed
+	}
+	env := memsim.NewDet(det)
+	rec := &witness.Recorder{}
+
+	sc, err := buildScenario(scenario, env, seed)
+	if err != nil {
+		return "", err
 	}
 
 	var eng engine.Engine
-	opts := engines.Options{Combine: combine}
+	opts := engines.Options{Combine: sc.combine}
 	switch engineName {
 	case "Lock":
 		eng = engines.NewLock(env, opts)
@@ -196,17 +397,17 @@ func fuzzOne(cfg fuzzCfg, engineName string, seed uint64) error {
 	case "TLE+FC":
 		eng = engines.NewTLEFC(env, opts)
 	case "HCF":
-		fw, err := core.New(env, core.Config{Policies: policies})
+		fw, err := core.New(env, core.Config{Policies: sc.policies})
 		if err != nil {
-			return err
+			return "", err
 		}
 		eng = fw
 	default:
-		return fmt.Errorf("unknown engine %q", engineName)
+		return "", fmt.Errorf("unknown engine %q", engineName)
 	}
 	we, ok := eng.(engine.WitnessedEngine)
 	if !ok {
-		return fmt.Errorf("engine %s is not witnessable", engineName)
+		return "", fmt.Errorf("engine %s is not witnessable", engineName)
 	}
 	we.SetWitness(rec.Func())
 	// Always-on flight recorder: per-thread rings of the most recent
@@ -221,12 +422,18 @@ func fuzzOne(cfg fuzzCfg, engineName string, seed uint64) error {
 	env.Run(func(th *memsim.Thread) {
 		rng := rand.New(rand.NewPCG(uint64(th.ID()), seed))
 		for i := 0; i < cfg.perThread; i++ {
-			eng.Execute(th, nextOp(rng))
+			eng.Execute(th, sc.nextOp(rng))
 		}
 	})
 	var fr witness.FlightSource
 	if flight != nil {
 		fr = flight
 	}
-	return witness.CheckDump(rec, model, cfg.threads*cfg.perThread, rank, fr, 120)
+	err = witness.CheckDump(rec, sc.model, cfg.threads*cfg.perThread, sc.rank, fr, 120)
+	if err != nil && flight != nil && cfg.exploring() {
+		if mt := minimizedSpanTrace(flight, 12); mt != "" {
+			err = fmt.Errorf("%w\nminimized span trace (last operations):\n%s", err, mt)
+		}
+	}
+	return artifact(rec, flight), err
 }

@@ -1,10 +1,76 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"hcf/internal/memsim"
+)
 
 func TestFuzzSmall(t *testing.T) {
 	if err := run([]string{"-seeds", "2", "-ops", "15", "-threads", "4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFuzzExploreSweep(t *testing.T) {
+	if err := run([]string{"-explore", "-seeds", "3", "-ops", "15", "-threads", "4",
+		"-scenario", "counter,hashtable,avl"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzExploreNeedsPerturbation(t *testing.T) {
+	err := run([]string{"-explore", "-preempt-budget", "0", "-jitter-class", "0", "-seeds", "1"})
+	if err == nil || !strings.Contains(err.Error(), "-explore needs") {
+		t.Errorf("explore with no perturbation accepted: %v", err)
+	}
+}
+
+// TestExploredArtifactByteIdentical pins the acceptance criterion that
+// replaying any (config, seed) combination twice yields byte-identical
+// witness recordings and flight-recorder dumps — the property that makes
+// every sweep failure exactly reproducible from its printed repro line.
+func TestExploredArtifactByteIdentical(t *testing.T) {
+	for _, scen := range []string{"counter", "hashtable", "avl"} {
+		for _, explore := range []bool{false, true} {
+			cfg := fuzzCfg{threads: 5, perThread: 20, jitterPct: 40, flight: 64}
+			if explore {
+				cfg.explore = memsim.ExploreConfig{PreemptBudget: 32, JitterClass: 2}
+			}
+			for seed := uint64(0); seed < 3; seed++ {
+				a, err := fuzzOne(cfg, "HCF", scen, seed)
+				if err != nil {
+					t.Fatalf("%s seed %d explore=%v: %v", scen, seed, explore, err)
+				}
+				b, err := fuzzOne(cfg, "HCF", scen, seed)
+				if err != nil {
+					t.Fatalf("%s seed %d explore=%v (replay): %v", scen, seed, explore, err)
+				}
+				if a == "" {
+					t.Fatalf("%s seed %d: empty witness artifact", scen, seed)
+				}
+				if a != b {
+					t.Fatalf("%s seed %d explore=%v: replay artifact diverged;\nfirst:\n%s\nsecond:\n%s",
+						scen, seed, explore, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestReproCommandRoundTrips(t *testing.T) {
+	cfg := fuzzCfg{threads: 5, perThread: 20, jitterPct: 40, flight: 64,
+		explore: memsim.ExploreConfig{PreemptBudget: 32, JitterClass: 2}}
+	line := cfg.reproCommand("HCF", "avl", 17)
+	args := strings.Fields(line)
+	if args[0] != "go" || args[1] != "run" || args[2] != "./cmd/hcffuzz" {
+		t.Fatalf("repro line is not a go run command: %s", line)
+	}
+	// The printed line, fed back through the flag parser, must replay the
+	// exact failing combination (and pass, since head is clean).
+	if err := run(args[3:]); err != nil {
+		t.Fatalf("repro line failed to replay: %s\n%v", line, err)
 	}
 }
 

@@ -103,6 +103,13 @@ func (c *Controller) Step() {
 }
 
 // adjust applies the budget rule for one class.
+//
+// Trials→SetTrials is a read-modify-write over budgets that users may set
+// concurrently (Framework.SetTrials is a public runtime knob), so adjust
+// only writes when it actually has an adjustment to make, and clamps the
+// values it writes: a user SetTrials landing mid-epoch must not be echoed
+// back outside [PrivateFloor, MaxPrivate] / [0, MaxCombining] by the
+// controller's next adjustment.
 func (c *Controller) adjust(class int, delta [core.NumPhases]uint64, total uint64) {
 	private, visible, combining := c.fw.Trials(class)
 	privFrac := float64(delta[core.PhaseTryPrivate]) / float64(total)
@@ -110,24 +117,24 @@ func (c *Controller) adjust(class int, delta [core.NumPhases]uint64, total uint6
 	case privFrac >= c.cfg.HighPrivate:
 		// Speculation is winning: make sure it has budget to keep winning
 		// and stop paying for combining machinery it doesn't use.
-		if private < c.cfg.MaxPrivate {
-			private++
-		}
+		private++
 	case privFrac <= c.cfg.LowPrivate:
 		// Speculation keeps failing often: give the combining phase more
 		// budget and trim the less valuable announced attempts, but keep
 		// a private floor — some cheap speculation always pays, and
 		// cutting it to zero forfeits all parallelism.
-		if private > c.cfg.PrivateFloor {
-			private--
-		}
+		private--
 		if visible > 0 {
 			visible--
 		}
-		if combining < c.cfg.MaxCombining {
-			combining++
-		}
+		combining++
+	default:
+		// No adjustment: don't write the stale read back, it would silently
+		// revert a concurrent user SetTrials.
+		return
 	}
+	private = min(max(private, c.cfg.PrivateFloor), c.cfg.MaxPrivate)
+	combining = min(combining, c.cfg.MaxCombining)
 	c.fw.SetTrials(class, private, visible, combining)
 }
 

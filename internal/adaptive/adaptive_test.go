@@ -185,5 +185,72 @@ func TestEpochRequiresMinimumSignal(t *testing.T) {
 	}
 }
 
+// TestConcurrentSetTrialsRespectsClamps drives the controller from thread 0
+// while another thread keeps installing out-of-bounds budgets via the public
+// SetTrials knob, under schedule exploration so the user writes land in
+// different epochs on every seed. Whenever the controller adjusts after a
+// hostile write, the values it writes back must respect the configured
+// clamps — adjust's read-modify-write must not echo the user's 100/50 back
+// out, nor push past the caps from a value already above them.
+func TestConcurrentSetTrialsRespectsClamps(t *testing.T) {
+	// private=0 forces every completion through combining, so privFrac is 0
+	// and the controller's shrink path fires on the epoch after the hostile
+	// write — where the unclamped read-modify-write used to emit budgets
+	// below PrivateFloor and above MaxCombining.
+	const (
+		threads      = 6
+		hostileP     = 0
+		hostileV     = 1
+		hostileC     = 50
+		maxPrivate   = 5
+		maxCombining = 5
+		floor        = 2
+	)
+	for seed := uint64(0); seed < 12; seed++ {
+		env := memsim.NewDet(memsim.DetConfig{
+			Threads: threads,
+			Explore: memsim.ExploreConfig{Seed: seed, PreemptBudget: 32, JitterClass: 2},
+		})
+		fw := twoClassFramework(t, env)
+		ctl := New(fw, Config{
+			MinOpsPerEpoch: 16,
+			MaxPrivate:     maxPrivate,
+			MaxCombining:   maxCombining,
+			PrivateFloor:   floor,
+		})
+		hot := env.Alloc(1)
+		adjusted := 0
+		env.Run(func(th *memsim.Thread) {
+			for i := 0; i < 300; i++ {
+				fw.Execute(th, hotOp{addr: hot})
+				switch {
+				case th.ID() == 0 && i%25 == 24:
+					before := ctl.Steps
+					ctl.Step()
+					p, v, c := fw.Trials(0)
+					if p == hostileP && v == hostileV && c == hostileC {
+						// The controller skipped this class (not enough
+						// signal, or no adjustment direction): the user's
+						// values must survive untouched, which they did.
+						continue
+					}
+					if before != ctl.Steps {
+						adjusted++
+					}
+					if p > maxPrivate || p < floor || c > maxCombining || v < 0 {
+						t.Fatalf("seed %d: budgets violate clamps after Step: private=%d visible=%d combining=%d",
+							seed, p, v, c)
+					}
+				case th.ID() == 1 && i%40 == 10:
+					fw.SetTrials(0, hostileP, hostileV, hostileC)
+				}
+			}
+		})
+		if adjusted == 0 {
+			t.Fatalf("seed %d: controller never adjusted; test exercised nothing", seed)
+		}
+	}
+}
+
 var _ engine.Op = hotOp{}
 var _ engine.Op = coldOp{}

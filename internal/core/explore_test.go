@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hcf/internal/memsim"
+)
+
+// TestExploredScheduleSweep drives the full HCF protocol across genuinely
+// perturbed schedules: randomized thread priorities plus forced preemptions
+// injected at scheduling points (memsim.ExploreConfig), rather than the
+// thread-count perturbation of TestMultiSeedScheduleSweep. Preemptions land
+// inside the protocol's handoff windows — between announcing a status word
+// and publishing the slot, between a helper's adoption CAS and its Done
+// store, between a combiner's slot clear and the owner's wakeup — and the
+// exactly-once permutation witness must hold on every seed.
+func TestExploredScheduleSweep(t *testing.T) {
+	for _, tc := range []struct {
+		threads int
+		budget  int
+		class   int
+	}{
+		{threads: 5, budget: 32, class: 2},
+		{threads: 7, budget: 64, class: 3},
+		{threads: 11, budget: 96, class: 3},
+	} {
+		t.Run(fmt.Sprintf("threads=%d,budget=%d", tc.threads, tc.budget), func(t *testing.T) {
+			for seed := uint64(0); seed < 10; seed++ {
+				env := memsim.NewDet(memsim.DetConfig{
+					Threads: tc.threads,
+					Explore: memsim.ExploreConfig{
+						Seed:          seed,
+						PreemptBudget: tc.budget,
+						JitterClass:   tc.class,
+					},
+				})
+				fw := newFW(t, env, Config{Policies: []Policy{defaultPolicy()}})
+				counter := env.Alloc(1)
+				runIncWorkload(t, env, fw, counter, 30, 0)
+			}
+		})
+	}
+}
+
+// TestExploredAnnounceAdoptReuse pins the publication-slot reuse window
+// (the flat-combining ABA shape): with a visible-speculation-heavy budget a
+// helper can adopt a peer's announced descriptor while the owner completes
+// it itself and immediately re-announces the *next* operation into the same
+// slot with the same tag. Exactly-once then rests on the status-word CAS,
+// not on slot identity. Two classes share one publication array to maximize
+// cross-class adoption, and forced preemptions stretch the
+// adopt-vs-reannounce window. Any double application or lost operation
+// breaks the permutation.
+func TestExploredAnnounceAdoptReuse(t *testing.T) {
+	const threads, perThread = 9, 40
+	pol := defaultPolicy()
+	pol.TryPrivateTrials = 0 // announce immediately: every op enters a slot
+	pol.TryVisibleTrials = 4
+	pol.TryCombiningTrials = 4
+	polB := pol
+	polB.PubArray = 0 // same array as class 0
+	for seed := uint64(0); seed < 12; seed++ {
+		env := memsim.NewDet(memsim.DetConfig{
+			Threads: threads,
+			Explore: memsim.ExploreConfig{Seed: seed, PreemptBudget: 80, JitterClass: 3},
+		})
+		fw := newFW(t, env, Config{Policies: []Policy{pol, polB}})
+		counter := env.Alloc(1)
+		results := make([][]uint64, threads)
+		env.Run(func(th *memsim.Thread) {
+			mine := make([]uint64, 0, perThread)
+			for i := 0; i < perThread; i++ {
+				// Alternate classes so a thread's re-announcement often has
+				// a different class than the stale adoption in flight.
+				mine = append(mine, fw.Execute(th, incOp{addr: counter, class: (th.ID() + i) % 2}))
+			}
+			results[th.ID()] = mine
+		})
+		total := threads * perThread
+		if got := env.Boot().Load(counter); got != uint64(total) {
+			t.Fatalf("seed %d: counter = %d, want %d (lost or duplicated operations)", seed, got, total)
+		}
+		seen := make(map[uint64]bool, total)
+		for _, r := range results {
+			for _, v := range r {
+				if seen[v] {
+					t.Fatalf("seed %d: result %d returned twice (slot-reuse double application)", seed, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package engines
+
+import (
+	"fmt"
+	"testing"
+
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+)
+
+// TestAllEnginesExactlyOnceExplored pins the passive-wait handoff paths
+// against lost wakeups under adversarial schedules. The audited windows:
+//
+//   - fcCore.execute's previous-combiner path: a thread that acquired the
+//     combiner lock without completing its own op parks on
+//     SpinLoadUntilEq(status, fcDone) after unlocking — sound only because
+//     every combiner stores fcDone for all selected ops before Unlock.
+//   - WaitUnlockedOr's dual subscription (own status OR combiner lock):
+//     a waiter must never sleep through both the Done store and the unlock.
+//
+// Forced preemptions land inside these windows (between slot clear and
+// status store, between status store and unlock); every seed must still
+// complete every operation exactly once. A lost wakeup hangs the
+// deterministic scheduler and fails by test timeout.
+func TestAllEnginesExactlyOnceExplored(t *testing.T) {
+	const threads, perThread = 7, 30
+	for _, name := range []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"} {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 12; seed++ {
+				env := memsim.NewDet(memsim.DetConfig{
+					Threads: threads,
+					Explore: memsim.ExploreConfig{Seed: seed, PreemptBudget: 64, JitterClass: 3},
+				})
+				eng := allEngines(t, env)[name]
+				counter := env.Alloc(1)
+				results := make([][]uint64, threads)
+				env.Run(func(th *memsim.Thread) {
+					mine := make([]uint64, 0, perThread)
+					for i := 0; i < perThread; i++ {
+						mine = append(mine, eng.Execute(th, incOp{addr: counter}))
+					}
+					results[th.ID()] = mine
+				})
+				if got := env.Boot().Load(counter); got != threads*perThread {
+					t.Fatalf("seed %d: counter = %d, want %d", seed, got, threads*perThread)
+				}
+				checkPermutation(t, results, threads*perThread)
+			}
+		})
+	}
+}
+
+// TestFCExploredReplayDeterministic pins the determinism guarantee at the
+// engine level: the same exploration seed must produce the identical result
+// stream, so any failure a sweep finds replays exactly.
+func TestFCExploredReplayDeterministic(t *testing.T) {
+	run := func(seed uint64) string {
+		const threads, perThread = 5, 25
+		env := memsim.NewDet(memsim.DetConfig{
+			Threads: threads,
+			Explore: memsim.ExploreConfig{Seed: seed, PreemptBudget: 32, JitterClass: 2},
+		})
+		eng := NewFC(env, Options{Combine: combineIncs})
+		counter := env.Alloc(1)
+		results := make([][]uint64, threads)
+		env.Run(func(th *memsim.Thread) {
+			mine := make([]uint64, 0, perThread)
+			for i := 0; i < perThread; i++ {
+				mine = append(mine, eng.Execute(th, incOp{addr: counter}))
+			}
+			results[th.ID()] = mine
+		})
+		return fmt.Sprint(results)
+	}
+	for _, seed := range []uint64{2, 11, 29} {
+		if a, b := run(seed), run(seed); a != b {
+			t.Fatalf("seed %d: explored FC replay diverged:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+var _ engine.Engine = (*FCEngine)(nil)

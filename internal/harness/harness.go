@@ -140,8 +140,25 @@ func BuildEngine(name string, env memsim.Env, inst Instance, cfg Config) (engine
 // RunPoint measures one (scenario, engine, threads) configuration in a
 // fresh deterministic environment.
 func RunPoint(sc Scenario, engineName string, threads int, cfg Config) (Result, error) {
+	return RunPointExplored(sc, engineName, threads, cfg, memsim.ExploreConfig{})
+}
+
+// RunPointExplored is RunPoint under adversarial schedule exploration: the
+// environment perturbs the min-clock schedule per ex (randomized thread
+// priorities plus bounded forced preemptions; see memsim.ExploreConfig).
+// A zero ex is exactly RunPoint — the scheduler takes its unexplored fast
+// path, and results are bit-identical to the golden fixtures (pinned by
+// TestExploredZeroConfigMatchesRunPoint and the Golden tests). A non-zero
+// ex measures a deliberately unfair schedule: use it to validate invariants
+// under hostile interleavings, not to compare throughput.
+func RunPointExplored(sc Scenario, engineName string, threads int, cfg Config, ex memsim.ExploreConfig) (Result, error) {
 	cfg.normalize()
-	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
+	env := memsim.NewDet(memsim.DetConfig{
+		Threads:      threads,
+		Cost:         cfg.Cost,
+		CapacityHint: cfg.CapacityHint,
+		Explore:      ex,
+	})
 	inst := sc.Setup(env, cfg.Seed)
 	eng, err := BuildEngine(engineName, env, inst, cfg)
 	if err != nil {

@@ -44,6 +44,9 @@ type DetConfig struct {
 	// Zero allocates pages on demand. The hint has no effect on simulated
 	// results; pages are identical whether created eagerly or lazily.
 	CapacityHint int
+	// Explore enables adversarial schedule exploration (see explore.go).
+	// The zero value keeps the pure minimum-virtual-time schedule.
+	Explore ExploreConfig
 }
 
 // DetEnv is the deterministic multicore simulator backend. Virtual threads
@@ -81,6 +84,11 @@ type DetEnv struct {
 	sched   detHeap
 	waits   []detWait
 	panicV  any
+
+	// Schedule exploration (see explore.go). Both stay nil with a zero
+	// DetConfig.Explore, keeping the scheduler's fast paths untouched.
+	exp   *explore
+	boost []int64 // per-thread priority offsets added to heap comparisons
 }
 
 // detWait is a worker thread's declarative wait state. While passive, the
@@ -157,6 +165,14 @@ func NewDet(cfg DetConfig) *DetEnv {
 			e.jitter[i] = cfg.Seed*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
 		}
 	}
+	if cfg.Explore.enabled() {
+		e.exp = &explore{
+			cfg:  cfg.Explore,
+			rng:  cfg.Explore.Seed*0xD1342543DE82EF95 + 0x2545F4914F6CDD1D,
+			span: cfg.Explore.boostSpan(),
+		}
+		e.boost = make([]int64, cfg.Threads)
+	}
 	e.sched.env = e
 	return e
 }
@@ -201,6 +217,9 @@ func (e *DetEnv) Run(body func(th *Thread)) {
 			body(e.threads[id])
 		}(i)
 	}
+	if e.exp != nil {
+		e.resetExplore() // draw initial priorities before the heap is built
+	}
 	e.sched.reset(e.n)
 	e.resume[e.dispatch()] <- struct{}{}
 	<-e.done
@@ -227,6 +246,10 @@ func (e *DetEnv) finish() {
 // handoff to the new minimum thread.
 func (e *DetEnv) schedPoint(t int) {
 	if !e.running || t >= e.n {
+		return
+	}
+	if e.exp != nil {
+		e.explorePoint(t)
 		return
 	}
 	ids := e.sched.ids
@@ -580,6 +603,10 @@ type detHeap struct {
 
 func (h *detHeap) less(a, b int32) bool {
 	ca, cb := h.env.clocks[a], h.env.clocks[b]
+	if bs := h.env.boost; bs != nil {
+		ca += bs[a]
+		cb += bs[b]
+	}
 	if ca != cb {
 		return ca < cb
 	}

@@ -1,0 +1,133 @@
+package memsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// exploreTrace runs a small contended workload and records the full
+// observable outcome: per-thread final clocks, stats, and the sequence of
+// values each thread observed on a shared counter line. Two runs are "the
+// same schedule" iff these match.
+func exploreTrace(cfg DetConfig, perThread int) string {
+	e := NewDet(cfg)
+	shared := e.Alloc(1)
+	e.StoreWord(shared, 0)
+	obs := make([][]uint64, cfg.Threads)
+	e.Run(func(th *Thread) {
+		for i := 0; i < perThread; i++ {
+			v := th.Load(shared)
+			th.Work(25)
+			th.Store(shared, v+1)
+			obs[th.ID()] = append(obs[th.ID()], v)
+		}
+	})
+	out := ""
+	for t := 0; t < cfg.Threads; t++ {
+		out += fmt.Sprintf("t%d clock=%d yields=%d obs=%v\n",
+			t, e.Now(t), e.Stats(t).Yields, obs[t])
+	}
+	return out
+}
+
+func TestExploreDeterministicReplay(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1000} {
+		cfg := DetConfig{
+			Threads: 5,
+			Explore: ExploreConfig{Seed: seed, PreemptBudget: 40, JitterClass: 2},
+		}
+		a := exploreTrace(cfg, 30)
+		b := exploreTrace(cfg, 30)
+		if a != b {
+			t.Fatalf("seed %d: replay diverged;\nfirst:\n%s\nsecond:\n%s", seed, a, b)
+		}
+	}
+}
+
+func TestExploreZeroConfigMatchesBaseline(t *testing.T) {
+	base := exploreTrace(DetConfig{Threads: 5}, 30)
+	zero := exploreTrace(DetConfig{Threads: 5, Explore: ExploreConfig{}}, 30)
+	if base != zero {
+		t.Fatalf("zero ExploreConfig perturbed the schedule;\nbase:\n%s\nzero:\n%s", base, zero)
+	}
+}
+
+func TestExplorePerturbsSchedule(t *testing.T) {
+	base := exploreTrace(DetConfig{Threads: 5}, 30)
+	perturbed := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		cfg := DetConfig{
+			Threads: 5,
+			Explore: ExploreConfig{Seed: seed, PreemptBudget: 40, JitterClass: 2},
+		}
+		if exploreTrace(cfg, 30) != base {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("no explored seed perturbed the min-clock schedule")
+	}
+}
+
+func TestExploreSeedsDiffer(t *testing.T) {
+	schedules := map[string]bool{}
+	for seed := uint64(0); seed < 8; seed++ {
+		cfg := DetConfig{
+			Threads: 5,
+			Explore: ExploreConfig{Seed: seed, PreemptBudget: 40, JitterClass: 2},
+		}
+		schedules[exploreTrace(cfg, 30)] = true
+	}
+	if len(schedules) < 2 {
+		t.Fatalf("8 exploration seeds produced %d distinct schedule(s)", len(schedules))
+	}
+}
+
+func TestExplorePreemptBudgetRespected(t *testing.T) {
+	const budget = 7
+	e := NewDet(DetConfig{
+		Threads: 6,
+		Explore: ExploreConfig{Seed: 3, PreemptBudget: budget, JitterClass: 1},
+	})
+	shared := e.Alloc(1)
+	e.Run(func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			th.Add(shared, 1)
+		}
+	})
+	if got := e.PreemptionsInjected(); got > budget {
+		t.Fatalf("injected %d preemptions, budget %d", got, budget)
+	}
+	if got := e.LoadWord(shared); got != 6*200 {
+		t.Fatalf("counter = %d, want %d", got, 6*200)
+	}
+}
+
+// TestExplorePassiveWaitCompletes pins that passive spin-waits still
+// complete under adversarial boosts: a waiter parks on a word another
+// thread only stores late in its run.
+func TestExplorePassiveWaitCompletes(t *testing.T) {
+	for seed := uint64(0); seed < 16; seed++ {
+		e := NewDet(DetConfig{
+			Threads: 3,
+			Explore: ExploreConfig{Seed: seed, PreemptBudget: 20, JitterClass: 3},
+		})
+		flag := e.Alloc(1)
+		woke := make([]bool, 3)
+		e.Run(func(th *Thread) {
+			switch th.ID() {
+			case 0:
+				th.Work(5000)
+				th.Store(flag, 1)
+			default:
+				th.SpinLoadUntilEq(flag, 1)
+				woke[th.ID()] = true
+			}
+		})
+		for id := 1; id < 3; id++ {
+			if !woke[id] {
+				t.Fatalf("seed %d: waiter %d never woke", seed, id)
+			}
+		}
+	}
+}

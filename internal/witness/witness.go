@@ -61,6 +61,17 @@ func (r *Recorder) Len() int {
 	return len(r.entries)
 }
 
+// Entries returns a copy of the recorded applications in arrival order.
+// Determinism tests compare these across replays: a deterministic schedule
+// must reproduce the recording exactly, entry for entry.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
 // Serialization returns the recorded applications sorted into linearization
 // order. rank, when non-nil, orders operations *within* an atomic batch
 // (same stamp) ahead of the intra index: combine functions that apply one
