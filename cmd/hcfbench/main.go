@@ -103,6 +103,11 @@ func run(args []string) error {
 	if *jsonFlg && *realFlg {
 		return fmt.Errorf("-json is not supported with -real")
 	}
+	if *engs != "" {
+		if err := harness.ValidateEngineNames(strings.Split(*engs, ",")); err != nil {
+			return err
+		}
+	}
 	if *benchFlg {
 		fig := *figID
 		if fig == "" {

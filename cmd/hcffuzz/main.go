@@ -10,8 +10,9 @@
 //
 //	hcffuzz -seeds 50                       # fuzz all engines, default workload
 //	hcffuzz -seeds 200 -engines HCF -threads 9 -jitter 60
-//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable | avl
+//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable | avl | sharded
 //	hcffuzz -explore -seeds 200 -scenario hashtable,avl
+//	hcffuzz -explore -seeds 200 -scenario sharded -engines HCF-S
 //
 // Without -explore a failure aborts the run and prints the seed; rerunning
 // with -seeds-from <seed> -seeds 1 reproduces it exactly. With -explore the
@@ -34,6 +35,7 @@ import (
 	"hcf/internal/memsim"
 	"hcf/internal/seq/avl"
 	"hcf/internal/seq/hashtable"
+	"hcf/internal/shard"
 	"hcf/internal/trace"
 	"hcf/internal/witness"
 )
@@ -78,7 +80,7 @@ func run(args []string) error {
 		perThread = fs.Int("ops", 40, "operations per thread")
 		jitter    = fs.Int64("jitter", 40, "cost jitter percent")
 		engs      = fs.String("engines", "Lock,TLE,FC,SCM,TLE+FC,HCF", "engines to fuzz")
-		scenario  = fs.String("scenario", "hashtable", "comma-separated workloads: counter | hashtable | avl")
+		scenario  = fs.String("scenario", "hashtable", "comma-separated workloads: counter | hashtable | avl | sharded")
 		flight    = fs.Int("flight", 256, "flight-recorder ring size per thread (0 disables)")
 		explore   = fs.Bool("explore", false, "adversarial schedule exploration: sweep mode, aggregate failures")
 		budget    = fs.Int("preempt-budget", 48, "forced preemptions injected per explored run")
@@ -167,6 +169,12 @@ func (mm *mapModel) Apply(op engine.Op) uint64 {
 		_, existed := mm.m[o.Key]
 		delete(mm.m, o.Key)
 		return engine.PackBool(existed)
+	case hashtable.SumAllOp:
+		var sum uint64
+		for _, v := range mm.m {
+			sum += v
+		}
+		return engine.Pack(sum&((1<<63)-1), true)
 	}
 	return 0
 }
@@ -223,6 +231,8 @@ func opString(op engine.Op) string {
 		return fmt.Sprintf("ht.insert(%d,%d)", o.Key, o.Val)
 	case hashtable.RemoveOp:
 		return fmt.Sprintf("ht.remove(%d)", o.Key)
+	case hashtable.SumAllOp:
+		return "ht.sumall"
 	case avl.FindOp:
 		return fmt.Sprintf("avl.find(%d)", o.K)
 	case avl.InsertOp:
@@ -240,6 +250,10 @@ type fuzzScenario struct {
 	nextOp   func(r *rand.Rand) engine.Op
 	model    witness.Model
 	rank     func(op engine.Op) int
+	// shards/router describe the sharded variant (HCF-S); shards == 0
+	// means the scenario has no sharding plan.
+	shards int
+	router shard.Router
 }
 
 func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, error) {
@@ -284,6 +298,59 @@ func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, err
 			},
 			model: &mapModel{m: map[uint64]uint64{}},
 			rank:  insertsLast,
+		}, nil
+	case "sharded":
+		// The §3.3 workload partitioned over three sub-tables (key mod 3),
+		// insert-heavy so combiners on different shards run concurrently,
+		// with occasional whole-structure scans forcing the cross-shard
+		// all-locks path.
+		const shards = 3
+		boot := env.Boot()
+		tables := make([]*hashtable.Table, shards)
+		for i := range tables {
+			tables[i] = hashtable.New(boot, 16)
+		}
+		model := &mapModel{m: map[uint64]uint64{}}
+		pre := rand.New(rand.NewPCG(seed, 0x5AD))
+		for i := 0; i < 16; i++ {
+			k := pre.Uint64N(48)
+			if tables[k%shards].Insert(boot, k, k) {
+				model.m[k] = k
+			}
+		}
+		return &fuzzScenario{
+			policies: hashtable.Policies(),
+			combine:  hashtable.CombineMixed,
+			nextOp: func(r *rand.Rand) engine.Op {
+				if r.Uint64N(100) < 4 {
+					return hashtable.SumAllOp{Tables: tables}
+				}
+				key := r.Uint64N(48)
+				tbl := tables[key%shards]
+				switch r.IntN(4) {
+				case 0, 1:
+					return hashtable.InsertOp{T: tbl, Key: key, Val: key ^ seed}
+				case 2:
+					return hashtable.FindOp{T: tbl, Key: key}
+				default:
+					return hashtable.RemoveOp{T: tbl, Key: key}
+				}
+			},
+			model:  model,
+			rank:   insertsLast,
+			shards: shards,
+			router: func(op engine.Op) int {
+				switch o := op.(type) {
+				case hashtable.FindOp:
+					return int(o.Key % shards)
+				case hashtable.InsertOp:
+					return int(o.Key % shards)
+				case hashtable.RemoveOp:
+					return int(o.Key % shards)
+				default:
+					return shard.CrossShard
+				}
+			},
 		}, nil
 	case "avl":
 		boot := env.Boot()
@@ -402,6 +469,19 @@ func fuzzOne(cfg fuzzCfg, engineName, scenario string, seed uint64) (string, err
 			return "", err
 		}
 		eng = fw
+	case "HCF-S":
+		if sc.shards == 0 {
+			return "", fmt.Errorf("engine HCF-S needs a sharded scenario (use -scenario sharded)")
+		}
+		se, err := shard.New(env, shard.Config{
+			Shards:   sc.shards,
+			Router:   sc.router,
+			Policies: sc.policies,
+		})
+		if err != nil {
+			return "", err
+		}
+		eng = se
 	default:
 		return "", fmt.Errorf("unknown engine %q", engineName)
 	}

@@ -74,6 +74,29 @@ func TestReproCommandRoundTrips(t *testing.T) {
 	}
 }
 
+// TestFuzzShardedScenario runs the sharded workload under every engine that
+// can execute it, including the sharded HCF variant whose combiners run
+// concurrently on different shards, with explored (adversarial) schedules.
+func TestFuzzShardedScenario(t *testing.T) {
+	if err := run([]string{"-seeds", "3", "-ops", "15", "-threads", "4",
+		"-scenario", "sharded", "-engines", "Lock,HCF,HCF-S"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-explore", "-seeds", "3", "-ops", "15", "-threads", "4",
+		"-scenario", "sharded", "-engines", "HCF-S"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzShardedNeedsPlan pins the error when HCF-S is asked to run a
+// scenario without a sharding plan.
+func TestFuzzShardedNeedsPlan(t *testing.T) {
+	err := run([]string{"-seeds", "1", "-scenario", "hashtable", "-engines", "HCF-S"})
+	if err == nil || !strings.Contains(err.Error(), "sharded scenario") {
+		t.Errorf("HCF-S over unsharded scenario accepted: %v", err)
+	}
+}
+
 func TestFuzzCounterScenario(t *testing.T) {
 	if err := run([]string{"-seeds", "2", "-ops", "15", "-threads", "4",
 		"-scenario", "counter", "-engines", "HCF,FC"}); err != nil {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	hcfstat -scenario hashtable -find 40 -engine HCF -threads 18
+//	hcfstat -scenario sharded -shards 4 -engine HCF-S -threads 36
 //	hcfstat -scenario avl -find 0 -theta 0.9 -engine TLE -threads 36
 //	hcfstat -scenario pqueue|stack|deque -engine FC -threads 8
 //	hcfstat -scenario hashtable -engine HCF -json   # machine-readable output
@@ -32,10 +33,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hcfstat", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque")
-		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF")
+		scenario = fs.String("scenario", "hashtable", "hashtable | sharded | avl | pqueue | stack | deque")
+		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF | HCF-S")
 		threads  = fs.Int("threads", 18, "worker threads")
-		find     = fs.Int("find", 40, "find percentage (hashtable, avl)")
+		find     = fs.Int("find", 40, "find percentage (hashtable, sharded, avl)")
+		shards   = fs.Int("shards", 4, "shard count (sharded)")
+		cross    = fs.Int("cross", 0, "cross-shard scan percentage (sharded)")
+		hot      = fs.Int("hot", 0, "percentage of keys skewed onto shard 0 (sharded)")
 		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
 		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
 		seed     = fs.Uint64("seed", 1, "workload seed")
@@ -43,6 +47,9 @@ func run(args []string) error {
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := harness.ValidateEngineNames([]string{*engName}); err != nil {
 		return err
 	}
 	if *cpuProf != "" {
@@ -60,6 +67,8 @@ func run(args []string) error {
 	switch *scenario {
 	case "hashtable":
 		sc = harness.HashTableScenario(*find, 16384)
+	case "sharded":
+		sc = harness.ShardedHashTableScenario(*find, 16384, *shards, *cross, *hot)
 	case "avl":
 		sc = harness.AVLScenario(*find, 1024, *theta, harness.AVLCombining)
 	case "pqueue":

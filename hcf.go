@@ -46,6 +46,7 @@ import (
 	"hcf/internal/htm"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
+	"hcf/internal/shard"
 )
 
 // Core memory-model types.
@@ -135,6 +136,25 @@ const (
 
 // New builds an HCF framework over env.
 func New(env Env, cfg Config) (*Framework, error) { return core.New(env, cfg) }
+
+// Sharded scaling layer: N independent frameworks over one Env with a
+// user-supplied operation router. Independent combiners run in parallel on
+// disjoint shards; operations spanning shards take a pessimistic path that
+// acquires all shard locks in canonical order (see internal/shard).
+type (
+	// Sharded is N Frameworks behind one Engine.
+	Sharded = shard.Sharded
+	// ShardedConfig configures a Sharded engine.
+	ShardedConfig = shard.Config
+	// Router maps an operation to its shard (or CrossShard).
+	Router = shard.Router
+)
+
+// CrossShard is the Router return value for operations that span shards.
+const CrossShard = shard.CrossShard
+
+// NewSharded builds a sharded HCF engine over env.
+func NewSharded(env Env, cfg ShardedConfig) (*Sharded, error) { return shard.New(env, cfg) }
 
 // Adaptive-tuning types (the paper's §2.4 future-work mechanism): an
 // AdaptiveController periodically re-tunes a Framework's per-class

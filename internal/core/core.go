@@ -21,6 +21,10 @@
 // operations be combined while conflict-free operations run concurrently on
 // HTM. The configuration affects only performance, never correctness: every
 // operation is applied exactly once (§2.3).
+//
+// The phases are compositions of the reusable stage primitives in
+// internal/phases (speculative loop, lock path, combining session); the
+// same primitives build the baseline engines in internal/engines.
 package core
 
 import (
@@ -31,47 +35,24 @@ import (
 	"hcf/internal/htm"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
+	"hcf/internal/phases"
 	"hcf/internal/pubarr"
 )
 
-// Operation status values (paper §2.2). They live in simulated memory so
-// that a combiner's claim aborts the owner's in-flight transaction, exactly
-// as an HTM conflict would.
-const (
-	statusUnannounced uint64 = iota
-	statusAnnounced
-	statusBeingHelped
-	statusDone
-)
-
-// Phase identifies where an operation completed (for Figure 3).
-type Phase uint8
+// Phase identifies where an operation completed (for Figure 3). It is the
+// shared phase vocabulary from internal/engine, re-exported for the
+// framework's public surface.
+type Phase = engine.Phase
 
 // The four phases of HCF.
 const (
-	PhaseTryPrivate Phase = iota
-	PhaseTryVisible
-	PhaseTryCombining
-	PhaseCombineUnderLock
+	PhaseTryPrivate       = engine.PhaseTryPrivate
+	PhaseTryVisible       = engine.PhaseTryVisible
+	PhaseTryCombining     = engine.PhaseTryCombining
+	PhaseCombineUnderLock = engine.PhaseCombineUnderLock
 	// NumPhases is the number of phases.
-	NumPhases = 4
+	NumPhases = engine.NumPhases
 )
-
-// String names the phase.
-func (p Phase) String() string {
-	switch p {
-	case PhaseTryPrivate:
-		return "TryPrivate"
-	case PhaseTryVisible:
-		return "TryVisible"
-	case PhaseTryCombining:
-		return "TryCombining"
-	case PhaseCombineUnderLock:
-		return "CombineUnderLock"
-	default:
-		return fmt.Sprintf("Phase(%d)", uint8(p))
-	}
-}
 
 // Policy configures how HCF handles one operation class (paper §2.1-2.2,
 // §2.4). TLE behaviour is a policy with only TryPrivate trials and a
@@ -123,26 +104,6 @@ type Config struct {
 	ExtraArrays int
 }
 
-// desc is a per-thread operation descriptor (paper §2.2). The status word
-// lives in simulated memory; op and result are plain fields whose cross-
-// thread visibility is ordered by the simulated-memory protocol (announce
-// before publishing the slot; result before the Done transition).
-type desc struct {
-	status    memsim.Addr
-	op        engine.Op
-	result    uint64
-	donePhase Phase
-	// span identifies the thread's current operation in the trace stream;
-	// spanSeq is the thread-local dense counter behind it.
-	span    uint64
-	spanSeq uint64
-	// helper and helperSpan name the combiner that completed this
-	// operation; like result, their cross-thread visibility is ordered by
-	// the Done status transition.
-	helper     int
-	helperSpan uint64
-}
-
 // array couples a publication array with its selection lock.
 type array struct {
 	pub *pubarr.Array
@@ -180,24 +141,17 @@ type Framework struct {
 	budgets  []budgets
 	hold     bool
 	name     string
-	descs    []desc
+	descs    []phases.Desc
 	metrics  []threadMetrics
 	// scratch per thread for combining sessions
-	scratch []combineScratch
-	// witness, when set, observes every applied operation with its
-	// serialization stamp (linearizability checking).
-	witness engine.WitnessFunc
+	scratch []phases.Scratch
+	// sess distributes combining results over descs (see phases.Session).
+	sess phases.Session
+	// hooks carries the witness, recorder and trace emitter the phase
+	// stages observe through; hooks.Em is always set (see trace.go).
+	hooks phases.Hooks
 	// tracer, when set, receives lifecycle events (see trace.go).
 	tracer Tracer
-	// rec, when set, receives latency and counter samples (see metrics.go).
-	rec Recorder
-}
-
-type combineScratch struct {
-	pend []int // thread ids of selected, not yet applied operations
-	ops  []engine.Op
-	res  []uint64
-	done []bool
 }
 
 var _ engine.Engine = (*Framework)(nil)
@@ -249,9 +203,8 @@ func New(env memsim.Env, cfg Config) (*Framework, error) {
 		policies: cfg.Policies,
 		hold:     cfg.HoldSelectionLock,
 		name:     name,
-		descs:    make([]desc, total),
 		metrics:  make([]threadMetrics, total),
-		scratch:  make([]combineScratch, total),
+		scratch:  make([]phases.Scratch, total),
 	}
 	if cfg.ExtraArrays < 0 {
 		return nil, fmt.Errorf("core: negative ExtraArrays")
@@ -262,11 +215,12 @@ func New(env memsim.Env, cfg Config) (*Framework, error) {
 			sel: newSel(env),
 		})
 	}
-	for t := range f.descs {
-		f.descs[t].status = env.Alloc(memsim.WordsPerLine)
-		env.StoreWord(f.descs[t].status, statusUnannounced)
+	f.descs = phases.NewDescs(env, total)
+	for t := range f.metrics {
 		f.metrics[t].phaseByClass = make([][NumPhases]uint64, len(cfg.Policies))
 	}
+	f.sess = phases.Session{Descs: f.descs, H: &f.hooks}
+	f.hooks.Em = fwEmitter{f}
 	f.budgets = make([]budgets, len(cfg.Policies))
 	for c := range cfg.Policies {
 		f.budgets[c].private.Store(int32(cfg.Policies[c].TryPrivateTrials))
@@ -325,7 +279,7 @@ func (f *Framework) SetPubArray(class, array int) error {
 func (f *Framework) Name() string { return f.name }
 
 // SetWitness installs a serialization-witness observer (nil disables).
-func (f *Framework) SetWitness(fn engine.WitnessFunc) { f.witness = fn }
+func (f *Framework) SetWitness(fn engine.WitnessFunc) { f.hooks.Witness = fn }
 
 var _ engine.WitnessedEngine = (*Framework)(nil)
 
@@ -345,16 +299,16 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	class := op.Class()
 	pol := &f.policies[class]
 	tm := &f.metrics[t]
-	d.op = op
+	d.Op = op
 
 	bud := &f.budgets[class]
 	pa := f.arrays[bud.pubArray.Load()]
 	start := f.opStart(th)
 	if f.tracer != nil {
-		d.spanSeq++
-		d.span = SpanID(t, d.spanSeq)
-		d.helper = -1
-		d.helperSpan = 0
+		d.SpanSeq++
+		d.Span = SpanID(t, d.SpanSeq)
+		d.Helper = -1
+		d.HelperSpan = 0
 	}
 	f.emit(th, TraceEvent{Kind: TraceStart, Class: class, Peer: -1})
 	if res, ok := f.tryPrivate(th, int(bud.private.Load()), op); ok {
@@ -363,7 +317,7 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		f.emit(th, TraceEvent{Kind: TraceDone, Phase: PhaseTryPrivate, Peer: -1})
 		return res
 	}
-	f.announce(th, t, d, pa)
+	phases.Announce(th, t, d, pa.pub)
 	f.emit(th, TraceEvent{Kind: TraceAnnounce, Class: class, Peer: -1})
 	if res, phase, ok := f.tryVisible(th, t, d, int(bud.visible.Load()), pa, op); ok {
 		f.complete(tm, class, phase)
@@ -388,162 +342,112 @@ func (f *Framework) complete(tm *threadMetrics, class int, phase Phase) {
 // attempts that subscribe to L.
 func (f *Framework) tryPrivate(th *memsim.Thread, trials int, op engine.Op) (uint64, bool) {
 	var res uint64
-	for i := 0; i < trials; i++ {
-		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
-			if f.lock.Locked(tx) {
-				f.abortLockHeld(tx, f.lock)
-			}
-			res = op.Apply(tx)
-		})
-		f.emitAttempt(th, PhaseTryPrivate, reason)
-		if ok {
-			if f.witness != nil {
-				f.witness(f.eng.CommitStamp(th.ID()), 0, op, res)
-			}
-			return res, true
-		}
+	loop := phases.SpecLoop{Eng: f.eng, Em: f.hooks.Em, Phase: PhaseTryPrivate}
+	ok := loop.Run(th, trials, func(tx *htm.Tx) {
+		phases.SubscribeLock(tx, f.lock, f.hooks.Em)
+		res = op.Apply(tx)
+	}, func(htm.Reason) bool {
 		// Standard TLE practice: wait for the lock to be free before
 		// burning another speculation attempt.
 		f.lock.WaitUnlocked(th)
+		return true
+	})
+	if !ok {
+		return 0, false
 	}
-	return 0, false
-}
-
-// announce publishes the operation: status := Announced, then add to the
-// publication array (Figure 1, lines 13-14).
-func (f *Framework) announce(th *memsim.Thread, t int, d *desc, pa *array) {
-	th.Store(d.status, statusAnnounced)
-	pa.pub.Announce(th, t, uint64(t)+1)
+	if f.hooks.Witness != nil {
+		f.hooks.Witness(f.eng.CommitStamp(th.ID()), 0, op, res)
+	}
+	return res, true
 }
 
 // tryVisible implements the TryVisible phase. The transaction subscribes to
 // L, to the selection lock, and to the operation's own status word, and
 // removes the announcement inside the transaction that applies the
 // operation — the three conditions the §2.3 exactly-once argument needs.
-func (f *Framework) tryVisible(th *memsim.Thread, t int, d *desc, trials int, pa *array, op engine.Op) (uint64, Phase, bool) {
+func (f *Framework) tryVisible(th *memsim.Thread, t int, d *phases.Desc, trials int, pa *array, op engine.Op) (uint64, Phase, bool) {
 	slot := pa.pub.SlotAddr(t)
 	var res uint64
-	for i := 0; i < trials; i++ {
-		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
-			if f.lock.Locked(tx) {
-				f.abortLockHeld(tx, f.lock)
-			}
-			if pa.sel.Locked(tx) {
-				f.abortLockHeld(tx, pa.sel)
-			}
-			if tx.Load(d.status) != statusAnnounced {
-				tx.Abort()
-			}
-			res = op.Apply(tx)
-			tx.Store(slot, 0) // remove from Pa as part of the transaction
-		})
-		f.emitAttempt(th, PhaseTryVisible, reason)
-		if ok {
-			if f.witness != nil {
-				f.witness(f.eng.CommitStamp(t), 0, op, res)
-			}
-			return res, PhaseTryVisible, true
+	helped := false
+	loop := phases.SpecLoop{Eng: f.eng, Em: f.hooks.Em, Phase: PhaseTryVisible}
+	ok := loop.Run(th, trials, func(tx *htm.Tx) {
+		phases.SubscribeLock(tx, f.lock, f.hooks.Em)
+		phases.SubscribeLock(tx, pa.sel, f.hooks.Em)
+		if tx.Load(d.Status) != phases.StatusAnnounced {
+			tx.Abort()
 		}
-		if th.Load(d.status) != statusAnnounced {
+		res = op.Apply(tx)
+		tx.Store(slot, 0) // remove from Pa as part of the transaction
+	}, func(htm.Reason) bool {
+		if th.Load(d.Status) != phases.StatusAnnounced {
 			// A combiner helped or is helping us (Figure 1, line 27).
-			r := f.waitDone(th, d)
-			f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase, Peer: d.helper, PeerSpan: d.helperSpan})
-			return r, d.donePhase, true
+			helped = true
+			return false
 		}
+		return true
+	})
+	if ok {
+		if f.hooks.Witness != nil {
+			f.hooks.Witness(f.eng.CommitStamp(t), 0, op, res)
+		}
+		return res, PhaseTryVisible, true
+	}
+	if helped {
+		r := phases.WaitDone(th, d)
+		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.DonePhase, Peer: d.Helper, PeerSpan: d.HelperSpan})
+		return r, d.DonePhase, true
 	}
 	return 0, 0, false
-}
-
-// waitDone waits (passively) until a combiner completes the operation and
-// returns its result.
-func (f *Framework) waitDone(th *memsim.Thread, d *desc) uint64 {
-	th.SpinLoadUntilEq(d.status, statusDone)
-	return d.result
 }
 
 // tryCombining implements the TryCombining phase and, if speculation fails,
 // falls through to CombineUnderLock. It always completes the calling
 // thread's operation and returns its result and completion phase.
-func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy, trials int, pa *array) (uint64, Phase) {
+func (f *Framework) tryCombining(th *memsim.Thread, t int, d *phases.Desc, pol *Policy, trials int, pa *array) (uint64, Phase) {
 	tm := &f.metrics[t]
 	pa.sel.Lock(th)
 	tm.m.AuxAcquisitions++
-	if th.Load(d.status) != statusAnnounced {
+	if th.Load(d.Status) != phases.StatusAnnounced {
 		// Our operation was selected by another combiner while we competed
 		// for the selection lock (Figure 1, lines 38-41).
 		pa.sel.Unlock(th)
-		res := f.waitDone(th, d)
-		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.donePhase, Peer: d.helper, PeerSpan: d.helperSpan})
-		return res, d.donePhase
+		res := phases.WaitDone(th, d)
+		f.emit(th, TraceEvent{Kind: TraceHelped, Phase: d.DonePhase, Peer: d.Helper, PeerSpan: d.HelperSpan})
+		return res, d.DonePhase
 	}
 	sc := &f.scratch[t]
 	f.chooseOpsToHelp(th, t, d, pol, pa, sc)
-	if f.rec != nil {
-		f.rec.RecordCombine(t, len(sc.pend))
+	if f.hooks.Rec != nil {
+		f.hooks.Rec.RecordCombine(t, len(sc.Pend))
 	}
-	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.pend), Peer: -1})
+	f.emit(th, TraceEvent{Kind: TraceSelect, N: len(sc.Pend), Peer: -1})
 	if !f.hold {
 		pa.sel.Unlock(th)
 	}
 	tm.m.CombinerSessions++
-	tm.m.CombinedOps += uint64(len(sc.pend))
+	tm.m.CombinedOps += uint64(len(sc.Pend))
 
 	ownRes, ownPhase, ownDone := uint64(0), PhaseTryCombining, false
 
 	// Speculative combining: apply batches of the selected operations with
 	// hardware transactions, several operations per transaction.
-	failures := 0
-	for len(sc.pend) > 0 && failures < trials {
-		n := min(pol.MaxBatch, len(sc.pend))
-		batch := sc.pend[:n]
-		f.prepareBatch(sc, batch)
-		ok, reason := f.eng.Run(th, func(tx *htm.Tx) {
-			if f.lock.Locked(tx) {
-				tx.AbortLockHeld()
-			}
-			pol.RunMulti(tx, sc.ops[:n], sc.res[:n], sc.done[:n])
-		})
-		f.emitAttempt(th, PhaseTryCombining, reason)
-		if !ok {
-			failures++
-			continue
-		}
-		if r, done := f.finalizeBatch(th, t, sc, n, PhaseTryCombining, f.eng.CommitStamp(t)); done {
-			ownRes, ownDone = r, true
-		}
+	if r, done := f.sess.ApplySpeculative(th, t, sc, f.eng, f.lock, pol.RunMulti, pol.MaxBatch, trials, PhaseTryCombining); done {
+		ownRes, ownDone = r, true
 	}
 	// CombineUnderLock: apply whatever is left while holding L.
-	if len(sc.pend) > 0 {
+	if len(sc.Pend) > 0 {
 		f.lock.Lock(th)
 		tm.m.LockAcquisitions++
 		var lockStart int64
-		if f.rec != nil {
+		if f.hooks.Rec != nil {
 			lockStart = th.Now()
 		}
 		f.emit(th, TraceEvent{Kind: TraceLock, Peer: -1})
-		for len(sc.pend) > 0 {
-			n := min(pol.MaxBatch, len(sc.pend))
-			batch := sc.pend[:n]
-			f.prepareBatch(sc, batch)
-			pol.RunMulti(th, sc.ops[:n], sc.res[:n], sc.done[:n])
-			progressed := false
-			for i := 0; i < n; i++ {
-				if sc.done[i] {
-					progressed = true
-					break
-				}
-			}
-			if !progressed {
-				// Defensive: a RunMulti that makes no progress would spin
-				// forever; fall back to running each operation directly.
-				engine.ApplyEach(th, sc.ops[:n], sc.res[:n], sc.done[:n])
-			}
-			if r, done := f.finalizeBatch(th, t, sc, n, PhaseCombineUnderLock, htm.LockStamp(th)); done {
-				ownRes, ownPhase, ownDone = r, PhaseCombineUnderLock, true
-			}
+		if r, done := f.sess.ApplyLocked(th, t, sc, pol.RunMulti, pol.MaxBatch, PhaseCombineUnderLock); done {
+			ownRes, ownPhase, ownDone = r, PhaseCombineUnderLock, true
 		}
-		if f.rec != nil {
-			f.rec.RecordLockHold(t, th.Now()-lockStart)
+		if f.hooks.Rec != nil {
+			f.hooks.Rec.RecordLockHold(t, th.Now()-lockStart)
 		}
 		f.lock.Unlock(th)
 	}
@@ -552,7 +456,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 	}
 	if !ownDone {
 		// Cannot happen: chooseOpsToHelp always selects our own operation
-		// and the loops above drain pend completely.
+		// and the apply stages drain Pend completely.
 		panic("core: combiner finished without completing its own operation")
 	}
 	return ownRes, ownPhase
@@ -564,81 +468,27 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *desc, pol *Policy,
 // BeingHelped and are removed from the array (paper §2.2). The scan needs
 // no snapshot: owners cannot remove announcements while the selection lock
 // is held, because their transactions subscribe to it.
-func (f *Framework) chooseOpsToHelp(th *memsim.Thread, t int, d *desc, pol *Policy, pa *array, sc *combineScratch) {
-	sc.pend = sc.pend[:0]
+func (f *Framework) chooseOpsToHelp(th *memsim.Thread, t int, d *phases.Desc, pol *Policy, pa *array, sc *phases.Scratch) {
+	sc.Pend = sc.Pend[:0]
 	// Claim our own operation first (chosen by default).
-	th.Store(d.status, statusBeingHelped)
+	th.Store(d.Status, phases.StatusBeingHelped)
 	pa.pub.Clear(th, t)
-	sc.pend = append(sc.pend, t)
+	sc.Pend = append(sc.Pend, t)
 	for tid := 0; tid < pa.pub.Slots(); tid++ {
 		if tid == t || pa.pub.Read(th, tid) == 0 {
 			continue
 		}
 		od := &f.descs[tid]
-		if th.Load(od.status) != statusAnnounced {
+		if th.Load(od.Status) != phases.StatusAnnounced {
 			continue
 		}
-		if !pol.ShouldHelp(th, d.op, od.op) {
+		if !pol.ShouldHelp(th, d.Op, od.Op) {
 			continue
 		}
-		th.Store(od.status, statusBeingHelped)
+		th.Store(od.Status, phases.StatusBeingHelped)
 		pa.pub.Clear(th, tid)
-		sc.pend = append(sc.pend, tid)
+		sc.Pend = append(sc.Pend, tid)
 	}
-}
-
-// prepareBatch (re)builds the attempt-local op/result/done buffers for the
-// first len(batch) pending operations.
-func (f *Framework) prepareBatch(sc *combineScratch, batch []int) {
-	n := len(batch)
-	if cap(sc.ops) < n {
-		sc.ops = make([]engine.Op, n)
-		sc.res = make([]uint64, n)
-		sc.done = make([]bool, n)
-	}
-	sc.ops = sc.ops[:n]
-	sc.res = sc.res[:n]
-	sc.done = sc.done[:n]
-	for i, tid := range batch {
-		sc.ops[i] = f.descs[tid].op
-		sc.res[i] = 0
-		sc.done[i] = false
-	}
-}
-
-// finalizeBatch publishes results of the operations RunMulti completed in a
-// committed attempt: result and phase first, then the Done transition the
-// owner is waiting on. Completed operations are removed from sc.pend.
-// It returns the combiner's own result if its own operation was completed.
-func (f *Framework) finalizeBatch(th *memsim.Thread, t int, sc *combineScratch, n int, phase Phase, stamp uint64) (uint64, bool) {
-	ownRes, ownDone := uint64(0), false
-	keep := sc.pend[:0]
-	for i := 0; i < n; i++ {
-		tid := sc.pend[i]
-		if !sc.done[i] {
-			keep = append(keep, tid)
-			continue
-		}
-		if f.witness != nil {
-			f.witness(stamp, i, sc.ops[i], sc.res[i])
-		}
-		if tid == t {
-			ownRes, ownDone = sc.res[i], true
-			continue
-		}
-		od := &f.descs[tid]
-		od.result = sc.res[i]
-		od.donePhase = phase
-		if f.tracer != nil {
-			od.helper = t
-			od.helperSpan = f.descs[t].span
-			f.emit(th, TraceEvent{Kind: TraceHelp, Phase: phase, Peer: tid, PeerSpan: od.span})
-		}
-		th.Store(od.status, statusDone)
-	}
-	keep = append(keep, sc.pend[n:]...)
-	sc.pend = keep
-	return ownRes, ownDone
 }
 
 // Metrics aggregates all threads' counters (including HTM statistics).

@@ -31,7 +31,7 @@ func (f *Framework) CompletionPaths() []string {
 // Recording reads thread-local clocks only and charges no simulated
 // cycles, so deterministic results are identical with and without it.
 func (f *Framework) SetRecorder(r Recorder) {
-	f.rec = r
+	f.hooks.Rec = r
 	if r == nil {
 		f.eng.SetObserver(nil)
 		return
@@ -43,7 +43,7 @@ func (f *Framework) SetRecorder(r Recorder) {
 
 // opStart returns the operation start timestamp, or 0 with metrics off.
 func (f *Framework) opStart(th *memsim.Thread) int64 {
-	if f.rec == nil {
+	if f.hooks.Rec == nil {
 		return 0
 	}
 	return th.Now()
@@ -51,8 +51,8 @@ func (f *Framework) opStart(th *memsim.Thread) int64 {
 
 // finishOp records one completed operation if a recorder is installed.
 func (f *Framework) finishOp(th *memsim.Thread, class int, phase Phase, start int64) {
-	if f.rec == nil {
+	if f.hooks.Rec == nil {
 		return
 	}
-	f.rec.RecordOp(th.ID(), class, int(phase), th.Now()-start)
+	f.hooks.Rec.RecordOp(th.ID(), class, int(phase), th.Now()-start)
 }

@@ -1,114 +1,38 @@
 package core
 
 import (
+	"hcf/internal/engine"
 	"hcf/internal/htm"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
+	"hcf/internal/phases"
 )
 
-// TraceKind classifies framework lifecycle events.
-type TraceKind uint8
+// The lifecycle-event vocabulary is defined in internal/engine (shared by
+// all engines); the framework re-exports it so existing consumers keep
+// addressing it through core.
+type (
+	// TraceKind classifies framework lifecycle events.
+	TraceKind = engine.TraceKind
+	// TraceEvent is one framework lifecycle event.
+	TraceEvent = engine.TraceEvent
+	// Tracer receives lifecycle events.
+	Tracer = engine.Tracer
+	// TracedEngine is implemented by engines that emit lifecycle events.
+	TracedEngine = engine.TracedEngine
+)
 
-// Trace event kinds.
+// Trace event kinds (see engine.TraceKind for semantics).
 const (
-	// TraceStart: an operation entered Execute (Span and Class valid).
-	TraceStart TraceKind = iota + 1
-	// TraceAttempt: one speculative attempt finished (Phase and Reason
-	// valid; Reason is htm.ReasonNone on commit). Conflict aborts carry the
-	// conflicting cache line in Line and its last writer in Peer;
-	// lock-subscription aborts carry the lock holder in Peer (-1 unknown).
-	TraceAttempt
-	// TraceAnnounce: the operation was published (Class valid).
-	TraceAnnounce
-	// TraceSelect: a combiner selected N announced operations (N valid).
-	TraceSelect
-	// TraceLock: the combiner acquired the data-structure lock.
-	TraceLock
-	// TraceDone: the operation completed (Phase = completion phase).
-	TraceDone
-	// TraceHelped: the operation was completed by another thread
-	// (Phase = the helper's completion phase; Peer = the helper thread,
-	// PeerSpan = the helper's own operation span).
-	TraceHelped
-	// TraceHelp: a combiner completed another thread's operation
-	// (Phase = the completion phase; Peer = the helped thread,
-	// PeerSpan = the helped operation's span). The TraceHelp/TraceHelped
-	// pair is the causal combined-by edge between the two spans.
-	TraceHelp
+	TraceStart    = engine.TraceStart
+	TraceAttempt  = engine.TraceAttempt
+	TraceAnnounce = engine.TraceAnnounce
+	TraceSelect   = engine.TraceSelect
+	TraceLock     = engine.TraceLock
+	TraceDone     = engine.TraceDone
+	TraceHelped   = engine.TraceHelped
+	TraceHelp     = engine.TraceHelp
 )
-
-// String names the kind.
-func (k TraceKind) String() string {
-	switch k {
-	case TraceStart:
-		return "start"
-	case TraceAttempt:
-		return "attempt"
-	case TraceAnnounce:
-		return "announce"
-	case TraceSelect:
-		return "select"
-	case TraceLock:
-		return "lock"
-	case TraceDone:
-		return "done"
-	case TraceHelped:
-		return "helped"
-	case TraceHelp:
-		return "help"
-	default:
-		return "unknown"
-	}
-}
-
-// TraceEvent is one framework lifecycle event. Events are emitted from the
-// thread named in Thread; in deterministic environments the stream is
-// reproducible.
-type TraceEvent struct {
-	// Thread is the emitting thread id.
-	Thread int
-	// Now is the thread's local time at emission.
-	Now int64
-	// Kind classifies the event.
-	Kind TraceKind
-	// Class is the operation class (TraceStart / TraceAnnounce).
-	Class int
-	// Phase is the relevant phase (TraceAttempt / TraceDone / TraceHelped /
-	// TraceHelp).
-	Phase Phase
-	// Reason is the abort reason of a failed attempt (TraceAttempt).
-	Reason htm.Reason
-	// N is the selection size (TraceSelect).
-	N int
-	// Span identifies the emitting thread's current operation. Every event
-	// an operation's lifecycle produces carries the same span id, so the
-	// stream reconstructs into one span per operation.
-	Span uint64
-	// Peer is the other thread of a causal edge: the conflicting writer or
-	// lock holder (TraceAttempt aborts), the helped thread (TraceHelp), or
-	// the helping thread (TraceHelped). -1 when unknown or not applicable.
-	Peer int
-	// PeerSpan is the span id on the other end of a help edge
-	// (TraceHelp / TraceHelped).
-	PeerSpan uint64
-	// Line is the conflicting cache line (TraceAttempt with
-	// Reason == htm.ReasonConflict).
-	Line uint32
-}
-
-// Tracer receives lifecycle events. Implementations must be cheap; they
-// run inline on the execution path. On the real backend they must also be
-// safe for concurrent use.
-type Tracer interface {
-	Trace(ev TraceEvent)
-}
-
-// TracedEngine is implemented by engines that emit lifecycle trace events —
-// the HCF framework and all five baseline engines.
-type TracedEngine interface {
-	// SetTracer installs tr (nil disables). Install before running ops.
-	SetTracer(tr Tracer)
-}
 
 // SetTracer installs a lifecycle tracer (nil disables).
 func (f *Framework) SetTracer(tr Tracer) { f.tracer = tr }
@@ -118,10 +42,25 @@ var _ TracedEngine = (*Framework)(nil)
 // SpanID builds the span id of thread t's seq-th operation: span ids are
 // unique per run, dense per thread, and deterministic on the deterministic
 // backend.
-func SpanID(t int, seq uint64) uint64 { return uint64(t+1)<<32 | seq }
+func SpanID(t int, seq uint64) uint64 { return engine.SpanID(t, seq) }
 
 // SpanThread recovers the owning thread from a span id.
-func SpanThread(span uint64) int { return int(span>>32) - 1 }
+func SpanThread(span uint64) int { return engine.SpanThread(span) }
+
+// fwEmitter adapts the framework to phases.Emitter without exporting
+// emission methods on the public Framework type.
+type fwEmitter struct{ f *Framework }
+
+// Active implements phases.Emitter.
+func (e fwEmitter) Active() bool { return e.f.tracer != nil }
+
+// Emit implements phases.Emitter.
+func (e fwEmitter) Emit(th *memsim.Thread, ev TraceEvent) { e.f.emit(th, ev) }
+
+// EmitAttempt implements phases.Emitter.
+func (e fwEmitter) EmitAttempt(th *memsim.Thread, phase Phase, reason htm.Reason) {
+	e.f.emitAttempt(th, phase, reason)
+}
 
 // emit sends an event to the tracer if one is installed, stamping it with
 // the thread, its local time, and its current operation span.
@@ -132,7 +71,7 @@ func (f *Framework) emit(th *memsim.Thread, ev TraceEvent) {
 	t := th.ID()
 	ev.Thread = t
 	ev.Now = th.Now()
-	ev.Span = f.descs[t].span
+	ev.Span = f.descs[t].Span
 	f.tracer.Trace(ev)
 }
 
@@ -160,17 +99,5 @@ func (f *Framework) emitAttempt(th *memsim.Thread, phase Phase, reason htm.Reaso
 // HolderHint names the thread currently holding l via a raw uncharged
 // read, or -1 when the lock kind cannot report one.
 func HolderHint(env memsim.Env, l locks.Lock) int {
-	if h, ok := l.(locks.HolderHinter); ok {
-		return h.HolderHint(env)
-	}
-	return -1
-}
-
-// abortLockHeld aborts tx on a subscribed-lock observation; with a tracer
-// installed it first captures the holder of l for attribution.
-func (f *Framework) abortLockHeld(tx *htm.Tx, l locks.Lock) {
-	if f.tracer != nil {
-		tx.AbortLockHeldBy(HolderHint(f.env, l))
-	}
-	tx.AbortLockHeld()
+	return phases.HolderHint(env, l)
 }

@@ -150,7 +150,7 @@ type Metrics struct {
 	// PhaseCompleted[p] counts operations that completed in phase p
 	// (HCF only): 0 TryPrivate, 1 TryVisible, 2 TryCombining,
 	// 3 CombineUnderLock.
-	PhaseCompleted [4]uint64
+	PhaseCompleted [NumPhases]uint64
 }
 
 // CombiningDegree returns the mean number of operations applied per

@@ -1,0 +1,57 @@
+package engine
+
+import "fmt"
+
+// Phase identifies where an operation completed (for Figure 3). The four
+// HCF phases double as the shared phase vocabulary of the baseline
+// engines' trace streams (see internal/engines/trace.go for the mapping).
+type Phase uint8
+
+// The four phases of HCF.
+const (
+	PhaseTryPrivate Phase = iota
+	PhaseTryVisible
+	PhaseTryCombining
+	PhaseCombineUnderLock
+	// NumPhases is the number of phases.
+	NumPhases = 4
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTryPrivate:
+		return "TryPrivate"
+	case PhaseTryVisible:
+		return "TryVisible"
+	case PhaseTryCombining:
+		return "TryCombining"
+	case PhaseCombineUnderLock:
+		return "CombineUnderLock"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// Completion-path labels. Engines report which route each operation
+// drained through (MeteredEngine.CompletionPaths, trace summaries, stat
+// tables); consumers match the labels by string, so every engine must use
+// these shared constants rather than spelling the strings locally.
+const (
+	// PathHTM: committed by a private hardware transaction (TLE-style).
+	PathHTM = "htm"
+	// PathHTMManaged: committed transactionally while serialized on an
+	// auxiliary lock (SCM's managed phase).
+	PathHTMManaged = "htm-managed"
+	// PathLock: applied directly under the data-structure lock.
+	PathLock = "lock"
+	// PathCombiner: the thread became a combiner and applied its own
+	// operation during its combining session.
+	PathCombiner = "combiner"
+	// PathHelped: the operation was completed by another thread's
+	// combining session.
+	PathHelped = "helped"
+	// PathCross: applied on the cross-shard path of a sharded engine,
+	// holding every shard lock.
+	PathCross = "cross"
+)

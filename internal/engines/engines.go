@@ -12,16 +12,17 @@
 //     TLE first, and on failure announce and combine under the lock.
 //
 // All engines run the same sequential operation code (engine.Op) over the
-// same substrate as HCF, so the experiments compare synchronization
-// disciplines, not implementations.
+// same substrate as HCF, and are compositions of the same stage
+// primitives (internal/phases: SpecLoop, LockApply, Session), so the
+// experiments compare synchronization disciplines, not implementations.
 package engines
 
 import (
-	"hcf/internal/core"
 	"hcf/internal/engine"
 	"hcf/internal/htm"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
+	"hcf/internal/phases"
 	"hcf/internal/pubarr"
 )
 
@@ -69,24 +70,29 @@ type threadMetrics struct {
 }
 
 // metricsSet is the shared per-thread metrics plumbing; it also carries
-// the optional serialization witness, metrics recorder, and lifecycle
-// tracer (see trace.go).
+// the hook bundle (serialization witness, metrics recorder, trace emitter)
+// the phase stages observe through, and implements phases.Emitter over the
+// optional lifecycle tracer (see trace.go).
 type metricsSet struct {
-	per     []threadMetrics
-	eng     *htm.Engine // may be nil (Lock, FC)
-	witness engine.WitnessFunc
-	rec     engine.Recorder
-	tracer  core.Tracer
-	spans   []spanState
+	per   []threadMetrics
+	eng   *htm.Engine // may be nil (Lock, FC)
+	hooks phases.Hooks
+	// tracer, when set, receives lifecycle events (see trace.go).
+	tracer engine.Tracer
+	spans  []spanState
 }
 
+// wire points the hook bundle's emitter at the set's final address; every
+// engine constructor calls it after embedding the set.
+func (s *metricsSet) wire() { s.hooks.Em = s }
+
 // SetWitness installs a serialization-witness observer (nil disables).
-func (s *metricsSet) SetWitness(fn engine.WitnessFunc) { s.witness = fn }
+func (s *metricsSet) SetWitness(fn engine.WitnessFunc) { s.hooks.Witness = fn }
 
 // SetRecorder installs a metrics recorder (nil disables). Engines with an
 // HTM component also stream per-transaction outcomes through it.
 func (s *metricsSet) SetRecorder(rec engine.Recorder) {
-	s.rec = rec
+	s.hooks.Rec = rec
 	if s.eng == nil {
 		return
 	}
@@ -101,7 +107,7 @@ func (s *metricsSet) SetRecorder(rec engine.Recorder) {
 
 // opStart returns the operation start timestamp, or 0 with metrics off.
 func (s *metricsSet) opStart(th *memsim.Thread) int64 {
-	if s.rec == nil {
+	if s.hooks.Rec == nil {
 		return 0
 	}
 	return th.Now()
@@ -109,10 +115,10 @@ func (s *metricsSet) opStart(th *memsim.Thread) int64 {
 
 // opDone records one completed operation if a recorder is installed.
 func (s *metricsSet) opDone(th *memsim.Thread, class, path int, start int64) {
-	if s.rec == nil {
+	if s.hooks.Rec == nil {
 		return
 	}
-	s.rec.RecordOp(th.ID(), class, path, th.Now()-start)
+	s.hooks.Rec.RecordOp(th.ID(), class, path, th.Now()-start)
 }
 
 func newMetricsSet(env memsim.Env, eng *htm.Engine) metricsSet {
@@ -151,38 +157,26 @@ var _ engine.MeteredEngine = (*LockEngine)(nil)
 // NewLock builds the Lock baseline.
 func NewLock(env memsim.Env, opts Options) *LockEngine {
 	opts.normalize(env)
-	return &LockEngine{lock: opts.Lock, metricsSet: newMetricsSet(env, nil)}
+	e := &LockEngine{lock: opts.Lock, metricsSet: newMetricsSet(env, nil)}
+	e.wire()
+	return e
 }
 
 // Name implements engine.Engine.
 func (e *LockEngine) Name() string { return "Lock" }
 
 // CompletionPaths implements engine.MeteredEngine.
-func (e *LockEngine) CompletionPaths() []string { return []string{"lock"} }
+func (e *LockEngine) CompletionPaths() []string { return []string{engine.PathLock} }
 
 // Execute applies op under the data-structure lock.
 func (e *LockEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	tm := &e.per[th.ID()].m
 	start := e.opStart(th)
 	e.beginSpan(th, op.Class())
-	e.lock.Lock(th)
-	tm.LockAcquisitions++
-	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
-	var holdStart int64
-	if e.rec != nil {
-		holdStart = th.Now()
-	}
-	res := op.Apply(th)
-	if e.witness != nil {
-		e.witness(htm.LockStamp(th), 0, op, res)
-	}
-	if e.rec != nil {
-		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
-	}
-	e.lock.Unlock(th)
+	res := phases.LockApply(th, e.lock, op, &e.hooks, tm)
 	tm.Ops++
 	e.opDone(th, op.Class(), 0, start)
-	e.emitDone(th, core.PhaseCombineUnderLock)
+	e.emitDone(th, engine.PhaseCombineUnderLock)
 	return res
 }
 
@@ -202,19 +196,23 @@ var _ engine.MeteredEngine = (*TLEEngine)(nil)
 func NewTLE(env memsim.Env, opts Options) *TLEEngine {
 	opts.normalize(env)
 	eng := htm.New(env, opts.HTM)
-	return &TLEEngine{
+	e := &TLEEngine{
 		lock:       opts.Lock,
 		htm:        eng,
 		trials:     opts.Trials,
 		metricsSet: newMetricsSet(env, eng),
 	}
+	e.wire()
+	return e
 }
 
 // Name implements engine.Engine.
 func (e *TLEEngine) Name() string { return "TLE" }
 
 // CompletionPaths implements engine.MeteredEngine.
-func (e *TLEEngine) CompletionPaths() []string { return []string{"htm", "lock"} }
+func (e *TLEEngine) CompletionPaths() []string {
+	return []string{engine.PathHTM, engine.PathLock}
+}
 
 // Execute applies op with TLE.
 func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
@@ -222,43 +220,27 @@ func (e *TLEEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	start := e.opStart(th)
 	e.beginSpan(th, op.Class())
 	var res uint64
-	for i := 0; i < e.trials; i++ {
-		ok, reason := e.htm.Run(th, func(tx *htm.Tx) {
-			if e.lock.Locked(tx) {
-				e.abortLockHeld(tx, e.lock)
-			}
-			res = op.Apply(tx)
-		})
-		e.emitAttempt(th, core.PhaseTryPrivate, reason)
-		if ok {
-			if e.witness != nil {
-				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
-			}
-			tm.Ops++
-			e.opDone(th, op.Class(), 0, start)
-			e.emitDone(th, core.PhaseTryPrivate)
-			return res
-		}
+	loop := phases.SpecLoop{Eng: e.htm, Em: e.hooks.Em, Phase: engine.PhaseTryPrivate}
+	ok := loop.Run(th, e.trials, func(tx *htm.Tx) {
+		phases.SubscribeLock(tx, e.lock, e.hooks.Em)
+		res = op.Apply(tx)
+	}, func(htm.Reason) bool {
 		e.lock.WaitUnlocked(th)
+		return true
+	})
+	if ok {
+		if e.hooks.Witness != nil {
+			e.hooks.Witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+		}
+		tm.Ops++
+		e.opDone(th, op.Class(), 0, start)
+		e.emitDone(th, engine.PhaseTryPrivate)
+		return res
 	}
-	e.lock.Lock(th)
-	tm.LockAcquisitions++
-	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
-	var holdStart int64
-	if e.rec != nil {
-		holdStart = th.Now()
-	}
-	res = op.Apply(th)
-	if e.witness != nil {
-		e.witness(htm.LockStamp(th), 0, op, res)
-	}
-	if e.rec != nil {
-		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
-	}
-	e.lock.Unlock(th)
+	res = phases.LockApply(th, e.lock, op, &e.hooks, tm)
 	tm.Ops++
 	e.opDone(th, op.Class(), 1, start)
-	e.emitDone(th, core.PhaseCombineUnderLock)
+	e.emitDone(th, engine.PhaseCombineUnderLock)
 	return res
 }
 
@@ -280,20 +262,24 @@ var _ engine.MeteredEngine = (*SCMEngine)(nil)
 func NewSCM(env memsim.Env, opts Options) *SCMEngine {
 	opts.normalize(env)
 	eng := htm.New(env, opts.HTM)
-	return &SCMEngine{
+	e := &SCMEngine{
 		lock:       opts.Lock,
 		aux:        locks.NewTATAS(env),
 		htm:        eng,
 		trials:     opts.Trials,
 		metricsSet: newMetricsSet(env, eng),
 	}
+	e.wire()
+	return e
 }
 
 // Name implements engine.Engine.
 func (e *SCMEngine) Name() string { return "SCM" }
 
 // CompletionPaths implements engine.MeteredEngine.
-func (e *SCMEngine) CompletionPaths() []string { return []string{"htm", "htm-managed", "lock"} }
+func (e *SCMEngine) CompletionPaths() []string {
+	return []string{engine.PathHTM, engine.PathHTMManaged, engine.PathLock}
+}
 
 // Execute applies op with TLE plus auxiliary-lock conflict management.
 func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
@@ -302,9 +288,7 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	e.beginSpan(th, op.Class())
 	var res uint64
 	attempt := func(tx *htm.Tx) {
-		if e.lock.Locked(tx) {
-			e.abortLockHeld(tx, e.lock)
-		}
+		phases.SubscribeLock(tx, e.lock, e.hooks.Em)
 		res = op.Apply(tx)
 	}
 	// Optimistic phase: half the budget without the auxiliary lock. Two
@@ -312,130 +296,89 @@ func (e *SCMEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	// the thread to the auxiliary lock.
 	optimistic := e.trials / 2
 	conflicts := 0
-	for i := 0; i < optimistic; i++ {
-		ok, reason := e.htm.Run(th, attempt)
-		e.emitAttempt(th, core.PhaseTryPrivate, reason)
-		if ok {
-			if e.witness != nil {
-				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
-			}
-			tm.Ops++
-			e.opDone(th, op.Class(), 0, start)
-			e.emitDone(th, core.PhaseTryPrivate)
-			return res
-		}
+	loop := phases.SpecLoop{Eng: e.htm, Em: e.hooks.Em, Phase: engine.PhaseTryPrivate}
+	if loop.Run(th, optimistic, attempt, func(reason htm.Reason) bool {
 		if reason == htm.ReasonConflict {
 			conflicts++
 			if conflicts >= 2 {
-				break
+				return false
 			}
 		} else {
 			conflicts = 0
 		}
 		e.lock.WaitUnlocked(th)
+		return true
+	}) {
+		if e.hooks.Witness != nil {
+			e.hooks.Witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+		}
+		tm.Ops++
+		e.opDone(th, op.Class(), 0, start)
+		e.emitDone(th, engine.PhaseTryPrivate)
+		return res
 	}
 	// Managed phase: serialize with other conflicting threads on the
 	// auxiliary lock and keep eliding L.
 	e.aux.Lock(th)
 	tm.AuxAcquisitions++
-	for i := optimistic; i < e.trials; i++ {
-		ok, reason := e.htm.Run(th, attempt)
-		e.emitAttempt(th, core.PhaseTryVisible, reason)
-		if ok {
-			if e.witness != nil {
-				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
-			}
-			e.aux.Unlock(th)
-			tm.Ops++
-			e.opDone(th, op.Class(), 1, start)
-			e.emitDone(th, core.PhaseTryVisible)
-			return res
-		}
+	loop.Phase = engine.PhaseTryVisible
+	if loop.Run(th, e.trials-optimistic, attempt, func(htm.Reason) bool {
 		e.lock.WaitUnlocked(th)
+		return true
+	}) {
+		if e.hooks.Witness != nil {
+			e.hooks.Witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+		}
+		e.aux.Unlock(th)
+		tm.Ops++
+		e.opDone(th, op.Class(), 1, start)
+		e.emitDone(th, engine.PhaseTryVisible)
+		return res
 	}
 	// Pessimistic fallback, still holding aux to keep the queue orderly.
-	e.lock.Lock(th)
-	tm.LockAcquisitions++
-	e.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
-	var holdStart int64
-	if e.rec != nil {
-		holdStart = th.Now()
-	}
-	res = op.Apply(th)
-	if e.witness != nil {
-		e.witness(htm.LockStamp(th), 0, op, res)
-	}
-	if e.rec != nil {
-		e.rec.RecordLockHold(th.ID(), th.Now()-holdStart)
-	}
-	e.lock.Unlock(th)
+	res = phases.LockApply(th, e.lock, op, &e.hooks, tm)
 	e.aux.Unlock(th)
 	tm.Ops++
 	e.opDone(th, op.Class(), 2, start)
-	e.emitDone(th, core.PhaseCombineUnderLock)
+	e.emitDone(th, engine.PhaseCombineUnderLock)
 	return res
 }
 
-// fcDesc is a flat-combining operation descriptor. Status lives in
-// simulated memory: 0 free, 1 announced; the Done transition is a direct
-// store of 2 ordered after the result write. span, helper and helperSpan
-// are trace attribution; like op and result, their cross-thread visibility
-// is ordered by the announce/Done protocol.
-type fcDesc struct {
-	status     memsim.Addr
-	op         engine.Op
-	result     uint64
-	span       uint64
-	helper     int
-	helperSpan uint64
-}
-
-const (
-	fcAnnounced uint64 = 1
-	fcDone      uint64 = 2
-)
-
-// fcCore is the announcement/combining machinery shared by FC and TLE+FC.
+// fcCore is the announcement/combining machinery shared by FC and TLE+FC:
+// a phases.Session over a descriptor table, driven under a TATAS combiner
+// lock. Status uses the shared protocol constants (StatusAnnounced /
+// StatusDone); flat combining has no claim step, so StatusBeingHelped is
+// never stored.
 type fcCore struct {
-	witness engine.WitnessFunc
-	rec     engine.Recorder
-	ms      *metricsSet  // owning engine's metrics set (trace emission)
+	ms      *metricsSet  // owning engine's hooks (trace/witness/metrics)
 	lock    *locks.TATAS // combiner lock (= the data-structure lock)
 	pub     *pubarr.Array
-	descs   []fcDesc
+	descs   []phases.Desc
+	sess    phases.Session
 	combine engine.CombineFunc
 	batch   int
 	passes  int
-
-	ops  [][]engine.Op
-	res  [][]uint64
-	done [][]bool
-	sel  [][]int
+	scratch []phases.Scratch
 }
 
-func newFCCore(env memsim.Env, opts *Options) *fcCore {
+func newFCCore(env memsim.Env, opts *Options, ms *metricsSet) *fcCore {
 	total := env.NumThreads() + 1
 	c := &fcCore{
+		ms:      ms,
 		lock:    locks.NewTATAS(env),
 		pub:     pubarr.New(env, total),
-		descs:   make([]fcDesc, total),
 		combine: opts.Combine,
 		batch:   opts.MaxBatch,
 		passes:  opts.FCPasses,
-		ops:     make([][]engine.Op, total),
-		res:     make([][]uint64, total),
-		done:    make([][]bool, total),
-		sel:     make([][]int, total),
+		scratch: make([]phases.Scratch, total),
 	}
 	if opts.Lock != nil {
 		if tt, ok := opts.Lock.(*locks.TATAS); ok {
 			c.lock = tt
 		}
 	}
-	for t := range c.descs {
-		c.descs[t].status = env.Alloc(memsim.WordsPerLine)
-		env.StoreWord(c.descs[t].status, 0)
-	}
+	c.descs = phases.NewDescs(env, total)
+	c.sess = phases.Session{Descs: c.descs, H: &ms.hooks}
 	return c
 }
 
@@ -445,30 +388,29 @@ func newFCCore(env memsim.Env, opts *Options) *fcCore {
 func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (uint64, bool) {
 	t := th.ID()
 	d := &c.descs[t]
-	d.op = op
-	if c.ms != nil && c.ms.tracer != nil {
-		d.span = c.ms.spans[t].span
-		d.helper = -1
-		d.helperSpan = 0
+	d.Op = op
+	if c.ms.Active() {
+		d.Span = c.ms.spans[t].span
+		d.Helper = -1
+		d.HelperSpan = 0
 	}
-	th.Store(d.status, fcAnnounced)
-	c.pub.Announce(th, t, uint64(t)+1)
-	c.ms.emit(th, core.TraceEvent{Kind: core.TraceAnnounce, Class: op.Class(), Peer: -1})
+	phases.Announce(th, t, d, c.pub)
+	c.ms.Emit(th, engine.TraceEvent{Kind: engine.TraceAnnounce, Class: op.Class(), Peer: -1})
 	for {
 		// Wait (passively) until either our op is marked done or the
 		// combiner lock is observed free — the same probe order and cycle
 		// charges as checking status then lock then yielding in a loop.
-		if c.lock.WaitUnlockedOr(th, d.status, fcDone) == 0 {
+		if c.lock.WaitUnlockedOr(th, d.Status, phases.StatusDone) == 0 {
 			tm.Ops++
-			c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
-				Peer: d.helper, PeerSpan: d.helperSpan})
-			return d.result, false
+			c.ms.Emit(th, engine.TraceEvent{Kind: engine.TraceHelped, Phase: engine.PhaseCombineUnderLock,
+				Peer: d.Helper, PeerSpan: d.HelperSpan})
+			return d.Result, false
 		}
 		if c.lock.TryLock(th) {
 			tm.LockAcquisitions++
-			c.ms.emit(th, core.TraceEvent{Kind: core.TraceLock, Peer: -1})
+			c.ms.Emit(th, engine.TraceEvent{Kind: engine.TraceLock, Peer: -1})
 			var holdStart int64
-			if c.rec != nil {
+			if c.ms.hooks.Rec != nil {
 				holdStart = th.Now()
 			}
 			// Classic FC: keep scanning for newly announced requests
@@ -483,17 +425,16 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (u
 					break // nothing announced; stop scanning
 				}
 			}
-			if c.rec != nil {
-				c.rec.RecordLockHold(t, th.Now()-holdStart)
+			if c.ms.hooks.Rec != nil {
+				c.ms.hooks.Rec.RecordLockHold(t, th.Now()-holdStart)
 			}
 			c.lock.Unlock(th)
 			if !ownDone {
 				// Our op was completed by the previous combiner
 				// between our status check and lock acquisition.
-				th.SpinLoadUntilEq(d.status, fcDone)
-				ownRes = d.result
-				c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelped, Phase: core.PhaseCombineUnderLock,
-					Peer: d.helper, PeerSpan: d.helperSpan})
+				ownRes = phases.WaitDone(th, d)
+				c.ms.Emit(th, engine.TraceEvent{Kind: engine.TraceHelped, Phase: engine.PhaseCombineUnderLock,
+					Peer: d.Helper, PeerSpan: d.HelperSpan})
 			}
 			tm.Ops++
 			return ownRes, true
@@ -507,90 +448,30 @@ func (c *fcCore) execute(th *memsim.Thread, op engine.Op, tm *engine.Metrics) (u
 // the combiner's own op was applied, its result, and how many operations
 // the pass selected.
 func (c *fcCore) combineSession(th *memsim.Thread, t int, tm *engine.Metrics) (bool, uint64, int) {
-	sel := c.sel[t][:0]
+	sc := &c.scratch[t]
+	sc.Pend = sc.Pend[:0]
 	for tid := 0; tid < c.pub.Slots(); tid++ {
 		if c.pub.Read(th, tid) == 0 {
 			continue
 		}
-		if th.Load(c.descs[tid].status) != fcAnnounced {
+		if th.Load(c.descs[tid].Status) != phases.StatusAnnounced {
 			continue
 		}
 		c.pub.Clear(th, tid)
-		sel = append(sel, tid)
+		sc.Pend = append(sc.Pend, tid)
 	}
-	c.sel[t] = sel
-	if len(sel) == 0 {
+	if len(sc.Pend) == 0 {
 		return false, 0, 0
 	}
-	selected := len(sel)
+	selected := len(sc.Pend)
 	tm.CombinerSessions++
-	tm.CombinedOps += uint64(len(sel))
-	if c.rec != nil {
-		c.rec.RecordCombine(t, len(sel))
+	tm.CombinedOps += uint64(selected)
+	if c.ms.hooks.Rec != nil {
+		c.ms.hooks.Rec.RecordCombine(t, selected)
 	}
-	c.ms.emit(th, core.TraceEvent{Kind: core.TraceSelect, N: len(sel), Peer: -1})
-	ownDone, ownRes := false, uint64(0)
-	for len(sel) > 0 {
-		n := len(sel)
-		if c.batch > 0 && n > c.batch {
-			n = c.batch
-		}
-		ops, res, done := c.buffers(t, n)
-		for i := 0; i < n; i++ {
-			ops[i] = c.descs[sel[i]].op
-			res[i] = 0
-			done[i] = false
-		}
-		c.combine(th, ops, res, done)
-		progressed := false
-		for i := 0; i < n; i++ {
-			if done[i] {
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
-			engine.ApplyEach(th, ops, res, done)
-		}
-		stamp := htm.LockStamp(th)
-		keep := sel[:0]
-		for i := 0; i < n; i++ {
-			tid := sel[i]
-			if !done[i] {
-				keep = append(keep, tid)
-				continue
-			}
-			if c.witness != nil {
-				c.witness(stamp, i, ops[i], res[i])
-			}
-			if tid == t {
-				ownDone, ownRes = true, res[i]
-				continue
-			}
-			od := &c.descs[tid]
-			od.result = res[i]
-			if c.ms != nil && c.ms.tracer != nil {
-				od.helper = t
-				od.helperSpan = c.ms.spans[t].span
-				c.ms.emit(th, core.TraceEvent{Kind: core.TraceHelp, Phase: core.PhaseCombineUnderLock,
-					Peer: tid, PeerSpan: od.span})
-			}
-			th.Store(od.status, fcDone)
-		}
-		keep = append(keep, sel[n:]...)
-		sel = keep
-	}
-	c.sel[t] = sel[:0]
+	c.ms.Emit(th, engine.TraceEvent{Kind: engine.TraceSelect, N: selected, Peer: -1})
+	ownRes, ownDone := c.sess.ApplyLocked(th, t, sc, c.combine, c.batch, engine.PhaseCombineUnderLock)
 	return ownDone, ownRes, selected
-}
-
-func (c *fcCore) buffers(t, n int) ([]engine.Op, []uint64, []bool) {
-	if cap(c.ops[t]) < n {
-		c.ops[t] = make([]engine.Op, n)
-		c.res[t] = make([]uint64, n)
-		c.done[t] = make([]bool, n)
-	}
-	return c.ops[t][:n], c.res[t][:n], c.done[t][:n]
 }
 
 // FCEngine is classic flat combining: all operations are delegated and
@@ -605,8 +486,9 @@ var _ engine.MeteredEngine = (*FCEngine)(nil)
 // NewFC builds the FC baseline.
 func NewFC(env memsim.Env, opts Options) *FCEngine {
 	opts.normalize(env)
-	e := &FCEngine{core: newFCCore(env, &opts), metricsSet: newMetricsSet(env, nil)}
-	e.core.ms = &e.metricsSet
+	e := &FCEngine{metricsSet: newMetricsSet(env, nil)}
+	e.wire()
+	e.core = newFCCore(env, &opts, &e.metricsSet)
 	return e
 }
 
@@ -614,18 +496,8 @@ func NewFC(env memsim.Env, opts Options) *FCEngine {
 func (e *FCEngine) Name() string { return "FC" }
 
 // CompletionPaths implements engine.MeteredEngine.
-func (e *FCEngine) CompletionPaths() []string { return []string{"combiner", "helped"} }
-
-// SetWitness installs a serialization-witness observer (nil disables).
-func (e *FCEngine) SetWitness(fn engine.WitnessFunc) {
-	e.metricsSet.SetWitness(fn)
-	e.core.witness = fn
-}
-
-// SetRecorder installs a metrics recorder (nil disables).
-func (e *FCEngine) SetRecorder(rec engine.Recorder) {
-	e.metricsSet.SetRecorder(rec)
-	e.core.rec = rec
+func (e *FCEngine) CompletionPaths() []string {
+	return []string{engine.PathCombiner, engine.PathHelped}
 }
 
 // Execute applies op with flat combining.
@@ -638,7 +510,7 @@ func (e *FCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		path = 0
 	}
 	e.opDone(th, op.Class(), path, start)
-	e.emitDone(th, core.PhaseCombineUnderLock)
+	e.emitDone(th, engine.PhaseCombineUnderLock)
 	return res
 }
 
@@ -661,15 +533,14 @@ var _ engine.MeteredEngine = (*TLEFCEngine)(nil)
 func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
 	opts.normalize(env)
 	eng := htm.New(env, opts.HTM)
-	core := newFCCore(env, &opts)
 	e := &TLEFCEngine{
-		lock:       core.lock, // speculation elides the combiner lock
 		htm:        eng,
 		trials:     opts.Trials,
-		core:       core,
 		metricsSet: newMetricsSet(env, eng),
 	}
-	e.core.ms = &e.metricsSet
+	e.wire()
+	e.core = newFCCore(env, &opts, &e.metricsSet)
+	e.lock = e.core.lock // speculation elides the combiner lock
 	return e
 }
 
@@ -677,18 +548,8 @@ func NewTLEFC(env memsim.Env, opts Options) *TLEFCEngine {
 func (e *TLEFCEngine) Name() string { return "TLE+FC" }
 
 // CompletionPaths implements engine.MeteredEngine.
-func (e *TLEFCEngine) CompletionPaths() []string { return []string{"htm", "combiner", "helped"} }
-
-// SetWitness installs a serialization-witness observer (nil disables).
-func (e *TLEFCEngine) SetWitness(fn engine.WitnessFunc) {
-	e.metricsSet.SetWitness(fn)
-	e.core.witness = fn
-}
-
-// SetRecorder installs a metrics recorder (nil disables).
-func (e *TLEFCEngine) SetRecorder(rec engine.Recorder) {
-	e.metricsSet.SetRecorder(rec)
-	e.core.rec = rec
+func (e *TLEFCEngine) CompletionPaths() []string {
+	return []string{engine.PathHTM, engine.PathCombiner, engine.PathHelped}
 }
 
 // Execute applies op with TLE first, then flat combining.
@@ -697,24 +558,22 @@ func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 	start := e.opStart(th)
 	e.beginSpan(th, op.Class())
 	var res uint64
-	for i := 0; i < e.trials; i++ {
-		ok, reason := e.htm.Run(th, func(tx *htm.Tx) {
-			if e.lock.Locked(tx) {
-				e.abortLockHeld(tx, e.lock)
-			}
-			res = op.Apply(tx)
-		})
-		e.emitAttempt(th, core.PhaseTryPrivate, reason)
-		if ok {
-			if e.witness != nil {
-				e.witness(e.htm.CommitStamp(th.ID()), 0, op, res)
-			}
-			tm.Ops++
-			e.opDone(th, op.Class(), 0, start)
-			e.emitDone(th, core.PhaseTryPrivate)
-			return res
-		}
+	loop := phases.SpecLoop{Eng: e.htm, Em: e.hooks.Em, Phase: engine.PhaseTryPrivate}
+	ok := loop.Run(th, e.trials, func(tx *htm.Tx) {
+		phases.SubscribeLock(tx, e.lock, e.hooks.Em)
+		res = op.Apply(tx)
+	}, func(htm.Reason) bool {
 		e.lock.WaitUnlocked(th)
+		return true
+	})
+	if ok {
+		if e.hooks.Witness != nil {
+			e.hooks.Witness(e.htm.CommitStamp(th.ID()), 0, op, res)
+		}
+		tm.Ops++
+		e.opDone(th, op.Class(), 0, start)
+		e.emitDone(th, engine.PhaseTryPrivate)
+		return res
 	}
 	res, combined := e.core.execute(th, op, tm)
 	path := 2
@@ -722,6 +581,6 @@ func (e *TLEFCEngine) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		path = 1
 	}
 	e.opDone(th, op.Class(), path, start)
-	e.emitDone(th, core.PhaseCombineUnderLock)
+	e.emitDone(th, engine.PhaseCombineUnderLock)
 	return res
 }

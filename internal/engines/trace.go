@@ -1,15 +1,14 @@
 package engines
 
 import (
-	"hcf/internal/core"
+	"hcf/internal/engine"
 	"hcf/internal/htm"
-	"hcf/internal/locks"
 	"hcf/internal/memsim"
 )
 
 // The baseline engines emit the same lifecycle-event vocabulary as HCF
-// (core.TraceEvent), so one collector, span builder, and exporter serve all
-// six engines. The HCF phase names map onto the baselines' paths as:
+// (engine.TraceEvent), so one collector, span builder, and exporter serve
+// all six engines. The HCF phase names map onto the baselines' paths as:
 //
 //   - PhaseTryPrivate:       private speculation over L (TLE, SCM
 //     optimistic, TLE+FC's TLE leg)
@@ -23,11 +22,11 @@ import (
 
 // All five baselines emit lifecycle events.
 var (
-	_ core.TracedEngine = (*LockEngine)(nil)
-	_ core.TracedEngine = (*TLEEngine)(nil)
-	_ core.TracedEngine = (*FCEngine)(nil)
-	_ core.TracedEngine = (*SCMEngine)(nil)
-	_ core.TracedEngine = (*TLEFCEngine)(nil)
+	_ engine.TracedEngine = (*LockEngine)(nil)
+	_ engine.TracedEngine = (*TLEEngine)(nil)
+	_ engine.TracedEngine = (*FCEngine)(nil)
+	_ engine.TracedEngine = (*SCMEngine)(nil)
+	_ engine.TracedEngine = (*TLEFCEngine)(nil)
 )
 
 // spanState tracks one thread's current operation span, padded against
@@ -39,7 +38,7 @@ type spanState struct {
 }
 
 // SetTracer installs a lifecycle tracer (nil disables).
-func (s *metricsSet) SetTracer(tr core.Tracer) {
+func (s *metricsSet) SetTracer(tr engine.Tracer) {
 	s.tracer = tr
 	if s.spans == nil && tr != nil {
 		s.spans = make([]spanState, len(s.per))
@@ -54,13 +53,17 @@ func (s *metricsSet) beginSpan(th *memsim.Thread, class int) {
 	t := th.ID()
 	ss := &s.spans[t]
 	ss.seq++
-	ss.span = core.SpanID(t, ss.seq)
-	s.emit(th, core.TraceEvent{Kind: core.TraceStart, Class: class, Peer: -1})
+	ss.span = engine.SpanID(t, ss.seq)
+	s.Emit(th, engine.TraceEvent{Kind: engine.TraceStart, Class: class, Peer: -1})
 }
 
-// emit stamps ev with the thread, its local time, and its current span,
-// then hands it to the tracer.
-func (s *metricsSet) emit(th *memsim.Thread, ev core.TraceEvent) {
+// Active implements phases.Emitter: it reports whether a tracer is
+// installed, so stages skip attribution-only work without one.
+func (s *metricsSet) Active() bool { return s.tracer != nil }
+
+// Emit implements phases.Emitter: it stamps ev with the thread, its local
+// time, and its current span, then hands it to the tracer.
+func (s *metricsSet) Emit(th *memsim.Thread, ev engine.TraceEvent) {
 	if s.tracer == nil {
 		return
 	}
@@ -71,13 +74,14 @@ func (s *metricsSet) emit(th *memsim.Thread, ev core.TraceEvent) {
 	s.tracer.Trace(ev)
 }
 
-// emitAttempt emits a TraceAttempt with abort attribution (conflict line +
-// writer, or lock holder), mirroring the HCF framework's emission.
-func (s *metricsSet) emitAttempt(th *memsim.Thread, phase core.Phase, reason htm.Reason) {
+// EmitAttempt implements phases.Emitter: it emits a TraceAttempt with
+// abort attribution (conflict line + writer, or lock holder), mirroring
+// the HCF framework's emission.
+func (s *metricsSet) EmitAttempt(th *memsim.Thread, phase engine.Phase, reason htm.Reason) {
 	if s.tracer == nil {
 		return
 	}
-	ev := core.TraceEvent{Kind: core.TraceAttempt, Phase: phase, Reason: reason, Peer: -1}
+	ev := engine.TraceEvent{Kind: engine.TraceAttempt, Phase: phase, Reason: reason, Peer: -1}
 	if s.eng != nil {
 		switch reason {
 		case htm.ReasonConflict, htm.ReasonLockHeld:
@@ -90,19 +94,10 @@ func (s *metricsSet) emitAttempt(th *memsim.Thread, phase core.Phase, reason htm
 			}
 		}
 	}
-	s.emit(th, ev)
-}
-
-// abortLockHeld aborts tx on a subscribed-lock observation, capturing the
-// holder for attribution when a tracer is installed.
-func (s *metricsSet) abortLockHeld(tx *htm.Tx, l locks.Lock) {
-	if s.tracer != nil {
-		tx.AbortLockHeldBy(core.HolderHint(tx.Thread().Env(), l))
-	}
-	tx.AbortLockHeld()
+	s.Emit(th, ev)
 }
 
 // emitDone closes the current span with its completion phase.
-func (s *metricsSet) emitDone(th *memsim.Thread, phase core.Phase) {
-	s.emit(th, core.TraceEvent{Kind: core.TraceDone, Phase: phase, Peer: -1})
+func (s *metricsSet) emitDone(th *memsim.Thread, phase engine.Phase) {
+	s.Emit(th, engine.TraceEvent{Kind: engine.TraceDone, Phase: phase, Peer: -1})
 }

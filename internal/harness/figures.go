@@ -176,6 +176,13 @@ func Figures() []Figure {
 			Engines:  []string{"HCF"}, Threads: []int{18}, Kind: KindThroughput,
 		},
 		{
+			ID: "sharded", Ref: "scaling extension",
+			Title:    "sharded HCF: hash-table throughput vs shard count, 40% Find",
+			Expect:   "HCF-S throughput grows with shard count at >= 16 threads (independent combiners on disjoint shards); whole-structure scans (cross=1% rows) serialize every shard and flatten the curve",
+			Scenario: ShardedHashTableScenario(40, paperBuckets, 1, 0, 0),
+			Engines:  []string{"HCF", "HCF-S"}, Threads: []int{1, 8, 16, 24, 36}, Kind: KindThroughput,
+		},
+		{
 			ID: "deque", Ref: "§2.4 example",
 			Title:    "deque, uniform operations on both ends, specialized variant",
 			Expect:   "HCF's two per-end combiners beat the single-lock engines",
@@ -215,6 +222,31 @@ func RunFigure(f Figure, cfg Config) ([]Result, error) {
 			}
 			results = append(results, more...)
 		}
+	case "sharded":
+		results = results[:0] // replace the base run with the labelled sweep
+		for _, shards := range []int{1, 2, 4, 8} {
+			sc := ShardedHashTableScenario(40, paperBuckets, shards, 0, 0)
+			engines := []string{ShardedEngineName}
+			if shards == 1 || shards == 8 {
+				// Single-framework reference over the identical partitioned
+				// workload, at both ends of the shard-count sweep.
+				engines = []string{"HCF", ShardedEngineName}
+			}
+			more, err := RunSweep(sc, engines, f.Threads, cfg)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, more...)
+		}
+		// Cross-shard cost row: 1% whole-structure scans over 4 shards. Each
+		// scan holds every shard lock, so it bounds throughput regardless of
+		// shard count — the honest price of the all-locks path.
+		sc := ShardedHashTableScenario(40, paperBuckets, 4, 1, 0)
+		more, err := RunSweep(sc, []string{"HCF", ShardedEngineName}, f.Threads, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, more...)
 	case "budget-sweep":
 		results = results[:0] // replace the base run with the labelled sweep
 		for _, b := range [][3]int{{2, 3, 5}, {10, 0, 0}, {0, 0, 10}, {5, 5, 0}, {0, 5, 5}, {4, 3, 3}, {1, 1, 8}} {

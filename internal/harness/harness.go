@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -17,10 +18,41 @@ import (
 	"hcf/internal/engines"
 	"hcf/internal/htm"
 	"hcf/internal/memsim"
+	"hcf/internal/shard"
 )
 
 // EngineNames lists all engines in the paper's presentation order.
 var EngineNames = []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"}
+
+// ShardedEngineName is the sharded HCF variant; BuildEngine accepts it only
+// for scenarios that provide an Instance.Sharding plan.
+const ShardedEngineName = "HCF-S"
+
+// KnownEngineNames lists every engine BuildEngine accepts: the paper's six
+// plus the sharded variant.
+func KnownEngineNames() []string {
+	return append(append([]string(nil), EngineNames...), ShardedEngineName)
+}
+
+// ValidateEngineNames rejects names BuildEngine would not accept, so CLIs
+// can fail fast (before running part of a sweep) with the known set.
+func ValidateEngineNames(names []string) error {
+	known := KnownEngineNames()
+	for _, name := range names {
+		ok := false
+		for _, k := range known {
+			if name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("harness: unknown engine %q (known engines: %s)",
+				name, strings.Join(known, ", "))
+		}
+	}
+	return nil
+}
 
 // Scenario couples a data structure with a workload.
 type Scenario struct {
@@ -48,6 +80,18 @@ type Instance struct {
 	// Check optionally validates structural invariants after a run,
 	// returning a description of the first violation or "".
 	Check func(ctx memsim.Ctx) string
+	// Sharding, when non-nil, lets the scenario run under the sharded HCF
+	// engine ("HCF-S"): the structure is partitioned into Shards pieces and
+	// Router maps each operation to its piece (or shard.CrossShard).
+	Sharding *Sharding
+}
+
+// Sharding is a scenario's plan for the sharded HCF engine.
+type Sharding struct {
+	// Shards is the number of per-shard frameworks.
+	Shards int
+	// Router maps operations to shards; see shard.Router.
+	Router shard.Router
 }
 
 // Config tunes a sweep.
@@ -132,8 +176,20 @@ func BuildEngine(name string, env memsim.Env, inst Instance, cfg Config) (engine
 			HoldSelectionLock: inst.HoldSelectionLock,
 			HTM:               cfg.HTM,
 		})
+	case ShardedEngineName:
+		if inst.Sharding == nil {
+			return nil, fmt.Errorf("harness: engine %q needs a scenario with a sharding plan (Instance.Sharding is nil)", name)
+		}
+		return shard.New(env, shard.Config{
+			Shards:            inst.Sharding.Shards,
+			Router:            inst.Sharding.Router,
+			Policies:          inst.Policies,
+			HoldSelectionLock: inst.HoldSelectionLock,
+			HTM:               cfg.HTM,
+		})
 	default:
-		return nil, fmt.Errorf("harness: unknown engine %q", name)
+		return nil, fmt.Errorf("harness: unknown engine %q (known engines: %s)",
+			name, strings.Join(KnownEngineNames(), ", "))
 	}
 }
 
@@ -192,7 +248,9 @@ func RunPointExplored(sc Scenario, engineName string, threads int, cfg Config, e
 	if res.Cycles > 0 {
 		res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
 	}
-	if hcf, ok := eng.(*core.Framework); ok {
+	if hcf, ok := eng.(interface {
+		PhaseBreakdown() [][core.NumPhases]uint64
+	}); ok {
 		res.PhaseByClass = hcf.PhaseBreakdown()
 	}
 	if inst.Check != nil {

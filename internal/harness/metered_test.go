@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"hcf/internal/engine"
 )
 
 // TestMeteredRunIsDeterministic checks the key design invariant of the
@@ -83,11 +85,11 @@ func TestMeteredReportContents(t *testing.T) {
 // and that completed ops distribute over them.
 func TestMeteredBaselinePaths(t *testing.T) {
 	want := map[string][]string{
-		"Lock":   {"lock"},
-		"TLE":    {"htm", "lock"},
-		"SCM":    {"htm", "htm-managed", "lock"},
-		"FC":     {"combiner", "helped"},
-		"TLE+FC": {"htm", "combiner", "helped"},
+		"Lock":   {engine.PathLock},
+		"TLE":    {engine.PathHTM, engine.PathLock},
+		"SCM":    {engine.PathHTM, engine.PathHTMManaged, engine.PathLock},
+		"FC":     {engine.PathCombiner, engine.PathHelped},
+		"TLE+FC": {engine.PathHTM, engine.PathCombiner, engine.PathHelped},
 	}
 	sc := HashTableScenario(40, 256)
 	for eng, paths := range want {

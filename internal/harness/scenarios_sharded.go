@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/seq/hashtable"
+	"hcf/internal/shard"
+	"hcf/internal/workload"
+)
+
+// ShardedHashTableScenario partitions the §3.3 hash-table workload over
+// `shards` independent sub-tables: key k lives in table k mod shards, each
+// table gets buckets/shards buckets, and the sharding router applies the
+// same rule, so the sharded engine ("HCF-S") runs one combiner per
+// sub-table. crossPct percent of operations are whole-structure SumAll
+// scans, which the router sends down the all-locks cross-shard path.
+// hotPct percent of keys are skewed onto shard 0 (0 = balanced; see
+// workload.ShardSkew). Non-sharded engines run the identical partitioned
+// workload behind their single lock, making this scenario the direct
+// sharded-vs-single comparison point.
+func ShardedHashTableScenario(findPct, buckets, shards, crossPct, hotPct int) Scenario {
+	mix, err := workload.UpdateMix(findPct)
+	if err != nil {
+		panic(err) // static misconfiguration
+	}
+	if shards < 1 || buckets < shards {
+		panic(fmt.Sprintf("harness: sharded hash table needs 1 <= shards <= buckets, got %d over %d", shards, buckets))
+	}
+	if crossPct < 0 || crossPct > 100 {
+		panic(fmt.Sprintf("harness: cross percentage %d outside [0,100]", crossPct))
+	}
+	name := fmt.Sprintf("hashtable-sharded/%d/find=%d%%/cross=%d%%", shards, findPct, crossPct)
+	if hotPct > 0 {
+		name += fmt.Sprintf("/hot=%d%%", hotPct)
+	}
+	return Scenario{
+		Name: name,
+		Setup: func(env memsim.Env, seed uint64) Instance {
+			boot := env.Boot()
+			tables := make([]*hashtable.Table, shards)
+			for i := range tables {
+				tables[i] = hashtable.New(boot, buckets/shards)
+			}
+			tableOf := func(k uint64) *hashtable.Table { return tables[k%uint64(shards)] }
+			var keys workload.KeyGen = workload.Uniform{N: uint64(buckets)}
+			pre := rand.New(rand.NewPCG(seed, 0xF17))
+			for i := 0; i < buckets/2; i++ {
+				k := keys.Next(pre)
+				tableOf(k).Insert(boot, k, k)
+			}
+			if hotPct > 0 {
+				skewed, err := workload.NewShardSkew(keys, shards, 0, hotPct)
+				if err != nil {
+					panic(err)
+				}
+				keys = skewed
+			}
+			return Instance{
+				Policies:   hashtable.Policies(),
+				ClassNames: []string{"find", "insert", "remove"},
+				Combine:    hashtable.CombineMixed,
+				Sharding: &Sharding{
+					Shards: shards,
+					Router: func(op engine.Op) int {
+						switch o := op.(type) {
+						case hashtable.FindOp:
+							return int(o.Key % uint64(shards))
+						case hashtable.InsertOp:
+							return int(o.Key % uint64(shards))
+						case hashtable.RemoveOp:
+							return int(o.Key % uint64(shards))
+						default:
+							return shard.CrossShard
+						}
+					},
+				},
+				NextOp: func(r *rand.Rand) engine.Op {
+					if crossPct > 0 && int(r.Uint64N(100)) < crossPct {
+						return hashtable.SumAllOp{Tables: tables}
+					}
+					k := keys.Next(r)
+					switch mix.Pick(r) {
+					case 0:
+						return hashtable.FindOp{T: tableOf(k), Key: k}
+					case 1:
+						return hashtable.InsertOp{T: tableOf(k), Key: k, Val: k}
+					default:
+						return hashtable.RemoveOp{T: tableOf(k), Key: k}
+					}
+				},
+				Check: func(ctx memsim.Ctx) string {
+					for i, t := range tables {
+						if s := t.CheckInvariants(ctx); s != "" {
+							return fmt.Sprintf("shard %d: %s", i, s)
+						}
+					}
+					return ""
+				},
+			}
+		},
+	}
+}

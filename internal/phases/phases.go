@@ -1,0 +1,194 @@
+// Package phases provides the composable synchronization primitives that
+// every engine in this repository is built from:
+//
+//   - SpecLoop — a trial-budgeted speculative HTM retry loop with lock
+//     subscription (SubscribeLock) and abort-taxonomy accounting.
+//   - LockApply — the pessimistic path: apply one operation under the
+//     data-structure lock, with the hold-time and witness bookkeeping
+//     every engine repeats around it.
+//   - Session — the announce → adopt → combine → distribute machinery of
+//     a combining session over shared operation descriptors (Desc).
+//
+// The HCF framework (internal/core) and the five baselines
+// (internal/engines) are thin compositions of these stages. Each stage
+// carries the engines' tracing (Emitter), metrics (engine.Recorder) and
+// linearizability-witness (engine.WitnessFunc) hooks, so composing
+// engines differ only in which stages they chain and with which budgets.
+//
+// Every primitive preserves the exact sequence of simulated memory
+// operations of the loops it replaced: the golden bit-identity fixtures
+// in internal/harness/testdata pin this.
+package phases
+
+import (
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+	"hcf/internal/pubarr"
+)
+
+// Operation status values (paper §2.2). They live in simulated memory so
+// that a combiner's claim aborts the owner's in-flight transaction, exactly
+// as an HTM conflict would.
+const (
+	// StatusFree: no operation announced.
+	StatusFree uint64 = iota
+	// StatusAnnounced: the owner published the operation and a combiner
+	// may adopt it.
+	StatusAnnounced
+	// StatusBeingHelped: a combiner claimed the operation (HCF only; flat
+	// combining adopts without an intermediate claim state).
+	StatusBeingHelped
+	// StatusDone: the result is published and the owner may return.
+	StatusDone
+)
+
+// Desc is a per-thread operation descriptor (paper §2.2). The status word
+// lives in simulated memory; the remaining fields are plain Go state whose
+// cross-thread visibility is ordered by the simulated-memory protocol
+// (announce before publishing the slot; result before the Done transition).
+type Desc struct {
+	// Status is the simulated-memory status word.
+	Status memsim.Addr
+	// Op and Result carry the announced operation and its outcome.
+	Op     engine.Op
+	Result uint64
+	// DonePhase is the phase the operation completed in.
+	DonePhase engine.Phase
+	// Span identifies the thread's current operation in the trace stream;
+	// SpanSeq is the thread-local dense counter behind it.
+	Span    uint64
+	SpanSeq uint64
+	// Helper and HelperSpan name the combiner that completed this
+	// operation; like Result, their cross-thread visibility is ordered by
+	// the Done status transition.
+	Helper     int
+	HelperSpan uint64
+}
+
+// NewDescs allocates n descriptors with status words on private cache
+// lines, initialized to StatusFree.
+func NewDescs(env memsim.Env, n int) []Desc {
+	descs := make([]Desc, n)
+	for t := range descs {
+		descs[t].Status = env.Alloc(memsim.WordsPerLine)
+		env.StoreWord(descs[t].Status, StatusFree)
+	}
+	return descs
+}
+
+// Announce publishes t's operation: status := Announced, then the slot
+// store (Figure 1, lines 13-14). The store order matters: a combiner that
+// reads the slot non-zero must observe the Announced status.
+func Announce(th *memsim.Thread, t int, d *Desc, pub *pubarr.Array) {
+	th.Store(d.Status, StatusAnnounced)
+	pub.Announce(th, t, uint64(t)+1)
+}
+
+// WaitDone waits (passively) until a combiner completes the operation and
+// returns its result.
+func WaitDone(th *memsim.Thread, d *Desc) uint64 {
+	th.SpinLoadUntilEq(d.Status, StatusDone)
+	return d.Result
+}
+
+// Emitter is the tracing sink a stage reports to. Engines implement it
+// over their tracer state; with no tracer installed every method is a
+// cheap no-op, so stages call it unconditionally.
+type Emitter interface {
+	// Active reports whether a tracer is installed; stages consult it
+	// before doing attribution-only work (e.g. capturing a lock holder).
+	Active() bool
+	// Emit stamps ev with the thread, time and current span and hands it
+	// to the tracer.
+	Emit(th *memsim.Thread, ev engine.TraceEvent)
+	// EmitAttempt emits a TraceAttempt with abort attribution (conflict
+	// line + writer, or lock holder).
+	EmitAttempt(th *memsim.Thread, phase engine.Phase, reason htm.Reason)
+}
+
+// Hooks bundles the observation hooks a composed engine threads through
+// its stages. All fields may be nil/inactive; stages check before use.
+type Hooks struct {
+	// Em receives lifecycle trace events. Never nil on a wired engine.
+	Em Emitter
+	// Witness observes every applied operation with its serialization
+	// stamp (linearizability checking).
+	Witness engine.WitnessFunc
+	// Rec receives latency and counter samples.
+	Rec engine.Recorder
+}
+
+// HolderHint names the thread currently holding l via a raw uncharged
+// read, or -1 when the lock kind cannot report one.
+func HolderHint(env memsim.Env, l locks.Lock) int {
+	if h, ok := l.(locks.HolderHinter); ok {
+		return h.HolderHint(env)
+	}
+	return -1
+}
+
+// SubscribeLock reads l's state inside tx — subscribing the transaction to
+// the lock — and aborts if it is observed held. With a tracer active it
+// first captures the holder for abort attribution.
+func SubscribeLock(tx *htm.Tx, l locks.Lock, em Emitter) {
+	if !l.Locked(tx) {
+		return
+	}
+	if em.Active() {
+		tx.AbortLockHeldBy(HolderHint(tx.Thread().Env(), l))
+	}
+	tx.AbortLockHeld()
+}
+
+// SpecLoop is a trial-budgeted speculative phase: each attempt runs body
+// in a hardware transaction and is reported to the emitter under Phase.
+type SpecLoop struct {
+	Eng   *htm.Engine
+	Em    Emitter
+	Phase engine.Phase
+}
+
+// Run makes up to trials attempts and reports whether one committed.
+// After every failed attempt, after (if non-nil) runs the engine's
+// between-attempts protocol — waiting for a lock, counting conflicts,
+// checking whether a combiner adopted the operation — and returning false
+// from it abandons the remaining budget.
+func (s *SpecLoop) Run(th *memsim.Thread, trials int, body func(tx *htm.Tx), after func(reason htm.Reason) bool) bool {
+	for i := 0; i < trials; i++ {
+		ok, reason := s.Eng.Run(th, body)
+		s.Em.EmitAttempt(th, s.Phase, reason)
+		if ok {
+			return true
+		}
+		if after != nil && !after(reason) {
+			return false
+		}
+	}
+	return false
+}
+
+// LockApply applies op pessimistically under l: the fallback path shared
+// by the Lock, TLE and SCM engines and every engine's last resort. The
+// caller owns the surrounding protocol (auxiliary locks, Ops counting);
+// LockApply owns acquisition accounting, hold-time recording and the
+// lock-stamped witness call.
+func LockApply(th *memsim.Thread, l locks.Lock, op engine.Op, h *Hooks, tm *engine.Metrics) uint64 {
+	l.Lock(th)
+	tm.LockAcquisitions++
+	h.Em.Emit(th, engine.TraceEvent{Kind: engine.TraceLock, Peer: -1})
+	var holdStart int64
+	if h.Rec != nil {
+		holdStart = th.Now()
+	}
+	res := op.Apply(th)
+	if h.Witness != nil {
+		h.Witness(htm.LockStamp(th), 0, op, res)
+	}
+	if h.Rec != nil {
+		h.Rec.RecordLockHold(th.ID(), th.Now()-holdStart)
+	}
+	l.Unlock(th)
+	return res
+}

@@ -1,0 +1,152 @@
+package phases
+
+import (
+	"hcf/internal/engine"
+	"hcf/internal/htm"
+	"hcf/internal/locks"
+	"hcf/internal/memsim"
+)
+
+// Scratch is a combiner's per-thread working state: the selected-but-
+// pending thread ids plus the batch buffers handed to combine functions.
+// Buffers grow on demand and are reused across sessions.
+type Scratch struct {
+	// Pend holds thread ids of selected, not yet applied operations. The
+	// engine's selection step fills it; the apply stages drain it.
+	Pend []int
+	ops  []engine.Op
+	res  []uint64
+	done []bool
+}
+
+// Session is the distribute-results half of a combining session over a
+// descriptor table: it turns batches of selected thread ids into combine
+// calls and publishes each completed operation's result back to its
+// owner, with witness stamps and help-edge tracing.
+type Session struct {
+	// Descs is the shared descriptor table, indexed by thread id.
+	Descs []Desc
+	// H is the owning engine's hook bundle (shared, so late SetWitness /
+	// SetRecorder installs reach the session).
+	H *Hooks
+}
+
+// prepareBatch (re)builds the attempt-local op/result/done buffers for the
+// first n pending operations.
+func (s *Session) prepareBatch(sc *Scratch, n int) {
+	if cap(sc.ops) < n {
+		sc.ops = make([]engine.Op, n)
+		sc.res = make([]uint64, n)
+		sc.done = make([]bool, n)
+	}
+	sc.ops = sc.ops[:n]
+	sc.res = sc.res[:n]
+	sc.done = sc.done[:n]
+	for i, tid := range sc.Pend[:n] {
+		sc.ops[i] = s.Descs[tid].Op
+		sc.res[i] = 0
+		sc.done[i] = false
+	}
+}
+
+// FinalizeBatch publishes results of the operations a combine call
+// completed in a committed attempt (or under the lock): result and phase
+// first, then the Done transition the owner is waiting on. Completed
+// operations are removed from sc.Pend. It returns the combiner's own
+// result if its own operation was completed.
+func (s *Session) FinalizeBatch(th *memsim.Thread, t int, sc *Scratch, n int, phase engine.Phase, stamp uint64) (uint64, bool) {
+	ownRes, ownDone := uint64(0), false
+	keep := sc.Pend[:0]
+	for i := 0; i < n; i++ {
+		tid := sc.Pend[i]
+		if !sc.done[i] {
+			keep = append(keep, tid)
+			continue
+		}
+		if s.H.Witness != nil {
+			s.H.Witness(stamp, i, sc.ops[i], sc.res[i])
+		}
+		if tid == t {
+			ownRes, ownDone = sc.res[i], true
+			continue
+		}
+		od := &s.Descs[tid]
+		od.Result = sc.res[i]
+		od.DonePhase = phase
+		if s.H.Em.Active() {
+			od.Helper = t
+			od.HelperSpan = s.Descs[t].Span
+			s.H.Em.Emit(th, engine.TraceEvent{Kind: engine.TraceHelp, Phase: phase, Peer: tid, PeerSpan: od.Span})
+		}
+		th.Store(od.Status, StatusDone)
+	}
+	keep = append(keep, sc.Pend[n:]...)
+	sc.Pend = keep
+	return ownRes, ownDone
+}
+
+// batchSize bounds a batch at maxBatch pending operations (0 = no bound).
+func batchSize(sc *Scratch, maxBatch int) int {
+	n := len(sc.Pend)
+	if maxBatch > 0 && n > maxBatch {
+		n = maxBatch
+	}
+	return n
+}
+
+// ApplySpeculative drains sc.Pend with hardware transactions that
+// subscribe to lock, several operations per transaction (HCF's
+// TryCombining phase). It stops when trials attempts have failed;
+// committed batches do not consume budget. Returns the combiner's own
+// result if its operation completed.
+func (s *Session) ApplySpeculative(th *memsim.Thread, t int, sc *Scratch, eng *htm.Engine, lock locks.Lock, combine engine.CombineFunc, maxBatch, trials int, phase engine.Phase) (uint64, bool) {
+	ownRes, ownDone := uint64(0), false
+	failures := 0
+	for len(sc.Pend) > 0 && failures < trials {
+		n := batchSize(sc, maxBatch)
+		s.prepareBatch(sc, n)
+		ok, reason := eng.Run(th, func(tx *htm.Tx) {
+			if lock.Locked(tx) {
+				tx.AbortLockHeld()
+			}
+			combine(tx, sc.ops[:n], sc.res[:n], sc.done[:n])
+		})
+		s.H.Em.EmitAttempt(th, phase, reason)
+		if !ok {
+			failures++
+			continue
+		}
+		if r, done := s.FinalizeBatch(th, t, sc, n, phase, eng.CommitStamp(t)); done {
+			ownRes, ownDone = r, true
+		}
+	}
+	return ownRes, ownDone
+}
+
+// ApplyLocked drains sc.Pend while the caller holds the data-structure
+// lock (HCF's CombineUnderLock phase and classic flat combining). A
+// combine call that makes no progress would loop forever, so each batch
+// falls back to engine.ApplyEach when nothing was completed. Returns the
+// combiner's own result if its operation completed.
+func (s *Session) ApplyLocked(th *memsim.Thread, t int, sc *Scratch, combine engine.CombineFunc, maxBatch int, phase engine.Phase) (uint64, bool) {
+	ownRes, ownDone := uint64(0), false
+	for len(sc.Pend) > 0 {
+		n := batchSize(sc, maxBatch)
+		s.prepareBatch(sc, n)
+		combine(th, sc.ops[:n], sc.res[:n], sc.done[:n])
+		progressed := false
+		for i := 0; i < n; i++ {
+			if sc.done[i] {
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			engine.ApplyEach(th, sc.ops[:n], sc.res[:n], sc.done[:n])
+		}
+		if r, done := s.FinalizeBatch(th, t, sc, n, phase, htm.LockStamp(th)); done {
+			ownRes, ownDone = r, true
+		}
+	}
+	return ownRes, ownDone
+}

@@ -75,6 +75,31 @@ func (o SumOp) Apply(ctx memsim.Ctx) uint64 {
 // Class implements engine.Op: scans share the Find/Remove array.
 func (o SumOp) Class() int { return ClassFind }
 
+// SumAllOp sums every value across a set of tables (a sharded structure's
+// whole-structure scan). Its read set spans all shards, so a sharded engine
+// must route it CrossShard onto the all-locks path. Result: Pack(sum mod
+// 2^63, true).
+type SumAllOp struct {
+	Tables []*Table
+}
+
+var _ engine.Op = SumAllOp{}
+
+// Apply implements engine.Op.
+func (o SumAllOp) Apply(ctx memsim.Ctx) uint64 {
+	var sum uint64
+	for _, t := range o.Tables {
+		t.Iterate(ctx, func(k, v uint64) bool {
+			sum += v
+			return true
+		})
+	}
+	return engine.Pack(sum&((1<<63)-1), true)
+}
+
+// Class implements engine.Op: scans share the Find/Remove array.
+func (o SumAllOp) Class() int { return ClassFind }
+
 // RemoveOp deletes a key. Result: PackBool(was present).
 type RemoveOp struct {
 	T   *Table
@@ -93,10 +118,15 @@ func (o RemoveOp) Class() int { return ClassRemove }
 
 // CombineInserts is the RunMulti for the Insert publication array: all
 // pending inserts are applied through InsertN, chaining their table-list
-// splices into one head update.
+// splices into one head update. A batch may span tables (a sharded
+// structure combined by a single framework): each table gets its own
+// InsertN over its own operations, preserving in-batch order per table —
+// inserts on different tables touch disjoint memory and commute.
 func CombineInserts(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) {
 	var (
 		table   *Table
+		tables  []*Table
+		multi   bool
 		keys    []uint64
 		values  []uint64
 		indices []int
@@ -113,7 +143,11 @@ func CombineInserts(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) 
 			done[i] = true
 			continue
 		}
+		if table != nil && ins.T != table {
+			multi = true
+		}
 		table = ins.T
+		tables = append(tables, ins.T)
 		keys = append(keys, ins.Key)
 		values = append(values, ins.Val)
 		indices = append(indices, i)
@@ -121,11 +155,43 @@ func CombineInserts(ctx memsim.Ctx, ops []engine.Op, res []uint64, done []bool) 
 	if table == nil {
 		return
 	}
-	results := make([]bool, len(keys))
-	table.InsertN(ctx, keys, values, results)
-	for j, i := range indices {
-		res[i] = engine.PackBool(results[j])
-		done[i] = true
+	if !multi {
+		results := make([]bool, len(keys))
+		table.InsertN(ctx, keys, values, results)
+		for j, i := range indices {
+			res[i] = engine.PackBool(results[j])
+			done[i] = true
+		}
+		return
+	}
+	// Batch spans tables: peel off one table's operations at a time, in
+	// first-appearance order.
+	for len(indices) > 0 {
+		t := tables[0]
+		var ks, vs []uint64
+		var idx []int
+		var rt []*Table
+		var rk, rv []uint64
+		var ri []int
+		for j := range indices {
+			if tables[j] == t {
+				ks = append(ks, keys[j])
+				vs = append(vs, values[j])
+				idx = append(idx, indices[j])
+			} else {
+				rt = append(rt, tables[j])
+				rk = append(rk, keys[j])
+				rv = append(rv, values[j])
+				ri = append(ri, indices[j])
+			}
+		}
+		results := make([]bool, len(ks))
+		t.InsertN(ctx, ks, vs, results)
+		for j, i := range idx {
+			res[i] = engine.PackBool(results[j])
+			done[i] = true
+		}
+		tables, keys, values, indices = rt, rk, rv, ri
 	}
 }
 

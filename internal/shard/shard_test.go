@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hcf/internal/core"
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/seq/hashtable"
+	"hcf/internal/witness"
+)
+
+func policies() []core.Policy { return hashtable.Policies() }
+
+func keyRouter(shards int) Router {
+	return func(op engine.Op) int {
+		switch o := op.(type) {
+		case hashtable.FindOp:
+			return int(o.Key % uint64(shards))
+		case hashtable.InsertOp:
+			return int(o.Key % uint64(shards))
+		case hashtable.RemoveOp:
+			return int(o.Key % uint64(shards))
+		default:
+			return CrossShard
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 2})
+	if _, err := New(env, Config{Shards: 0, Router: keyRouter(1), Policies: policies()}); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Errorf("zero shards accepted: %v", err)
+	}
+	if _, err := New(env, Config{Shards: 2, Policies: policies()}); err == nil || !strings.Contains(err.Error(), "Router") {
+		t.Errorf("nil router accepted: %v", err)
+	}
+	s, err := New(env, Config{Shards: 3, Router: keyRouter(3), Policies: policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "HCF-S" {
+		t.Errorf("default name %q, want HCF-S", s.Name())
+	}
+	if s.NumShards() != 3 {
+		t.Errorf("NumShards = %d, want 3", s.NumShards())
+	}
+	for i := 0; i < 3; i++ {
+		if s.Shard(i) == nil {
+			t.Fatalf("Shard(%d) is nil", i)
+		}
+	}
+	if got := s.Shard(1).Name(); got != "HCF-S/1" {
+		t.Errorf("shard 1 name %q, want HCF-S/1", got)
+	}
+}
+
+func TestCompletionPaths(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 2})
+	s, err := New(env, Config{Shards: 2, Router: keyRouter(2), Policies: policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"TryPrivate", "TryVisible", "TryCombining", "CombineUnderLock", engine.PathCross}
+	if got := s.CompletionPaths(); !reflect.DeepEqual(got, want) {
+		t.Errorf("CompletionPaths = %v, want %v", got, want)
+	}
+}
+
+// buildSharded constructs a sharded engine plus its tables over env.
+func buildSharded(t *testing.T, env memsim.Env, shards int) (*Sharded, []*hashtable.Table) {
+	t.Helper()
+	boot := env.Boot()
+	tables := make([]*hashtable.Table, shards)
+	for i := range tables {
+		tables[i] = hashtable.New(boot, 16)
+	}
+	s, err := New(env, Config{Shards: shards, Router: keyRouter(shards), Policies: policies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tables
+}
+
+// runMixed drives a mixed single-key + cross-shard workload and returns ops
+// executed.
+func runMixed(env memsim.Env, s *Sharded, tables []*hashtable.Table, perThread int) int {
+	shards := uint64(len(tables))
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID())+1, 77))
+		for i := 0; i < perThread; i++ {
+			if rng.Uint64N(100) < 5 {
+				s.Execute(th, hashtable.SumAllOp{Tables: tables})
+				continue
+			}
+			k := rng.Uint64N(64)
+			tbl := tables[k%shards]
+			switch rng.IntN(3) {
+			case 0:
+				s.Execute(th, hashtable.InsertOp{T: tbl, Key: k, Val: k})
+			case 1:
+				s.Execute(th, hashtable.FindOp{T: tbl, Key: k})
+			default:
+				s.Execute(th, hashtable.RemoveOp{T: tbl, Key: k})
+			}
+		}
+	})
+	return env.NumThreads() * perThread
+}
+
+// TestMetricsAndCrossOps checks that shard-local and cross-shard operations
+// are both counted, and that the cross path is actually exercised.
+func TestMetricsAndCrossOps(t *testing.T) {
+	env := memsim.NewDet(memsim.DetConfig{Threads: 6})
+	s, tables := buildSharded(t, env, 3)
+	n := runMixed(env, s, tables, 50)
+	m := s.Metrics()
+	if m.Ops != uint64(n) {
+		t.Errorf("metrics count %d ops, executed %d", m.Ops, n)
+	}
+	if s.CrossOps() == 0 {
+		t.Error("no operations took the cross-shard path")
+	}
+	if s.CrossOps() >= uint64(n) {
+		t.Errorf("all %d ops went cross-shard", n)
+	}
+	pb := s.PhaseBreakdown()
+	if len(pb) != hashtable.NumClasses {
+		t.Fatalf("phase breakdown has %d classes, want %d", len(pb), hashtable.NumClasses)
+	}
+	var phaseOps uint64
+	for _, byPhase := range pb {
+		for _, c := range byPhase {
+			phaseOps += c
+		}
+	}
+	if phaseOps+s.CrossOps() != uint64(n) {
+		t.Errorf("phase completions %d + cross %d != %d executed", phaseOps, s.CrossOps(), n)
+	}
+	s.ResetMetrics()
+	if after := s.Metrics(); after.Ops != 0 {
+		t.Errorf("Ops = %d after reset", after.Ops)
+	}
+	if s.CrossOps() != 0 {
+		t.Errorf("CrossOps = %d after reset", s.CrossOps())
+	}
+}
+
+// shardedModel replays the workload sequentially over one flat map.
+type shardedModel struct{ m map[uint64]uint64 }
+
+func (mm *shardedModel) Apply(op engine.Op) uint64 {
+	switch o := op.(type) {
+	case hashtable.FindOp:
+		v, ok := mm.m[o.Key]
+		return engine.Pack(v, ok)
+	case hashtable.InsertOp:
+		_, existed := mm.m[o.Key]
+		mm.m[o.Key] = o.Val
+		return engine.PackBool(!existed)
+	case hashtable.RemoveOp:
+		_, existed := mm.m[o.Key]
+		delete(mm.m, o.Key)
+		return engine.PackBool(existed)
+	case hashtable.SumAllOp:
+		var sum uint64
+		for _, v := range mm.m {
+			sum += v
+		}
+		return engine.Pack(sum&((1<<63)-1), true)
+	}
+	return 0
+}
+
+func insertsLast(op engine.Op) int {
+	if _, ok := op.(hashtable.InsertOp); ok {
+		return 1
+	}
+	return 0
+}
+
+// TestWitnessUnderExploredSchedules is the package's linearizability gate:
+// across many adversarially perturbed schedules (forced preemptions +
+// priority jitter), every run's serialization witness — shard-local commits
+// interleaved with cross-shard all-locks applications — must replay cleanly
+// against a sequential model. Two combiners active on different shards is
+// the common case at this thread count.
+func TestWitnessUnderExploredSchedules(t *testing.T) {
+	const seeds = 25
+	for seed := uint64(0); seed < seeds; seed++ {
+		env := memsim.NewDet(memsim.DetConfig{
+			Threads: 6,
+			Seed:    seed,
+			Explore: memsim.ExploreConfig{Seed: seed, PreemptBudget: 48, JitterClass: 2},
+		})
+		s, tables := buildSharded(t, env, 3)
+		rec := &witness.Recorder{}
+		s.SetWitness(rec.Func())
+		n := runMixed(env, s, tables, 40)
+		if err := witness.Check(rec, &shardedModel{m: map[uint64]uint64{}}, n, insertsLast); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDeterministicReplay pins that two identically configured runs produce
+// identical witness recordings entry for entry (the property every repro
+// workflow rests on).
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []witness.Entry {
+		env := memsim.NewDet(memsim.DetConfig{Threads: 5, Seed: 3})
+		s, tables := buildSharded(t, env, 3)
+		rec := &witness.Recorder{}
+		s.SetWitness(rec.Func())
+		runMixed(env, s, tables, 30)
+		return rec.Entries()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay recorded %d entries vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Stamp != b[i].Stamp || a[i].Result != b[i].Result {
+			t.Fatalf("entry %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSingleShardMatchesFramework pins that a 1-shard Sharded engine with a
+// shard-local-only workload behaves exactly like the framework it wraps:
+// same results, same metrics.
+func TestSingleShardMatchesFramework(t *testing.T) {
+	runOne := func(sharded bool) (uint64, engine.Metrics) {
+		env := memsim.NewDet(memsim.DetConfig{Threads: 4, Seed: 9})
+		boot := env.Boot()
+		tbl := hashtable.New(boot, 16)
+		var eng engine.Engine
+		if sharded {
+			s, err := New(env, Config{Shards: 1, Router: keyRouter(1), Policies: policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng = s
+		} else {
+			fw, err := core.New(env, core.Config{Policies: policies()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng = fw
+		}
+		var sum uint64
+		env.Run(func(th *memsim.Thread) {
+			rng := rand.New(rand.NewPCG(uint64(th.ID())+1, 5))
+			for i := 0; i < 60; i++ {
+				k := rng.Uint64N(32)
+				switch rng.IntN(3) {
+				case 0:
+					sum += eng.Execute(th, hashtable.InsertOp{T: tbl, Key: k, Val: k})
+				case 1:
+					sum += eng.Execute(th, hashtable.FindOp{T: tbl, Key: k})
+				default:
+					sum += eng.Execute(th, hashtable.RemoveOp{T: tbl, Key: k})
+				}
+			}
+		})
+		return sum, eng.Metrics()
+	}
+	fwSum, fwM := runOne(false)
+	shSum, shM := runOne(true)
+	if fwSum != shSum {
+		t.Errorf("result checksums differ: framework %d, 1-shard %d", fwSum, shSum)
+	}
+	if !reflect.DeepEqual(fwM, shM) {
+		t.Errorf("metrics differ:\nframework %+v\n1-shard   %+v", fwM, shM)
+	}
+}
