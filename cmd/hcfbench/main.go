@@ -70,7 +70,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hcfbench", flag.ContinueOnError)
 	var (
 		list     = fs.Bool("list", false, "list available figures and exit")
-		adaptFlg = fs.Bool("adaptive", false, "run the adaptive-controller comparison (§2.4 future work)")
+		adaptFlg = fs.Bool("adaptive", false, "run the policy-autotuner comparison on the drifting workload (§2.4 future work; same data as -fig autotune)")
 		realFlg  = fs.Bool("real", false, "run the figure's scenario on the real-concurrency backend (wall clock; meaningful on multicore hosts)")
 		realOps  = fs.Int("real-ops", 2000, "operations per thread in -real mode")
 		figID    = fs.String("fig", "", "figure id to reproduce, or 'all'")
@@ -122,14 +122,14 @@ func run(args []string) error {
 		return nil
 	}
 	if *adaptFlg {
-		ts := []int{18}
+		ts := []int{36}
 		if *threads != "" {
 			var err error
 			if ts, err = parseInts(*threads); err != nil {
 				return err
 			}
 		}
-		fmt.Println("== adaptive (§2.4 future work): shifting workload, static vs adaptive budgets")
+		fmt.Println("== autotune (§2.4 future work): drifting workload, static vs autotuned policies")
 		for _, t := range ts {
 			results, err := harness.RunAdaptiveComparison(t, harness.Config{Horizon: *horizon, Seed: *seed, Parallel: *parallel})
 			if err != nil {

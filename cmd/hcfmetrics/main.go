@@ -10,7 +10,9 @@
 //	hcfmetrics -scenario avl -engine TLE -threads 36 -format json
 //	hcfmetrics -scenario hashtable -engine HCF -format csv > run.csv
 //	hcfmetrics -scenario hashtable -engine HCF -format prom
+//	hcfmetrics -scenario sharded -shards 4 -engine HCF-S -threads 36
 //	hcfmetrics -scenario stack -engine FC -real -real-ops 5000
+//	hcfmetrics -tune -threads 36 -format prom   # autotuner decision journal
 //
 // Formats: text (default, human tables), json (one indented object), csv
 // (two tables: intervals, then latencies), prom (Prometheus text
@@ -19,10 +21,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"hcf/internal/adaptive"
 	"hcf/internal/harness"
 	"hcf/internal/metrics"
 )
@@ -37,25 +41,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hcfmetrics", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "hashtable", "hashtable | avl | pqueue | stack | deque")
-		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF")
+		scenario = fs.String("scenario", "hashtable", "hashtable | sharded | avl | pqueue | stack | deque")
+		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF | HCF-S")
 		threads  = fs.Int("threads", 18, "worker threads")
-		find     = fs.Int("find", 40, "find percentage (hashtable, avl)")
+		find     = fs.Int("find", 40, "find percentage (hashtable, sharded, avl)")
+		shards   = fs.Int("shards", 4, "shard count (sharded)")
+		cross    = fs.Int("cross", 0, "cross-shard scan percentage (sharded)")
+		hot      = fs.Int("hot", 0, "percentage of keys skewed onto shard 0 (sharded)")
 		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
 		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
 		seed     = fs.Uint64("seed", 1, "workload seed")
 		interval = fs.Int64("interval", 10_000, "sampling interval (virtual cycles, or ns with -real)")
 		format   = fs.String("format", "text", "text | json | csv | prom")
+		tuneFlg  = fs.Bool("tune", false, "run the policy autotuner on the drifting priority-queue workload and export its decision journal instead of a metered point")
 		realFlg  = fs.Bool("real", false, "run on the real-concurrency backend (wall-clock nanoseconds)")
 		realOps  = fs.Int("real-ops", 2000, "operations per thread in -real mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *tuneFlg {
+		return runTune(*threads, *horizon, *seed, *format)
+	}
 	var sc harness.Scenario
 	switch *scenario {
 	case "hashtable":
 		sc = harness.HashTableScenario(*find, 16384)
+	case "sharded":
+		sc = harness.ShardedHashTableScenario(*find, 16384, *shards, *cross, *hot)
 	case "avl":
 		sc = harness.AVLScenario(*find, 1024, *theta, harness.AVLCombining)
 	case "pqueue":
@@ -105,6 +118,34 @@ func run(args []string) error {
 		fmt.Print(report.Prometheus())
 	default:
 		return fmt.Errorf("unknown format %q (want text, json, csv or prom)", *format)
+	}
+	return nil
+}
+
+// runTune runs the autotuner comparison and exports the decision journal in
+// the requested exposition format (csv has no journal mapping).
+func runTune(threads int, horizon int64, seed uint64, format string) error {
+	rep, err := harness.RunAutotune(threads, harness.Config{Horizon: horizon, Seed: seed})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		fmt.Print(rep.Text())
+		fmt.Printf("\ndecision journal (%d entries):\n%s", rep.Journal.Len(), rep.Journal.Text())
+	case "json":
+		out, err := json.MarshalIndent(struct {
+			*harness.AutotuneReport
+			Journal []adaptive.Decision `json:"journal"`
+		}{rep, rep.Journal.Decisions()}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+	case "prom":
+		fmt.Print(rep.Journal.Prometheus(rep.Scenario, "HCF-tuned"))
+	default:
+		return fmt.Errorf("format %q does not support -tune (want text, json or prom)", format)
 	}
 	return nil
 }

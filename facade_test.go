@@ -5,6 +5,7 @@ import (
 
 	"hcf"
 	"hcf/internal/memsim"
+	"hcf/tracing"
 )
 
 func TestPublicAPICustomCostEnv(t *testing.T) {
@@ -53,6 +54,45 @@ func TestPublicAPIAdaptiveController(t *testing.T) {
 	p, v, c := fw.Trials(0)
 	if p < 0 || v < 0 || c < 0 {
 		t.Fatal("invalid budgets")
+	}
+}
+
+func TestPublicAPITunerJournal(t *testing.T) {
+	env := hcf.NewDetEnv(8)
+	fw, err := hcf.New(env, hcf.Config{Policies: []hcf.Policy{{
+		TryPrivateTrials:   2,
+		TryVisibleTrials:   2,
+		TryCombiningTrials: 2,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &tracing.Collector{Limit: 1}
+	fw.SetTracer(col)
+	tun := hcf.NewTuner(fw, nil, col, hcf.TunerConfig{
+		MinOpsPerEpoch: 16, Hysteresis: 1, Cooldown: 1,
+	})
+	addrs := make([]hcf.Addr, 8)
+	for i := range addrs {
+		addrs[i] = env.Alloc(8)
+	}
+	env.Run(func(th *hcf.Thread) {
+		for i := 0; i < 300; i++ {
+			fw.Execute(th, registerOp{addr: addrs[th.ID()]})
+			if th.ID() == 0 && i%10 == 9 {
+				tun.Step(th.Now())
+			}
+		}
+	})
+	if tun.Journal().Len() == 0 {
+		t.Fatal("tuner journaled no decisions on conflict-free work")
+	}
+	var ds []hcf.TunerDecision = tun.Journal().Decisions()
+	if ds[0].Rule != "grow-private" {
+		t.Fatalf("first decision = %s, want grow-private", ds[0].Rule)
+	}
+	if p, _, _ := fw.Trials(0); p <= 2 {
+		t.Fatalf("private trials = %d, never grew", p)
 	}
 }
 

@@ -47,6 +47,8 @@ import (
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
 	"hcf/internal/shard"
+	"hcf/metrics"
+	"hcf/tracing"
 )
 
 // Core memory-model types.
@@ -170,6 +172,38 @@ type (
 // periodically from one thread.
 func NewAdaptive(fw *Framework, cfg AdaptiveConfig) *AdaptiveController {
 	return adaptive.New(fw, cfg)
+}
+
+// Evidence-driven autotuning (closing the observability loop): a Tuner
+// subsumes the AdaptiveController by learning full per-class phase
+// policies — skipping TryPrivate for always-conflicting classes, promoting
+// conflict-free classes out of combining, reviving parked speculation via
+// scheduled probes, spreading classes across publication arrays and
+// resizing batch bounds — from the metrics recorder's latency/outcome
+// evidence and the trace collector's per-class abort attribution. Every
+// change is appended to a lock-free decision Journal together with the
+// evidence that triggered it (see cmd/hcftune).
+type (
+	// Tuner rewrites a Framework's per-class policies in epochs.
+	Tuner = adaptive.Tuner
+	// TunerConfig sets the tuner's thresholds and caps.
+	TunerConfig = adaptive.TunerConfig
+	// TunerJournal is the append-only decision log.
+	TunerJournal = adaptive.Journal
+	// TunerDecision is one journaled policy change.
+	TunerDecision = adaptive.Decision
+	// TunerEvidence is the observation window a decision cites.
+	TunerEvidence = adaptive.Evidence
+)
+
+// NewTuner builds an evidence-driven policy autotuner for fw. rec (a
+// *metrics.Recorder, see the hcf/metrics package) supplies per-class
+// latency histograms and outcome counters; col (a *tracing.Collector)
+// supplies per-class abort attribution. Either may be nil — the tuner
+// degrades to phase-completion evidence. Call Step periodically from one
+// thread (or a dedicated tuner thread).
+func NewTuner(fw *Framework, rec *metrics.Recorder, col *tracing.Collector, cfg TunerConfig) *Tuner {
+	return adaptive.NewTuner(fw, rec, col, cfg)
 }
 
 // Baseline engine constructors (§3's comparison points).

@@ -138,12 +138,47 @@ func (c *Controller) adjust(class int, delta [core.NumPhases]uint64, total uint6
 	c.fw.SetTrials(class, private, visible, combining)
 }
 
-// Snapshot reports the current budgets, for logging.
-func (c *Controller) Snapshot() string {
+// ClassSnapshot is one class's entry in a Snapshot: its name and the
+// current runtime policy knobs.
+type ClassSnapshot struct {
+	// Class is the class index; Name its policy name ("" if unnamed).
+	Class int    `json:"class"`
+	Name  string `json:"name,omitempty"`
+	// Policy is the class's current runtime policy state (budgets, batch
+	// bound, publication array).
+	Policy core.PolicyState `json:"policy"`
+}
+
+// Snapshot is a JSON-marshalable picture of a framework's current per-class
+// budgets and policies. Its String method renders the legacy log form.
+type Snapshot struct {
+	Classes []ClassSnapshot `json:"classes"`
+}
+
+// String renders the snapshot in the free-form log format earlier versions
+// of Snapshot returned directly.
+func (s Snapshot) String() string {
 	out := ""
-	for class := 0; class < c.fw.NumClasses(); class++ {
-		p, v, m := c.fw.Trials(class)
-		out += fmt.Sprintf("class %d: private=%d visible=%d combining=%d\n", class, p, v, m)
+	for _, c := range s.Classes {
+		out += fmt.Sprintf("class %d: private=%d visible=%d combining=%d\n",
+			c.Class, c.Policy.Private, c.Policy.Visible, c.Policy.Combining)
 	}
 	return out
 }
+
+// snapshotOf assembles the per-class policy snapshot of fw.
+func snapshotOf(fw *core.Framework) Snapshot {
+	var s Snapshot
+	for class := 0; class < fw.NumClasses(); class++ {
+		s.Classes = append(s.Classes, ClassSnapshot{
+			Class:  class,
+			Name:   fw.ClassName(class),
+			Policy: fw.PolicyState(class),
+		})
+	}
+	return s
+}
+
+// Snapshot reports the current budgets and policy per class, for logging
+// (via String) or structured export (JSON).
+func (c *Controller) Snapshot() Snapshot { return snapshotOf(c.fw) }

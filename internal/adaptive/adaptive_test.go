@@ -77,8 +77,9 @@ func TestAdaptationShiftsBudgetsByConflictProfile(t *testing.T) {
 	if coldP < 4 {
 		t.Errorf("cold class private budget shrank: %d", coldP)
 	}
-	if s := ctl.Snapshot(); s == "" {
-		t.Error("empty snapshot")
+	snap := ctl.Snapshot()
+	if len(snap.Classes) != 2 || snap.String() == "" {
+		t.Errorf("bad snapshot: %+v", snap)
 	}
 }
 

@@ -128,6 +128,7 @@ type budgets struct {
 	visible   atomic.Int32
 	combining atomic.Int32
 	pubArray  atomic.Int32
+	maxBatch  atomic.Int32
 	_         [32]byte
 }
 
@@ -227,6 +228,7 @@ func New(env memsim.Env, cfg Config) (*Framework, error) {
 		f.budgets[c].visible.Store(int32(cfg.Policies[c].TryVisibleTrials))
 		f.budgets[c].combining.Store(int32(cfg.Policies[c].TryCombiningTrials))
 		f.budgets[c].pubArray.Store(int32(cfg.Policies[c].PubArray))
+		f.budgets[c].maxBatch.Store(int32(cfg.Policies[c].MaxBatch))
 	}
 	return f, nil
 }
@@ -248,8 +250,50 @@ func (f *Framework) SetTrials(class, private, visible, combining int) {
 	b.combining.Store(int32(max(combining, 0)))
 }
 
+// MaxBatch returns class's current per-transaction combining batch bound.
+func (f *Framework) MaxBatch(class int) int {
+	return int(f.budgets[class].maxBatch.Load())
+}
+
+// SetMaxBatch adjusts, at run time, how many selected operations a combiner
+// passes to a single RunMulti call for class (so each call fits one hardware
+// transaction). Values below 1 are clamped to 1. Like the trial budgets,
+// the batch bound affects performance only, never correctness.
+func (f *Framework) SetMaxBatch(class, n int) {
+	f.budgets[class].maxBatch.Store(int32(max(n, 1)))
+}
+
 // NumClasses returns the number of configured operation classes.
 func (f *Framework) NumClasses() int { return len(f.policies) }
+
+// ClassName returns class's policy name ("" if unnamed).
+func (f *Framework) ClassName(class int) string { return f.policies[class].Name }
+
+// PolicyState is a JSON-marshalable snapshot of one class's runtime-
+// adjustable policy knobs: the three speculation budgets, the combining
+// batch bound, and the publication-array assignment.
+type PolicyState struct {
+	// Private, Visible and Combining are the speculation trial budgets.
+	Private   int `json:"private"`
+	Visible   int `json:"visible"`
+	Combining int `json:"combining"`
+	// MaxBatch bounds operations per RunMulti call.
+	MaxBatch int `json:"max_batch"`
+	// PubArray is the publication array the class announces to.
+	PubArray int `json:"pub_array"`
+}
+
+// PolicyState snapshots class's current runtime policy knobs.
+func (f *Framework) PolicyState(class int) PolicyState {
+	b := &f.budgets[class]
+	return PolicyState{
+		Private:   int(b.private.Load()),
+		Visible:   int(b.visible.Load()),
+		Combining: int(b.combining.Load()),
+		MaxBatch:  int(b.maxBatch.Load()),
+		PubArray:  int(b.pubArray.Load()),
+	}
+}
 
 // NumArrays returns the number of provisioned publication arrays.
 func (f *Framework) NumArrays() int { return len(f.arrays) }
@@ -325,7 +369,7 @@ func (f *Framework) Execute(th *memsim.Thread, op engine.Op) uint64 {
 		f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase, Peer: -1})
 		return res
 	}
-	res, phase := f.tryCombining(th, t, d, pol, int(bud.combining.Load()), pa)
+	res, phase := f.tryCombining(th, t, d, pol, int(bud.combining.Load()), int(bud.maxBatch.Load()), pa)
 	f.complete(tm, class, phase)
 	f.finishOp(th, class, phase, start)
 	f.emit(th, TraceEvent{Kind: TraceDone, Phase: phase, Peer: -1})
@@ -403,7 +447,7 @@ func (f *Framework) tryVisible(th *memsim.Thread, t int, d *phases.Desc, trials 
 // tryCombining implements the TryCombining phase and, if speculation fails,
 // falls through to CombineUnderLock. It always completes the calling
 // thread's operation and returns its result and completion phase.
-func (f *Framework) tryCombining(th *memsim.Thread, t int, d *phases.Desc, pol *Policy, trials int, pa *array) (uint64, Phase) {
+func (f *Framework) tryCombining(th *memsim.Thread, t int, d *phases.Desc, pol *Policy, trials, maxBatch int, pa *array) (uint64, Phase) {
 	tm := &f.metrics[t]
 	pa.sel.Lock(th)
 	tm.m.AuxAcquisitions++
@@ -431,7 +475,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *phases.Desc, pol *
 
 	// Speculative combining: apply batches of the selected operations with
 	// hardware transactions, several operations per transaction.
-	if r, done := f.sess.ApplySpeculative(th, t, sc, f.eng, f.lock, pol.RunMulti, pol.MaxBatch, trials, PhaseTryCombining); done {
+	if r, done := f.sess.ApplySpeculative(th, t, sc, f.eng, f.lock, pol.RunMulti, maxBatch, trials, PhaseTryCombining); done {
 		ownRes, ownDone = r, true
 	}
 	// CombineUnderLock: apply whatever is left while holding L.
@@ -443,7 +487,7 @@ func (f *Framework) tryCombining(th *memsim.Thread, t int, d *phases.Desc, pol *
 			lockStart = th.Now()
 		}
 		f.emit(th, TraceEvent{Kind: TraceLock, Peer: -1})
-		if r, done := f.sess.ApplyLocked(th, t, sc, pol.RunMulti, pol.MaxBatch, PhaseCombineUnderLock); done {
+		if r, done := f.sess.ApplyLocked(th, t, sc, pol.RunMulti, maxBatch, PhaseCombineUnderLock); done {
 			ownRes, ownPhase, ownDone = r, PhaseCombineUnderLock, true
 		}
 		if f.hooks.Rec != nil {

@@ -1,150 +1,20 @@
 package harness
 
-import (
-	"math/rand/v2"
-
-	"hcf/internal/adaptive"
-	"hcf/internal/core"
-	"hcf/internal/engine"
-	"hcf/internal/memsim"
-	"hcf/internal/seq/hashtable"
-	"hcf/internal/workload"
-)
-
-// RunAdaptiveComparison evaluates the adaptive budget controller (the
-// paper's §2.4 future-work mechanism, implemented in internal/adaptive) on
-// a workload whose character shifts mid-run: the first half of the horizon
-// is read-dominated (95% Find), the second half update-dominated (100%
-// updates). A statically configured HCF keeps the speculation budgets that
-// suit the first phase; the adaptive variant re-tunes every epoch.
+// RunAdaptiveComparison evaluates the evidence-driven policy autotuner
+// (internal/adaptive.Tuner — the paper's §2.4 future-work mechanism grown
+// into a full policy tuner) on the drifting hash-table workload: it is a
+// thin wrapper over RunAutotune that flattens the comparison into standard
+// sweep rows. Each static variant and the tuned run appear twice — once
+// over the full horizon and once over the post-drift region (scenario
+// suffix "/post-drift"), where a static policy tuned for the opening
+// segment pays for its rigidity.
 //
-// It returns one Result per variant ("HCF-static", "HCF-adaptive"),
-// measured over the full run.
+// Use RunAutotune directly for the structured report (per-segment
+// breakdown, oracle row, decision journal).
 func RunAdaptiveComparison(threads int, cfg Config) ([]Result, error) {
-	cfg.normalize()
-	variants := []struct {
-		name     string
-		adaptive bool
-	}{
-		{"HCF-static", false},
-		{"HCF-adaptive", true},
+	rep, err := RunAutotune(threads, cfg)
+	if err != nil {
+		return nil, err
 	}
-	var out []Result
-	for _, v := range variants {
-		env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
-		boot := env.Boot()
-		const keyRange = 512 // small table: the update phase is genuinely hot
-		tbl := hashtable.New(boot, keyRange)
-		pre := rand.New(rand.NewPCG(cfg.Seed, 0xADA))
-		for i := 0; i < keyRange/2; i++ {
-			k := pre.Uint64N(keyRange)
-			tbl.Insert(boot, k, k)
-		}
-		// Both variants start from a configuration tuned for the read
-		// phase: Inserts lean on speculation and never combine. Static
-		// keeps it; adaptive re-tunes when the update phase begins.
-		pols := hashtable.Policies()
-		pols[hashtable.ClassInsert].TryPrivateTrials = 8
-		pols[hashtable.ClassInsert].TryVisibleTrials = 2
-		pols[hashtable.ClassInsert].TryCombiningTrials = 0
-		fw, err := core.New(env, core.Config{
-			Policies: pols,
-			HTM:      cfg.HTM,
-			Name:     v.name,
-		})
-		if err != nil {
-			return nil, err
-		}
-		var ctl *adaptive.Controller
-		if v.adaptive {
-			// Aggressive thresholds: shrink speculation unless it is
-			// really winning (>85% of an epoch's completions private).
-			ctl = adaptive.New(fw, adaptive.Config{
-				MinOpsPerEpoch: 48,
-				LowPrivate:     0.85,
-				HighPrivate:    0.97,
-			})
-		}
-		readMix, err := workload.UpdateMix(95)
-		if err != nil {
-			return nil, err
-		}
-		writeMix, err := workload.UpdateMix(0)
-		if err != nil {
-			return nil, err
-		}
-		env.ResetStats()
-		fw.ResetMetrics()
-		opWork := env.Cost().OpWork
-		opsByThread := make([]uint64, threads)
-		phase2ByThread := make([]uint64, threads)
-		shift := cfg.Horizon / 2
-		env.Run(func(th *memsim.Thread) {
-			rng := rand.New(rand.NewPCG(cfg.Seed^0xBEEF, uint64(th.ID())+1))
-			n := uint64(0)
-			for th.Now() < cfg.Horizon {
-				th.Work(opWork)
-				phase2 := th.Now() >= shift
-				mix := readMix
-				if phase2 {
-					mix = writeMix
-				}
-				key := rng.Uint64N(keyRange)
-				var op engine.Op
-				switch mix.Pick(rng) {
-				case 0:
-					op = hashtable.FindOp{T: tbl, Key: key}
-				case 1:
-					op = hashtable.InsertOp{T: tbl, Key: key, Val: key}
-				default:
-					op = hashtable.RemoveOp{T: tbl, Key: key}
-				}
-				fw.Execute(th, op)
-				n++
-				if ctl != nil && th.ID() == 0 && n%16 == 0 {
-					ctl.Step()
-				}
-				opsByThread[th.ID()]++
-				if phase2 {
-					phase2ByThread[th.ID()]++
-				}
-			}
-		})
-		res := Result{
-			Scenario: "hashtable/shifting",
-			Engine:   v.name,
-			Threads:  threads,
-			Metrics:  fw.Metrics(),
-		}
-		for t := 0; t < threads; t++ {
-			res.Ops += opsByThread[t]
-			if now := env.Now(t); now > res.Cycles {
-				res.Cycles = now
-			}
-			res.Mem.Merge(env.Stats(t))
-		}
-		if res.Cycles > 0 {
-			res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
-		}
-		res.PhaseByClass = fw.PhaseBreakdown()
-		res.InvariantViolation = tbl.CheckInvariants(boot)
-		out = append(out, res)
-		// Report the update phase separately: the overall number is
-		// dominated by the cheap read phase, but adaptation matters where
-		// the workload turned hostile to the initial configuration.
-		ph2 := Result{
-			Scenario: "hashtable/shifting/updates-only-half",
-			Engine:   v.name,
-			Threads:  threads,
-		}
-		for t := 0; t < threads; t++ {
-			ph2.Ops += phase2ByThread[t]
-		}
-		ph2.Cycles = cfg.Horizon - shift
-		if ph2.Cycles > 0 {
-			ph2.Throughput = float64(ph2.Ops) * 1e6 / float64(ph2.Cycles)
-		}
-		out = append(out, ph2)
-	}
-	return out, nil
+	return rep.Results(), nil
 }

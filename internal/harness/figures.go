@@ -183,6 +183,13 @@ func Figures() []Figure {
 			Engines:  []string{"HCF", "HCF-S"}, Threads: []int{1, 8, 16, 24, 36}, Kind: KindThroughput,
 		},
 		{
+			ID: "autotune", Ref: "§2.4 future work",
+			Title:    "evidence-driven policy autotuner vs static policies, drifting priority-queue workload, 36 threads",
+			Expect:   "the tuned run matches the best static policy overall and beats every single static policy after the drift point; each policy change is traceable to journal evidence",
+			Scenario: PQScenario(autotuneInsertPct, autotuneKeyRange, autotunePrefill),
+			Engines:  []string{"HCF"}, Threads: []int{36}, Kind: KindThroughput,
+		},
+		{
 			ID: "deque", Ref: "§2.4 example",
 			Title:    "deque, uniform operations on both ends, specialized variant",
 			Expect:   "HCF's two per-end combiners beat the single-lock engines",
@@ -207,6 +214,19 @@ func FigureByID(id string) (Figure, error) {
 func RunFigure(f Figure, cfg Config) ([]Result, error) {
 	if f.Cost.CoresPerSocket != 0 || f.Cost.Sockets != 0 {
 		cfg.Cost = f.Cost
+	}
+	if f.ID == "autotune" {
+		// The autotune figure is its own harness: static grid + tuned run +
+		// oracle over the drifting workload, flattened to sweep rows.
+		var results []Result
+		for _, th := range f.Threads {
+			rep, err := RunAutotune(th, cfg)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, rep.Results()...)
+		}
+		return results, nil
 	}
 	results, err := RunSweep(f.Scenario, f.Engines, f.Threads, cfg)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"hcf/internal/htm"
 	"hcf/internal/memsim"
 	"hcf/internal/metrics"
+	"hcf/internal/shard"
 )
 
 // outcomeNames labels the transaction outcomes for the metrics recorder:
@@ -42,20 +43,42 @@ func classNames(inst *Instance) []string {
 // unit should be "cycles" on the deterministic backend and "ns" on the real
 // backend. It fails only for engines that do not implement
 // engine.MeteredEngine (all six in this repository do).
+//
+// For the sharded engine the recorder is dimensioned with one group per
+// shard plus "cross", and each shard gets its own group view, so reports
+// break out per-shard throughput and aborts instead of blending shards.
 func Instrument(eng engine.Engine, inst *Instance, threads int, unit string) (*metrics.Recorder, error) {
 	met, ok := eng.(engine.MeteredEngine)
 	if !ok {
 		return nil, fmt.Errorf("harness: engine %s does not support metrics", eng.Name())
 	}
-	rec, err := metrics.New(metrics.Config{
+	cfg := metrics.Config{
 		Shards:   threads + 1, // workers + bootstrap thread
 		Classes:  classNames(inst),
 		Paths:    met.CompletionPaths(),
 		Outcomes: outcomeNames(),
 		TimeUnit: unit,
-	})
+	}
+	sh, sharded := eng.(*shard.Sharded)
+	if sharded {
+		for i := 0; i < sh.NumShards(); i++ {
+			cfg.Groups = append(cfg.Groups, fmt.Sprintf("shard%d", i))
+		}
+		cfg.Groups = append(cfg.Groups, engine.PathCross)
+	}
+	rec, err := metrics.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sharded {
+		views := make([]engine.Recorder, sh.NumShards())
+		for i := range views {
+			views[i] = rec.View(i)
+		}
+		if err := sh.SetShardRecorders(views, rec.View(sh.NumShards())); err != nil {
+			return nil, err
+		}
+		return rec, nil
 	}
 	met.SetRecorder(rec)
 	return rec, nil

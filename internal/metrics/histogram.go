@@ -91,6 +91,21 @@ func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
 	}
 }
 
+// Sub returns s - prev element-wise — the histogram of observations
+// recorded between the two snapshots. Max cannot be windowed from log₂
+// buckets, so the delta carries s's cumulative Max as an upper bound.
+func (s *HistogramSnapshot) Sub(prev *HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Count: s.Count - prev.Count,
+		Sum:   s.Sum - prev.Sum,
+		Max:   s.Max,
+	}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
 // Mean returns the mean observation (0 when empty).
 func (s *HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

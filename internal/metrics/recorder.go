@@ -21,16 +21,24 @@ type Config struct {
 	// TimeUnit names the latency unit in reports: "cycles" on the
 	// deterministic simulator, "ns" on the real backend.
 	TimeUnit string
+	// Groups optionally labels a coarse engine-side dimension — for the
+	// sharded engine one label per shard plus one for the cross-shard path —
+	// so per-shard activity can be broken out instead of blended. Empty
+	// means ungrouped: a single anonymous group, with reports exactly as
+	// before. The plain Record* methods always record into group 0; View
+	// binds a recorder facet to another group for installation on per-shard
+	// engines.
+	Groups []string
 }
 
 // shard holds one thread's recording state, padded against false sharing
 // with neighbouring shards' hot words.
 type shard struct {
-	lat              []Histogram // class-major: lat[class*numPaths+path]
-	tx               []Histogram // transaction duration per outcome
-	lockHold         Histogram   // data-structure lock hold time
-	combinerSessions atomic.Uint64
-	combinedOps      atomic.Uint64
+	lat              []Histogram     // lat[(group*numClasses+class)*numPaths+path]
+	tx               []Histogram     // tx[group*numOutcomes+outcome]
+	lockHold         []Histogram     // data-structure lock hold time, per group
+	combinerSessions []atomic.Uint64 // per group
+	combinedOps      []atomic.Uint64 // per group
 	_                [64]byte
 }
 
@@ -40,9 +48,11 @@ type shard struct {
 // thread's id; out-of-range dimensions are dropped rather than panicking so
 // a misconfigured recorder can never take down a run.
 type Recorder struct {
-	cfg    Config
-	nc, np int
-	shards []shard
+	cfg     Config
+	nc, np  int
+	ng      int  // group count (1 when ungrouped)
+	grouped bool // whether Config.Groups was non-empty
+	shards  []shard
 }
 
 // New builds a Recorder. Shards must be positive; empty label sets default
@@ -66,15 +76,21 @@ func New(cfg Config) (*Recorder, error) {
 	cfg.Classes = append([]string(nil), cfg.Classes...)
 	cfg.Paths = append([]string(nil), cfg.Paths...)
 	cfg.Outcomes = append([]string(nil), cfg.Outcomes...)
+	cfg.Groups = append([]string(nil), cfg.Groups...)
 	r := &Recorder{
-		cfg:    cfg,
-		nc:     len(cfg.Classes),
-		np:     len(cfg.Paths),
-		shards: make([]shard, cfg.Shards),
+		cfg:     cfg,
+		nc:      len(cfg.Classes),
+		np:      len(cfg.Paths),
+		ng:      max(len(cfg.Groups), 1),
+		grouped: len(cfg.Groups) > 0,
+		shards:  make([]shard, cfg.Shards),
 	}
 	for i := range r.shards {
-		r.shards[i].lat = make([]Histogram, r.nc*r.np)
-		r.shards[i].tx = make([]Histogram, len(cfg.Outcomes))
+		r.shards[i].lat = make([]Histogram, r.ng*r.nc*r.np)
+		r.shards[i].tx = make([]Histogram, r.ng*len(cfg.Outcomes))
+		r.shards[i].lockHold = make([]Histogram, r.ng)
+		r.shards[i].combinerSessions = make([]atomic.Uint64, r.ng)
+		r.shards[i].combinedOps = make([]atomic.Uint64, r.ng)
 	}
 	return r, nil
 }
@@ -100,41 +116,93 @@ func (r *Recorder) Outcomes() []string { return r.cfg.Outcomes }
 // TimeUnit returns the latency unit label.
 func (r *Recorder) TimeUnit() string { return r.cfg.TimeUnit }
 
+// Groups returns the group labels (nil when ungrouped).
+func (r *Recorder) Groups() []string { return r.cfg.Groups }
+
 // RecordOp records one completed operation of class, finished via path,
-// with the given end-to-end latency.
+// with the given end-to-end latency (into group 0).
 func (r *Recorder) RecordOp(t, class, path int, latency int64) {
-	if t < 0 || t >= len(r.shards) || class < 0 || class >= r.nc || path < 0 || path >= r.np {
+	r.recordOp(0, t, class, path, latency)
+}
+
+func (r *Recorder) recordOp(g, t, class, path int, latency int64) {
+	if g < 0 || g >= r.ng || t < 0 || t >= len(r.shards) || class < 0 || class >= r.nc || path < 0 || path >= r.np {
 		return
 	}
-	r.shards[t].lat[class*r.np+path].Record(latency)
+	r.shards[t].lat[(g*r.nc+class)*r.np+path].Record(latency)
 }
 
 // RecordTx records one finished transaction attempt with the given outcome
-// (0 = commit, 1.. = abort reasons) and duration.
+// (0 = commit, 1.. = abort reasons) and duration (into group 0).
 func (r *Recorder) RecordTx(t, outcome int, latency int64) {
-	if t < 0 || t >= len(r.shards) || outcome < 0 || outcome >= len(r.shards[t].tx) {
+	r.recordTx(0, t, outcome, latency)
+}
+
+func (r *Recorder) recordTx(g, t, outcome int, latency int64) {
+	no := len(r.cfg.Outcomes)
+	if g < 0 || g >= r.ng || t < 0 || t >= len(r.shards) || outcome < 0 || outcome >= no {
 		return
 	}
-	r.shards[t].tx[outcome].Record(latency)
+	r.shards[t].tx[g*no+outcome].Record(latency)
 }
 
 // RecordLockHold records one data-structure lock acquisition that was held
-// for the given duration.
+// for the given duration (into group 0).
 func (r *Recorder) RecordLockHold(t int, held int64) {
-	if t < 0 || t >= len(r.shards) {
+	r.recordLockHold(0, t, held)
+}
+
+func (r *Recorder) recordLockHold(g, t int, held int64) {
+	if g < 0 || g >= r.ng || t < 0 || t >= len(r.shards) {
 		return
 	}
-	r.shards[t].lockHold.Record(held)
+	r.shards[t].lockHold[g].Record(held)
 }
 
 // RecordCombine records one combining session that selected n operations
-// (including the combiner's own).
+// (including the combiner's own; into group 0).
 func (r *Recorder) RecordCombine(t, n int) {
-	if t < 0 || t >= len(r.shards) {
+	r.recordCombine(0, t, n)
+}
+
+func (r *Recorder) recordCombine(g, t, n int) {
+	if g < 0 || g >= r.ng || t < 0 || t >= len(r.shards) {
 		return
 	}
-	r.shards[t].combinerSessions.Add(1)
-	r.shards[t].combinedOps.Add(uint64(n))
+	r.shards[t].combinerSessions[g].Add(1)
+	r.shards[t].combinedOps[g].Add(uint64(n))
+}
+
+// GroupView is a Recorder facet bound to one group: it satisfies the same
+// recording contract as the Recorder itself (engine.Recorder) but lands
+// every sample in its group, so one grouped Recorder can serve several
+// sub-engines — e.g. one view per shard of the sharded HCF engine.
+type GroupView struct {
+	r *Recorder
+	g int
+}
+
+// View returns the recorder facet bound to group g.
+func (r *Recorder) View(g int) *GroupView { return &GroupView{r: r, g: g} }
+
+// RecordOp records one completed operation into the view's group.
+func (v *GroupView) RecordOp(t, class, path int, latency int64) {
+	v.r.recordOp(v.g, t, class, path, latency)
+}
+
+// RecordTx records one finished transaction attempt into the view's group.
+func (v *GroupView) RecordTx(t, outcome int, latency int64) {
+	v.r.recordTx(v.g, t, outcome, latency)
+}
+
+// RecordLockHold records one lock acquisition into the view's group.
+func (v *GroupView) RecordLockHold(t int, held int64) {
+	v.r.recordLockHold(v.g, t, held)
+}
+
+// RecordCombine records one combining session into the view's group.
+func (v *GroupView) RecordCombine(t, n int) {
+	v.r.recordCombine(v.g, t, n)
 }
 
 // Counters is an aggregated snapshot of a Recorder's cumulative counters —
@@ -156,6 +224,38 @@ type Counters struct {
 	// LockAcquisitions and LockHoldTime count data-structure lock activity.
 	LockAcquisitions uint64 `json:"lock_acquisitions"`
 	LockHoldTime     uint64 `json:"lock_hold_time"`
+	// ByGroup breaks activity out per group (per shard for the sharded
+	// engine); present only on grouped recorders.
+	ByGroup []GroupCounters `json:"by_group,omitempty"`
+}
+
+// GroupCounters is the per-group slice of a Counters snapshot.
+type GroupCounters struct {
+	// Group is the group label.
+	Group string `json:"group"`
+	// Ops counts completed operations in the group.
+	Ops uint64 `json:"ops"`
+	// Commits and Aborts count transaction outcomes in the group.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+	// CombinerSessions and CombinedOps count combining activity.
+	CombinerSessions uint64 `json:"combiner_sessions"`
+	CombinedOps      uint64 `json:"combined_ops"`
+	// LockAcquisitions counts data-structure lock acquisitions.
+	LockAcquisitions uint64 `json:"lock_acquisitions"`
+}
+
+// sub returns g - prev field-wise.
+func (g *GroupCounters) sub(prev *GroupCounters) GroupCounters {
+	return GroupCounters{
+		Group:            g.Group,
+		Ops:              g.Ops - prev.Ops,
+		Commits:          g.Commits - prev.Commits,
+		Aborts:           g.Aborts - prev.Aborts,
+		CombinerSessions: g.CombinerSessions - prev.CombinerSessions,
+		CombinedOps:      g.CombinedOps - prev.CombinedOps,
+		LockAcquisitions: g.LockAcquisitions - prev.LockAcquisitions,
+	}
 }
 
 // Sub returns c - prev, element-wise (the delta between two snapshots).
@@ -179,6 +279,12 @@ func (c *Counters) Sub(prev *Counters) Counters {
 	}
 	for i := range d.Tx {
 		d.Tx[i] = c.Tx[i] - prev.Tx[i]
+	}
+	if len(c.ByGroup) > 0 && len(prev.ByGroup) == len(c.ByGroup) {
+		d.ByGroup = make([]GroupCounters, len(c.ByGroup))
+		for i := range d.ByGroup {
+			d.ByGroup[i] = c.ByGroup[i].sub(&prev.ByGroup[i])
+		}
 	}
 	return d
 }
@@ -208,45 +314,81 @@ func (c *Counters) CombiningDegree() float64 {
 	return float64(c.CombinedOps) / float64(c.CombinerSessions)
 }
 
-// Counters aggregates all shards' cumulative counters.
+// Counters aggregates all shards' cumulative counters. On grouped
+// recorders the flat fields still cover every group (so ungrouped
+// consumers are unaffected) and ByGroup carries the per-group breakout.
 func (r *Recorder) Counters() Counters {
+	no := len(r.cfg.Outcomes)
 	c := Counters{
 		OpsByClass: make([]uint64, r.nc),
 		OpsByPath:  make([]uint64, r.np),
-		Tx:         make([]uint64, len(r.cfg.Outcomes)),
+		Tx:         make([]uint64, no),
+	}
+	var byGroup []GroupCounters
+	if r.grouped {
+		byGroup = make([]GroupCounters, r.ng)
+		for g := range byGroup {
+			byGroup[g].Group = r.cfg.Groups[g]
+		}
 	}
 	for s := range r.shards {
 		sh := &r.shards[s]
-		for cl := 0; cl < r.nc; cl++ {
-			for p := 0; p < r.np; p++ {
-				h := &sh.lat[cl*r.np+p]
-				n := h.Count()
-				c.Ops += n
-				c.OpsByClass[cl] += n
-				c.OpsByPath[p] += n
-				c.LatencySum += h.Sum()
+		for g := 0; g < r.ng; g++ {
+			var gOps uint64
+			for cl := 0; cl < r.nc; cl++ {
+				for p := 0; p < r.np; p++ {
+					h := &sh.lat[(g*r.nc+cl)*r.np+p]
+					n := h.Count()
+					c.Ops += n
+					gOps += n
+					c.OpsByClass[cl] += n
+					c.OpsByPath[p] += n
+					c.LatencySum += h.Sum()
+				}
+			}
+			var gCommits, gAborts uint64
+			for o := 0; o < no; o++ {
+				n := sh.tx[g*no+o].Count()
+				c.Tx[o] += n
+				if o == 0 {
+					gCommits += n
+				} else {
+					gAborts += n
+				}
+			}
+			sessions := sh.combinerSessions[g].Load()
+			combined := sh.combinedOps[g].Load()
+			locks := sh.lockHold[g].Count()
+			c.CombinerSessions += sessions
+			c.CombinedOps += combined
+			c.LockAcquisitions += locks
+			c.LockHoldTime += sh.lockHold[g].Sum()
+			if byGroup != nil {
+				byGroup[g].Ops += gOps
+				byGroup[g].Commits += gCommits
+				byGroup[g].Aborts += gAborts
+				byGroup[g].CombinerSessions += sessions
+				byGroup[g].CombinedOps += combined
+				byGroup[g].LockAcquisitions += locks
 			}
 		}
-		for o := range sh.tx {
-			c.Tx[o] += sh.tx[o].Count()
-		}
-		c.CombinerSessions += sh.combinerSessions.Load()
-		c.CombinedOps += sh.combinedOps.Load()
-		c.LockAcquisitions += sh.lockHold.Count()
-		c.LockHoldTime += sh.lockHold.Sum()
 	}
+	c.ByGroup = byGroup
 	return c
 }
 
-// OpHistogram returns the merged latency histogram for (class, path).
+// OpHistogram returns the merged latency histogram for (class, path),
+// groups merged.
 func (r *Recorder) OpHistogram(class, path int) HistogramSnapshot {
 	var s HistogramSnapshot
 	if class < 0 || class >= r.nc || path < 0 || path >= r.np {
 		return s
 	}
 	for i := range r.shards {
-		o := r.shards[i].lat[class*r.np+path].Snapshot()
-		s.Merge(&o)
+		for g := 0; g < r.ng; g++ {
+			o := r.shards[i].lat[(g*r.nc+class)*r.np+path].Snapshot()
+			s.Merge(&o)
+		}
 	}
 	return s
 }
@@ -263,25 +405,31 @@ func (r *Recorder) ClassHistogram(class int) HistogramSnapshot {
 }
 
 // TxHistogram returns the merged transaction-duration histogram for one
-// outcome.
+// outcome, groups merged.
 func (r *Recorder) TxHistogram(outcome int) HistogramSnapshot {
 	var s HistogramSnapshot
-	if outcome < 0 || outcome >= len(r.cfg.Outcomes) {
+	no := len(r.cfg.Outcomes)
+	if outcome < 0 || outcome >= no {
 		return s
 	}
 	for i := range r.shards {
-		o := r.shards[i].tx[outcome].Snapshot()
-		s.Merge(&o)
+		for g := 0; g < r.ng; g++ {
+			o := r.shards[i].tx[g*no+outcome].Snapshot()
+			s.Merge(&o)
+		}
 	}
 	return s
 }
 
-// LockHoldHistogram returns the merged lock-hold-time histogram.
+// LockHoldHistogram returns the merged lock-hold-time histogram, groups
+// merged.
 func (r *Recorder) LockHoldHistogram() HistogramSnapshot {
 	var s HistogramSnapshot
 	for i := range r.shards {
-		o := r.shards[i].lockHold.Snapshot()
-		s.Merge(&o)
+		for g := 0; g < r.ng; g++ {
+			o := r.shards[i].lockHold[g].Snapshot()
+			s.Merge(&o)
+		}
 	}
 	return s
 }

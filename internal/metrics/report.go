@@ -55,6 +55,9 @@ type Report struct {
 	Classes  []string `json:"classes"`
 	Paths    []string `json:"paths"`
 	Outcomes []string `json:"outcomes"`
+	// Groups labels the per-group breakout in Totals.ByGroup (per shard for
+	// the sharded engine); empty on ungrouped recorders.
+	Groups []string `json:"groups,omitempty"`
 
 	// Totals are the whole-run cumulative counters.
 	Totals Counters `json:"totals"`
@@ -81,6 +84,7 @@ func BuildReport(rec *Recorder, s *Sampler, scenario, engine string, threads int
 		Classes:  rec.Classes(),
 		Paths:    rec.Paths(),
 		Outcomes: rec.Outcomes(),
+		Groups:   rec.Groups(),
 		Totals:   rec.Counters(),
 	}
 	if s != nil {
@@ -216,6 +220,20 @@ func (r *Report) Prometheus() string {
 		fmt.Fprintf(&b, "hcf_tx_total{%s,outcome=\"%s\"} %d\n", base, promEscape(o), n)
 	}
 
+	if len(r.Totals.ByGroup) > 0 {
+		fmt.Fprintf(&b, "# HELP hcf_shard_ops_total Completed operations by shard (cross = cross-shard path).\n")
+		fmt.Fprintf(&b, "# TYPE hcf_shard_ops_total counter\n")
+		for _, g := range r.Totals.ByGroup {
+			fmt.Fprintf(&b, "hcf_shard_ops_total{%s,shard=\"%s\"} %d\n", base, promEscape(g.Group), g.Ops)
+		}
+		fmt.Fprintf(&b, "# HELP hcf_shard_tx_total Finished transaction attempts by shard and outcome class.\n")
+		fmt.Fprintf(&b, "# TYPE hcf_shard_tx_total counter\n")
+		for _, g := range r.Totals.ByGroup {
+			fmt.Fprintf(&b, "hcf_shard_tx_total{%s,shard=\"%s\",outcome=\"commit\"} %d\n", base, promEscape(g.Group), g.Commits)
+			fmt.Fprintf(&b, "hcf_shard_tx_total{%s,shard=\"%s\",outcome=\"abort\"} %d\n", base, promEscape(g.Group), g.Aborts)
+		}
+	}
+
 	simple := []struct {
 		name, help string
 		v          uint64
@@ -253,6 +271,21 @@ func (r *Report) Text() string {
 			fmt.Fprintf(&b, "  %12d %12d %8d %10.1f %8d %8d %8d %8.2f %10d\n",
 				iv.Start, iv.End, iv.Ops, iv.Throughput, iv.Commits(), iv.Aborts(),
 				iv.CombinerSessions, iv.CombiningDegree, iv.LockHoldTime)
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(r.Totals.ByGroup) > 0 {
+		fmt.Fprintf(&b, "per-shard totals (cross = cross-shard path):\n")
+		fmt.Fprintf(&b, "  %-14s %10s %10s %10s %10s %8s %8s\n",
+			"shard", "ops", "commits", "aborts", "sessions", "degree", "locks")
+		for _, g := range r.Totals.ByGroup {
+			degree := 0.0
+			if g.CombinerSessions > 0 {
+				degree = float64(g.CombinedOps) / float64(g.CombinerSessions)
+			}
+			fmt.Fprintf(&b, "  %-14s %10d %10d %10d %10d %8.2f %8d\n",
+				g.Group, g.Ops, g.Commits, g.Aborts, g.CombinerSessions, degree, g.LockAcquisitions)
 		}
 		b.WriteByte('\n')
 	}

@@ -190,6 +190,22 @@ func (s *Sharded) SetRecorder(rec engine.Recorder) {
 	}
 }
 
+// SetShardRecorders installs a distinct recorder on each shard plus one on
+// the cross-shard path, so a grouped recorder (metrics.Config.Groups) can
+// break activity out per shard instead of blending all shards through one
+// sink. perShard must have one entry per shard (nil entries disable that
+// shard's recording); cross may be nil.
+func (s *Sharded) SetShardRecorders(perShard []engine.Recorder, cross engine.Recorder) error {
+	if len(perShard) != len(s.shards) {
+		return fmt.Errorf("shard: got %d recorders for %d shards", len(perShard), len(s.shards))
+	}
+	s.rec = cross
+	for i, fw := range s.shards {
+		fw.SetRecorder(perShard[i])
+	}
+	return nil
+}
+
 // CompletionPaths implements engine.MeteredEngine: the four HCF phases
 // plus the cross-shard path.
 func (s *Sharded) CompletionPaths() []string {

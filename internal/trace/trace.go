@@ -62,7 +62,20 @@ type shard struct {
 	// conflicts counts conflict aborts keyed by line<<32|uint32(writer+1),
 	// feeding the hot-line report.
 	conflicts map[uint64]uint64
-	_         [64]byte
+	// curClass is the class of the thread's current operation, set by
+	// TraceStart; subsequent attempts are attributed to it (a combiner's
+	// batch attempts count against the combiner's own class).
+	curClass int
+	// classAttempts[class][phase][reason] is the per-class attempt
+	// taxonomy, grown on demand.
+	classAttempts [][core.NumPhases][htm.NumReasons]uint64
+	// classSelects[class] = {selections, summed selection size} made by
+	// combiners running an operation of that class.
+	classSelects [][2]uint64
+	// classConflicts counts conflict aborts keyed by
+	// class<<48|line<<16|uint16(writer+1), feeding ClassHotLines.
+	classConflicts map[uint64]uint64
+	_              [64]byte
 }
 
 var _ core.Tracer = (*Collector)(nil)
@@ -95,7 +108,10 @@ func (c *Collector) growShard(t int) *shard {
 	}
 	grown := make([]*shard, n)
 	copy(grown, cur)
-	grown[t] = &shard{conflicts: make(map[uint64]uint64)}
+	grown[t] = &shard{
+		conflicts:      make(map[uint64]uint64),
+		classConflicts: make(map[uint64]uint64),
+	}
 	c.shards.Store(&grown)
 	return grown[t]
 }
@@ -113,6 +129,12 @@ func conflictKey(line uint32, writer int) uint64 {
 	return uint64(line)<<32 | uint64(uint32(writer+1))
 }
 
+// classConflictKey packs a (class, line, writer) triple for the
+// classConflicts map. Writers are thread ids and fit 16 bits.
+func classConflictKey(class int, line uint32, writer int) uint64 {
+	return uint64(class)<<48 | uint64(line)<<16 | uint64(uint16(writer+1))
+}
+
 // Trace implements core.Tracer. It is called inline on the execution path
 // and writes only the emitting thread's shard.
 func (c *Collector) Trace(ev core.TraceEvent) {
@@ -128,16 +150,27 @@ func (c *Collector) Trace(ev core.TraceEvent) {
 	switch ev.Kind {
 	case core.TraceStart:
 		s.starts.Add(1)
+		s.curClass = ev.Class
 	case core.TraceAttempt:
 		s.attempts[ev.Phase][ev.Reason]++
+		for len(s.classAttempts) <= s.curClass {
+			s.classAttempts = append(s.classAttempts, [core.NumPhases][htm.NumReasons]uint64{})
+		}
+		s.classAttempts[s.curClass][ev.Phase][ev.Reason]++
 		if ev.Reason == htm.ReasonConflict {
 			s.conflicts[conflictKey(ev.Line, ev.Peer)]++
+			s.classConflicts[classConflictKey(s.curClass, ev.Line, ev.Peer)]++
 		}
 	case core.TraceSelect:
 		for len(s.selectN) <= ev.N {
 			s.selectN = append(s.selectN, 0)
 		}
 		s.selectN[ev.N]++
+		for len(s.classSelects) <= s.curClass {
+			s.classSelects = append(s.classSelects, [2]uint64{})
+		}
+		s.classSelects[s.curClass][0]++
+		s.classSelects[s.curClass][1] += uint64(ev.N)
 	case core.TraceLock:
 		s.locks++
 	case core.TraceDone:
@@ -239,8 +272,7 @@ type HotLine struct {
 // lines by abort count (all of them when n <= 0), each attributed to its
 // dominant writer thread.
 func (c *Collector) HotLines(n int) []HotLine {
-	type writerCounts map[int]uint64
-	byLine := make(map[uint32]writerCounts)
+	byLine := make(map[uint32]map[int]uint64)
 	for _, s := range c.snapshot() {
 		if s == nil {
 			continue
@@ -250,12 +282,18 @@ func (c *Collector) HotLines(n int) []HotLine {
 			writer := int(uint32(key)) - 1
 			wc := byLine[line]
 			if wc == nil {
-				wc = make(writerCounts)
+				wc = make(map[int]uint64)
 				byLine[line] = wc
 			}
 			wc[writer] += count
 		}
 	}
+	return topHotLines(byLine, n)
+}
+
+// topHotLines folds a line→writer→count aggregation into the sorted
+// hot-line report (top n by abort count; all when n <= 0).
+func topHotLines(byLine map[uint32]map[int]uint64, n int) []HotLine {
 	out := make([]HotLine, 0, len(byLine))
 	for line, wc := range byLine {
 		hl := HotLine{Line: line, TopWriter: -1}
@@ -279,6 +317,80 @@ func (c *Collector) HotLines(n int) []HotLine {
 		out = out[:n]
 	}
 	return out
+}
+
+// ClassAttempts aggregates the per-class speculative-attempt taxonomy:
+// out[class][phase][reason] counts finished attempts of operations of that
+// class (a combiner's batch attempts count against the combiner's class).
+// Like the other aggregate counters it covers every event regardless of
+// Limit. Reading during a run is safe only where shard writers cannot be
+// mid-update — in practice on the deterministic backend (cooperative
+// scheduling) or after env.Run returns.
+func (c *Collector) ClassAttempts() [][core.NumPhases][htm.NumReasons]uint64 {
+	var out [][core.NumPhases][htm.NumReasons]uint64
+	for _, s := range c.snapshot() {
+		if s == nil {
+			continue
+		}
+		for cl := range s.classAttempts {
+			for len(out) <= cl {
+				out = append(out, [core.NumPhases][htm.NumReasons]uint64{})
+			}
+			for p := 0; p < core.NumPhases; p++ {
+				for r := 0; r < htm.NumReasons; r++ {
+					out[cl][p][r] += s.classAttempts[cl][p][r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ClassSelections aggregates combiner selections by the combiner's
+// operation class: out[class] = {selections, summed selection size}, so
+// out[class][1]/out[class][0] is the class's mean combining degree. Same
+// in-run safety caveat as ClassAttempts.
+func (c *Collector) ClassSelections() [][2]uint64 {
+	var out [][2]uint64
+	for _, s := range c.snapshot() {
+		if s == nil {
+			continue
+		}
+		for cl := range s.classSelects {
+			for len(out) <= cl {
+				out = append(out, [2]uint64{})
+			}
+			out[cl][0] += s.classSelects[cl][0]
+			out[cl][1] += s.classSelects[cl][1]
+		}
+	}
+	return out
+}
+
+// ClassHotLines is HotLines restricted to conflict aborts suffered by
+// operations of one class: which cache lines abort this class's
+// speculation, and which thread's writes dominate each.
+func (c *Collector) ClassHotLines(class, n int) []HotLine {
+	byLine := make(map[uint32]map[int]uint64)
+	for _, s := range c.snapshot() {
+		if s == nil {
+			continue
+		}
+		for key, count := range s.classConflicts {
+			if int(key>>48) != class {
+				continue
+			}
+			line := uint32(key >> 16)
+			writer := int(uint16(key)) - 1
+			wc := byLine[line]
+			if wc == nil {
+				wc = make(map[int]uint64)
+				byLine[line] = wc
+			}
+			wc[writer] += count
+		}
+	}
+	return topHotLines(byLine, n)
 }
 
 // selectionStats summarizes combiner selection sizes from the per-shard
@@ -332,6 +444,13 @@ func (c *Collector) selections() selectionStats {
 		st.min = 0
 	}
 	return st
+}
+
+// SelectionStats summarizes combiner selection sizes observed so far (zero
+// value when no combiner has run). Same in-run caveats as ClassAttempts.
+func (c *Collector) SelectionStats() Selections {
+	st := c.selections()
+	return Selections{Count: st.count, Min: st.min, Median: st.median, Max: st.max, Mean: st.mean}
 }
 
 // Summary renders an aggregate report.

@@ -209,3 +209,54 @@ func TestAttemptOutcomesRecorded(t *testing.T) {
 		t.Fatal("no aborted attempts recorded under contention")
 	}
 }
+
+// TestClassAttribution pins the per-class aggregation the policy autotuner
+// consumes: attempts (with conflict attribution) and combiner selections
+// are charged to the class of the thread's current operation.
+func TestClassAttribution(t *testing.T) {
+	col := &Collector{}
+	// A class-1 operation: one conflict abort on line 5 (writer 2), one
+	// commit, and a combiner selection of 3 operations.
+	col.Trace(core.TraceEvent{Thread: 0, Kind: core.TraceStart, Class: 1, Peer: -1})
+	col.Trace(core.TraceEvent{Thread: 0, Kind: core.TraceAttempt,
+		Phase: core.PhaseTryPrivate, Reason: htm.ReasonConflict, Line: 5, Peer: 2})
+	col.Trace(core.TraceEvent{Thread: 0, Kind: core.TraceAttempt,
+		Phase: core.PhaseTryPrivate, Reason: htm.ReasonNone, Peer: -1})
+	col.Trace(core.TraceEvent{Thread: 0, Kind: core.TraceSelect, N: 3, Peer: -1})
+	// A class-0 operation on another thread: a selection of 1.
+	col.Trace(core.TraceEvent{Thread: 1, Kind: core.TraceStart, Class: 0, Peer: -1})
+	col.Trace(core.TraceEvent{Thread: 1, Kind: core.TraceSelect, N: 1, Peer: -1})
+
+	ca := col.ClassAttempts()
+	if len(ca) != 2 {
+		t.Fatalf("ClassAttempts covers %d classes, want 2", len(ca))
+	}
+	if got := ca[1][core.PhaseTryPrivate][htm.ReasonConflict]; got != 1 {
+		t.Errorf("class 1 private conflicts = %d, want 1", got)
+	}
+	if got := ca[1][core.PhaseTryPrivate][htm.ReasonNone]; got != 1 {
+		t.Errorf("class 1 private commits = %d, want 1", got)
+	}
+	if got := ca[0][core.PhaseTryPrivate][htm.ReasonConflict]; got != 0 {
+		t.Errorf("class 0 inherited class 1's conflict: %d", got)
+	}
+
+	cs := col.ClassSelections()
+	if len(cs) != 2 {
+		t.Fatalf("ClassSelections covers %d classes, want 2", len(cs))
+	}
+	if cs[1] != [2]uint64{1, 3} {
+		t.Errorf("class 1 selections = %v, want {1,3}", cs[1])
+	}
+	if cs[0] != [2]uint64{1, 1} {
+		t.Errorf("class 0 selections = %v, want {1,1}", cs[0])
+	}
+
+	hot := col.ClassHotLines(1, 4)
+	if len(hot) != 1 || hot[0].Line != 5 || hot[0].Aborts != 1 || hot[0].TopWriter != 2 {
+		t.Errorf("ClassHotLines(1) = %+v", hot)
+	}
+	if got := col.ClassHotLines(0, 4); len(got) != 0 {
+		t.Errorf("ClassHotLines(0) = %+v, want empty", got)
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestScheduleSegments(t *testing.T) {
+	s, err := NewSchedule(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 3 {
+		t.Fatalf("Segments() = %d, want 3", s.Segments())
+	}
+	for _, c := range []struct {
+		now  int64
+		want int
+	}{{0, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 2}, {1 << 40, 2}} {
+		if got := s.SegmentAt(c.now); got != c.want {
+			t.Errorf("SegmentAt(%d) = %d, want %d", c.now, got, c.want)
+		}
+	}
+	if s.Bound(0) != 0 || s.Bound(1) != 100 || s.Bound(2) != 200 {
+		t.Errorf("bounds = %d %d %d", s.Bound(0), s.Bound(1), s.Bound(2))
+	}
+	empty, err := NewSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Segments() != 1 || empty.SegmentAt(12345) != 0 {
+		t.Error("empty schedule must be one segment covering all of time")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for _, bounds := range [][]int64{{0}, {-5}, {100, 100}, {200, 100}} {
+		if _, err := NewSchedule(bounds...); err == nil {
+			t.Errorf("NewSchedule(%v) accepted non-ascending bounds", bounds)
+		}
+	}
+}
+
+func TestDriftMixFollowsSchedule(t *testing.T) {
+	s, err := NewSchedule(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := NewMix(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewMix(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriftMix(s, first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 200; i++ {
+		if got := d.PickAt(int64(i%1000), r); got != 0 {
+			t.Fatalf("pre-drift pick = %d, want 0", got)
+		}
+		if got := d.PickAt(1000+int64(i), r); got != 1 {
+			t.Fatalf("post-drift pick = %d, want 1", got)
+		}
+	}
+	if d.Schedule() != s {
+		t.Error("Schedule() does not return the coupled schedule")
+	}
+	if _, err := NewDriftMix(s, first); err == nil {
+		t.Error("mix count != segment count accepted")
+	}
+	if _, err := NewDriftMix(nil, first, second); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}
+
+func TestDriftKeysFollowsSchedule(t *testing.T) {
+	s, err := NewSchedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriftKeys(s, Uniform{N: 8}, Uniform{N: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(3, 3))
+	var wide bool
+	for i := 0; i < 2000; i++ {
+		if k := d.NextAt(int64(i%500), r); k >= 8 {
+			t.Fatalf("pre-drift key %d outside narrow range", k)
+		}
+		if k := d.NextAt(500+int64(i), r); k >= 1<<20 {
+			t.Fatalf("post-drift key %d outside wide range", k)
+		} else if k >= 8 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Error("post-drift keys never left the narrow range")
+	}
+	if d.Range() != 1<<20 {
+		t.Errorf("Range() = %d, want widest segment range", d.Range())
+	}
+	if _, err := NewDriftKeys(s, Uniform{N: 8}); err == nil {
+		t.Error("generator count != segment count accepted")
+	}
+	if _, err := NewDriftKeys(nil, Uniform{N: 8}, Uniform{N: 8}); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}
+
+// TestDriftIsPureFunctionOfTimeAndRNG pins the determinism contract the
+// autotune harness relies on: identical (time, rng-state) sequences produce
+// identical drifting draws, independent of call history.
+func TestDriftIsPureFunctionOfTimeAndRNG(t *testing.T) {
+	s, err := NewSchedule(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewMix(90, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMix(50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := NewDriftMix(s, a, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := NewDriftKeys(s, Uniform{N: 64}, Uniform{N: 1024}, Uniform{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func() ([]int, []uint64) {
+		r := rand.New(rand.NewPCG(9, 9))
+		var ms []int
+		var ks []uint64
+		for now := int64(0); now < 300; now += 7 {
+			ms = append(ms, mix.PickAt(now, r))
+			ks = append(ks, keys.NextAt(now, r))
+		}
+		return ms, ks
+	}
+	m1, k1 := draw()
+	m2, k2 := draw()
+	for i := range m1 {
+		if m1[i] != m2[i] || k1[i] != k2[i] {
+			t.Fatalf("draw %d differs across replays: (%d,%d) vs (%d,%d)", i, m1[i], k1[i], m2[i], k2[i])
+		}
+	}
+}

@@ -184,3 +184,106 @@ func UpdateMix(findPct int) (*Mix, error) {
 	ins := rest / 2
 	return NewMix(findPct, ins, rest-ins)
 }
+
+// Schedule maps virtual time to a workload segment index: segment i covers
+// [bounds[i-1], bounds[i]) with bounds[-1] = 0 and an implicit final
+// segment from the last bound to infinity. It is the drift knob shared by
+// DriftMix and DriftKeys: generators stay pure functions of (time, rng), so
+// drifting workloads remain deterministic per seed.
+type Schedule struct {
+	bounds []int64
+}
+
+// NewSchedule builds a schedule from strictly ascending positive segment
+// boundaries. No bounds means a single segment covering all of time.
+func NewSchedule(bounds ...int64) (*Schedule, error) {
+	prev := int64(0)
+	for _, b := range bounds {
+		if b <= prev {
+			return nil, fmt.Errorf("workload: schedule bounds must be strictly ascending and positive, got %v", bounds)
+		}
+		prev = b
+	}
+	return &Schedule{bounds: append([]int64(nil), bounds...)}, nil
+}
+
+// Segments returns the number of segments (bounds + 1).
+func (s *Schedule) Segments() int { return len(s.bounds) + 1 }
+
+// SegmentAt returns the segment index covering time now.
+func (s *Schedule) SegmentAt(now int64) int {
+	for i, b := range s.bounds {
+		if now < b {
+			return i
+		}
+	}
+	return len(s.bounds)
+}
+
+// Bound returns the start time of segment i (0 for the first segment).
+func (s *Schedule) Bound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return s.bounds[i-1]
+}
+
+// DriftMix is an operation mix whose weights shift over virtual time: one
+// Mix per schedule segment. It models workloads whose character changes
+// mid-run — the case an online policy tuner must detect and follow.
+type DriftMix struct {
+	sched *Schedule
+	mixes []*Mix
+}
+
+// NewDriftMix couples a schedule with one mix per segment.
+func NewDriftMix(sched *Schedule, mixes ...*Mix) (*DriftMix, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("workload: drift mix needs a schedule")
+	}
+	if len(mixes) != sched.Segments() {
+		return nil, fmt.Errorf("workload: drift mix got %d mixes for %d segments", len(mixes), sched.Segments())
+	}
+	return &DriftMix{sched: sched, mixes: mixes}, nil
+}
+
+// PickAt draws an operation kind for virtual time now.
+func (d *DriftMix) PickAt(now int64, r *rand.Rand) int {
+	return d.mixes[d.sched.SegmentAt(now)].Pick(r)
+}
+
+// Schedule returns the drift schedule.
+func (d *DriftMix) Schedule() *Schedule { return d.sched }
+
+// DriftKeys is a key generator whose distribution shifts over virtual
+// time: one KeyGen per schedule segment (e.g. a wide uniform range that
+// collapses to a hot subset mid-run).
+type DriftKeys struct {
+	sched *Schedule
+	gens  []KeyGen
+}
+
+// NewDriftKeys couples a schedule with one key generator per segment.
+func NewDriftKeys(sched *Schedule, gens ...KeyGen) (*DriftKeys, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("workload: drift keys need a schedule")
+	}
+	if len(gens) != sched.Segments() {
+		return nil, fmt.Errorf("workload: drift keys got %d generators for %d segments", len(gens), sched.Segments())
+	}
+	return &DriftKeys{sched: sched, gens: gens}, nil
+}
+
+// NextAt draws a key for virtual time now.
+func (d *DriftKeys) NextAt(now int64, r *rand.Rand) uint64 {
+	return d.gens[d.sched.SegmentAt(now)].Next(r)
+}
+
+// Range returns the largest exclusive upper bound across segments.
+func (d *DriftKeys) Range() uint64 {
+	var n uint64
+	for _, g := range d.gens {
+		n = max(n, g.Range())
+	}
+	return n
+}
