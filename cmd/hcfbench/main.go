@@ -9,6 +9,16 @@
 //	hcfbench -fig 5a -csv          # emit CSV for external plotting
 //	hcfbench -fig 5a -json         # emit JSON Lines (one record per cell)
 //	hcfbench -fig 2a -threads 1,8,36 -horizon 500000 -seed 7
+//
+// The open-loop figure has its own pipeline — offered-load sweep with
+// coordinated-omission-safe sojourn tails, SLO verdicts, JSONL output and
+// a p99 regression gate:
+//
+//	hcfbench -fig openloop                            # table to stdout
+//	hcfbench -fig openloop -json                      # JSONL to stdout
+//	hcfbench -fig openloop -out bench/OPENLOOP_sweep.jsonl
+//	hcfbench -fig openloop -openloop-baseline bench/OPENLOOP_sweep.jsonl
+//	hcfbench -fig openloop -serve 127.0.0.1:7070      # live /debug endpoints
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"time"
 
 	"hcf/internal/harness"
+	"hcf/serve"
 )
 
 func main() {
@@ -86,6 +97,10 @@ func run(args []string) error {
 		benchFlg = fs.Bool("bench", false, "measure host throughput of the reference sweep and emit a BENCH_sim.json record")
 		benchOut = fs.String("bench-out", "", "write the -bench record to this file instead of stdout")
 		baseline = fs.String("baseline", "", "compare the -bench record against this BENCH_sim.json; exit non-zero on >25% host-throughput regression")
+		rates    = fs.String("rates", "", "comma-separated offered loads in ops/Mcycle (-fig openloop only; default 2000,8000,20000,45000,90000)")
+		outPath  = fs.String("out", "", "write the -fig openloop sweep as JSONL to this file (in addition to stdout rendering)")
+		olBase   = fs.String("openloop-baseline", "", "compare the -fig openloop sweep against this JSONL baseline; exit non-zero if any matching point's sojourn p99 regressed by more than 25%")
+		serveAt  = fs.String("serve", "", "host:port for live introspection endpoints during the -fig openloop run (forces serial point order)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +168,10 @@ func run(args []string) error {
 	if *figID == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
+	}
+	if *figID == "openloop" && !*realFlg {
+		return runOpenLoop(*threads, *engs, *rates, *horizon, *seed, *parallel,
+			*csv, *jsonFlg, *outPath, *olBase, *serveAt)
 	}
 	var figs []harness.Figure
 	if *figID == "all" {
@@ -328,6 +347,121 @@ func runBench(figID, threadsCSV, engsCSV string, horizon int64, seed uint64, par
 			return fmt.Errorf("host-throughput regression: %.1f sim Mcycles/s is %.0f%% of baseline %.1f",
 				rec.SimMcyclesPerHostSec, 100*rec.Baseline.Speedup, rec.Baseline.SimMcyclesPerHostSec)
 		}
+	}
+	return nil
+}
+
+// openLoopP99Ratio is the regression gate for -openloop-baseline: a
+// matching point fails if its sojourn p99 exceeds 1.25x the baseline's.
+const openLoopP99Ratio = 1.25
+
+// runOpenLoop is the -fig openloop pipeline: an offered-load sweep with
+// coordinated-omission-safe sojourn latency, optional live introspection
+// endpoints during the run, JSONL output for the checked-in baseline, and
+// a p99 regression gate against a prior sweep.
+func runOpenLoop(threadsCSV, engsCSV, ratesCSV string, horizon int64, seed uint64, parallel int, csv, jsonFlg bool, outPath, basePath, serveAt string) error {
+	threads := 36
+	if threadsCSV != "" {
+		ts, err := parseInts(threadsCSV)
+		if err != nil {
+			return err
+		}
+		if len(ts) != 1 {
+			return fmt.Errorf("-fig openloop takes exactly one thread count, got %v", ts)
+		}
+		threads = ts[0]
+	}
+	engines := harness.OpenLoopDefaultEngines
+	if engsCSV != "" {
+		engines = strings.Split(engsCSV, ",")
+	}
+	rates := harness.OpenLoopDefaultRates
+	if ratesCSV != "" {
+		rates = rates[:0:0]
+		for _, p := range strings.Split(ratesCSV, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil || r <= 0 {
+				return fmt.Errorf("bad rate %q", p)
+			}
+			rates = append(rates, r)
+		}
+	}
+	sc := harness.OpenLoopScenario()
+	cfg := harness.Config{Horizon: horizon, Seed: seed, Parallel: parallel}
+	ol := harness.OpenLoopConfig{Interval: max(horizon/20, 1)}
+
+	var rep *harness.OpenLoopReport
+	if serveAt != "" {
+		// Live introspection: points run serially so the single observer
+		// always describes the point in flight. Results are bit-identical
+		// to the unserved sweep.
+		srv := serve.New()
+		addr, err := srv.Start(serveAt)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hcfbench: live introspection at http://%s/debug\n", addr)
+		rep = &harness.OpenLoopReport{
+			Figure: "openloop", Scenario: sc.Name, Threads: threads,
+			Seed: cfg.Seed, Horizon: cfg.Horizon, Interval: ol.Interval, Rates: rates,
+		}
+		for _, r := range rates {
+			for _, name := range engines {
+				olp := ol
+				olp.Rate = r
+				olp.Observer = srv
+				p, _, err := harness.RunPointOpenLoop(sc, name, threads, cfg, olp)
+				if err != nil {
+					return err
+				}
+				rep.Points = append(rep.Points, p)
+			}
+		}
+	} else {
+		var err error
+		rep, err = harness.RunOpenLoopSweep(sc, engines, rates, threads, cfg, ol)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch {
+	case jsonFlg:
+		data, err := rep.JSONL()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	case csv:
+		return fmt.Errorf("-csv is not supported with -fig openloop (use -json for JSONL)")
+	default:
+		fmt.Print(rep.Text())
+	}
+	if outPath != "" {
+		data, err := rep.JSONL()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hcfbench: wrote %d open-loop points to %s\n", len(rep.Points), outPath)
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("openloop-baseline: %w", err)
+		}
+		base, err := harness.ParseOpenLoopJSONL(data)
+		if err != nil {
+			return fmt.Errorf("openloop-baseline %s: %w", basePath, err)
+		}
+		if err := harness.CompareOpenLoopBaseline(rep, base, openLoopP99Ratio); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hcfbench: open-loop sojourn p99 within %.0f%% of baseline %s\n",
+			100*(openLoopP99Ratio-1), basePath)
 	}
 	return nil
 }

@@ -25,10 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hcf/internal/adaptive"
 	"hcf/internal/harness"
 	"hcf/internal/metrics"
+	"hcf/internal/trace"
+	"hcf/serve"
 )
 
 func main() {
@@ -56,6 +60,8 @@ func run(args []string) error {
 		tuneFlg  = fs.Bool("tune", false, "run the policy autotuner on the drifting priority-queue workload and export its decision journal instead of a metered point")
 		realFlg  = fs.Bool("real", false, "run on the real-concurrency backend (wall-clock nanoseconds)")
 		realOps  = fs.Int("real-ops", 2000, "operations per thread in -real mode")
+		traceLim = fs.Int("trace-limit", 0, "attach a flight recorder retaining this many events per thread (0 = off); trace health lands in the report, hot lines on the -serve endpoints")
+		serveAt  = fs.String("serve", "", "after the run, serve the report on host:port (/debug endpoints, including Prometheus via ?format=prom) until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +89,11 @@ func run(args []string) error {
 	cfg := harness.Config{Horizon: *horizon, Seed: *seed}
 
 	var report *metrics.Report
+	var col *trace.Collector
 	if *realFlg {
+		if *traceLim > 0 {
+			return fmt.Errorf("-trace-limit is not supported with -real")
+		}
 		res, rep, err := harness.RunPointRealMetered(sc, *engName, *threads, *realOps, cfg, *interval)
 		if err != nil {
 			return err
@@ -93,14 +103,14 @@ func run(args []string) error {
 		}
 		report = rep
 	} else {
-		res, rep, err := harness.RunPointMetered(sc, *engName, *threads, cfg, *interval)
+		res, rep, c, err := harness.RunPointMeteredTraced(sc, *engName, *threads, cfg, *interval, *traceLim)
 		if err != nil {
 			return err
 		}
 		if res.InvariantViolation != "" {
 			fmt.Fprintf(os.Stderr, "!! INVARIANT VIOLATION: %s\n", res.InvariantViolation)
 		}
-		report = rep
+		report, col = rep, c
 	}
 
 	switch *format {
@@ -119,6 +129,37 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown format %q (want text, json, csv or prom)", *format)
 	}
+	if *serveAt != "" {
+		return serveReport(*serveAt, report, col)
+	}
+	return nil
+}
+
+// serveReport exposes the finished report (and, when the run was traced,
+// its hot lines and health) on the introspection endpoints and blocks
+// until the process is interrupted — a scrape target for Prometheus
+// (/debug/metrics?format=prom) or a browse target for curl/hcftop.
+func serveReport(addr string, report *metrics.Report, col *trace.Collector) error {
+	srv := serve.New()
+	srv.SetMeta(report.Scenario, report.Engine, report.Threads)
+	srv.SetReport(func() *metrics.Report { return report })
+	srv.SetShards(func() []metrics.GroupCounters { return report.Totals.ByGroup })
+	if report.SLO != nil {
+		srv.SetSLO(func() *metrics.SLOSnapshot { return report.SLO })
+	}
+	if col != nil {
+		srv.SetTraceHealth(func() *metrics.TraceHealth { return report.Trace })
+		srv.PublishHotLines(col.HotLines(32))
+	}
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "hcfmetrics: serving the report at http://%s/debug (ctrl-c to stop)\n", bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package hcf_test
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"testing"
 
 	"hcf"
@@ -139,4 +142,26 @@ func TestPublicAPISpecializedVariantAndWitness(t *testing.T) {
 	if seen != 6*20 {
 		t.Fatalf("witnessed %d applications, want %d", seen, 6*20)
 	}
+}
+
+func TestPublicAPIServe(t *testing.T) {
+	srv, addr, err := hcf.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("vars status %d", resp.StatusCode)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("vars JSON: %v (%q)", err, body)
+	}
+	var _ *hcf.IntrospectionServer = srv
 }

@@ -48,6 +48,7 @@ import (
 	"hcf/internal/memsim"
 	"hcf/internal/shard"
 	"hcf/metrics"
+	"hcf/serve"
 	"hcf/tracing"
 )
 
@@ -237,6 +238,28 @@ var (
 	// HelpNone makes a combiner apply only its own operation.
 	HelpNone = engine.HelpNone
 )
+
+// IntrospectionServer is the live HTTP introspection server (see the
+// hcf/serve package): JSON endpoints under /debug for metrics snapshots,
+// interval series, SLO burn-rate state, per-shard counters, sojourn tails,
+// trace hot lines and the tuner journal, plus the standard pprof set.
+// Attach one to an open-loop run via OpenLoopConfig.Observer, or install
+// providers explicitly with its Set* methods.
+type IntrospectionServer = serve.Server
+
+// Serve starts a live introspection server on addr ("host:port"; port 0
+// picks a free one) and returns it with the bound address. Handlers read
+// only host-side atomics and published snapshots, so attaching the server
+// to a deterministic run never changes results — enabled or disabled, the
+// output is bit-identical.
+func Serve(addr string) (*IntrospectionServer, string, error) {
+	s := serve.New()
+	bound, err := s.Start(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, bound, nil
+}
 
 // Result packing helpers for Op.Apply return values.
 var (

@@ -190,6 +190,13 @@ func Figures() []Figure {
 			Engines:  []string{"HCF"}, Threads: []int{36}, Kind: KindThroughput,
 		},
 		{
+			ID: "openloop", Ref: "production extension",
+			Title:    "open-loop offered-load sweep: coordinated-omission-safe sojourn tails to the saturation knee, 4-shard hash table at 40% Find, 36 threads",
+			Expect:   "below the knee every engine tracks the offered rate with flat tails; past each engine's capacity the backlog and p99/p999 sojourns blow up and SLO burn-rate verdicts fire — Lock saturates first, HCF later, HCF-S last",
+			Scenario: OpenLoopScenario(),
+			Engines:  OpenLoopDefaultEngines, Threads: []int{36}, Kind: KindThroughput,
+		},
+		{
 			ID: "deque", Ref: "§2.4 example",
 			Title:    "deque, uniform operations on both ends, specialized variant",
 			Expect:   "HCF's two per-end combiners beat the single-lock engines",
@@ -214,6 +221,19 @@ func FigureByID(id string) (Figure, error) {
 func RunFigure(f Figure, cfg Config) ([]Result, error) {
 	if f.Cost.CoresPerSocket != 0 || f.Cost.Sockets != 0 {
 		cfg.Cost = f.Cost
+	}
+	if f.ID == "openloop" {
+		// The open-loop figure is its own harness: offered-load sweep with
+		// sojourn tails, flattened to sweep rows (rate in the scenario label).
+		var results []Result
+		for _, th := range f.Threads {
+			rep, err := RunOpenLoopFigure(th, cfg, OpenLoopConfig{})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, rep.Results()...)
+		}
+		return results, nil
 	}
 	if f.ID == "autotune" {
 		// The autotune figure is its own harness: static grid + tuned run +

@@ -10,6 +10,7 @@ import (
 	"hcf/internal/memsim"
 	"hcf/internal/metrics"
 	"hcf/internal/shard"
+	"hcf/internal/trace"
 )
 
 // outcomeNames labels the transaction outcomes for the metrics recorder:
@@ -82,6 +83,78 @@ func Instrument(eng engine.Engine, inst *Instance, threads int, unit string) (*m
 	}
 	met.SetRecorder(rec)
 	return rec, nil
+}
+
+// RunPointMeteredTraced is RunPointMetered with a bounded flight recorder
+// attached as well (traceLimit events per thread; 0 disables tracing and
+// returns a nil collector). The report carries trace health; hot-line and
+// timeline snapshots can be taken from the collector after the run.
+func RunPointMeteredTraced(sc Scenario, engineName string, threads int, cfg Config, interval int64, traceLimit int) (Result, *metrics.Report, *trace.Collector, error) {
+	cfg.normalize()
+	env := memsim.NewDet(memsim.DetConfig{Threads: threads, Cost: cfg.Cost, CapacityHint: cfg.CapacityHint})
+	inst := sc.Setup(env, cfg.Seed)
+	eng, err := BuildEngine(engineName, env, inst, cfg)
+	if err != nil {
+		return Result{}, nil, nil, err
+	}
+	rec, err := Instrument(eng, &inst, threads, "cycles")
+	if err != nil {
+		return Result{}, nil, nil, err
+	}
+	var col *trace.Collector
+	if traceLimit > 0 {
+		if col, err = InstrumentTrace(eng, traceLimit); err != nil {
+			return Result{}, nil, nil, err
+		}
+	}
+	env.ResetStats()
+	eng.ResetMetrics()
+	sampler := metrics.NewSampler(rec, interval)
+	opWork := env.Cost().OpWork
+	opsByThread := make([]uint64, threads)
+	env.Run(func(th *memsim.Thread) {
+		rng := rand.New(rand.NewPCG(cfg.Seed^0x9E3779B9, uint64(th.ID())+1))
+		for th.Now() < cfg.Horizon {
+			th.Work(opWork)
+			eng.Execute(th, inst.NextOp(rng))
+			opsByThread[th.ID()]++
+			if th.ID() == 0 {
+				sampler.MaybeSample(th.Now())
+			}
+		}
+	})
+	res := Result{
+		Scenario: sc.Name,
+		Engine:   engineName,
+		Threads:  threads,
+		Metrics:  eng.Metrics(),
+	}
+	for t := 0; t < threads; t++ {
+		res.Ops += opsByThread[t]
+		if now := env.Now(t); now > res.Cycles {
+			res.Cycles = now
+		}
+		res.Mem.Merge(env.Stats(t))
+	}
+	if res.Cycles > 0 {
+		res.Throughput = float64(res.Ops) * 1e6 / float64(res.Cycles)
+	}
+	if hcf, ok := eng.(phaseBreakdowner); ok {
+		res.PhaseByClass = hcf.PhaseBreakdown()
+	}
+	if inst.Check != nil {
+		res.InvariantViolation = inst.Check(env.Boot())
+	}
+	sampler.Flush(res.Cycles)
+	report := metrics.BuildReport(rec, sampler, sc.Name, engineName, threads)
+	if col != nil {
+		report.Trace = &metrics.TraceHealth{
+			Starts:   col.Starts(),
+			Retained: uint64(col.Retained()),
+			Dropped:  col.Dropped(),
+		}
+	}
+	return res, &report, col, nil
 }
 
 // RunPointMetered is RunPoint with the metrics subsystem wired in: it

@@ -560,6 +560,20 @@ func (e *DetEnv) Work(t int, c int64) {
 	e.schedPoint(t)
 }
 
+// IdleUntil advances thread t's clock to deadline without charging
+// execution costs: idle cycles model a thread waiting for external work
+// (an open-loop arrival), so the SMT penalty and jitter — which model
+// contended execution — do not apply. It is a scheduling point, so other
+// threads' effects in the skipped span execute first, in virtual-time
+// order.
+func (e *DetEnv) IdleUntil(t int, deadline int64) {
+	if deadline > e.clocks[t] {
+		e.stats[t].IdleCycles += deadline - e.clocks[t]
+		e.clocks[t] = deadline
+	}
+	e.schedPoint(t)
+}
+
 // Yield charges the yield cost and reschedules.
 func (e *DetEnv) Yield(t int) {
 	e.yieldBook(t)

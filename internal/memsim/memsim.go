@@ -121,6 +121,12 @@ type Env interface {
 	Access(t int, line uint32, write bool)
 	// Work charges thread t for c cycles of local computation.
 	Work(t int, c int64)
+	// IdleUntil parks thread t until its local time reaches deadline — the
+	// open-loop primitive: a thread waiting for its next scheduled arrival
+	// is idle, not computing, so no execution costs (SMT penalty, jitter)
+	// apply to the skipped span. A deadline at or before Now(t) is a no-op
+	// (beyond the scheduling point).
+	IdleUntil(t int, deadline int64)
 	// Yield charges a small cost and (in DetEnv) cedes the virtual CPU; in
 	// RealEnv it calls runtime.Gosched.
 	Yield(t int)
@@ -280,6 +286,10 @@ func (t *Thread) SpinUntilEitherEq(a1 Addr, want1 uint64, a2 Addr, want2 uint64)
 // Work charges c cycles of local computation to the thread.
 func (t *Thread) Work(c int64) { t.env.Work(t.id, c) }
 
+// IdleUntil parks the thread until its local time reaches deadline; see
+// Env.IdleUntil.
+func (t *Thread) IdleUntil(deadline int64) { t.env.IdleUntil(t.id, deadline) }
+
 // Now returns the thread's local time (virtual cycles or wall nanoseconds).
 func (t *Thread) Now() int64 { return t.env.Now(t.id) }
 
@@ -298,6 +308,7 @@ type ThreadStats struct {
 	RemoteMisses    uint64 // coherence misses crossing a socket boundary
 	Yields          uint64 // spin-loop yields
 	WorkCycles      int64  // cycles charged via Work
+	IdleCycles      int64  // cycles skipped via IdleUntil
 }
 
 // Reset zeroes the counters.
@@ -322,4 +333,5 @@ func (s *ThreadStats) Merge(o *ThreadStats) {
 	s.RemoteMisses += o.RemoteMisses
 	s.Yields += o.Yields
 	s.WorkCycles += o.WorkCycles
+	s.IdleCycles += o.IdleCycles
 }

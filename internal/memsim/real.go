@@ -213,6 +213,28 @@ func (e *RealEnv) Work(t int, c int64) {
 	e.stats[t].s.WorkCycles += c
 }
 
+// IdleUntil parks the calling goroutine until wall time reaches deadline
+// (nanoseconds since Run started), sleeping for long waits and yielding
+// through the tail so the wake-up lands close to the deadline.
+func (e *RealEnv) IdleUntil(t int, deadline int64) {
+	start := e.Now(t)
+	if deadline <= start {
+		return
+	}
+	e.stats[t].s.IdleCycles += deadline - start
+	for {
+		remaining := deadline - e.Now(t)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > int64(time.Millisecond) {
+			time.Sleep(time.Duration(remaining) - time.Millisecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
 // Yield cedes the OS thread.
 func (e *RealEnv) Yield(t int) {
 	e.stats[t].s.Yields++

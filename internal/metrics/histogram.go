@@ -126,6 +126,35 @@ func bucketBounds(b int) (lo, hi uint64) {
 	return lo, (uint64(1) << b) - 1
 }
 
+// CountAtOrBelow estimates how many observations are <= v: full buckets
+// below v's bucket count exactly, and the containing bucket contributes by
+// linear interpolation — the inverse of Quantile, used for SLO compliance
+// ("how many ops met the latency objective"). Float math throughout so the
+// top bucket's 2^63-wide range cannot overflow.
+func (s *HistogramSnapshot) CountAtOrBelow(v uint64) uint64 {
+	var cum uint64
+	for b, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		if v >= hi {
+			cum += n
+			continue
+		}
+		if v < lo {
+			break
+		}
+		frac := (float64(v) - float64(lo) + 1) / (float64(hi) - float64(lo) + 1)
+		cum += uint64(frac * float64(n))
+		break
+	}
+	if cum > s.Count {
+		cum = s.Count
+	}
+	return cum
+}
+
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // within the containing log₂ bucket. The estimate is clamped to the exact
 // observed maximum, so Quantile(1) == Max.

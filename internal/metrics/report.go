@@ -14,6 +14,7 @@ type HistStat struct {
 	P50   uint64  `json:"p50"`
 	P90   uint64  `json:"p90"`
 	P99   uint64  `json:"p99"`
+	P999  uint64  `json:"p999"`
 	Max   uint64  `json:"max"`
 }
 
@@ -24,6 +25,7 @@ func statOf(s HistogramSnapshot) HistStat {
 		P50:   s.Quantile(0.50),
 		P90:   s.Quantile(0.90),
 		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
 		Max:   s.Max,
 	}
 }
@@ -40,6 +42,16 @@ type LatencyStat struct {
 type TxStat struct {
 	Outcome string `json:"outcome"`
 	HistStat
+}
+
+// TraceHealth summarizes the flight-recorder's own health: how many spans
+// started, how many survive in the ring buffers, and how many were
+// overwritten. A nonzero Dropped means hot-line and abort-attribution
+// reports describe only the tail of the run.
+type TraceHealth struct {
+	Starts   uint64 `json:"starts"`
+	Retained uint64 `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
 }
 
 // Report is a complete machine-readable account of one instrumented run.
@@ -71,6 +83,14 @@ type Report struct {
 	LockHold HistStat `json:"lock_hold"`
 	// Intervals is the time series.
 	Intervals []Interval `json:"intervals"`
+
+	// Trace, when set, carries flight-recorder health (span starts /
+	// retained / dropped-by-overwrite) so silent span loss shows up in
+	// dashboards, not just in the trace API.
+	Trace *TraceHealth `json:"trace,omitempty"`
+	// SLO, when set, carries the service-level-objective evaluation state
+	// (per-objective compliance, burn rates, verdicts).
+	SLO *SLOSnapshot `json:"slo,omitempty"`
 }
 
 // BuildReport assembles a Report from a recorder and (optionally) a
@@ -156,10 +176,10 @@ func (r *Report) IntervalsCSV() string {
 // per-class merged rows (empty path) included.
 func (r *Report) LatencyCSV() string {
 	var b strings.Builder
-	b.WriteString("class,path,count,mean,p50,p90,p99,max\n")
+	b.WriteString("class,path,count,mean,p50,p90,p99,p999,max\n")
 	row := func(class, path string, h HistStat) {
-		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%d,%d,%d,%d\n",
-			csvEscape(class), csvEscape(path), h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max)
+		fmt.Fprintf(&b, "%s,%s,%d,%.1f,%d,%d,%d,%d,%d\n",
+			csvEscape(class), csvEscape(path), h.Count, h.Mean, h.P50, h.P90, h.P99, h.P999, h.Max)
 	}
 	for _, ls := range r.ClassLatency {
 		row(ls.Class, "", ls.HistStat)
@@ -206,6 +226,7 @@ func (r *Report) Prometheus() string {
 		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.5\"} %d\n", labels, ls.P50)
 		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.9\"} %d\n", labels, ls.P90)
 		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.99\"} %d\n", labels, ls.P99)
+		fmt.Fprintf(&b, "hcf_op_latency{%s,quantile=\"0.999\"} %d\n", labels, ls.P999)
 		fmt.Fprintf(&b, "hcf_op_latency_sum{%s} %.0f\n", labels, ls.Mean*float64(ls.Count))
 		fmt.Fprintf(&b, "hcf_op_latency_count{%s} %d\n", labels, ls.Count)
 	}
@@ -246,6 +267,22 @@ func (r *Report) Prometheus() string {
 	for _, m := range simple {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s{%s} %d\n",
 			m.name, m.help, m.name, m.name, base, m.v)
+	}
+
+	if r.Trace != nil {
+		fmt.Fprintf(&b, "# HELP hcf_trace_spans_started_total Trace spans started.\n")
+		fmt.Fprintf(&b, "# TYPE hcf_trace_spans_started_total counter\n")
+		fmt.Fprintf(&b, "hcf_trace_spans_started_total{%s} %d\n", base, r.Trace.Starts)
+		fmt.Fprintf(&b, "# HELP hcf_trace_spans_retained Trace spans currently held in the flight-recorder rings.\n")
+		fmt.Fprintf(&b, "# TYPE hcf_trace_spans_retained gauge\n")
+		fmt.Fprintf(&b, "hcf_trace_spans_retained{%s} %d\n", base, r.Trace.Retained)
+		fmt.Fprintf(&b, "# HELP hcf_trace_spans_dropped_total Trace spans lost to flight-recorder overwrite; nonzero means hot-line reports cover only the tail of the run.\n")
+		fmt.Fprintf(&b, "# TYPE hcf_trace_spans_dropped_total counter\n")
+		fmt.Fprintf(&b, "hcf_trace_spans_dropped_total{%s} %d\n", base, r.Trace.Dropped)
+	}
+
+	if r.SLO != nil {
+		b.WriteString(r.SLO.Prometheus(base))
 	}
 	return b.String()
 }
@@ -292,34 +329,42 @@ func (r *Report) Text() string {
 
 	if len(r.ClassLatency) > 0 {
 		fmt.Fprintf(&b, "operation latency by class (%s):\n", r.TimeUnit)
-		fmt.Fprintf(&b, "  %-14s %-18s %10s %10s %8s %8s %8s %8s\n",
-			"class", "path", "count", "mean", "p50", "p90", "p99", "max")
+		fmt.Fprintf(&b, "  %-14s %-18s %10s %10s %8s %8s %8s %8s %8s\n",
+			"class", "path", "count", "mean", "p50", "p90", "p99", "p999", "max")
 		for _, ls := range r.ClassLatency {
-			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d\n",
-				ls.Class, "(all)", ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.Max)
+			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d %8d\n",
+				ls.Class, "(all)", ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.P999, ls.Max)
 		}
 		for _, ls := range r.OpLatency {
-			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d\n",
-				ls.Class, ls.Path, ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.Max)
+			fmt.Fprintf(&b, "  %-14s %-18s %10d %10.1f %8d %8d %8d %8d %8d\n",
+				ls.Class, ls.Path, ls.Count, ls.Mean, ls.P50, ls.P90, ls.P99, ls.P999, ls.Max)
 		}
 		b.WriteByte('\n')
 	}
 
 	if len(r.TxLatency) > 0 {
 		fmt.Fprintf(&b, "transaction duration by outcome (%s):\n", r.TimeUnit)
-		fmt.Fprintf(&b, "  %-14s %10s %10s %8s %8s %8s %8s\n",
-			"outcome", "count", "mean", "p50", "p90", "p99", "max")
+		fmt.Fprintf(&b, "  %-14s %10s %10s %8s %8s %8s %8s %8s\n",
+			"outcome", "count", "mean", "p50", "p90", "p99", "p999", "max")
 		for _, ts := range r.TxLatency {
-			fmt.Fprintf(&b, "  %-14s %10d %10.1f %8d %8d %8d %8d\n",
-				ts.Outcome, ts.Count, ts.Mean, ts.P50, ts.P90, ts.P99, ts.Max)
+			fmt.Fprintf(&b, "  %-14s %10d %10.1f %8d %8d %8d %8d %8d\n",
+				ts.Outcome, ts.Count, ts.Mean, ts.P50, ts.P90, ts.P99, ts.P999, ts.Max)
 		}
 		b.WriteByte('\n')
 	}
 
 	if r.LockHold.Count > 0 {
-		fmt.Fprintf(&b, "lock hold time (%s): count %d, mean %.1f, p50 %d, p99 %d, max %d\n",
+		fmt.Fprintf(&b, "lock hold time (%s): count %d, mean %.1f, p50 %d, p99 %d, p999 %d, max %d\n",
 			r.TimeUnit, r.LockHold.Count, r.LockHold.Mean,
-			r.LockHold.P50, r.LockHold.P99, r.LockHold.Max)
+			r.LockHold.P50, r.LockHold.P99, r.LockHold.P999, r.LockHold.Max)
+	}
+
+	if r.Trace != nil {
+		fmt.Fprintf(&b, "trace health: %d spans started, %d retained, %d dropped by overwrite\n",
+			r.Trace.Starts, r.Trace.Retained, r.Trace.Dropped)
+	}
+	if r.SLO != nil {
+		b.WriteString(r.SLO.Text())
 	}
 	return b.String()
 }

@@ -1,9 +1,21 @@
 package metrics
 
+import "sync"
+
+// Gauges are instantaneous (not cumulative) readings attached to an
+// interval sample — the open-loop queueing signals: how many arrived-but-
+// unfinished operations exist (Backlog) and how many of those are past
+// their intended start but not yet being serviced (QueueDepth). Both are
+// zero in closed-loop runs, where captive threads never queue.
+type Gauges struct {
+	Backlog    int64 `json:"backlog,omitempty"`
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+}
+
 // Interval is one time-series sample: the delta of all counters over
-// [Start, End), plus derived rates. Time is in the recorder's TimeUnit
-// (virtual cycles on the deterministic simulator, wall nanoseconds on the
-// real backend).
+// [Start, End), plus derived rates and gauge readings taken at End. Time is
+// in the recorder's TimeUnit (virtual cycles on the deterministic
+// simulator, wall nanoseconds on the real backend).
 type Interval struct {
 	Start int64 `json:"start"`
 	End   int64 `json:"end"`
@@ -11,6 +23,7 @@ type Interval struct {
 	Throughput float64 `json:"throughput"`
 	// CombiningDegree is mean operations per combining session.
 	CombiningDegree float64 `json:"combining_degree"`
+	Gauges
 	Counters
 }
 
@@ -19,13 +32,17 @@ type Interval struct {
 // deterministic simulator any worker works, since snapshots are consistent
 // under cooperative scheduling; on the real backend the counters are
 // atomics, so a sample is a fuzzy-but-monotonic cut, which is what interval
-// metrics want).
+// metrics want). The emitted series may be read concurrently — Intervals
+// returns a copy taken under the sampler's lock, so a live introspection
+// server can stream it mid-run.
 type Sampler struct {
 	rec      *Recorder
 	interval int64
-	lastTime int64
-	last     Counters
+	gauge    func(now int64) Gauges
 
+	mu        sync.Mutex
+	lastTime  int64
+	last      Counters
 	intervals []Interval
 }
 
@@ -43,19 +60,34 @@ func NewSampler(rec *Recorder, interval int64) *Sampler {
 // Interval returns the configured interval length.
 func (s *Sampler) Interval() int64 { return s.interval }
 
+// SetGauge installs a callback invoked at each sample time to read
+// instantaneous gauges (backlog, queue depth). The callback runs on the
+// sampling thread and must not charge simulated cycles. Call before the
+// run starts; it is not synchronized against concurrent sampling.
+func (s *Sampler) SetGauge(fn func(now int64) Gauges) { s.gauge = fn }
+
 // MaybeSample emits an interval record if at least one interval length has
-// elapsed since the previous sample. It returns whether it sampled.
+// elapsed since the previous sample. It returns whether it sampled. A
+// non-monotonic now (earlier than the previous sample) never fires.
 func (s *Sampler) MaybeSample(now int64) bool {
-	if s.interval <= 0 || now-s.lastTime < s.interval {
+	if s.interval <= 0 {
 		return false
 	}
-	s.sample(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now-s.lastTime < s.interval {
+		return false
+	}
+	s.sampleAt(now, s.rec.Counters())
 	return true
 }
 
 // Flush emits a final partial interval covering [lastSample, now) if any
-// operations completed in it.
+// operations completed in it. A zero-length final interval (now at or
+// before the last sample) is a no-op.
 func (s *Sampler) Flush(now int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if now <= s.lastTime {
 		return
 	}
@@ -66,10 +98,7 @@ func (s *Sampler) Flush(now int64) {
 	s.sampleAt(now, cur)
 }
 
-func (s *Sampler) sample(now int64) {
-	s.sampleAt(now, s.rec.Counters())
-}
-
+// sampleAt appends the [lastTime, now) interval; callers hold s.mu.
 func (s *Sampler) sampleAt(now int64, cur Counters) {
 	iv := Interval{
 		Start:    s.lastTime,
@@ -80,10 +109,20 @@ func (s *Sampler) sampleAt(now int64, cur Counters) {
 		iv.Throughput = float64(iv.Ops) * 1e6 / float64(span)
 	}
 	iv.CombiningDegree = iv.Counters.CombiningDegree()
+	if s.gauge != nil {
+		iv.Gauges = s.gauge(now)
+	}
 	s.intervals = append(s.intervals, iv)
 	s.last = cur
 	s.lastTime = now
 }
 
-// Intervals returns the emitted interval records.
-func (s *Sampler) Intervals() []Interval { return s.intervals }
+// Intervals returns a copy of the emitted interval records; safe to call
+// while sampling continues.
+func (s *Sampler) Intervals() []Interval {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Interval, len(s.intervals))
+	copy(out, s.intervals)
+	return out
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSamplerFlushZeroLengthFinal pins the zero-length-final-interval edge:
+// Flush at exactly the last sample time must not emit an empty interval.
+func TestSamplerFlushZeroLengthFinal(t *testing.T) {
+	r := newTestRecorder(t)
+	s := NewSampler(r, 1000)
+	r.RecordOp(0, 0, 0, 10)
+	if !s.MaybeSample(1000) {
+		t.Fatal("expected sample at t=1000")
+	}
+	s.Flush(1000) // zero-length final interval
+	if got := len(s.Intervals()); got != 1 {
+		t.Fatalf("intervals after zero-length flush = %d, want 1", got)
+	}
+	s.Flush(999) // now before the last sample is also a no-op
+	if got := len(s.Intervals()); got != 1 {
+		t.Fatalf("intervals after backwards flush = %d, want 1", got)
+	}
+	// A genuinely later flush with new ops still emits.
+	r.RecordOp(0, 0, 0, 20)
+	s.Flush(1500)
+	ivs := s.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals after real flush = %d, want 2", len(ivs))
+	}
+	if ivs[1].Start != 1000 || ivs[1].End != 1500 || ivs[1].Ops != 1 {
+		t.Fatalf("final interval = %+v", ivs[1])
+	}
+}
+
+// TestSamplerNonMonotonicNow pins MaybeSample against a clock that moves
+// backwards (possible on the real backend across CPU migrations): a now
+// earlier than the previous sample must never fire or corrupt the series.
+func TestSamplerNonMonotonicNow(t *testing.T) {
+	r := newTestRecorder(t)
+	s := NewSampler(r, 1000)
+	r.RecordOp(0, 0, 0, 10)
+	if !s.MaybeSample(2000) {
+		t.Fatal("expected sample at t=2000")
+	}
+	if s.MaybeSample(500) {
+		t.Fatal("sampled at t=500 after sampling at t=2000")
+	}
+	if s.MaybeSample(2500) {
+		t.Fatal("sampled again before a full interval elapsed")
+	}
+	r.RecordOp(0, 0, 0, 10)
+	if !s.MaybeSample(3000) {
+		t.Fatal("expected sample at t=3000")
+	}
+	ivs := s.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d, want 2", len(ivs))
+	}
+	for _, iv := range ivs {
+		if iv.End <= iv.Start {
+			t.Fatalf("non-positive interval emitted: %+v", iv)
+		}
+	}
+}
+
+// TestSamplerConcurrentRecorderWrites drives recorder writes from several
+// goroutines while one samples and another reads Intervals — the live
+// introspection shape, meaningful under -race.
+func TestSamplerConcurrentRecorderWrites(t *testing.T) {
+	r := newTestRecorder(t)
+	s := NewSampler(r, 10)
+	s.SetGauge(func(now int64) Gauges { return Gauges{Backlog: now % 7, QueueDepth: now % 3} })
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.RecordOp(w, i%2, i%2, int64(i%100))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for now := int64(10); now <= 5000; now += 10 {
+			s.MaybeSample(now)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		for _, iv := range s.Intervals() {
+			if iv.End <= iv.Start {
+				t.Errorf("bad interval %+v", iv)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	r.RecordOp(0, 0, 0, 1) // guarantee the final flush has something to emit
+	s.Flush(5005)
+
+	ivs := s.Intervals()
+	if len(ivs) == 0 {
+		t.Fatal("no intervals emitted")
+	}
+	var total uint64
+	for _, iv := range ivs {
+		total += iv.Ops
+	}
+	if total == 0 {
+		t.Fatal("no ops attributed to intervals")
+	}
+	// Gauge plumbing: the callback's values land on the interval.
+	for _, iv := range ivs {
+		if iv.Backlog != iv.End%7 || iv.QueueDepth != iv.End%3 {
+			t.Fatalf("gauges not sampled at End: %+v", iv)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Objective is one service-level objective: at least Target fraction of
+// operations in Class must complete within Threshold time units. The
+// complement, 1-Target, is the error budget — the fraction of slow
+// operations the service is allowed before the objective is violated.
+type Objective struct {
+	// Class names the operation class the objective covers; empty means
+	// all classes merged.
+	Class string `json:"class,omitempty"`
+	// Threshold is the latency bound in the recorder's TimeUnit.
+	Threshold int64 `json:"threshold"`
+	// Target is the required fraction of operations within Threshold,
+	// in (0, 1) — e.g. 0.99 for "99% of finds under 2000 cycles".
+	Target float64 `json:"target"`
+}
+
+// SLOConfig configures burn-rate evaluation over a sampler's interval
+// series. Burn rate is the speed the error budget is being spent: a burn
+// of 1 exhausts the budget exactly at the end of the budget period; a burn
+// of 10 exhausts it 10x early. Alerting keys on TWO windows (Google
+// SRE-style multiwindow alerts): the slow window confirms the problem is
+// sustained, the fast window confirms it is still happening — so a page
+// needs both, which suppresses both one-interval blips and stale pages for
+// incidents already over.
+type SLOConfig struct {
+	Objectives []Objective `json:"objectives"`
+	// FastWindow and SlowWindow are lengths in sampler intervals
+	// (defaults 3 and 12).
+	FastWindow int `json:"fast_window"`
+	SlowWindow int `json:"slow_window"`
+	// PageBurn and WarnBurn are the burn-rate thresholds for the page and
+	// warn states (defaults 10 and 2).
+	PageBurn float64 `json:"page_burn"`
+	WarnBurn float64 `json:"warn_burn"`
+}
+
+func (c *SLOConfig) normalize() {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 3
+	}
+	if c.SlowWindow < c.FastWindow {
+		c.SlowWindow = max(c.FastWindow, 12)
+	}
+	if c.PageBurn <= 0 {
+		c.PageBurn = 10
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = 2
+	}
+}
+
+// SLO alert states, ordered by severity.
+const (
+	SLOStateOK   = "ok"
+	SLOStateWarn = "warn"
+	SLOStatePage = "page"
+)
+
+// Verdict is one journal entry: an objective's alert state changed, with
+// the burn-rate evidence that forced the transition — the same
+// evidence-plus-decision shape the adaptive tuner's journal uses, so a
+// human (or a later PR's controller) can replay why each page fired.
+type Verdict struct {
+	Time      int64   `json:"time"`
+	Class     string  `json:"class,omitempty"`
+	Threshold int64   `json:"threshold"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	Reason    string  `json:"reason"`
+}
+
+// ObjectiveStatus is the live evaluation state of one objective.
+type ObjectiveStatus struct {
+	Objective
+	// Total and Good are cumulative operation counts (Good = within
+	// Threshold).
+	Total uint64 `json:"total"`
+	Good  uint64 `json:"good"`
+	// Compliance is Good/Total (1 when empty).
+	Compliance float64 `json:"compliance"`
+	// BudgetUsed is the fraction of the whole-run error budget consumed:
+	// (1-Compliance)/(1-Target); above 1 the objective is violated.
+	BudgetUsed float64 `json:"budget_used"`
+	// FastBurn and SlowBurn are the windowed burn rates.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	State    string  `json:"state"`
+}
+
+// SLOSnapshot is a point-in-time copy of the tracker: per-objective status
+// plus the verdict journal so far. It is what reports embed and the
+// introspection server serves.
+type SLOSnapshot struct {
+	Config     SLOConfig         `json:"config"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+	Verdicts   []Verdict         `json:"verdicts"`
+}
+
+// objState is the mutable per-objective tracking state.
+type objState struct {
+	class     int // class index, -1 = all classes merged
+	prevTotal uint64
+	prevGood  uint64
+	// ring of per-interval (good, total) deltas, SlowWindow long.
+	goods  []uint64
+	totals []uint64
+	next   int // ring cursor
+	filled int // number of live ring entries
+	cum    ObjectiveStatus
+}
+
+// SLOTracker evaluates objectives against a recorder's latency histograms
+// at sampler cadence. Step must be called from a single driver thread (at
+// the same points MaybeSample fires, so the evaluation is deterministic per
+// seed); Snapshot may be called concurrently from introspection readers.
+type SLOTracker struct {
+	rec *Recorder
+	cfg SLOConfig
+
+	mu       sync.Mutex
+	objs     []*objState
+	verdicts []Verdict
+}
+
+// NewSLOTracker builds a tracker over rec. Objectives naming a class not
+// present in the recorder are rejected.
+func NewSLOTracker(rec *Recorder, cfg SLOConfig) (*SLOTracker, error) {
+	cfg.normalize()
+	if len(cfg.Objectives) == 0 {
+		return nil, fmt.Errorf("metrics: SLO config needs at least one objective")
+	}
+	classes := rec.Classes()
+	t := &SLOTracker{rec: rec, cfg: cfg}
+	for _, o := range cfg.Objectives {
+		if o.Threshold <= 0 {
+			return nil, fmt.Errorf("metrics: SLO threshold must be positive, got %d", o.Threshold)
+		}
+		if o.Target <= 0 || o.Target >= 1 {
+			return nil, fmt.Errorf("metrics: SLO target %v outside (0,1)", o.Target)
+		}
+		ci := -1
+		if o.Class != "" {
+			for i, c := range classes {
+				if c == o.Class {
+					ci = i
+					break
+				}
+			}
+			if ci < 0 {
+				return nil, fmt.Errorf("metrics: SLO objective class %q not in recorder classes %v", o.Class, classes)
+			}
+		}
+		t.objs = append(t.objs, &objState{
+			class:  ci,
+			goods:  make([]uint64, cfg.SlowWindow),
+			totals: make([]uint64, cfg.SlowWindow),
+			cum:    ObjectiveStatus{Objective: o, Compliance: 1, State: SLOStateOK},
+		})
+	}
+	return t, nil
+}
+
+// histFor returns the cumulative latency snapshot an objective evaluates.
+func (t *SLOTracker) histFor(o *objState) HistogramSnapshot {
+	if o.class >= 0 {
+		return t.rec.ClassHistogram(o.class)
+	}
+	var m HistogramSnapshot
+	for c := range t.rec.Classes() {
+		s := t.rec.ClassHistogram(c)
+		m.Merge(&s)
+	}
+	return m
+}
+
+// windowBurn returns the burn rate over the last n ring entries.
+func windowBurn(o *objState, n int, budget float64) float64 {
+	if n > o.filled {
+		n = o.filled
+	}
+	var good, total uint64
+	ring := len(o.goods)
+	for i := 1; i <= n; i++ {
+		idx := (o.next - i + ring) % ring
+		good += o.goods[idx]
+		total += o.totals[idx]
+	}
+	if total == 0 {
+		return 0
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / budget
+}
+
+// Step evaluates every objective at time now, appending a verdict for each
+// alert-state transition. Call it right after the sampler samples.
+func (t *SLOTracker) Step(now int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, o := range t.objs {
+		snap := t.histFor(o)
+		good := snap.CountAtOrBelow(uint64(o.cum.Threshold))
+		dTotal := snap.Count - o.prevTotal
+		dGood := good - o.prevGood
+		o.prevTotal, o.prevGood = snap.Count, good
+
+		o.goods[o.next] = dGood
+		o.totals[o.next] = dTotal
+		o.next = (o.next + 1) % len(o.goods)
+		if o.filled < len(o.goods) {
+			o.filled++
+		}
+
+		budget := 1 - o.cum.Target
+		o.cum.Total = snap.Count
+		o.cum.Good = good
+		o.cum.Compliance = 1
+		if snap.Count > 0 {
+			o.cum.Compliance = float64(good) / float64(snap.Count)
+		}
+		o.cum.BudgetUsed = (1 - o.cum.Compliance) / budget
+		o.cum.FastBurn = windowBurn(o, t.cfg.FastWindow, budget)
+		o.cum.SlowBurn = windowBurn(o, t.cfg.SlowWindow, budget)
+
+		state := SLOStateOK
+		switch {
+		case o.cum.FastBurn >= t.cfg.PageBurn && o.cum.SlowBurn >= t.cfg.PageBurn:
+			state = SLOStatePage
+		case o.cum.FastBurn >= t.cfg.WarnBurn && o.cum.SlowBurn >= t.cfg.WarnBurn:
+			state = SLOStateWarn
+		}
+		if state != o.cum.State {
+			t.verdicts = append(t.verdicts, Verdict{
+				Time:      now,
+				Class:     o.cum.Class,
+				Threshold: o.cum.Threshold,
+				From:      o.cum.State,
+				To:        state,
+				FastBurn:  o.cum.FastBurn,
+				SlowBurn:  o.cum.SlowBurn,
+				Reason: fmt.Sprintf("fast burn %.2f and slow burn %.2f vs warn %.2f / page %.2f",
+					o.cum.FastBurn, o.cum.SlowBurn, t.cfg.WarnBurn, t.cfg.PageBurn),
+			})
+			o.cum.State = state
+		}
+	}
+}
+
+// Snapshot returns a copy of the tracker's state; safe concurrently with
+// Step.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := SLOSnapshot{Config: t.cfg}
+	for _, o := range t.objs {
+		s.Objectives = append(s.Objectives, o.cum)
+	}
+	s.Verdicts = append([]Verdict(nil), t.verdicts...)
+	return s
+}
+
+// Verdicts returns a copy of the verdict journal.
+func (t *SLOTracker) Verdicts() []Verdict {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Verdict(nil), t.verdicts...)
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s *SLOSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot as a human-readable table plus the verdict
+// journal.
+func (s *SLOSnapshot) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo objectives (windows %d/%d intervals, warn %.1fx, page %.1fx):\n",
+		s.Config.FastWindow, s.Config.SlowWindow, s.Config.WarnBurn, s.Config.PageBurn)
+	fmt.Fprintf(&b, "  %-14s %10s %8s %12s %10s %10s %8s %8s %6s\n",
+		"class", "threshold", "target", "compliance", "budget", "fastburn", "slowburn", "total", "state")
+	for _, o := range s.Objectives {
+		class := o.Class
+		if class == "" {
+			class = "(all)"
+		}
+		fmt.Fprintf(&b, "  %-14s %10d %8.4f %12.6f %10.3f %10.2f %8.2f %8d %6s\n",
+			class, o.Threshold, o.Target, o.Compliance, o.BudgetUsed, o.FastBurn, o.SlowBurn, o.Total, o.State)
+	}
+	if len(s.Verdicts) > 0 {
+		fmt.Fprintf(&b, "slo verdicts:\n")
+		for _, v := range s.Verdicts {
+			class := v.Class
+			if class == "" {
+				class = "(all)"
+			}
+			fmt.Fprintf(&b, "  t=%-10d %-14s %s -> %s (%s)\n", v.Time, class, v.From, v.To, v.Reason)
+		}
+	}
+	return b.String()
+}
+
+// Prometheus renders the snapshot in the text exposition format; base is
+// the caller's shared label set (without braces).
+func (s *SLOSnapshot) Prometheus(base string) string {
+	var b strings.Builder
+	label := func(o *ObjectiveStatus) string {
+		class := o.Class
+		if class == "" {
+			class = "all"
+		}
+		return fmt.Sprintf("%s,class=\"%s\",threshold=\"%d\"", base, promEscape(class), o.Threshold)
+	}
+	fmt.Fprintf(&b, "# HELP hcf_slo_compliance Fraction of operations within the objective threshold.\n")
+	fmt.Fprintf(&b, "# TYPE hcf_slo_compliance gauge\n")
+	for i := range s.Objectives {
+		fmt.Fprintf(&b, "hcf_slo_compliance{%s} %.6f\n", label(&s.Objectives[i]), s.Objectives[i].Compliance)
+	}
+	fmt.Fprintf(&b, "# HELP hcf_slo_budget_used Fraction of the error budget consumed (>1 = objective violated).\n")
+	fmt.Fprintf(&b, "# TYPE hcf_slo_budget_used gauge\n")
+	for i := range s.Objectives {
+		fmt.Fprintf(&b, "hcf_slo_budget_used{%s} %.4f\n", label(&s.Objectives[i]), s.Objectives[i].BudgetUsed)
+	}
+	fmt.Fprintf(&b, "# HELP hcf_slo_burn_rate Error-budget burn rate by evaluation window.\n")
+	fmt.Fprintf(&b, "# TYPE hcf_slo_burn_rate gauge\n")
+	for i := range s.Objectives {
+		fmt.Fprintf(&b, "hcf_slo_burn_rate{%s,window=\"fast\"} %.4f\n", label(&s.Objectives[i]), s.Objectives[i].FastBurn)
+		fmt.Fprintf(&b, "hcf_slo_burn_rate{%s,window=\"slow\"} %.4f\n", label(&s.Objectives[i]), s.Objectives[i].SlowBurn)
+	}
+	fmt.Fprintf(&b, "# HELP hcf_slo_state Alert state (0 = ok, 1 = warn, 2 = page).\n")
+	fmt.Fprintf(&b, "# TYPE hcf_slo_state gauge\n")
+	for i := range s.Objectives {
+		n := 0
+		switch s.Objectives[i].State {
+		case SLOStateWarn:
+			n = 1
+		case SLOStatePage:
+			n = 2
+		}
+		fmt.Fprintf(&b, "hcf_slo_state{%s} %d\n", label(&s.Objectives[i]), n)
+	}
+	fmt.Fprintf(&b, "# HELP hcf_slo_verdicts_total Alert-state transitions recorded in the verdict journal.\n")
+	fmt.Fprintf(&b, "# TYPE hcf_slo_verdicts_total counter\n")
+	fmt.Fprintf(&b, "hcf_slo_verdicts_total{%s} %d\n", base, len(s.Verdicts))
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountAtOrBelow(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 100, 1000, 1 << 30} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	cases := []struct {
+		v    uint64
+		want uint64
+	}{
+		{0, 1},               // just the zero
+		{1, 2},               // zero + one
+		{2000, 4},            // everything but 2^30
+		{^uint64(0), 5},      // everything
+		{uint64(1) << 40, 5}, // above the max but below the top bucket bound
+	}
+	for _, c := range cases {
+		if got := s.CountAtOrBelow(c.v); got != c.want {
+			t.Errorf("CountAtOrBelow(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Interpolation inside a bucket: 1024 values spread over [512, 1023]
+	// should split roughly in half at 767.
+	var u Histogram
+	for i := int64(512); i < 1024; i++ {
+		u.Record(i)
+		u.Record(i)
+	}
+	us := u.Snapshot()
+	got := us.CountAtOrBelow(767)
+	if got < 450 || got > 580 {
+		t.Errorf("interpolated CountAtOrBelow(767) = %d, want ~512 of 1024", got)
+	}
+	var empty HistogramSnapshot
+	if empty.CountAtOrBelow(100) != 0 {
+		t.Error("empty snapshot should count zero")
+	}
+}
+
+func sloRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	return MustNew(Config{
+		Shards:   2,
+		Classes:  []string{"find", "insert"},
+		Paths:    []string{"sojourn"},
+		TimeUnit: "cycles",
+	})
+}
+
+func TestSLOTrackerValidation(t *testing.T) {
+	r := sloRecorder(t)
+	if _, err := NewSLOTracker(r, SLOConfig{}); err == nil {
+		t.Error("expected error for no objectives")
+	}
+	bad := []SLOConfig{
+		{Objectives: []Objective{{Class: "find", Threshold: 0, Target: 0.99}}},
+		{Objectives: []Objective{{Class: "find", Threshold: 100, Target: 1}}},
+		{Objectives: []Objective{{Class: "find", Threshold: 100, Target: 0}}},
+		{Objectives: []Objective{{Class: "missing", Threshold: 100, Target: 0.99}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSLOTracker(r, cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestSLOTrackerBurnAndVerdicts(t *testing.T) {
+	r := sloRecorder(t)
+	tr, err := NewSLOTracker(r, SLOConfig{
+		Objectives: []Objective{{Class: "find", Threshold: 1000, Target: 0.9}},
+		FastWindow: 2,
+		SlowWindow: 4,
+		WarnBurn:   2,
+		PageBurn:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: healthy traffic — everything well under threshold.
+	for i := 0; i < 100; i++ {
+		r.RecordOp(0, 0, 0, 10)
+	}
+	tr.Step(1000)
+	s := tr.Snapshot()
+	if got := s.Objectives[0].State; got != SLOStateOK {
+		t.Fatalf("healthy state = %s, want ok", got)
+	}
+	if s.Objectives[0].Compliance != 1 {
+		t.Fatalf("healthy compliance = %v, want 1", s.Objectives[0].Compliance)
+	}
+
+	// Phase 2: sustained badness — every op far above threshold. Budget is
+	// 0.1, bad fraction 1.0 => burn 10 > page threshold 5 in both windows.
+	for step := 0; step < 4; step++ {
+		for i := 0; i < 100; i++ {
+			r.RecordOp(0, 0, 0, 1_000_000)
+		}
+		tr.Step(int64(2000 + step*1000))
+	}
+	s = tr.Snapshot()
+	if got := s.Objectives[0].State; got != SLOStatePage {
+		t.Fatalf("overloaded state = %s, want page (fast %.2f slow %.2f)",
+			got, s.Objectives[0].FastBurn, s.Objectives[0].SlowBurn)
+	}
+	if len(s.Verdicts) == 0 {
+		t.Fatal("no verdicts recorded for ok->page transition")
+	}
+	last := s.Verdicts[len(s.Verdicts)-1]
+	if last.To != SLOStatePage {
+		t.Fatalf("last verdict To = %s, want page", last.To)
+	}
+
+	// Phase 3: recovery — fast window drains first, then slow; state must
+	// come back down and journal the transition.
+	for step := 0; step < 6; step++ {
+		for i := 0; i < 400; i++ {
+			r.RecordOp(0, 0, 0, 10)
+		}
+		tr.Step(int64(6000 + step*1000))
+	}
+	s = tr.Snapshot()
+	if got := s.Objectives[0].State; got != SLOStateOK {
+		t.Fatalf("recovered state = %s, want ok", got)
+	}
+	var sawRecovery bool
+	for _, v := range s.Verdicts {
+		if v.To == SLOStateOK {
+			sawRecovery = true
+		}
+	}
+	if !sawRecovery {
+		t.Fatalf("no recovery verdict in journal: %+v", s.Verdicts)
+	}
+}
+
+func TestSLOAllClassesObjective(t *testing.T) {
+	r := sloRecorder(t)
+	tr, err := NewSLOTracker(r, SLOConfig{
+		Objectives: []Objective{{Threshold: 1000, Target: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordOp(0, 0, 0, 10)      // find, good
+	r.RecordOp(0, 1, 0, 10_000)  // insert, bad
+	r.RecordOp(1, 1, 0, 100_000) // insert, bad
+	tr.Step(1000)
+	s := tr.Snapshot()
+	if s.Objectives[0].Total != 3 {
+		t.Fatalf("merged total = %d, want 3", s.Objectives[0].Total)
+	}
+	if s.Objectives[0].Good != 1 {
+		t.Fatalf("merged good = %d, want 1", s.Objectives[0].Good)
+	}
+}
+
+func TestSLOSnapshotRenderers(t *testing.T) {
+	r := sloRecorder(t)
+	tr, err := NewSLOTracker(r, SLOConfig{
+		Objectives: []Objective{{Class: "find", Threshold: 500, Target: 0.99}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.RecordOp(0, 0, 0, 100_000)
+	}
+	for step := 0; step < 13; step++ {
+		tr.Step(int64((step + 1) * 1000))
+	}
+	snap := tr.Snapshot()
+
+	txt := snap.Text()
+	for _, w := range []string{"slo objectives", "find", "fastburn", "slo verdicts"} {
+		if !strings.Contains(txt, w) {
+			t.Errorf("Text missing %q:\n%s", w, txt)
+		}
+	}
+	if _, err := snap.JSON(); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	prom := snap.Prometheus(`scenario="s",engine="e"`)
+	for _, w := range []string{"hcf_slo_compliance", "hcf_slo_budget_used", "hcf_slo_burn_rate", "hcf_slo_state", "hcf_slo_verdicts_total"} {
+		if !strings.Contains(prom, w) {
+			t.Errorf("Prometheus missing %q", w)
+		}
+	}
+
+	// Report embedding: SLO + trace health flow through Text/Prometheus/JSON.
+	rep := BuildReport(r, nil, "s", "e", 2)
+	rep.SLO = &snap
+	rep.Trace = &TraceHealth{Starts: 10, Retained: 8, Dropped: 2}
+	if txt := rep.Text(); !strings.Contains(txt, "slo objectives") || !strings.Contains(txt, "trace health") {
+		t.Errorf("report Text missing slo/trace sections:\n%s", txt)
+	}
+	if p := rep.Prometheus(); !strings.Contains(p, "hcf_slo_state") || !strings.Contains(p, "hcf_trace_spans_dropped_total") {
+		t.Errorf("report Prometheus missing slo/trace metrics")
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(js), `"slo"`) || !strings.Contains(string(js), `"dropped": 2`) {
+		t.Errorf("report JSON missing slo/trace fields")
+	}
+}
+
+// TestSLOStepConcurrentSnapshot exercises the tracker's lock: Step from a
+// driver goroutine racing Snapshot/Verdicts readers (run under -race).
+func TestSLOStepConcurrentSnapshot(t *testing.T) {
+	r := sloRecorder(t)
+	tr, err := NewSLOTracker(r, SLOConfig{
+		Objectives: []Objective{{Class: "find", Threshold: 100, Target: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.RecordOp(0, 0, 0, int64(i%2000))
+			tr.Step(int64(i))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = tr.Snapshot()
+		_ = tr.Verdicts()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -29,7 +29,7 @@ import (
 // cover every event, so a truncated timeline is never mistaken for a
 // complete one. With Limit == 0 every event is retained.
 //
-// Trace and the counter accessors (Starts, Dropped) are safe for
+// Trace and the counter accessors (Starts, Retained, Dropped) are safe for
 // concurrent use on the real backend. Snapshot methods that walk the
 // retained events (Events, Summary, FormatTimeline, HotLines, SummaryData)
 // must run while no thread is emitting — in practice, after env.Run
@@ -231,13 +231,20 @@ func (c *Collector) Dropped() uint64 {
 	return n
 }
 
-// Retained returns the number of currently retained events.
+// Retained returns the number of currently retained events. It is derived
+// from the atomic per-thread write positions (a full ring retains exactly
+// Limit events), so it is safe to call from any goroutine mid-run.
 func (c *Collector) Retained() int {
 	n := 0
 	for _, s := range c.snapshot() {
-		if s != nil {
-			n += len(s.ring)
+		if s == nil {
+			continue
 		}
+		p := s.pos.Load()
+		if c.Limit > 0 && p > uint64(c.Limit) {
+			p = uint64(c.Limit)
+		}
+		n += int(p)
 	}
 	return n
 }

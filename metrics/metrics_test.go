@@ -78,7 +78,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if !strings.Contains(report.Prometheus(), `scenario="facade-test"`) {
 		t.Error("Prometheus export missing scenario label")
 	}
-	if !strings.Contains(report.CSV(), "class,path,count,mean,p50,p90,p99,max") {
+	if !strings.Contains(report.CSV(), "class,path,count,mean,p50,p90,p99,p999,max") {
 		t.Error("CSV export missing latency header")
 	}
 }

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hcf/internal/adaptive"
+	"hcf/internal/harness"
+	"hcf/internal/metrics"
+	"hcf/internal/trace"
+)
+
+// get fetches path from the test handler and returns (status, body).
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw.Code, rw.Body.String()
+}
+
+func TestEndpointsUnconfigured(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	if code, body := get(t, h, "/debug"); code != 200 || !strings.Contains(body, "/debug/metrics") {
+		t.Fatalf("index: code %d body %q", code, body)
+	}
+	for _, ep := range []string{
+		"/debug/metrics", "/debug/intervals", "/debug/slo",
+		"/debug/shards", "/debug/sojourn", "/debug/hotlines", "/debug/journal",
+	} {
+		if code, _ := get(t, h, ep); code != http.StatusNotFound {
+			t.Errorf("%s without provider: code %d, want 404", ep, code)
+		}
+	}
+	// vars always answers, with zero values.
+	code, body := get(t, h, "/debug/vars")
+	if code != 200 {
+		t.Fatalf("vars: code %d", code)
+	}
+	var v Vars
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("vars JSON: %v", err)
+	}
+}
+
+func TestEndpointsWithProviders(t *testing.T) {
+	s := New()
+	h := s.Handler()
+
+	rec, err := metrics.New(metrics.Config{Shards: 2, Classes: []string{"a", "b"}, TimeUnit: "cycles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.RecordOp(0, 0, 0, 100)
+	rec.RecordOp(1, 1, 0, 300)
+	sampler := metrics.NewSampler(rec, 50)
+	sampler.Flush(100)
+	s.SetMeta("scenario-x", "HCF", 2)
+	s.SetReport(func() *metrics.Report {
+		rep := metrics.BuildReport(rec, sampler, "scenario-x", "HCF", 2)
+		return &rep
+	})
+	tr, err := metrics.NewSLOTracker(rec, metrics.SLOConfig{
+		Objectives: []metrics.Objective{{Threshold: 1000, Target: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Step(100)
+	s.SetSLO(func() *metrics.SLOSnapshot {
+		snap := tr.Snapshot()
+		return &snap
+	})
+	s.SetShards(func() []metrics.GroupCounters {
+		return []metrics.GroupCounters{{Group: "shard0", Ops: 7}}
+	})
+	s.SetSojourn(func() []ClassLatency {
+		return []ClassLatency{classLatencyOf("a", rec.ClassHistogram(0))}
+	})
+	s.SetJournal(&adaptive.Journal{})
+	s.PublishHotLines([]trace.HotLine{{Line: 42, Aborts: 3, TopWriter: 1, TopWriterAborts: 2}})
+	s.SetBacklog(func() int64 { return 5 })
+	s.SetTraceHealth(func() *metrics.TraceHealth {
+		return &metrics.TraceHealth{Starts: 2, Retained: 2}
+	})
+
+	code, body := get(t, h, "/debug/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: code %d", code)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if rep.Scenario != "scenario-x" || rep.Totals.Ops != 2 {
+		t.Fatalf("metrics content: %+v", rep.Totals)
+	}
+	if code, body := get(t, h, "/debug/metrics?format=prom"); code != 200 ||
+		!strings.Contains(body, "hcf_ops_total") || !strings.Contains(body, `quantile="0.999"`) {
+		t.Fatalf("prom format: code %d body %.200q", code, body)
+	}
+	if code, body := get(t, h, "/debug/metrics?format=text"); code != 200 || !strings.Contains(body, "p999") {
+		t.Fatalf("text format: code %d body %.200q", code, body)
+	}
+
+	code, body = get(t, h, "/debug/intervals")
+	var ivs []metrics.Interval
+	if err := json.Unmarshal([]byte(body), &ivs); err != nil || code != 200 || len(ivs) == 0 {
+		t.Fatalf("intervals: code %d err %v n %d", code, err, len(ivs))
+	}
+
+	code, body = get(t, h, "/debug/slo")
+	var snap metrics.SLOSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || code != 200 || len(snap.Objectives) != 1 {
+		t.Fatalf("slo: code %d err %v", code, err)
+	}
+	if code, body := get(t, h, "/debug/slo?format=prom"); code != 200 || !strings.Contains(body, "hcf_slo_compliance") {
+		t.Fatalf("slo prom: code %d body %.200q", code, body)
+	}
+
+	code, body = get(t, h, "/debug/shards")
+	var groups []metrics.GroupCounters
+	if err := json.Unmarshal([]byte(body), &groups); err != nil || code != 200 ||
+		len(groups) != 1 || groups[0].Group != "shard0" {
+		t.Fatalf("shards: code %d err %v body %q", code, err, body)
+	}
+
+	code, body = get(t, h, "/debug/sojourn")
+	var rows []ClassLatency
+	if err := json.Unmarshal([]byte(body), &rows); err != nil || code != 200 ||
+		len(rows) != 1 || rows[0].Class != "a" || rows[0].Count != 1 {
+		t.Fatalf("sojourn: code %d err %v body %q", code, err, body)
+	}
+
+	code, body = get(t, h, "/debug/hotlines")
+	var hls []trace.HotLine
+	if err := json.Unmarshal([]byte(body), &hls); err != nil || code != 200 ||
+		len(hls) != 1 || hls[0].Line != 42 {
+		t.Fatalf("hotlines: code %d err %v body %q", code, err, body)
+	}
+
+	code, body = get(t, h, "/debug/journal")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty journal: code %d body %q", code, body)
+	}
+	if code, _ := get(t, h, "/debug/journal?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n: code %d", code)
+	}
+	if code, _ := get(t, h, "/debug/journal?n=2"); code != 200 {
+		t.Fatalf("journal tail: code %d", code)
+	}
+
+	code, body = get(t, h, "/debug/vars")
+	var v Vars
+	if err := json.Unmarshal([]byte(body), &v); err != nil || code != 200 {
+		t.Fatalf("vars: code %d err %v", code, err)
+	}
+	if v.Scenario != "scenario-x" || v.Backlog != 5 || v.Trace == nil || v.Trace.Starts != 2 {
+		t.Fatalf("vars content: %+v", v)
+	}
+}
+
+// tickProbe wraps the server observer and, on every driver tick, issues
+// synchronous HTTP requests against the live server — guaranteeing the
+// endpoints are exercised WHILE the simulated run is in flight, not just
+// before or after. The requests block wall-clock time but charge no
+// simulated cycles, so they must not change results.
+type tickProbe struct {
+	*Server
+	base   string
+	t      *testing.T
+	midRun int
+	bodies map[string]string
+	mu     sync.Mutex
+	eps    []string
+}
+
+func (p *tickProbe) OpenLoopTick(now int64) {
+	p.Server.OpenLoopTick(now)
+	eps := p.eps
+	if eps == nil {
+		eps = []string{
+			"/debug/metrics", "/debug/intervals", "/debug/slo",
+			"/debug/shards", "/debug/sojourn", "/debug/hotlines", "/debug/vars",
+		}
+	}
+	for _, ep := range eps {
+		resp, err := http.Get(p.base + ep)
+		if err != nil {
+			p.t.Errorf("mid-run GET %s: %v", ep, err)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			p.t.Errorf("mid-run GET %s: status %d body %q", ep, resp.StatusCode, body)
+			continue
+		}
+		var js any
+		if err := json.Unmarshal(body, &js); err != nil {
+			p.t.Errorf("mid-run GET %s: invalid JSON: %v", ep, err)
+			continue
+		}
+		p.mu.Lock()
+		p.midRun++
+		p.bodies[ep] = string(body)
+		p.mu.Unlock()
+	}
+}
+
+// TestOpenLoopBitIdentityWithServer is the acceptance gate for the live
+// introspection server: an open-loop run with the server attached and its
+// endpoints actively hammered mid-run produces BIT-IDENTICAL results to
+// the same run with no server at all.
+func TestOpenLoopBitIdentityWithServer(t *testing.T) {
+	sc := harness.OpenLoopScenario()
+	cfg := harness.Config{Horizon: 150_000, Seed: 1}
+	ol := harness.OpenLoopConfig{Rate: 12_000, TraceLimit: 64}
+
+	bare, bareRep, err := harness.RunPointOpenLoop(sc, "HCF", 8, cfg, ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	probe := &tickProbe{Server: srv, base: "http://" + addr, t: t, bodies: map[string]string{}}
+
+	// Concurrent host-side hammering for race coverage on top of the
+	// deterministic tick probes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + addr + "/debug/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	olServed := ol
+	olServed.Observer = probe
+	served, servedRep, err := harness.RunPointOpenLoop(sc, "HCF", 8, cfg, olServed)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if probe.midRun == 0 {
+		t.Fatal("no successful mid-run endpoint responses — the server was not live during the run")
+	}
+
+	bareJSON, err := json.Marshal(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedJSON, err := json.Marshal(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bareJSON) != string(servedJSON) {
+		t.Fatalf("server perturbation detected:\n--- bare ---\n%s\n--- served ---\n%s", bareJSON, servedJSON)
+	}
+	bareRepJSON, err := bareRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedRepJSON, err := servedRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bareRepJSON) != string(servedRepJSON) {
+		t.Fatal("full metrics reports differ between served and bare runs")
+	}
+
+	// The mid-run payloads are real live data, not empty shells.
+	var v Vars
+	if err := json.Unmarshal([]byte(probe.bodies["/debug/vars"]), &v); err != nil {
+		t.Fatalf("mid-run vars: %v", err)
+	}
+	if v.Now == 0 || v.Engine != "HCF" {
+		t.Fatalf("mid-run vars not live: %+v", v)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal([]byte(probe.bodies["/debug/metrics"]), &rep); err != nil {
+		t.Fatalf("mid-run metrics: %v", err)
+	}
+	if rep.Totals.Ops == 0 {
+		t.Fatal("mid-run metrics snapshot has zero ops")
+	}
+	var rows []ClassLatency
+	if err := json.Unmarshal([]byte(probe.bodies["/debug/sojourn"]), &rows); err != nil {
+		t.Fatalf("mid-run sojourn: %v", err)
+	}
+	if len(rows) == 0 || rows[0].Count == 0 {
+		t.Fatal("mid-run sojourn snapshot empty")
+	}
+}
+
+// TestOpenLoopShardedEndpoints runs the sharded engine (which has no trace
+// support but a grouped recorder) with the server attached: bit-identity
+// must hold and the per-shard endpoint must carry live data mid-run.
+func TestOpenLoopShardedEndpoints(t *testing.T) {
+	sc := harness.OpenLoopScenario()
+	cfg := harness.Config{Horizon: 150_000, Seed: 1}
+	ol := harness.OpenLoopConfig{Rate: 12_000}
+
+	bare, _, err := harness.RunPointOpenLoop(sc, harness.ShardedEngineName, 8, cfg, ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	probe := &tickProbe{
+		Server: srv, base: "http://" + addr, t: t, bodies: map[string]string{},
+		eps: []string{"/debug/metrics", "/debug/shards", "/debug/vars"},
+	}
+	ol.Observer = probe
+	served, _, err := harness.RunPointOpenLoop(sc, harness.ShardedEngineName, 8, cfg, ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareJSON, _ := json.Marshal(bare)
+	servedJSON, _ := json.Marshal(served)
+	if string(bareJSON) != string(servedJSON) {
+		t.Fatalf("server perturbation on sharded run:\n%s\nvs\n%s", bareJSON, servedJSON)
+	}
+	var groups []metrics.GroupCounters
+	if err := json.Unmarshal([]byte(probe.bodies["/debug/shards"]), &groups); err != nil {
+		t.Fatalf("mid-run shards: %v", err)
+	}
+	if len(groups) < 2 {
+		t.Fatalf("sharded run exposed %d shard groups, want >= 2", len(groups))
+	}
+	var ops uint64
+	for _, g := range groups {
+		ops += g.Ops
+	}
+	if ops == 0 {
+		t.Fatal("per-shard counters all zero mid-run")
+	}
+	// hotlines stays unpublished without tracing.
+	if code, _ := get(t, srv.Handler(), "/debug/hotlines"); code != http.StatusNotFound {
+		t.Fatalf("hotlines without tracing: code %d, want 404", code)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := New()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != addr {
+		t.Fatalf("Addr %q != bound %q", s.Addr(), addr)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index over TCP: %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if s.Addr() != "" {
+		t.Fatalf("Addr after close: %q", s.Addr())
+	}
+}
