@@ -19,6 +19,14 @@
 //	hcfbench -fig openloop -out bench/OPENLOOP_sweep.jsonl
 //	hcfbench -fig openloop -openloop-baseline bench/OPENLOOP_sweep.jsonl
 //	hcfbench -fig openloop -serve 127.0.0.1:7070      # live /debug endpoints
+//
+// So does the native backend's wall-clock sweep — the direct-atomics
+// HCF engine against sync.Mutex, sync.RWMutex and sync.Map:
+//
+//	hcfbench -fig native                              # table to stdout
+//	hcfbench -fig native -out bench/BENCH_native.json # record for the CI gate
+//	hcfbench -fig native -native-baseline bench/BENCH_native.json
+//	hcfbench -fig native -threads 1,2,4,8 -native-dur 300
 package main
 
 import (
@@ -101,6 +109,8 @@ func run(args []string) error {
 		outPath  = fs.String("out", "", "write the -fig openloop sweep as JSONL to this file (in addition to stdout rendering)")
 		olBase   = fs.String("openloop-baseline", "", "compare the -fig openloop sweep against this JSONL baseline; exit non-zero if any matching point's sojourn p99 regressed by more than 25%")
 		serveAt  = fs.String("serve", "", "host:port for live introspection endpoints during the -fig openloop run (forces serial point order)")
+		natDur   = fs.Int("native-dur", 150, "measured window per point in milliseconds (-fig native only)")
+		natBase  = fs.String("native-baseline", "", "compare the -fig native sweep against this BENCH_native.json; exit non-zero when any point regresses more than 2x below the median fresh/baseline ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,6 +178,9 @@ func run(args []string) error {
 	if *figID == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -fig (or -list)")
+	}
+	if *figID == "native" {
+		return runNative(*threads, *natDur, *jsonFlg, *outPath, *natBase)
 	}
 	if *figID == "openloop" && !*realFlg {
 		return runOpenLoop(*threads, *engs, *rates, *horizon, *seed, *parallel,
@@ -347,6 +360,60 @@ func runBench(figID, threadsCSV, engsCSV string, horizon int64, seed uint64, par
 			return fmt.Errorf("host-throughput regression: %.1f sim Mcycles/s is %.0f%% of baseline %.1f",
 				rec.SimMcyclesPerHostSec, 100*rec.Baseline.Speedup, rec.Baseline.SimMcyclesPerHostSec)
 		}
+	}
+	return nil
+}
+
+// runNative is the -fig native pipeline: a wall-clock sweep of the
+// native (direct-atomics) HCF backend against sync.Mutex, sync.RWMutex
+// and sync.Map across goroutine counts and read/write mixes. With -out
+// the record (bench/BENCH_native.json) is written for the CI smoke gate;
+// with -native-baseline the fresh sweep is compared against a checked-in
+// record using median-normalized point ratios, so the gate survives the
+// baseline having been recorded on different hardware.
+func runNative(threadsCSV string, durMS int, jsonFlg bool, outPath, basePath string) error {
+	opts := harness.NativeOptions{Duration: time.Duration(durMS) * time.Millisecond}
+	if threadsCSV != "" {
+		gs, err := parseInts(threadsCSV)
+		if err != nil {
+			return err
+		}
+		opts.Goroutines = gs
+	}
+	rep, err := harness.RunNativeSweep(opts)
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("native: %d points in %.1fs -> %s\n", len(rep.Points), rep.WallSec, outPath)
+	}
+	if jsonFlg {
+		fmt.Print(string(out))
+	} else {
+		fmt.Print(harness.FormatNativeReport(rep))
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("native baseline: %w", err)
+		}
+		base, err := harness.ParseNativeReport(data)
+		if err != nil {
+			return fmt.Errorf("native baseline %s: %w", basePath, err)
+		}
+		matched, err := harness.CompareNativeBaseline(rep, base, 2)
+		if err != nil {
+			return fmt.Errorf("native baseline %s: %w", basePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "native: %d points within 2x of the median ratio vs %s\n", matched, basePath)
 	}
 	return nil
 }

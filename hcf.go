@@ -48,6 +48,7 @@ import (
 	"hcf/internal/memsim"
 	"hcf/internal/shard"
 	"hcf/metrics"
+	"hcf/native"
 	"hcf/serve"
 	"hcf/tracing"
 )
@@ -158,6 +159,43 @@ const CrossShard = shard.CrossShard
 
 // NewSharded builds a sharded HCF engine over env.
 func NewSharded(env Env, cfg ShardedConfig) (*Sharded, error) { return shard.New(env, cfg) }
+
+// Native wall-clock backend: the same speculation-then-combining pipeline
+// re-targeted at direct Go atomics — a seqlock-validated optimistic read
+// path standing in for HTM, budgeted CAS-acquire write speculation, and
+// flat combining through cache-padded publication slots with parked
+// waiters. Policies carry the same per-class knobs as the simulated
+// framework (TryPrivate budget, MaxBatch, ShouldHelp, RunMulti). See the
+// hcf/native package and docs/PERFORMANCE.md ("Native backend").
+type (
+	// NativeFramework is the native HCF engine.
+	NativeFramework = native.Framework
+	// NativeHandle is a per-goroutine participant handle.
+	NativeHandle = native.Handle
+	// NativeOp is one native data-structure operation.
+	NativeOp = native.Op
+	// NativePolicy configures one native operation class.
+	NativePolicy = native.Policy
+	// NativeConfig configures a NativeFramework.
+	NativeConfig = native.Config
+	// NativeMetrics aggregates native framework counters.
+	NativeMetrics = native.Metrics
+	// NativeMap is the ready-made native concurrent uint64->uint64 map.
+	NativeMap = native.Map
+	// NativePQueue is the ready-made native concurrent priority queue.
+	NativePQueue = native.PQueue
+)
+
+// NewNative builds a native (wall-clock, direct-atomics) HCF framework.
+func NewNative(cfg NativeConfig) (*NativeFramework, error) { return native.New(cfg) }
+
+// NewNativeMap builds a native combining hash map with at least capacity
+// slots.
+func NewNativeMap(capacity int) (*NativeMap, error) { return native.NewMap(capacity) }
+
+// NewNativePQueue builds a native combining priority queue holding at
+// most capacity keys.
+func NewNativePQueue(capacity int) (*NativePQueue, error) { return native.NewPQueue(capacity) }
 
 // Adaptive-tuning types (the paper's §2.4 future-work mechanism): an
 // AdaptiveController periodically re-tunes a Framework's per-class

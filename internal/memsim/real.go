@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // realPage is one arena page of the real-concurrency backend.
@@ -29,10 +30,17 @@ type RealConfig struct {
 	Threads int
 }
 
-// RealEnv is the real-concurrency backend: cells are seqlock-protected
-// atomics, Yield maps to runtime.Gosched, and Now measures wall-clock
-// nanoseconds. It is used for wall-clock benchmarks and race-detector stress
-// tests; the paper-figure experiments run on DetEnv.
+// RealEnv is the *instrumented* real-concurrency backend: cells are
+// seqlock-protected atomics, Yield maps to runtime.Gosched, and Now
+// measures wall-clock nanoseconds, but every access still routes through
+// the Env interface and maintains stats, last-writer tracking and
+// TL2-style meta words. That instrumentation is what race-detector
+// stress tests and wall-clock sanity runs of the simulated engines need
+// — and exactly what a production fast path cannot afford. The
+// production wall-clock backend is internal/native (exposed as
+// hcf.NewNative), which drops the Env indirection entirely and runs
+// operations over direct atomics. The paper-figure experiments run on
+// DetEnv.
 type RealEnv struct {
 	n     int
 	pages atomic.Pointer[[]*realPage]
@@ -48,10 +56,12 @@ type RealEnv struct {
 	start atomic.Int64 // Run start, ns
 }
 
-// paddedStats avoids false sharing between per-thread counters.
+// paddedStats avoids false sharing between per-thread counters: the pad
+// is computed from the live ThreadStats size so adding a counter field
+// cannot silently put two threads' stats on one cache line.
 type paddedStats struct {
 	s ThreadStats
-	_ [64 - 8]byte
+	_ [(64 - unsafe.Sizeof(ThreadStats{})%64) % 64]byte
 }
 
 var _ Env = (*RealEnv)(nil)

@@ -1,0 +1,108 @@
+package memsim
+
+// Focused race coverage for RealEnv's allocator: concurrent Alloc/Free
+// traffic forces repeated arena growth (growTo swaps the page-table
+// pointer under allocMu) while other goroutines hammer word and meta
+// accessors on already-published spans. The page-table handoff relies on
+// atomic.Pointer publication — a reader that learned an address through
+// any atomic cell must observe a page table containing its page — and
+// this test is the -race witness for that argument.
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRealEnvAllocGrowthRace runs allocators against accessors across
+// several page boundaries. Run under -race (CI does).
+func TestRealEnvAllocGrowthRace(t *testing.T) {
+	const (
+		allocators = 4
+		accessors  = 4
+		spansEach  = 1000
+		spanWords  = 32 // 1000*4*32 words ≈ 7 pages, ~half recycled via Free
+	)
+	e := NewReal(RealConfig{Threads: allocators + accessors})
+
+	// published is a ring of Pack(addr, spanWords) entries the accessors
+	// sample; slot 0 is filled before workers start so every accessor
+	// always has a target.
+	var published [256]atomic.Uint64
+	var pubIdx atomic.Uint64
+	first := e.Alloc(spanWords)
+	published[0].Store(uint64(first)<<8 | spanWords)
+
+	var allocWg, accWg sync.WaitGroup
+	for g := 0; g < allocators; g++ {
+		allocWg.Add(1)
+		go func(g int) {
+			defer allocWg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 0xA110C))
+			for i := 0; i < spansEach; i++ {
+				a := e.Alloc(spanWords)
+				for w := 0; w < spanWords; w++ {
+					e.StoreWord(a+Addr(w), uint64(a)+uint64(w))
+				}
+				for w := 0; w < spanWords; w++ {
+					if got := e.LoadWord(a + Addr(w)); got != uint64(a)+uint64(w) {
+						t.Errorf("span %d word %d: read %d", a, w, got)
+						return
+					}
+				}
+				slot := pubIdx.Add(1) % uint64(len(published))
+				old := published[slot].Swap(uint64(a)<<8 | spanWords)
+				// Recycle the span we displaced: it is no longer published,
+				// but accessors that sampled it may still touch it — legal,
+				// since freed arena memory stays valid and atomic.
+				if old != 0 && rng.IntN(2) == 0 {
+					e.Free(Addr(old>>8), int(old&0xFF))
+				}
+			}
+		}(g)
+	}
+	var stop atomic.Bool
+	for g := 0; g < accessors; g++ {
+		accWg.Add(1)
+		go func(g int) {
+			defer accWg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 0xACCE55))
+			tid := allocators + g
+			for !stop.Load() {
+				p := published[rng.IntN(len(published))].Load()
+				if p == 0 {
+					continue
+				}
+				a := Addr(p >> 8)
+				span := int(p & 0xFF)
+				w := a + Addr(rng.IntN(span))
+				line := LineOf(w)
+				switch rng.IntN(5) {
+				case 0:
+					e.LoadWord(w)
+				case 1:
+					e.StoreWord(w, uint64(w))
+				case 2:
+					e.LoadMeta(line)
+				case 3:
+					if m := e.LoadMeta(line); e.CASMeta(line, m, m+2) {
+						e.StoreMeta(tid, line, m)
+					}
+				default:
+					e.Access(tid, line, rng.IntN(2) == 0)
+				}
+			}
+		}(g)
+	}
+	// Accessors run for the allocators' whole lifetime, so every growth
+	// event races against live accessor traffic.
+	allocWg.Wait()
+	stop.Store(true)
+	accWg.Wait()
+
+	// Growth actually happened: the arena must span several pages now.
+	if pages := len(*e.pages.Load()); pages < 3 {
+		t.Fatalf("arena grew to only %d pages; the test no longer exercises growth", pages)
+	}
+}

@@ -1,0 +1,50 @@
+package native
+
+import "testing"
+
+// Zero-allocation gates for the submit fast paths. Steady-state
+// operation submission must not allocate: operations are value structs,
+// publication slots and combiner scratch are preallocated at Handle
+// time, and parking channels are created once per slot. A regression
+// here silently destroys the wall-clock wins the backend exists for.
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, avg)
+	}
+}
+
+func TestExecuteAllocFree(t *testing.T) {
+	pols, _ := counterPolicies(8)
+	f, err := New(Config{Policies: pols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.MustHandle()
+	defer h.Release()
+	// Uncontended: every op completes on a speculative path.
+	requireZeroAllocs(t, "spec write hit", func() { h.Execute(Op{Class: 0, A: 1}) })
+	requireZeroAllocs(t, "spec read hit", func() { h.Execute(Op{Class: 1}) })
+	m := f.Metrics()
+	if m.SpecReadHits == 0 || m.SpecWriteHits == 0 {
+		t.Fatalf("fast paths not exercised: %+v", m)
+	}
+}
+
+func TestCombinedApplyAllocFree(t *testing.T) {
+	// Zero budget forces announce -> self-combine on every op: the full
+	// slot protocol plus a combiner session, still allocation-free.
+	pols, _ := counterPolicies(0)
+	f, err := New(Config{Policies: pols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.MustHandle()
+	defer h.Release()
+	h.Execute(Op{Class: 0, A: 1}) // warm the path once
+	requireZeroAllocs(t, "combined self-apply", func() { h.Execute(Op{Class: 0, A: 1}) })
+	if m := f.Metrics(); m.CombinerSessions == 0 {
+		t.Fatalf("combining path not exercised: %+v", m)
+	}
+}

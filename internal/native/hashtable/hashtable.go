@@ -1,0 +1,173 @@
+// Package hashtable is a fixed-capacity open-addressing uint64->uint64
+// hash table for the native HCF backend: all cells are atomics, so the
+// framework's optimistic-read speculation may scan it concurrently with
+// a writer and rely on seqlock validation to discard stale views.
+package hashtable
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"hcf/internal/native"
+)
+
+// Operation classes, indexing the slice Policies returns.
+const (
+	// ClassGet looks a key up (read-only).
+	ClassGet = iota
+	// ClassPut inserts or updates a key.
+	ClassPut
+	// ClassDelete removes a key.
+	ClassDelete
+)
+
+// Key cell encoding: 0 = never used, tombstone = deleted, else key+1.
+// External keys must therefore be below MaxKey.
+const (
+	tombstone = ^uint64(0)
+	// MaxKey is the largest storable key.
+	MaxKey = tombstone - 2
+)
+
+// Table is the open-addressing table. Writers (Put/Delete) run only
+// inside the framework's seqlock critical sections, so they are mutually
+// exclusive; readers may run anywhere.
+type Table struct {
+	shift uint
+	mask  uint64
+	keys  []atomic.Uint64
+	vals  []atomic.Uint64
+	// size is written under the seqlock only and never read by the
+	// optimistic path, so a plain word suffices (the seqlock's
+	// acquire/release edges order it across writers).
+	size uint64
+}
+
+// New creates a table with at least capacity slots (rounded up to a
+// power of two). The table never resizes; Put panics when it fills, so
+// size it to comfortably exceed the live key count (2x is plenty: load
+// factor stays below 1/2 and probes stay short).
+func New(capacity int) *Table {
+	if capacity < 2 {
+		capacity = 2
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	t := &Table{
+		shift: uint(64 - bits.Len(uint(n-1))),
+		mask:  uint64(n - 1),
+		keys:  make([]atomic.Uint64, n),
+		vals:  make([]atomic.Uint64, n),
+	}
+	return t
+}
+
+// Len returns the number of live keys. Call only while quiescent or
+// under the framework's lock.
+func (t *Table) Len() int { return int(t.size) }
+
+// hash spreads k with a Fibonacci multiply; the top bits index the table.
+func (t *Table) hash(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+// Get returns Pack(value, found). Safe under optimistic speculation: the
+// probe loop is bounded by the table size on any stale view.
+func (t *Table) Get(k uint64) uint64 {
+	i := t.hash(k)
+	want := k + 1
+	for probes := uint64(0); probes <= t.mask; probes++ {
+		ks := t.keys[i].Load()
+		if ks == 0 {
+			return native.Pack(0, false)
+		}
+		if ks == want {
+			return native.Pack(t.vals[i].Load(), true)
+		}
+		i = (i + 1) & t.mask
+	}
+	return native.Pack(0, false)
+}
+
+// Put inserts or updates k and returns Pack(previous value, replaced).
+// Must run with the structure lock held (writer-exclusive).
+func (t *Table) Put(k, v uint64) uint64 {
+	i := t.hash(k)
+	want := k + 1
+	haveFree := false // first tombstone seen during the probe, if any
+	freeIdx := uint64(0)
+	for probes := uint64(0); probes <= t.mask; probes++ {
+		ks := t.keys[i].Load()
+		if ks == want {
+			old := t.vals[i].Load()
+			t.vals[i].Store(v)
+			return native.Pack(old, true)
+		}
+		if ks == tombstone && !haveFree {
+			haveFree, freeIdx = true, i
+		}
+		if ks == 0 {
+			if !haveFree {
+				freeIdx = i
+			}
+			t.vals[freeIdx].Store(v)
+			t.keys[freeIdx].Store(want)
+			t.size++
+			return native.Pack(0, false)
+		}
+		i = (i + 1) & t.mask
+	}
+	if haveFree {
+		t.vals[freeIdx].Store(v)
+		t.keys[freeIdx].Store(want)
+		t.size++
+		return native.Pack(0, false)
+	}
+	panic(fmt.Sprintf("hashtable: table full (%d slots)", t.mask+1))
+}
+
+// Delete removes k and returns PackBool(found). Must run with the
+// structure lock held (writer-exclusive).
+func (t *Table) Delete(k uint64) uint64 {
+	i := t.hash(k)
+	want := k + 1
+	for probes := uint64(0); probes <= t.mask; probes++ {
+		ks := t.keys[i].Load()
+		if ks == 0 {
+			return native.PackBool(false)
+		}
+		if ks == want {
+			t.keys[i].Store(tombstone)
+			t.size--
+			return native.PackBool(true)
+		}
+		i = (i + 1) & t.mask
+	}
+	return native.PackBool(false)
+}
+
+// GetOp, PutOp and DeleteOp build operations for the framework.
+func GetOp(k uint64) native.Op    { return native.Op{Class: ClassGet, A: k} }
+func PutOp(k, v uint64) native.Op { return native.Op{Class: ClassPut, A: k, B: v} }
+func DeleteOp(k uint64) native.Op { return native.Op{Class: ClassDelete, A: k} }
+
+// Policies returns the three-class policy set wiring t onto a native
+// framework: optimistic-read Gets, CAS-acquire Puts/Deletes, help-all
+// combining. tryPrivate budgets speculation per class; maxBatch bounds
+// the combiner's batches (0 = framework default).
+func (t *Table) Policies(tryPrivate, maxBatch int) []native.Policy {
+	return []native.Policy{
+		ClassGet: {
+			Name: "Get", ReadOnly: true, TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return t.Get(op.A) },
+		},
+		ClassPut: {
+			Name: "Put", TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return t.Put(op.A, op.B) },
+		},
+		ClassDelete: {
+			Name: "Delete", TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return t.Delete(op.A) },
+		},
+	}
+}

@@ -1,0 +1,99 @@
+package hashtable
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"hcf/internal/native"
+)
+
+func TestSequentialAgainstMap(t *testing.T) {
+	tb := New(256)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64N(100)
+		switch rng.IntN(3) {
+		case 0:
+			v := rng.Uint64() >> 1 // results are Pack'd: 63-bit values
+			gotPrev, gotRepl := native.Unpack(tb.Put(k, v))
+			wantPrev, wantRepl := model[k], false
+			if _, ok := model[k]; ok {
+				wantRepl = true
+			}
+			model[k] = v
+			if gotRepl != wantRepl || (wantRepl && gotPrev != wantPrev) {
+				t.Fatalf("Put(%d): got (%d,%v), want (%d,%v)", k, gotPrev, gotRepl, wantPrev, wantRepl)
+			}
+		case 1:
+			got := native.UnpackBool(tb.Delete(k))
+			_, want := model[k]
+			delete(model, k)
+			if got != want {
+				t.Fatalf("Delete(%d): got %v, want %v", k, got, want)
+			}
+		default:
+			gotV, gotOK := native.Unpack(tb.Get(k))
+			wantV, wantOK := model[k]
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				t.Fatalf("Get(%d): got (%d,%v), want (%d,%v)", k, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		if tb.Len() != len(model) {
+			t.Fatalf("Len = %d, model has %d", tb.Len(), len(model))
+		}
+	}
+}
+
+// TestTombstoneReuse fills a small table, deletes everything, and
+// refills with different keys: insertion must reuse tombstoned cells
+// instead of exhausting the fixed capacity.
+func TestTombstoneReuse(t *testing.T) {
+	tb := New(16)
+	for round := uint64(0); round < 100; round++ {
+		for i := uint64(0); i < 10; i++ {
+			tb.Put(round*1000+i, i)
+		}
+		for i := uint64(0); i < 10; i++ {
+			if !native.UnpackBool(tb.Delete(round*1000 + i)) {
+				t.Fatalf("round %d: key %d missing", round, i)
+			}
+		}
+		if tb.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after deleting all", round, tb.Len())
+		}
+	}
+}
+
+// TestFrameworkWiring drives the table through a native framework from
+// several goroutines: per-key counters survive exactly-once application.
+func TestFrameworkWiring(t *testing.T) {
+	tb := New(1 << 10)
+	fw, err := native.New(native.Config{Policies: tb.Policies(4, 0), MaxHandles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, opsPer = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := fw.MustHandle()
+			defer h.Release()
+			k := uint64(g) // one key per goroutine: increments must all land
+			for i := 0; i < opsPer; i++ {
+				v, _ := native.Unpack(h.Execute(GetOp(k)))
+				h.Execute(PutOp(k, v+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		v, ok := native.Unpack(tb.Get(uint64(g)))
+		if !ok || v != opsPer {
+			t.Fatalf("key %d = (%d,%v), want (%d,true)", g, v, ok, opsPer)
+		}
+	}
+}

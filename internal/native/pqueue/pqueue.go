@@ -1,0 +1,132 @@
+// Package pqueue is a fixed-capacity binary min-heap priority queue for
+// the native HCF backend. Heap cells and the length word are atomics so
+// the framework's optimistic-read speculation (PeekMin) may run
+// concurrently with a writer and rely on seqlock validation; Insert and
+// ExtractMin run only inside seqlock critical sections.
+package pqueue
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hcf/internal/native"
+)
+
+// Operation classes, indexing the slice Policies returns.
+const (
+	// ClassInsert pushes a key.
+	ClassInsert = iota
+	// ClassExtractMin pops the smallest key.
+	ClassExtractMin
+	// ClassPeekMin reads the smallest key (read-only).
+	ClassPeekMin
+)
+
+// Queue is the binary min-heap.
+type Queue struct {
+	heap []atomic.Uint64
+	n    atomic.Uint64
+}
+
+// New creates a queue holding at most capacity keys; Insert panics
+// beyond that.
+func New(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{heap: make([]atomic.Uint64, capacity)}
+}
+
+// Len returns the number of queued keys. Call only while quiescent or
+// under the framework's lock.
+func (q *Queue) Len() int { return int(q.n.Load()) }
+
+// Insert pushes k. Must run with the structure lock held.
+func (q *Queue) Insert(k uint64) uint64 {
+	i := q.n.Load()
+	if int(i) >= len(q.heap) {
+		panic(fmt.Sprintf("pqueue: full (%d keys)", len(q.heap)))
+	}
+	q.heap[i].Store(k)
+	q.n.Store(i + 1)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := q.heap[parent].Load()
+		if pv <= k {
+			break
+		}
+		q.heap[i].Store(pv)
+		q.heap[parent].Store(k)
+		i = parent
+	}
+	return native.PackBool(true)
+}
+
+// ExtractMin pops the smallest key, returning Pack(key, nonempty). Must
+// run with the structure lock held.
+func (q *Queue) ExtractMin() uint64 {
+	n := q.n.Load()
+	if n == 0 {
+		return native.Pack(0, false)
+	}
+	min := q.heap[0].Load()
+	last := q.heap[n-1].Load()
+	n--
+	q.n.Store(n)
+	q.heap[0].Store(last)
+	i := uint64(0)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		cv := q.heap[l].Load()
+		if r < n {
+			if rv := q.heap[r].Load(); rv < cv {
+				c, cv = r, rv
+			}
+		}
+		if cv >= last {
+			break
+		}
+		q.heap[i].Store(cv)
+		q.heap[c].Store(last)
+		i = c
+	}
+	return native.Pack(min, true)
+}
+
+// PeekMin reads the smallest key, returning Pack(key, nonempty). Safe
+// under optimistic speculation: one length load plus one cell load.
+func (q *Queue) PeekMin() uint64 {
+	if q.n.Load() == 0 {
+		return native.Pack(0, false)
+	}
+	return native.Pack(q.heap[0].Load(), true)
+}
+
+// InsertOp, ExtractMinOp and PeekMinOp build operations for the framework.
+func InsertOp(k uint64) native.Op { return native.Op{Class: ClassInsert, A: k} }
+func ExtractMinOp() native.Op     { return native.Op{Class: ClassExtractMin} }
+func PeekMinOp() native.Op        { return native.Op{Class: ClassPeekMin} }
+
+// Policies returns the three-class policy set wiring q onto a native
+// framework. Insert and ExtractMin conflict on the heap root, so both
+// fall back to combining quickly; PeekMin speculates.
+func (q *Queue) Policies(tryPrivate, maxBatch int) []native.Policy {
+	return []native.Policy{
+		ClassInsert: {
+			Name: "Insert", TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return q.Insert(op.A) },
+		},
+		ClassExtractMin: {
+			Name: "ExtractMin", TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return q.ExtractMin() },
+		},
+		ClassPeekMin: {
+			Name: "PeekMin", ReadOnly: true, TryPrivate: tryPrivate, MaxBatch: maxBatch,
+			Run: func(op native.Op) uint64 { return q.PeekMin() },
+		},
+	}
+}

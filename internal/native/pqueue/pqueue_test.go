@@ -1,0 +1,110 @@
+package pqueue
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+
+	"hcf/internal/native"
+)
+
+func TestHeapOrder(t *testing.T) {
+	q := New(128)
+	rng := rand.New(rand.NewPCG(7, 9))
+	keys := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = rng.Uint64N(1 << 20)
+		q.Insert(keys[i])
+	}
+	if q.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(keys))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if v, ok := native.Unpack(q.PeekMin()); !ok || v != keys[0] {
+		t.Fatalf("PeekMin = (%d,%v), want (%d,true)", v, ok, keys[0])
+	}
+	for i, want := range keys {
+		v, ok := native.Unpack(q.ExtractMin())
+		if !ok || v != want {
+			t.Fatalf("extract %d: got (%d,%v), want (%d,true)", i, v, ok, want)
+		}
+	}
+	if _, ok := native.Unpack(q.ExtractMin()); ok {
+		t.Fatal("ExtractMin on empty queue reported a key")
+	}
+	if _, ok := native.Unpack(q.PeekMin()); ok {
+		t.Fatal("PeekMin on empty queue reported a key")
+	}
+}
+
+// TestDuplicatesAndRefill exercises sift paths with duplicate keys and
+// repeated drain/refill cycles.
+func TestDuplicatesAndRefill(t *testing.T) {
+	q := New(32)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			q.Insert(uint64(i % 5))
+		}
+		prev := uint64(0)
+		for i := 0; i < 20; i++ {
+			v, ok := native.Unpack(q.ExtractMin())
+			if !ok || v < prev {
+				t.Fatalf("round %d: extract %d gave (%d,%v) after %d", round, i, v, ok, prev)
+			}
+			prev = v
+		}
+		if q.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after drain", round, q.Len())
+		}
+	}
+}
+
+// TestFrameworkWiring drives the queue through a native framework from
+// several goroutines; total inserted mass must equal total extracted.
+func TestFrameworkWiring(t *testing.T) {
+	q := New(1 << 12)
+	fw, err := native.New(native.Config{Policies: q.Policies(4, 0), MaxHandles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, pairs = 8, 1000
+	sums := make([]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := fw.MustHandle()
+			defer h.Release()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			var inserted, extracted uint64
+			for i := 0; i < pairs; i++ {
+				k := rng.Uint64N(1 << 16)
+				h.Execute(InsertOp(k))
+				inserted += k
+				if v, ok := native.Unpack(h.Execute(ExtractMinOp())); ok {
+					extracted += v
+				} else {
+					t.Error("ExtractMin empty despite preceding insert")
+				}
+				h.Execute(PeekMinOp())
+			}
+			sums[g] = inserted - extracted
+		}(g)
+	}
+	wg.Wait()
+	// Whatever mass was not extracted must still be in the queue.
+	var residual uint64
+	for q.Len() > 0 {
+		v, _ := native.Unpack(q.ExtractMin())
+		residual += v
+	}
+	var want uint64
+	for _, s := range sums {
+		want += s
+	}
+	if residual != want {
+		t.Fatalf("residual mass %d, want %d", residual, want)
+	}
+}

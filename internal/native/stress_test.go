@@ -1,0 +1,198 @@
+package native_test
+
+// Race/stress coverage for the native combiner: NumCPU-scaled goroutine
+// packs hammer the shipped data structures with mixed operations while a
+// witness records every application. The recorded history is then
+// checked for linearizability with the existing serialization-witness
+// machinery (internal/witness): the native backend stamps validated
+// reads with the even seqlock version they observed and critical
+// sections with the odd version they held, so sorting by (stamp, intra)
+// is a legal linearization, exactly as for the simulated engines.
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"testing"
+
+	"hcf/internal/engine"
+	"hcf/internal/memsim"
+	"hcf/internal/native"
+	"hcf/internal/native/hashtable"
+	"hcf/internal/native/pqueue"
+	"hcf/internal/witness"
+)
+
+// wOp adapts a native value-struct operation to the engine.Op interface
+// the witness recorder stores. Replay goes through the sequential model,
+// never through Apply.
+type wOp struct{ op native.Op }
+
+func (w wOp) Apply(memsim.Ctx) uint64 { panic("wOp: replay must use the model") }
+func (w wOp) Class() int              { return w.op.Class }
+
+// bridge adapts a witness recorder to the native WitnessFunc signature.
+func bridge(rec *witness.Recorder) native.WitnessFunc {
+	f := rec.Func()
+	return func(stamp uint64, intra int, op native.Op, result uint64) {
+		f(stamp, intra, wOp{op}, result)
+	}
+}
+
+// hashModel replays hashtable operations sequentially.
+type hashModel struct{ m map[uint64]uint64 }
+
+func (hm *hashModel) Apply(op engine.Op) uint64 {
+	o := op.(wOp).op
+	switch o.Class {
+	case hashtable.ClassGet:
+		v, ok := hm.m[o.A]
+		return native.Pack(v, ok)
+	case hashtable.ClassPut:
+		prev, replaced := hm.m[o.A]
+		hm.m[o.A] = o.B
+		return native.Pack(prev, replaced)
+	case hashtable.ClassDelete:
+		_, present := hm.m[o.A]
+		delete(hm.m, o.A)
+		return native.PackBool(present)
+	}
+	panic("hashModel: unknown class")
+}
+
+// pqModel replays priority-queue operations against a multiset; results
+// depend only on the multiset, so it need not mirror heap layout.
+type pqModel struct{ keys []uint64 }
+
+func (pm *pqModel) minIdx() int {
+	mi := 0
+	for i, k := range pm.keys {
+		if k < pm.keys[mi] {
+			mi = i
+		}
+	}
+	return mi
+}
+
+func (pm *pqModel) Apply(op engine.Op) uint64 {
+	o := op.(wOp).op
+	switch o.Class {
+	case pqueue.ClassInsert:
+		pm.keys = append(pm.keys, o.A)
+		return native.PackBool(true)
+	case pqueue.ClassExtractMin:
+		if len(pm.keys) == 0 {
+			return native.Pack(0, false)
+		}
+		i := pm.minIdx()
+		v := pm.keys[i]
+		pm.keys[i] = pm.keys[len(pm.keys)-1]
+		pm.keys = pm.keys[:len(pm.keys)-1]
+		return native.Pack(v, true)
+	case pqueue.ClassPeekMin:
+		if len(pm.keys) == 0 {
+			return native.Pack(0, false)
+		}
+		return native.Pack(pm.keys[pm.minIdx()], true)
+	}
+	panic("pqModel: unknown class")
+}
+
+func stressGoroutines() int {
+	g := runtime.NumCPU()
+	if g < 8 {
+		g = 8 // oversubscribe small boxes so the combiner still sees contention
+	}
+	return g
+}
+
+// TestStressHashtableLinearizable hammers one table with a mixed
+// get/put/delete load over a tiny keyspace (maximal conflict, frequent
+// speculation aborts) and checks the full witnessed history.
+func TestStressHashtableLinearizable(t *testing.T) {
+	const keyspace, opsPer = 128, 3000
+	goroutines := stressGoroutines()
+	tb := hashtable.New(1 << 10)
+	fw, err := native.New(native.Config{Policies: tb.Policies(1, 0), MaxHandles: goroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads keep their speculation budget; updates go straight to the
+	// combiner so the slot protocol is hammered even on boxes where
+	// speculation would otherwise always win (e.g. a single CPU).
+	fw.SetTryPrivate(hashtable.ClassPut, 0)
+	fw.SetTryPrivate(hashtable.ClassDelete, 0)
+	rec := &witness.Recorder{}
+	fw.SetWitness(bridge(rec))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := fw.MustHandle()
+			defer h.Release()
+			rng := rand.New(rand.NewPCG(uint64(g), 0xDECAF))
+			for i := 0; i < opsPer; i++ {
+				k := rng.Uint64N(keyspace)
+				switch rng.IntN(4) {
+				case 0:
+					h.Execute(hashtable.PutOp(k, rng.Uint64()>>1))
+				case 1:
+					h.Execute(hashtable.DeleteOp(k))
+				default:
+					h.Execute(hashtable.GetOp(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	model := &hashModel{m: map[uint64]uint64{}}
+	if err := witness.Check(rec, model, goroutines*opsPer, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := fw.Metrics()
+	if m.CombinerSessions == 0 {
+		t.Fatalf("stress never reached the combiner: %+v", m)
+	}
+}
+
+// TestStressPQueueLinearizable does the same for the priority queue,
+// whose every update conflicts at the heap root.
+func TestStressPQueueLinearizable(t *testing.T) {
+	const opsPer = 3000
+	goroutines := stressGoroutines()
+	q := pqueue.New(goroutines * opsPer)
+	fw, err := native.New(native.Config{Policies: q.Policies(1, 0), MaxHandles: goroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.SetTryPrivate(pqueue.ClassInsert, 0)
+	fw.SetTryPrivate(pqueue.ClassExtractMin, 0)
+	rec := &witness.Recorder{}
+	fw.SetWitness(bridge(rec))
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := fw.MustHandle()
+			defer h.Release()
+			rng := rand.New(rand.NewPCG(uint64(g), 0xFACADE))
+			for i := 0; i < opsPer; i++ {
+				switch rng.IntN(4) {
+				case 0, 1:
+					h.Execute(pqueue.InsertOp(rng.Uint64N(1 << 20)))
+				case 2:
+					h.Execute(pqueue.ExtractMinOp())
+				default:
+					h.Execute(pqueue.PeekMinOp())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	model := &pqModel{}
+	if err := witness.Check(rec, model, goroutines*opsPer, nil); err != nil {
+		t.Fatal(err)
+	}
+}

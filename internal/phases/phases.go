@@ -18,6 +18,15 @@
 // Every primitive preserves the exact sequence of simulated memory
 // operations of the loops it replaced: the golden bit-identity fixtures
 // in internal/harness/testdata pin this.
+//
+// The same pipeline exists once more, re-targeted at real memory:
+// internal/native (exposed as hcf.NewNative) replaces SpecLoop's HTM
+// trials with seqlock-validated optimistic reads and budgeted CAS
+// acquires, and Session's descriptor protocol with cache-padded
+// publication slots drained by a combiner under the same lock word.
+// Changes to the stage semantics here (status protocol, adoption rules,
+// batch distribution) should be mirrored there; the two backends are
+// meant to stay behaviorally aligned so policies transfer.
 package phases
 
 import (
