@@ -27,6 +27,15 @@
 //	hcfbench -fig native -out bench/BENCH_native.json # record for the CI gate
 //	hcfbench -fig native -native-baseline bench/BENCH_native.json
 //	hcfbench -fig native -threads 1,2,4,8 -native-dur 300
+//
+// And the KV storage engine's durability sweep — open-loop Zipfian
+// get/put/delete mixes against hcf.NewKV with fsync-backed group commit
+// and a crash-recovery replay check per point:
+//
+//	hcfbench -fig kv                                  # table to stdout
+//	hcfbench -fig kv -out bench/KV_sweep.jsonl        # record for the CI gate
+//	hcfbench -fig kv -kv-baseline bench/KV_sweep.jsonl
+//	hcfbench -fig kv -threads 8 -kv-dur 100           # quick smoke
 package main
 
 import (
@@ -111,6 +120,8 @@ func run(args []string) error {
 		serveAt  = fs.String("serve", "", "host:port for live introspection endpoints during the -fig openloop run (forces serial point order)")
 		natDur   = fs.Int("native-dur", 150, "measured window per point in milliseconds (-fig native only)")
 		natBase  = fs.String("native-baseline", "", "compare the -fig native sweep against this BENCH_native.json; exit non-zero when any point regresses more than 2x below the median fresh/baseline ratio")
+		kvDur    = fs.Int64("kv-dur", 400, "arrival window per point in milliseconds (-fig kv only)")
+		kvBase   = fs.String("kv-baseline", "", "compare the -fig kv sweep against this JSONL baseline; median-normalized sojourn-p99 gate plus an unconditional recovery-replay check")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,6 +192,9 @@ func run(args []string) error {
 	}
 	if *figID == "native" {
 		return runNative(*threads, *natDur, *jsonFlg, *outPath, *natBase)
+	}
+	if *figID == "kv" {
+		return runKV(*threads, *kvDur, *jsonFlg, *outPath, *kvBase)
 	}
 	if *figID == "openloop" && !*realFlg {
 		return runOpenLoop(*threads, *engs, *rates, *horizon, *seed, *parallel,
@@ -414,6 +428,64 @@ func runNative(threadsCSV string, durMS int, jsonFlg bool, outPath, basePath str
 			return fmt.Errorf("native baseline %s: %w", basePath, err)
 		}
 		fmt.Fprintf(os.Stderr, "native: %d points within 2x of the median ratio vs %s\n", matched, basePath)
+	}
+	return nil
+}
+
+// runKV is the -fig kv pipeline: an open-loop sweep of the HCF-backed
+// KV engine (hcf.NewKV) across simulated-user populations and get/put/
+// delete mixes, with fsync-backed group commit, sojourn tails, SLO
+// verdicts and an inline crash-recovery replay check per point. With
+// -out the JSONL record (bench/KV_sweep.jsonl) is written for the CI
+// smoke gate; with -kv-baseline the fresh sweep is compared against a
+// checked-in record using median-normalized p99 ratios (hardware- and
+// disk-speed-tolerant), and any point whose recovery replay diverged
+// from its witness dump fails unconditionally.
+func runKV(threadsCSV string, durMS int64, jsonFlg bool, outPath, basePath string) error {
+	opts := harness.KVSweepOptions{DurationMS: durMS}
+	if threadsCSV != "" {
+		gs, err := parseInts(threadsCSV)
+		if err != nil {
+			return err
+		}
+		if len(gs) != 1 {
+			return fmt.Errorf("-fig kv takes a single -threads value (worker count), got %q", threadsCSV)
+		}
+		opts.Workers = gs[0]
+	}
+	rep, err := harness.RunKVSweep(opts)
+	if err != nil {
+		return err
+	}
+	out, err := rep.JSONL()
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("kv: %d points -> %s\n", len(rep.Points), outPath)
+	}
+	if jsonFlg {
+		fmt.Print(string(out))
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if basePath != "" {
+		data, err := os.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("kv baseline: %w", err)
+		}
+		base, err := harness.ParseKVJSONL(data)
+		if err != nil {
+			return fmt.Errorf("kv baseline %s: %w", basePath, err)
+		}
+		matched, err := harness.CompareKVBaseline(rep, base, 2)
+		if err != nil {
+			return fmt.Errorf("kv baseline %s: %w", basePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "kv: %d points within 2x of the median p99 ratio vs %s, recovery replay clean\n", matched, basePath)
 	}
 	return nil
 }

@@ -165,3 +165,40 @@ func TestPublicAPIServe(t *testing.T) {
 	}
 	var _ *hcf.IntrospectionServer = srv
 }
+
+func TestPublicAPIKV(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := hcf.NewKV(dir, hcf.KVConfig{Shards: 2, DisableSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := kv.MustHandle()
+	if _, err := h.Put(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := h.Get(7)
+	if err != nil || !ok || string(v) != "seven" {
+		t.Fatalf("Get = (%q,%v,%v)", v, ok, err)
+	}
+	h.Release()
+	var st hcf.KVStats = kv.Stats()
+	if len(st.Shards) != 2 {
+		t.Fatalf("got %d shard stats, want 2", len(st.Shards))
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: durability through the façade.
+	kv2, err := hcf.NewKV(dir, hcf.KVConfig{Shards: 2, DisableSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	h2 := kv2.MustHandle()
+	defer h2.Release()
+	v, ok, err = h2.Get(7)
+	if err != nil || !ok || string(v) != "seven" {
+		t.Fatalf("after reopen Get = (%q,%v,%v)", v, ok, err)
+	}
+}

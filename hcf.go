@@ -44,6 +44,7 @@ import (
 	"hcf/internal/engine"
 	"hcf/internal/engines"
 	"hcf/internal/htm"
+	"hcf/internal/kvstore"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
 	"hcf/internal/shard"
@@ -196,6 +197,30 @@ func NewNativeMap(capacity int) (*NativeMap, error) { return native.NewMap(capac
 // NewNativePQueue builds a native combining priority queue holding at
 // most capacity keys.
 func NewNativePQueue(capacity int) (*NativePQueue, error) { return native.NewPQueue(capacity) }
+
+// Persistent KV engine: a Bitcask-style store where a sharded native
+// HCF hash index maps keys to offsets in per-shard append-only logs,
+// and the combiner's batch boundary doubles as the write-ahead log's
+// group-commit boundary — one append + one fsync per combined batch.
+// Combining batches conflicting operations behind one lock holder;
+// group commit batches appends behind one fsync: the same amortization,
+// which is the source paper's claim applied to durability. Acknowledged
+// writes are durable; crash recovery replays the logs and truncates a
+// torn tail (see internal/kvstore's package comment for the model).
+type (
+	// KV is the persistent key/value engine.
+	KV = kvstore.Store
+	// KVHandle is a per-goroutine participant handle on a KV.
+	KVHandle = kvstore.Handle
+	// KVConfig configures a KV (shards, index capacity, commit delay).
+	KVConfig = kvstore.Config
+	// KVStats snapshots a KV's group-commit and occupancy metrics.
+	KVStats = kvstore.Stats
+)
+
+// NewKV opens (creating or recovering) a persistent KV store rooted at
+// dir. Take one KVHandle per goroutine with its Handle method.
+func NewKV(dir string, cfg KVConfig) (*KV, error) { return kvstore.Open(dir, cfg) }
 
 // Adaptive-tuning types (the paper's §2.4 future-work mechanism): an
 // AdaptiveController periodically re-tunes a Framework's per-class

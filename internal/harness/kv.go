@@ -1,0 +1,575 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hcf/internal/kvstore"
+	"hcf/internal/metrics"
+	"hcf/internal/workload"
+)
+
+// This file is the `kv` figure: a wall-clock, open-loop sweep of the
+// persistent KV engine (internal/kvstore) under production-shaped load —
+// Zipfian key popularity, get/put/delete mixes, arrivals from simulated
+// user populations, sojourn tails and SLO verdicts through the same
+// metrics pipeline as the simulated open-loop figure. Time is
+// nanoseconds throughout (the recorder's unit is "ns"); arrival
+// schedules reuse the cycle-domain workload generators with 1 cycle ≡
+// 1 ns, so a population's ops/Mcycle is read as ops/ms.
+//
+// Each point also runs the crash-recovery acceptance check inline:
+// after the drain, the index is dumped, the store closed and reopened,
+// and the replayed index must be bit-identical to the witness dump.
+
+// KVSweepOptions configures the kv figure sweep.
+type KVSweepOptions struct {
+	// Dir is where point databases live; "" uses a fresh temp dir. Each
+	// point's database is deleted after its recovery check.
+	Dir string
+	// Workers is the number of client goroutines. 0 = max(8, 2*GOMAXPROCS).
+	Workers int
+	// Shards and Capacity configure the store (kvstore.Config).
+	Shards, Capacity int
+	// Users is the simulated-population ladder: each population of U
+	// users with ThinkMS think time offers U/Think aggregate ops/sec
+	// (workload.NewPopulation). 0-length = {2000, 10000, 40000}.
+	Users []uint64
+	// ThinkMS is each simulated user's think time in milliseconds
+	// between operations. 0 = 1000 (so Users is also the ops/sec rate).
+	ThinkMS int64
+	// GetPcts are the read mixes to sweep: each is the get percentage,
+	// with the remainder split evenly between puts and deletes
+	// (workload.UpdateMix). 0-length = {95, 50}.
+	GetPcts []int
+	// DurationMS is the arrival window per point. 0 = 400. The drain
+	// past the window is unbounded — queued operations are charged
+	// their full sojourn (no coordinated omission).
+	DurationMS int64
+	// Keys is the Zipfian keyspace size. 0 = 1<<16.
+	Keys uint64
+	// Theta is the Zipfian skew in [0,1). 0 = 0.9 (the paper's figure 5).
+	Theta float64
+	// ValueLen is the put value size in bytes. 0 = 128.
+	ValueLen int
+	// Seed drives arrivals, keys and mixes.
+	Seed uint64
+	// SLO overrides the sojourn objectives; nil uses DefaultKVSLO.
+	SLO *metrics.SLOConfig
+	// DisableSync skips fsync (unit tests only — the checked-in figure
+	// always syncs; it is a durability benchmark).
+	DisableSync bool
+}
+
+// DefaultKVSLO is the kv figure's sojourn objective set (nanoseconds):
+// 99% of all operations within 10ms, and 99% of gets within 2ms — gets
+// never wait for an fsync, only for the index seqlock and a log read,
+// so they are held to a tighter bound.
+func DefaultKVSLO() metrics.SLOConfig {
+	return metrics.SLOConfig{
+		Objectives: []metrics.Objective{
+			{Threshold: 10_000_000, Target: 0.99},
+			{Class: "get", Threshold: 2_000_000, Target: 0.99},
+		},
+	}
+}
+
+func (o *KVSweepOptions) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = 2 * runtime.GOMAXPROCS(0)
+		if o.Workers < 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 1 << 17
+	}
+	if len(o.Users) == 0 {
+		o.Users = []uint64{2000, 10000, 40000}
+	}
+	if o.ThinkMS <= 0 {
+		o.ThinkMS = 1000
+	}
+	if len(o.GetPcts) == 0 {
+		o.GetPcts = []int{95, 50}
+	}
+	if o.DurationMS <= 0 {
+		o.DurationMS = 400
+	}
+	if o.Keys == 0 {
+		o.Keys = 1 << 16
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.9
+	}
+	if o.ValueLen <= 0 {
+		o.ValueLen = 128
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.SLO == nil {
+		slo := DefaultKVSLO()
+		o.SLO = &slo
+	}
+}
+
+// KVPoint is one (population, mix) measurement.
+type KVPoint struct {
+	Users     uint64  `json:"users"`
+	RateOps   float64 `json:"rate_ops_per_sec"` // offered: users/think
+	GetPct    int     `json:"get_pct"`
+	Workers   int     `json:"workers"`
+	Arrivals  uint64  `json:"arrivals"`
+	Completed uint64  `json:"completed"`
+	// HorizonMS is the arrival window; MakespanMS when the last op
+	// finished. Makespan >> horizon means offered load exceeded capacity.
+	HorizonMS  int64   `json:"horizon_ms"`
+	MakespanMS float64 `json:"makespan_ms"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	Saturated  bool    `json:"saturated"`
+	// Sojourn is intended-arrival-to-completion latency in nanoseconds.
+	Sojourn  SojournStat          `json:"sojourn"`
+	ByClass  []ClassSojourn       `json:"by_class,omitempty"`
+	SLOState string               `json:"slo_state"`
+	SLO      *metrics.SLOSnapshot `json:"slo,omitempty"`
+	// Group-commit evidence: flushes (one append+fsync each), the mean
+	// number of writes amortized per flush, and the flush-latency tail.
+	Flushes        uint64  `json:"flushes"`
+	WritesPerFlush float64 `json:"writes_per_flush"`
+	FlushP50NS     uint64  `json:"flush_p50_ns"`
+	FlushP99NS     uint64  `json:"flush_p99_ns"`
+	AppendedBytes  uint64  `json:"appended_bytes"`
+	// RecoveryOK reports the inline crash-recovery check: reopening the
+	// database rebuilt an index bit-identical to the pre-close witness.
+	RecoveryOK bool `json:"recovery_ok"`
+}
+
+// KVReport is a full kv sweep.
+type KVReport struct {
+	Figure     string    `json:"figure"`
+	Workers    int       `json:"workers"`
+	Shards     int       `json:"shards"`
+	DurationMS int64     `json:"duration_ms"`
+	ThinkMS    int64     `json:"think_ms"`
+	Keys       uint64    `json:"keys"`
+	Theta      float64   `json:"theta"`
+	ValueLen   int       `json:"value_len"`
+	Seed       uint64    `json:"seed"`
+	Users      []uint64  `json:"users"`
+	GetPcts    []int     `json:"get_pcts"`
+	Points     []KVPoint `json:"-"`
+}
+
+// RunKVSweep measures every (population, mix) pair in sequence (points
+// share the host's cores and disk, so running them concurrently would
+// contaminate the tails).
+func RunKVSweep(opts KVSweepOptions) (*KVReport, error) {
+	opts.normalize()
+	dir := opts.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "hcf-kv-sweep-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	rep := &KVReport{
+		Figure:     "kv",
+		Workers:    opts.Workers,
+		Shards:     opts.Shards,
+		DurationMS: opts.DurationMS,
+		ThinkMS:    opts.ThinkMS,
+		Keys:       opts.Keys,
+		Theta:      opts.Theta,
+		ValueLen:   opts.ValueLen,
+		Seed:       opts.Seed,
+		Users:      opts.Users,
+		GetPcts:    opts.GetPcts,
+	}
+	for _, users := range opts.Users {
+		for _, pct := range opts.GetPcts {
+			pdir := filepath.Join(dir, fmt.Sprintf("u%d-g%d", users, pct))
+			p, err := runKVPoint(pdir, users, pct, opts)
+			os.RemoveAll(pdir)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// runKVPoint measures one population+mix against a fresh database, then
+// runs the crash-recovery replay check on what the workload wrote.
+func runKVPoint(dir string, users uint64, getPct int, opts KVSweepOptions) (KVPoint, error) {
+	store, err := kvstore.Open(dir, kvstore.Config{
+		Shards:      opts.Shards,
+		Capacity:    opts.Capacity,
+		MaxHandles:  opts.Workers + 1,
+		DisableSync: opts.DisableSync,
+	})
+	if err != nil {
+		return KVPoint{}, err
+	}
+
+	horizon := opts.DurationMS * int64(time.Millisecond)
+	thinkNS := opts.ThinkMS * int64(time.Millisecond)
+	// Split the user population across workers; low-index workers take
+	// the remainder so small populations still generate load.
+	schedules := make([][]int64, opts.Workers)
+	var totalArrivals uint64
+	for w := 0; w < opts.Workers; w++ {
+		share := users / uint64(opts.Workers)
+		if uint64(w) < users%uint64(opts.Workers) {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		gen, err := workload.NewPopulation(share, thinkNS)
+		if err != nil {
+			store.Close()
+			return KVPoint{}, err
+		}
+		r := rand.New(rand.NewPCG(opts.Seed^0xA17ECA11, uint64(w)+1))
+		schedules[w] = workload.GenSchedule(gen, horizon, r)
+		totalArrivals += uint64(len(schedules[w]))
+	}
+
+	classNames := []string{"get", "put", "delete"}
+	rec, err := metrics.New(metrics.Config{
+		Shards:   opts.Workers,
+		Classes:  classNames,
+		Paths:    []string{"sojourn"},
+		TimeUnit: "ns",
+	})
+	if err != nil {
+		store.Close()
+		return KVPoint{}, err
+	}
+	slo, err := metrics.NewSLOTracker(rec, *opts.SLO)
+	if err != nil {
+		store.Close()
+		return KVPoint{}, err
+	}
+
+	mix, err := workload.UpdateMix(getPct)
+	if err != nil {
+		store.Close()
+		return KVPoint{}, err
+	}
+
+	interval := horizon / 20
+	if interval <= 0 {
+		interval = 1
+	}
+	epoch := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, opts.Workers)
+	ends := make([]int64, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		if len(schedules[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h, err := store.Handle()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer h.Release()
+			rng := rand.New(rand.NewPCG(opts.Seed^0x9E3779B9, uint64(w)+1))
+			zipf, err := workload.NewZipf(opts.Keys, opts.Theta)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			val := make([]byte, opts.ValueLen)
+			nextTick := interval
+			for _, intended := range schedules[w] {
+				if wait := time.Duration(intended) - time.Since(epoch); wait > 0 {
+					time.Sleep(wait)
+				}
+				key := zipf.Next(rng)
+				class := mix.Pick(rng)
+				switch class {
+				case 0:
+					_, _, err = h.Get(key)
+				case 1:
+					for i := range val {
+						val[i] = byte(key + uint64(i))
+					}
+					_, err = h.Put(key, val)
+				default:
+					_, err = h.Delete(key)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				now := int64(time.Since(epoch))
+				rec.RecordOp(w, class, 0, now-intended)
+				if w == 0 && now >= nextTick {
+					slo.Step(now)
+					nextTick = now + interval
+				}
+			}
+			ends[w] = int64(time.Since(epoch))
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			store.Close()
+			return KVPoint{}, err
+		}
+	}
+
+	pt := KVPoint{
+		Users:     users,
+		RateOps:   float64(users) * 1000 / float64(opts.ThinkMS),
+		GetPct:    getPct,
+		Workers:   opts.Workers,
+		Arrivals:  totalArrivals,
+		HorizonMS: opts.DurationMS,
+	}
+	var makespan int64
+	for _, e := range ends {
+		if e > makespan {
+			makespan = e
+		}
+	}
+	if makespan < horizon {
+		makespan = horizon
+	}
+	pt.MakespanMS = float64(makespan) / 1e6
+	pt.Saturated = makespan > horizon+horizon/10
+	slo.Step(makespan)
+
+	var all metrics.HistogramSnapshot
+	for c, class := range classNames {
+		snap := rec.ClassHistogram(c)
+		if snap.Count > 0 {
+			pt.ByClass = append(pt.ByClass, ClassSojourn{Class: class, SojournStat: sojournStatOf(snap)})
+		}
+		all.Merge(&snap)
+	}
+	pt.Sojourn = sojournStatOf(all)
+	pt.Completed = all.Count
+	pt.Throughput = float64(pt.Completed) * 1e9 / float64(makespan)
+
+	snap := slo.Snapshot()
+	pt.SLO = &snap
+	pt.SLOState = metrics.SLOStateOK
+	for _, o := range snap.Objectives {
+		if o.State == metrics.SLOStatePage ||
+			(o.State == metrics.SLOStateWarn && pt.SLOState == metrics.SLOStateOK) {
+			pt.SLOState = o.State
+		}
+	}
+
+	st := store.Stats()
+	pt.Flushes = st.Flushes
+	pt.AppendedBytes = st.AppendedBytes
+	writes := st.BatchOps[kvstore.ClassPut].Sum + st.BatchOps[kvstore.ClassDelete].Sum
+	if st.Flushes > 0 {
+		pt.WritesPerFlush = float64(writes) / float64(st.Flushes)
+	}
+	pt.FlushP50NS = st.FlushNanos.Quantile(0.50)
+	pt.FlushP99NS = st.FlushNanos.Quantile(0.99)
+
+	// Crash-recovery replay check: the reopened index must be
+	// bit-identical to the witness dump of what the workload built.
+	witness := store.IndexDump()
+	if err := store.Close(); err != nil {
+		return KVPoint{}, err
+	}
+	reopened, err := kvstore.Open(dir, kvstore.Config{
+		Shards:   opts.Shards,
+		Capacity: opts.Capacity,
+	})
+	if err != nil {
+		return KVPoint{}, fmt.Errorf("kv recovery reopen: %w", err)
+	}
+	pt.RecoveryOK = bytes.Equal(reopened.IndexDump(), witness)
+	if err := reopened.Close(); err != nil {
+		return KVPoint{}, err
+	}
+	return pt, nil
+}
+
+// JSONL renders the sweep as one JSON object per line (header, then one
+// line per point) — the format checked in under bench/KV_sweep.jsonl.
+func (r *KVReport) JSONL() ([]byte, error) {
+	var b bytes.Buffer
+	h, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	b.Write(h)
+	b.WriteByte('\n')
+	for i := range r.Points {
+		line, err := json.Marshal(&r.Points[i])
+		if err != nil {
+			return nil, err
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes(), nil
+}
+
+// Text renders the sweep as an aligned table.
+func (r *KVReport) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kv: open-loop KV engine sweep, %d workers, %d shards, %dms window, think %dms, zipf(%d, %.2f), %dB values, seed %d\n",
+		r.Workers, r.Shards, r.DurationMS, r.ThinkMS, r.Keys, r.Theta, r.ValueLen, r.Seed)
+	fmt.Fprintf(&b, "sojourn in µs from intended arrival; group commit = one append+fsync per combined batch\n\n")
+	fmt.Fprintf(&b, "  %7s %4s %9s %9s %8s %8s %8s %8s %7s %9s %6s %4s %4s\n",
+		"users", "get%", "offered/s", "achieved", "p50µs", "p99µs", "p999µs", "maxµs",
+		"flushes", "wr/flush", "slo", "sat", "rec")
+	for _, p := range r.Points {
+		sat, rec := "", "ok"
+		if p.Saturated {
+			sat = "*"
+		}
+		if !p.RecoveryOK {
+			rec = "FAIL"
+		}
+		fmt.Fprintf(&b, "  %7d %4d %9.0f %9.0f %8.1f %8.1f %8.1f %8.1f %7d %9.2f %6s %4s %4s\n",
+			p.Users, p.GetPct, p.RateOps, p.Throughput,
+			float64(p.Sojourn.P50)/1e3, float64(p.Sojourn.P99)/1e3,
+			float64(p.Sojourn.P999)/1e3, float64(p.Sojourn.Max)/1e3,
+			p.Flushes, p.WritesPerFlush, p.SLOState, sat, rec)
+	}
+	return b.String()
+}
+
+// ParseKVJSONL parses a JSONL sweep back into a report (the inverse of
+// JSONL, for baseline comparison).
+func ParseKVJSONL(data []byte) (*KVReport, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("harness: empty kv JSONL")
+	}
+	var rep KVReport
+	if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+		return nil, fmt.Errorf("harness: kv JSONL header: %w", err)
+	}
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var p KVPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			return nil, fmt.Errorf("harness: kv JSONL row: %w", err)
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	return &rep, sc.Err()
+}
+
+// kvGateMinSamples is the sojourn-count floor for a point to enter the
+// p99 ratio gate. Below it the p99 is an order statistic of the top
+// one or two samples — a single fsync stall flips the verdict, and
+// short CI windows at low offered loads sit exactly there. Such points
+// still get the unconditional recovery check; they just don't gate on
+// latency.
+const kvGateMinSamples = 500
+
+// CompareKVBaseline gates fresh sojourn p99s against a checked-in
+// baseline with the same median-normalization CompareNativeBaseline
+// uses: each matched (users, mix) point's fresh/baseline p99 ratio is
+// normalized by the median ratio, absorbing uniform hardware shifts
+// between the recording machine and CI; a point more than tolerance
+// times worse than the median ratio fails. Points with fewer than
+// kvGateMinSamples completed operations are excluded from the ratio
+// gate (their p99 is noise). A fresh point with a failed recovery
+// check fails unconditionally regardless of sample count. Returns the
+// ratio-gated point count.
+func CompareKVBaseline(fresh, base *KVReport, tolerance float64) (int, error) {
+	if tolerance <= 1 {
+		tolerance = 2
+	}
+	for _, p := range fresh.Points {
+		if !p.RecoveryOK {
+			return 0, fmt.Errorf("kv point users=%d get=%d%%: crash-recovery replay mismatch", p.Users, p.GetPct)
+		}
+	}
+	type key struct {
+		users uint64
+		pct   int
+	}
+	baseP99 := map[key]uint64{}
+	for _, p := range base.Points {
+		baseP99[key{p.Users, p.GetPct}] = p.Sojourn.P99
+	}
+	type matched struct {
+		k     key
+		ratio float64 // fresh/base: higher is worse
+	}
+	var ms []matched
+	common := 0
+	for _, p := range fresh.Points {
+		k := key{p.Users, p.GetPct}
+		b, ok := baseP99[k]
+		if !ok {
+			continue
+		}
+		common++
+		if b > 0 && p.Sojourn.P99 > 0 && p.Sojourn.Count >= kvGateMinSamples {
+			ms = append(ms, matched{k, float64(p.Sojourn.P99) / float64(b)})
+		}
+	}
+	if common == 0 {
+		return 0, fmt.Errorf("no points in common with the baseline")
+	}
+	if len(ms) == 0 {
+		// Every common point was below the sample floor: the recovery
+		// checks above are the whole gate.
+		return 0, nil
+	}
+	ratios := make([]float64, len(ms))
+	for i, m := range ms {
+		ratios[i] = m.ratio
+	}
+	sort.Float64s(ratios)
+	// Lower median: with few points the upper median would let a single
+	// regressed point define the norm it is judged against.
+	median := ratios[(len(ratios)-1)/2]
+	if median == 0 {
+		return len(ms), fmt.Errorf("median point ratio is zero")
+	}
+	var fails []string
+	for _, m := range ms {
+		if m.ratio > median*tolerance {
+			fails = append(fails, fmt.Sprintf(
+				"users=%d get=%d%%: p99 %.2fx of baseline vs median %.2fx",
+				m.k.users, m.k.pct, m.ratio, median))
+		}
+	}
+	if len(fails) > 0 {
+		return len(ms), fmt.Errorf("%d/%d kv points regressed more than %.1fx beyond the median ratio:\n  %s",
+			len(fails), len(ms), tolerance, joinLines(fails))
+	}
+	return len(ms), nil
+}

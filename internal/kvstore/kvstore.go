@@ -1,0 +1,506 @@
+// Package kvstore is a Bitcask-style persistent key/value engine built
+// on the native HCF backend: a sharded in-memory hash index
+// (internal/native/hashtable behind per-shard native frameworks) maps
+// uint64 keys to offsets in a per-shard append-only log, and the
+// combiner's RunMulti batch boundary doubles as the write-ahead log's
+// group-commit boundary — one serialized append and one fsync per
+// combined batch, however many puts and deletes the combiner claimed.
+//
+// That identity is the point of the package: flat combining batches
+// conflicting operations behind one lock holder, and group commit
+// batches log appends behind one fsync. They are the same amortization.
+// The source paper's combining pipeline, pointed at durability, turns a
+// ~145µs-per-op fsync tax into ~145µs per *batch*; under G concurrent
+// writers the per-op flush cost drops by up to G with no queueing layer
+// beyond the publication slots the framework already has.
+//
+// Consistency model: an operation is acknowledged (its Execute returns)
+// only after the batch containing it has been flushed, so every
+// acknowledged write is durable. Index updates happen inside the same
+// seqlock critical section after the log append's write syscall, so a
+// concurrent reader that observes a new offset can always read those
+// bytes back (the write is sequenced before the index store, and the
+// reader's validated load orders after it); such a reader may observe a
+// write that is on its way to disk but not yet fsync'd — standard group
+// commit visibility. Crash recovery replays each shard log in order,
+// truncating a torn tail at the first CRC failure, and rebuilds an
+// index state-identical to the pre-crash one (IndexDump verifies this
+// bit-for-bit in the tests and the harness figure).
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"hcf/internal/metrics"
+	"hcf/internal/native"
+	"hcf/internal/native/hashtable"
+)
+
+// Operation classes (indexes into each shard's policy slice).
+const (
+	// ClassGet looks a key up (read-only, speculates).
+	ClassGet = iota
+	// ClassPut inserts or updates a key (always combines: group commit).
+	ClassPut
+	// ClassDelete removes a key (always combines: group commit).
+	ClassDelete
+	numClasses
+)
+
+// Config configures a Store. The zero value is usable: 4 shards, 64K
+// keys per shard, fsync on every group commit.
+type Config struct {
+	// Shards is the number of independent index+log shards (rounded up
+	// to a power of two). 0 defaults to 4.
+	Shards int
+	// Capacity is the per-shard index capacity in keys. The index does
+	// not grow; size it to at least 2x the expected live keys per shard.
+	// 0 defaults to 1<<16.
+	Capacity int
+	// MaxHandles bounds concurrent handles per shard framework.
+	// 0 defaults to max(8, 4*GOMAXPROCS).
+	MaxHandles int
+	// TryPrivate budgets read speculation for gets. 0 defaults to 8.
+	// Puts and deletes never speculate: holding the seqlock across an
+	// fsync would stall the shard, and solo commits defeat group commit.
+	TryPrivate int
+	// MaxValue caps value length in bytes. 0 defaults to 1<<20.
+	MaxValue int
+	// CommitDelay is the group-commit delay in scheduler yields: a
+	// combiner about to pay a flush yields this many times first so
+	// concurrent writers can announce and share the fsync. 0 defaults
+	// to 16; set negative to disable. A yield costs well under a
+	// microsecond against a ~100µs flush, so generous is cheap.
+	CommitDelay int
+	// DisableSync skips the fsync at each group-commit boundary. Only
+	// for tests and benchmarks that measure the batching machinery
+	// itself; a crash can then lose acknowledged writes.
+	DisableSync bool
+}
+
+func (c Config) normalize() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.MaxHandles <= 0 {
+		c.MaxHandles = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxHandles < 8 {
+			c.MaxHandles = 8
+		}
+	}
+	if c.TryPrivate <= 0 {
+		c.TryPrivate = 8
+	}
+	if c.MaxValue <= 0 {
+		c.MaxValue = 1 << 20
+	}
+	if c.CommitDelay == 0 {
+		c.CommitDelay = 16
+	} else if c.CommitDelay < 0 {
+		c.CommitDelay = 0
+	}
+	return c
+}
+
+// shard is one index+log pair with its own framework: combiners on
+// different shards flush in parallel.
+type shard struct {
+	tab         *hashtable.Table
+	fw          *native.Framework
+	f           *os.File
+	disableSync bool
+	maxValue    int
+	// size is the log length == next append offset. Mutated only inside
+	// the shard's seqlock critical sections; atomic so gauges can poll.
+	size atomic.Int64
+	// staging carries put values from owner goroutines into the
+	// combiner, indexed by handle ID (Op has only two uint64 operands).
+	// The publication slot's release/acquire status transitions order
+	// these bytes between owner and combiner.
+	staging [][]byte
+	// buf and offs are combiner-only scratch: the serialized batch and
+	// each operation's assigned offset.
+	buf  []byte
+	offs []int64
+
+	// Group-commit metrics. batchOps[c] is the number of class-c
+	// operations per combined batch; flushNS is the wall time of the
+	// append+fsync pair; flushes counts group commits (fsync calls when
+	// syncing is enabled).
+	batchOps [numClasses]metrics.Histogram
+	flushNS  metrics.Histogram
+	flushes  atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// Store is the engine: open it with Open, take one Handle per goroutine.
+type Store struct {
+	cfg       Config
+	dir       string
+	shardMask uint64
+	shards    []*shard
+}
+
+// Open creates or re-opens a store rooted at dir. Existing shard logs
+// are replayed to rebuild the in-memory index; a torn tail (crash
+// mid-append) is truncated at the first corrupt record. The shard count
+// is part of the on-disk layout: reopen with the same Config.Shards.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	s := &Store{
+		cfg:       cfg,
+		dir:       dir,
+		shardMask: uint64(cfg.Shards - 1),
+		shards:    make([]*shard, cfg.Shards),
+	}
+	for i := range s.shards {
+		sh, err := openShard(filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), cfg)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.f.Close()
+			}
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func openShard(path string, cfg Config) (*shard, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	sh := &shard{
+		tab:         hashtable.New(cfg.Capacity),
+		f:           f,
+		staging:     make([][]byte, cfg.MaxHandles),
+		disableSync: cfg.DisableSync,
+		maxValue:    cfg.MaxValue,
+	}
+	end, err := replayLog(f, func(kind byte, key uint64, off int64, _ []byte) {
+		switch kind {
+		case kindPut:
+			sh.tab.Put(key, uint64(off))
+		case kindDelete:
+			sh.tab.Delete(key)
+		}
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sh.size.Store(end)
+	pol := make([]native.Policy, numClasses)
+	pol[ClassGet] = native.Policy{
+		Name: "Get", ReadOnly: true,
+		TryPrivate: cfg.TryPrivate, MaxBatch: cfg.MaxHandles,
+		Run:      func(op native.Op) uint64 { return sh.tab.Get(op.A) },
+		RunMulti: sh.runBatch,
+	}
+	pol[ClassPut] = native.Policy{
+		// TryPrivate 0: a put that won the CAS would hold the shard's
+		// seqlock across a solo fsync; announcing instead routes every
+		// write through the combiner's group commit. CombineDelay is
+		// the commit delay — a write-led combiner waits a few yields so
+		// concurrent writers announce and share its flush.
+		Name: "Put", TryPrivate: 0, MaxBatch: cfg.MaxHandles,
+		CombineDelay: cfg.CommitDelay,
+		Run:          sh.applyOne,
+		RunMulti:     sh.runBatch,
+	}
+	pol[ClassDelete] = native.Policy{
+		Name: "Delete", TryPrivate: 0, MaxBatch: cfg.MaxHandles,
+		CombineDelay: cfg.CommitDelay,
+		Run:          sh.applyOne,
+		RunMulti:     sh.runBatch,
+	}
+	fw, err := native.New(native.Config{Policies: pol, MaxHandles: cfg.MaxHandles})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sh.fw = fw
+	return sh, nil
+}
+
+// runBatch is the shared RunMulti for all three classes: the combiner
+// claims any announced mix of gets, puts and deletes (help-all), and
+// this function turns the batch boundary into the group-commit boundary.
+//
+// Order of effects, and why it is safe:
+//  1. serialize every put/delete in the batch into one buffer, assigning
+//     each its final log offset;
+//  2. one write(2) appends the buffer — after this, any index offset
+//     handed out below is readable via ReadAt;
+//  3. one fsync (unless disabled) — the flush whose cost the whole batch
+//     shares;
+//  4. apply index updates and resolve gets in slot order. Gets batched
+//     alongside a put of the same key legally linearize before or after
+//     it depending on slot order — any order is correct for concurrent
+//     operations.
+//
+// Results publish (and Execute returns) only after this function — so
+// acknowledgement implies durability (step 3 precedes it).
+func (sh *shard) runBatch(ops []native.Op, res []uint64, done []bool) {
+	if cap(sh.offs) < len(ops) {
+		sh.offs = make([]int64, len(ops))
+	}
+	offs := sh.offs[:len(ops)]
+	base := sh.size.Load()
+	buf := sh.buf[:0]
+	writes := 0
+	for i, op := range ops {
+		switch op.Class {
+		case ClassPut:
+			offs[i] = base + int64(len(buf))
+			buf = appendRecord(buf, kindPut, op.A, sh.staging[op.B])
+			writes++
+		case ClassDelete:
+			offs[i] = base + int64(len(buf))
+			buf = appendRecord(buf, kindDelete, op.A, nil)
+			writes++
+		}
+	}
+	if writes > 0 {
+		t0 := time.Now()
+		if _, err := sh.f.WriteAt(buf, base); err != nil {
+			panic(fmt.Sprintf("kvstore: log append failed: %v", err))
+		}
+		if !sh.disableSync {
+			if err := sh.f.Sync(); err != nil {
+				panic(fmt.Sprintf("kvstore: log fsync failed: %v", err))
+			}
+		}
+		sh.flushNS.Record(time.Since(t0).Nanoseconds())
+		sh.flushes.Add(1)
+		sh.bytes.Add(uint64(len(buf)))
+		sh.size.Store(base + int64(len(buf)))
+	}
+	var perClass [numClasses]int64
+	for i, op := range ops {
+		perClass[op.Class]++
+		switch op.Class {
+		case ClassGet:
+			res[i] = sh.tab.Get(op.A)
+		case ClassPut:
+			_, replaced := native.Unpack(sh.tab.Put(op.A, uint64(offs[i])))
+			res[i] = native.PackBool(replaced)
+		case ClassDelete:
+			res[i] = sh.tab.Delete(op.A)
+		}
+		done[i] = true
+	}
+	for c, n := range perClass {
+		if n > 0 {
+			sh.batchOps[c].Record(n)
+		}
+	}
+	sh.buf = buf[:0]
+}
+
+// applyOne is the single-operation fallback (applyEach path). It is a
+// degenerate batch: one record, one append, one flush.
+func (sh *shard) applyOne(op native.Op) uint64 {
+	ops := [1]native.Op{op}
+	var res [1]uint64
+	var done [1]bool
+	sh.runBatch(ops[:], res[:], done[:])
+	return res[0]
+}
+
+// Handle is a per-goroutine participant: one native handle per shard.
+// Handles are not safe for concurrent use; take one per goroutine.
+type Handle struct {
+	s  *Store
+	hs []*native.Handle
+}
+
+// Handle registers a participant. Release it when the goroutine is done.
+func (s *Store) Handle() (*Handle, error) {
+	h := &Handle{s: s, hs: make([]*native.Handle, len(s.shards))}
+	for i, sh := range s.shards {
+		nh, err := sh.fw.Handle()
+		if err != nil {
+			for _, prev := range h.hs[:i] {
+				prev.Release()
+			}
+			return nil, err
+		}
+		h.hs[i] = nh
+	}
+	return h, nil
+}
+
+// MustHandle is Handle for tests and benchmarks: it panics on exhaustion.
+func (s *Store) MustHandle() *Handle {
+	h, err := s.Handle()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Release returns the handle's framework slots.
+func (h *Handle) Release() {
+	for _, nh := range h.hs {
+		nh.Release()
+	}
+}
+
+func (s *Store) shardOf(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15 >> 40) & s.shardMask)
+}
+
+// Get returns the current value of key, or ok=false if absent. The
+// index lookup speculates (validated optimistic read); the value bytes
+// are then read from the log outside any critical section — offsets are
+// immutable once written, so the read needs no further coordination.
+func (h *Handle) Get(key uint64) (val []byte, ok bool, err error) {
+	si := h.s.shardOf(key)
+	sh := h.s.shards[si]
+	off, ok := native.Unpack(h.hs[si].Execute(native.Op{Class: ClassGet, A: key}))
+	if !ok {
+		return nil, false, nil
+	}
+	kind, k, v, err := readRecordAt(sh.f, int64(off))
+	if err != nil {
+		return nil, false, err
+	}
+	if kind != kindPut || k != key {
+		return nil, false, fmt.Errorf("kvstore: index points at wrong record (key %d, offset %d)", key, off)
+	}
+	return v, true, nil
+}
+
+// Put durably stores key=val, returning whether a previous value was
+// replaced. It returns only after the group commit containing the write
+// has been flushed.
+func (h *Handle) Put(key uint64, val []byte) (replaced bool, err error) {
+	si := h.s.shardOf(key)
+	sh := h.s.shards[si]
+	if len(val) > sh.maxValue {
+		return false, fmt.Errorf("kvstore: value length %d exceeds cap %d", len(val), sh.maxValue)
+	}
+	id := h.hs[si].ID()
+	sh.staging[id] = append(sh.staging[id][:0], val...)
+	r := h.hs[si].Execute(native.Op{Class: ClassPut, A: key, B: uint64(id)})
+	return native.UnpackBool(r), nil
+}
+
+// Delete durably removes key, returning whether it was present. Like
+// Put, it returns only after its group commit has been flushed.
+func (h *Handle) Delete(key uint64) (found bool, err error) {
+	si := h.s.shardOf(key)
+	r := h.hs[si].Execute(native.Op{Class: ClassDelete, A: key})
+	return native.UnpackBool(r), nil
+}
+
+// Close syncs and closes every shard log. Callers must be quiescent.
+func (s *Store) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Len returns the number of live keys across all shards. Safe to poll
+// concurrently (per-shard counts are atomic; the sum is a snapshot).
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.tab.Len()
+	}
+	return n
+}
+
+// ShardStat is one shard's occupancy gauge set.
+type ShardStat struct {
+	Live       int   // live keys in the index
+	Tombstones int   // dead index cells awaiting compaction
+	LogBytes   int64 // shard log length
+}
+
+// Stats is a snapshot of the engine's group-commit behaviour.
+type Stats struct {
+	Shards []ShardStat
+	// Flushes counts group commits (one append+fsync pair each).
+	Flushes uint64
+	// AppendedBytes is the total bytes written to all logs.
+	AppendedBytes uint64
+	// BatchOps[c] is the distribution of class-c operations per combined
+	// batch — the group-commit depth puts actually achieved.
+	BatchOps [numClasses]metrics.HistogramSnapshot
+	// FlushNanos is the distribution of append+fsync wall times.
+	FlushNanos metrics.HistogramSnapshot
+}
+
+// Stats snapshots occupancy and group-commit metrics. Safe to call
+// concurrently with operations (histograms are atomic; counts are
+// per-shard snapshots).
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: make([]ShardStat, len(s.shards))}
+	for i, sh := range s.shards {
+		st.Shards[i] = ShardStat{
+			Live:       sh.tab.Len(),
+			Tombstones: sh.tab.Tombstones(),
+			LogBytes:   sh.size.Load(),
+		}
+		st.Flushes += sh.flushes.Load()
+		st.AppendedBytes += sh.bytes.Load()
+		for c := range sh.batchOps {
+			snap := sh.batchOps[c].Snapshot()
+			st.BatchOps[c].Merge(&snap)
+		}
+		fs := sh.flushNS.Snapshot()
+		st.FlushNanos.Merge(&fs)
+	}
+	return st
+}
+
+// IndexDump serializes the entire in-memory index deterministically:
+// shard by shard, (key, offset) pairs in ascending key order. Two
+// stores whose indexes are state-identical produce bit-identical dumps,
+// which is how the recovery tests and the harness figure verify that
+// replay rebuilds exactly the pre-crash index. Callers must be
+// quiescent.
+func (s *Store) IndexDump() []byte {
+	var out []byte
+	pairs := make([][2]uint64, 0, 1024)
+	for i, sh := range s.shards {
+		pairs = pairs[:0]
+		sh.tab.Range(func(k, v uint64) bool {
+			pairs = append(pairs, [2]uint64{k, v})
+			return true
+		})
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a][0] < pairs[b][0] })
+		out = append(out, fmt.Sprintf("shard %d: %d keys\n", i, len(pairs))...)
+		for _, p := range pairs {
+			out = append(out, fmt.Sprintf("%d %d\n", p[0], p[1])...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testConfig keeps unit tests fast: fsync off except where a test is
+// explicitly about durability machinery.
+func testConfig() Config {
+	return Config{Shards: 4, Capacity: 1 << 12, DisableSync: true}
+}
+
+func TestSequentialAgainstMap(t *testing.T) {
+	s, err := Open(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.MustHandle()
+	defer h.Release()
+
+	model := map[uint64][]byte{}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64N(300)
+		switch rng.IntN(4) {
+		case 0, 1:
+			v := make([]byte, rng.IntN(64))
+			for j := range v {
+				v[j] = byte(rng.Uint64())
+			}
+			replaced, err := h.Put(k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, want := model[k]; replaced != want {
+				t.Fatalf("op %d: Put(%d) replaced=%v, want %v", i, k, replaced, want)
+			}
+			model[k] = v
+		case 2:
+			found, err := h.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, want := model[k]; found != want {
+				t.Fatalf("op %d: Delete(%d) found=%v, want %v", i, k, found, want)
+			}
+			delete(model, k)
+		default:
+			v, ok, err := h.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := model[k]
+			if ok != wantOK || !bytes.Equal(v, want) {
+				t.Fatalf("op %d: Get(%d) = (%q,%v), want (%q,%v)", i, k, v, ok, want, wantOK)
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", s.Len(), len(model))
+	}
+}
+
+func TestEmptyAndLargeValues(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxValue = 1 << 10
+	s, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.MustHandle()
+	defer h.Release()
+
+	if _, err := h.Put(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := h.Get(1)
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value: got (%q,%v,%v)", v, ok, err)
+	}
+	big := make([]byte, 1<<10)
+	if _, err := h.Put(2, big); err != nil {
+		t.Fatalf("at-cap value rejected: %v", err)
+	}
+	if _, err := h.Put(3, make([]byte, 1<<10+1)); err == nil {
+		t.Fatal("over-cap value accepted")
+	}
+}
+
+// TestRecoveryBitIdentical is the crash-recovery acceptance check: after
+// arbitrary churn, the reopened store's index dump must be bit-identical
+// to the pre-close witness dump, and every surviving value must read
+// back intact.
+func TestRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.MustHandle()
+	rng := rand.New(rand.NewPCG(3, 5))
+	model := map[uint64][]byte{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint64N(500)
+		if rng.IntN(3) < 2 {
+			v := []byte(fmt.Sprintf("v%d-%d", k, i))
+			h.Put(k, v)
+			model[k] = v
+		} else {
+			h.Delete(k)
+			delete(model, k)
+		}
+	}
+	h.Release()
+	witness := s.IndexDump()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.IndexDump(); !bytes.Equal(got, witness) {
+		t.Fatalf("recovered index dump differs from witness:\n got %d bytes\nwant %d bytes", len(got), len(witness))
+	}
+	h2 := s2.MustHandle()
+	defer h2.Release()
+	for k, want := range model {
+		v, ok, err := h2.Get(k)
+		if err != nil || !ok || !bytes.Equal(v, want) {
+			t.Fatalf("after recovery Get(%d) = (%q,%v,%v), want (%q,true,nil)", k, v, ok, err, want)
+		}
+	}
+	if s2.Len() != len(model) {
+		t.Fatalf("recovered Len = %d, model has %d", s2.Len(), len(model))
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: garbage and a
+// partial record after the last valid record must be truncated on open,
+// with everything before the tear intact.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Shards = 1 // single shard so we know which file to corrupt
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.MustHandle()
+	for k := uint64(0); k < 50; k++ {
+		h.Put(k, []byte(fmt.Sprintf("val-%d", k)))
+	}
+	h.Release()
+	witness := s.IndexDump()
+	s.Close()
+
+	path := filepath.Join(dir, "shard-000.log")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: a valid-looking header claiming a 100-byte value,
+	// but only 10 bytes of it made it to disk.
+	torn := appendRecord(nil, kindPut, 999, make([]byte, 100))
+	f.Write(torn[:recHeaderLen+10])
+	f.Close()
+
+	s2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.IndexDump(); !bytes.Equal(got, witness) {
+		t.Fatal("index after torn-tail recovery differs from pre-crash witness")
+	}
+	if _, ok, _ := s2.MustHandle().Get(999); ok {
+		t.Fatal("torn record's key visible after recovery")
+	}
+	// The log must be clean for further appends: write and read back.
+	h2 := s2.MustHandle()
+	defer h2.Release()
+	if _, err := h2.Put(1000, []byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := h2.Get(1000)
+	if err != nil || !ok || string(v) != "after-recovery" {
+		t.Fatalf("post-recovery append: got (%q,%v,%v)", v, ok, err)
+	}
+}
+
+// TestConcurrentGroupCommit drives real fsync-backed group commit from
+// several goroutines (run under -race in CI). Disjoint key ranges make
+// the final state deterministic; the stats must show group commits
+// batching multiple writes per flush or at least flushing every write.
+func TestConcurrentGroupCommit(t *testing.T) {
+	cfg := Config{Shards: 2, Capacity: 1 << 12} // sync enabled
+	s, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const goroutines, opsPer = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := s.MustHandle()
+			defer h.Release()
+			base := uint64(g) << 32
+			for i := uint64(0); i < opsPer; i++ {
+				k := base + i
+				if _, err := h.Put(k, []byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok, err := h.Get(k); err != nil || !ok || len(v) == 0 {
+					t.Errorf("Get(%d) = (%q,%v,%v) right after Put", k, v, ok, err)
+					return
+				}
+				if i%4 == 3 {
+					h.Delete(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	h := s.MustHandle()
+	defer h.Release()
+	live := 0
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g) << 32
+		for i := uint64(0); i < opsPer; i++ {
+			want := i%4 != 3
+			_, ok, err := h.Get(base + i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != want {
+				t.Fatalf("key %d/%d present=%v, want %v", g, i, ok, want)
+			}
+			if ok {
+				live++
+			}
+		}
+	}
+	if s.Len() != live {
+		t.Fatalf("Len = %d, counted %d live", s.Len(), live)
+	}
+
+	st := s.Stats()
+	totalWrites := uint64(goroutines*opsPer) + uint64(goroutines*opsPer/4)
+	if st.Flushes == 0 || st.Flushes >= totalWrites {
+		t.Fatalf("Flushes = %d for %d writes: group commit never batched", st.Flushes, totalWrites)
+	}
+	if st.FlushNanos.Count == 0 || st.BatchOps[ClassPut].Count == 0 {
+		t.Fatal("group-commit metrics not recorded")
+	}
+	t.Logf("writes=%d flushes=%d (amortization %.2f writes/flush)",
+		totalWrites, st.Flushes, float64(totalWrites)/float64(st.Flushes))
+}
+
+// TestStatsGauges checks the occupancy gauges the serve endpoint polls.
+func TestStatsGauges(t *testing.T) {
+	s, err := Open(t.TempDir(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.MustHandle()
+	defer h.Release()
+	for k := uint64(0); k < 100; k++ {
+		h.Put(k, []byte("x"))
+	}
+	for k := uint64(0); k < 50; k++ {
+		h.Delete(k)
+	}
+	st := s.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("got %d shard stats, want 4", len(st.Shards))
+	}
+	live, logBytes := 0, int64(0)
+	for _, sh := range st.Shards {
+		live += sh.Live
+		logBytes += sh.LogBytes
+	}
+	if live != 50 || s.Len() != 50 {
+		t.Fatalf("live = %d (Len %d), want 50", live, s.Len())
+	}
+	if logBytes == 0 || st.AppendedBytes != uint64(logBytes) {
+		t.Fatalf("log bytes %d vs appended %d", logBytes, st.AppendedBytes)
+	}
+}

@@ -1,0 +1,119 @@
+// Log record format and replay for the kvstore write-ahead log.
+//
+// Each shard owns one append-only file of self-describing records:
+//
+//	kind(1) | key(8 LE) | vlen(4 LE) | value(vlen) | crc32(4 LE)
+//
+// kind is kindPut or kindDelete (deletes carry vlen=0). The trailing
+// CRC-32 (IEEE) covers kind|key|vlen|value, so replay can detect a torn
+// tail — a crash mid-append — and truncate the log back to the last
+// complete record instead of refusing to open.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+const (
+	kindPut    = byte(1)
+	kindDelete = byte(2)
+
+	recHeaderLen  = 1 + 8 + 4 // kind + key + vlen
+	recTrailerLen = 4         // crc32
+)
+
+// appendRecord serializes one record onto buf and returns the extended
+// buffer. val must be nil for kindDelete.
+func appendRecord(buf []byte, kind byte, key uint64, val []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, val...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// recordLen returns the on-disk length of a record with a vlen-byte value.
+func recordLen(vlen int) int64 {
+	return int64(recHeaderLen + vlen + recTrailerLen)
+}
+
+// parseRecord decodes the record at the head of data. It returns
+// n == 0 when the bytes are a torn or corrupt tail (incomplete header,
+// value running past the buffer, or CRC mismatch) — replay treats that
+// as end-of-log.
+func parseRecord(data []byte) (kind byte, key uint64, val []byte, n int64) {
+	if len(data) < recHeaderLen+recTrailerLen {
+		return 0, 0, nil, 0
+	}
+	kind = data[0]
+	if kind != kindPut && kind != kindDelete {
+		return 0, 0, nil, 0
+	}
+	key = binary.LittleEndian.Uint64(data[1:9])
+	vlen := int(binary.LittleEndian.Uint32(data[9:13]))
+	total := recHeaderLen + vlen + recTrailerLen
+	if vlen < 0 || len(data) < total {
+		return 0, 0, nil, 0
+	}
+	want := binary.LittleEndian.Uint32(data[recHeaderLen+vlen:])
+	if crc32.ChecksumIEEE(data[:recHeaderLen+vlen]) != want {
+		return 0, 0, nil, 0
+	}
+	return kind, key, data[recHeaderLen : recHeaderLen+vlen], int64(total)
+}
+
+// replayLog scans f from the start, calling apply(kind, key, offset,
+// value) for every intact record, and returns the offset of the first
+// byte past the last intact record. A torn tail is truncated in place so
+// subsequent appends extend a clean log.
+func replayLog(f *os.File, apply func(kind byte, key uint64, off int64, val []byte)) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, st.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && st.Size() > 0 {
+		return 0, fmt.Errorf("kvstore: replay read: %w", err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		kind, key, val, n := parseRecord(data[off:])
+		if n == 0 {
+			break // torn or corrupt tail
+		}
+		apply(kind, key, off, val)
+		off += n
+	}
+	if off < st.Size() {
+		if err := f.Truncate(off); err != nil {
+			return 0, fmt.Errorf("kvstore: truncate torn tail: %w", err)
+		}
+	}
+	return off, nil
+}
+
+// readRecordAt reads and validates the record starting at off, returning
+// its kind, key and a freshly allocated copy of the value.
+func readRecordAt(f *os.File, off int64) (kind byte, key uint64, val []byte, err error) {
+	var hdr [recHeaderLen]byte
+	if _, err = f.ReadAt(hdr[:], off); err != nil {
+		return 0, 0, nil, fmt.Errorf("kvstore: record header at %d: %w", off, err)
+	}
+	vlen := int(binary.LittleEndian.Uint32(hdr[9:13]))
+	rest := make([]byte, vlen+recTrailerLen)
+	if _, err = f.ReadAt(rest, off+recHeaderLen); err != nil {
+		return 0, 0, nil, fmt.Errorf("kvstore: record body at %d: %w", off, err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(rest[:vlen])
+	if crc.Sum32() != binary.LittleEndian.Uint32(rest[vlen:]) {
+		return 0, 0, nil, fmt.Errorf("kvstore: CRC mismatch at offset %d", off)
+	}
+	return hdr[0], binary.LittleEndian.Uint64(hdr[1:9]), rest[:vlen:vlen], nil
+}

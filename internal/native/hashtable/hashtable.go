@@ -38,10 +38,15 @@ type Table struct {
 	mask  uint64
 	keys  []atomic.Uint64
 	vals  []atomic.Uint64
-	// size is written under the seqlock only and never read by the
-	// optimistic path, so a plain word suffices (the seqlock's
-	// acquire/release edges order it across writers).
-	size uint64
+	// size and dead are atomics so occupancy gauges (the KV engine's
+	// serve endpoint polls Len) can read them without holding the
+	// framework's lock; writers still mutate them only inside seqlock
+	// critical sections.
+	size atomic.Uint64
+	dead atomic.Uint64
+	// scratch holds live (key, val) pairs during compaction; allocated
+	// lazily on the first compaction, then reused.
+	scratch []uint64
 }
 
 // New creates a table with at least capacity slots (rounded up to a
@@ -62,9 +67,17 @@ func New(capacity int) *Table {
 	return t
 }
 
-// Len returns the number of live keys. Call only while quiescent or
-// under the framework's lock.
-func (t *Table) Len() int { return int(t.size) }
+// Len returns the number of live keys. Safe to call from any goroutine
+// at any time: the count is atomic, so occupancy gauges can poll it
+// concurrently with writers (the value is naturally a snapshot).
+func (t *Table) Len() int { return int(t.size.Load()) }
+
+// Tombstones returns the number of dead (deleted, unreclaimed) cells.
+// Safe to call from any goroutine, like Len.
+func (t *Table) Tombstones() int { return int(t.dead.Load()) }
+
+// Capacity returns the number of slots.
+func (t *Table) Capacity() int { return int(t.mask + 1) }
 
 // hash spreads k with a Fibonacci multiply; the top bits index the table.
 func (t *Table) hash(k uint64) uint64 {
@@ -92,6 +105,7 @@ func (t *Table) Get(k uint64) uint64 {
 // Put inserts or updates k and returns Pack(previous value, replaced).
 // Must run with the structure lock held (writer-exclusive).
 func (t *Table) Put(k, v uint64) uint64 {
+	t.maybeCompact()
 	i := t.hash(k)
 	want := k + 1
 	haveFree := false // first tombstone seen during the probe, if any
@@ -110,20 +124,26 @@ func (t *Table) Put(k, v uint64) uint64 {
 			if !haveFree {
 				freeIdx = i
 			}
-			t.vals[freeIdx].Store(v)
-			t.keys[freeIdx].Store(want)
-			t.size++
-			return native.Pack(0, false)
+			return t.insertAt(freeIdx, want, v, haveFree)
 		}
 		i = (i + 1) & t.mask
 	}
 	if haveFree {
-		t.vals[freeIdx].Store(v)
-		t.keys[freeIdx].Store(want)
-		t.size++
-		return native.Pack(0, false)
+		return t.insertAt(freeIdx, want, v, true)
 	}
 	panic(fmt.Sprintf("hashtable: table full (%d slots)", t.mask+1))
+}
+
+// insertAt writes a new entry into slot i, maintaining the size and dead
+// counters (reusing a tombstone reclaims a dead cell).
+func (t *Table) insertAt(i, wantKey, v uint64, reuseTombstone bool) uint64 {
+	t.vals[i].Store(v)
+	t.keys[i].Store(wantKey)
+	t.size.Add(1)
+	if reuseTombstone {
+		t.dead.Add(^uint64(0))
+	}
+	return native.Pack(0, false)
 }
 
 // Delete removes k and returns PackBool(found). Must run with the
@@ -138,12 +158,73 @@ func (t *Table) Delete(k uint64) uint64 {
 		}
 		if ks == want {
 			t.keys[i].Store(tombstone)
-			t.size--
+			t.size.Add(^uint64(0))
+			t.dead.Add(1)
+			t.maybeCompact()
 			return native.PackBool(true)
 		}
 		i = (i + 1) & t.mask
 	}
 	return native.PackBool(false)
+}
+
+// maybeCompact reclaims tombstones once dead cells exceed a quarter of
+// the capacity. Without this, put/delete churn monotonically converts 0
+// cells into tombstones until every absent-key probe walks the whole
+// table and Put can only reuse tombstones in place — O(capacity) probes
+// at a live load factor nowhere near full. Must run with the structure
+// lock held.
+func (t *Table) maybeCompact() {
+	if t.dead.Load() > (t.mask+1)/4 {
+		t.compact()
+	}
+}
+
+// compact rehashes all live entries in place, returning every dead cell
+// to 0. It deliberately reuses the existing keys/vals backing arrays
+// rather than allocating fresh ones: concurrent optimistic readers hold
+// references to these slices, and swapping the slice headers would be a
+// plain-memory data race. Transient states during the rebuild are fine —
+// readers validate against the seqlock and discard anything they saw
+// while we held it. Must run with the structure lock held.
+func (t *Table) compact() {
+	if t.scratch == nil {
+		t.scratch = make([]uint64, 0, 2*(t.mask+1))
+	}
+	live := t.scratch[:0]
+	for i := range t.keys {
+		ks := t.keys[i].Load()
+		if ks != 0 && ks != tombstone {
+			live = append(live, ks, t.vals[i].Load())
+		}
+		t.keys[i].Store(0)
+	}
+	t.dead.Store(0)
+	for j := 0; j < len(live); j += 2 {
+		want, v := live[j], live[j+1]
+		i := t.hash(want - 1)
+		for t.keys[i].Load() != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.vals[i].Store(v)
+		t.keys[i].Store(want)
+	}
+	t.scratch = live[:0]
+}
+
+// Range calls f for every live (key, value) pair until f returns false.
+// Iteration order is unspecified. Call only while quiescent or under the
+// framework's lock — concurrent writers make the walk a torn snapshot.
+func (t *Table) Range(f func(k, v uint64) bool) {
+	for i := range t.keys {
+		ks := t.keys[i].Load()
+		if ks == 0 || ks == tombstone {
+			continue
+		}
+		if !f(ks-1, t.vals[i].Load()) {
+			return
+		}
+	}
 }
 
 // GetOp, PutOp and DeleteOp build operations for the framework.

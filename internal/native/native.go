@@ -121,6 +121,16 @@ type Policy struct {
 	// ShouldHelp selects which announced operations a combiner running an
 	// operation of this class adopts. Nil means help-all.
 	ShouldHelp ShouldHelpFunc
+	// CombineDelay makes a combiner whose own operation is of this class
+	// yield the scheduler this many times before its claim sweep, giving
+	// concurrent owners a window to announce and join the batch — the
+	// flat-combining analogue of a group-commit delay. Worth paying only
+	// when RunMulti amortizes an expensive per-batch cost (e.g. an
+	// fsync); leave 0 for cheap in-memory batches. It matters most when
+	// GOMAXPROCS is low: a combiner blocked in a syscall does not free
+	// its P promptly, so without the yield window announcements never
+	// overlap and batches collapse to size one.
+	CombineDelay int
 	// Run is the operation's sequential code. Required.
 	Run ApplyFunc
 	// RunMulti combines a batch. Nil applies each operation's own Run.
@@ -396,6 +406,12 @@ func (f *Framework) MustHandle() *Handle {
 	return h
 }
 
+// ID returns the handle's slot index, in [0, MaxHandles). Stable for
+// the handle's lifetime and unique among live handles, so callers can
+// index per-handle side arrays (e.g. staging buffers for operand data
+// that does not fit in Op's two words).
+func (h *Handle) ID() int { return int(h.id) }
+
 // Release returns the handle's slot to the framework. The handle must
 // not be used afterwards.
 func (h *Handle) Release() {
@@ -561,6 +577,13 @@ func (h *Handle) runCombiner(pol *Policy, b *nbudget, vodd uint64, tm *Metrics) 
 	// De-announce our own operation; we apply it ourselves.
 	own.status.Store(slotFree)
 	tm.CombinerSessions++
+
+	// Group-commit delay: let concurrent owners announce before the
+	// claim sweep so they ride this batch's RunMulti (and share its
+	// per-batch cost) instead of forcing a session of their own.
+	for d := 0; d < pol.CombineDelay; d++ {
+		runtime.Gosched()
+	}
 
 	sc := &h.sc
 	sc.pend = sc.pend[:0]

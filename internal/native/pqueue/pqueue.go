@@ -42,12 +42,18 @@ func New(capacity int) *Queue {
 func (q *Queue) Len() int { return int(q.n.Load()) }
 
 // Insert pushes k. Must run with the structure lock held.
+//
+// The sift-up is the classic hole-propagation form: the new key is a
+// conceptual hole that bubbles toward the root, each displaced parent
+// written once, and the key placed exactly once at the end — one atomic
+// store per moved level plus one final placement, instead of the two
+// stores per level a swap-based sift costs. Every store is a locked RMW
+// on the bus, so halving them matters (see docs/PERFORMANCE.md).
 func (q *Queue) Insert(k uint64) uint64 {
 	i := q.n.Load()
 	if int(i) >= len(q.heap) {
 		panic(fmt.Sprintf("pqueue: full (%d keys)", len(q.heap)))
 	}
-	q.heap[i].Store(k)
 	q.n.Store(i + 1)
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -56,9 +62,9 @@ func (q *Queue) Insert(k uint64) uint64 {
 			break
 		}
 		q.heap[i].Store(pv)
-		q.heap[parent].Store(k)
 		i = parent
 	}
+	q.heap[i].Store(k)
 	return native.PackBool(true)
 }
 
@@ -73,7 +79,9 @@ func (q *Queue) ExtractMin() uint64 {
 	last := q.heap[n-1].Load()
 	n--
 	q.n.Store(n)
-	q.heap[0].Store(last)
+	// Hole propagation (see Insert): the root is a hole that sinks toward
+	// the leaves, each promoted child written once, and the detached last
+	// key placed exactly once where the hole comes to rest.
 	i := uint64(0)
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -91,8 +99,10 @@ func (q *Queue) ExtractMin() uint64 {
 			break
 		}
 		q.heap[i].Store(cv)
-		q.heap[c].Store(last)
 		i = c
+	}
+	if n > 0 {
+		q.heap[i].Store(last)
 	}
 	return native.Pack(min, true)
 }
