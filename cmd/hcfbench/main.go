@@ -36,6 +36,14 @@
 //	hcfbench -fig kv -out bench/KV_sweep.jsonl        # record for the CI gate
 //	hcfbench -fig kv -kv-baseline bench/KV_sweep.jsonl
 //	hcfbench -fig kv -threads 8 -kv-dur 100           # quick smoke
+//
+// And the elastic-sharding hot-shard healing figure — the same drifting
+// 90%-skewed workload run with the topology frozen and with the
+// rebalancer splitting hot shards online:
+//
+//	hcfbench -fig elastic                             # table to stdout
+//	hcfbench -fig elastic -out bench/ELASTIC_sweep.jsonl
+//	hcfbench -fig elastic -elastic-gate 0.8           # CI: healed >= 0.8x balanced
 package main
 
 import (
@@ -122,6 +130,8 @@ func run(args []string) error {
 		natBase  = fs.String("native-baseline", "", "compare the -fig native sweep against this BENCH_native.json; exit non-zero when any point regresses more than 2x below the median fresh/baseline ratio")
 		kvDur    = fs.Int64("kv-dur", 400, "arrival window per point in milliseconds (-fig kv only)")
 		kvBase   = fs.String("kv-baseline", "", "compare the -fig kv sweep against this JSONL baseline; median-normalized sojourn-p99 gate plus an unconditional recovery-replay check")
+		elGate   = fs.Float64("elastic-gate", 0, "-fig elastic only: fail unless the healed run's post-phase throughput is at least this fraction of the balanced run's (0 = report, don't gate)")
+		elRate   = fs.Float64("elastic-rate", 0, "-fig elastic only: offered load in ops/Mcycle (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,6 +209,17 @@ func run(args []string) error {
 	if *figID == "openloop" && !*realFlg {
 		return runOpenLoop(*threads, *engs, *rates, *horizon, *seed, *parallel,
 			*csv, *jsonFlg, *outPath, *olBase, *serveAt)
+	}
+	if *figID == "elastic" && !*realFlg {
+		// The elastic figure has its own (longer) default horizon: only
+		// forward -horizon when the user actually set it.
+		h := int64(0)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "horizon" {
+				h = *horizon
+			}
+		})
+		return runElastic(*threads, h, *seed, *parallel, *jsonFlg, *outPath, *elRate, *elGate)
 	}
 	var figs []harness.Figure
 	if *figID == "all" {
@@ -601,6 +622,55 @@ func runOpenLoop(threadsCSV, engsCSV, ratesCSV string, horizon int64, seed uint6
 		}
 		fmt.Fprintf(os.Stderr, "hcfbench: open-loop sojourn p99 within %.0f%% of baseline %s\n",
 			100*(openLoopP99Ratio-1), basePath)
+	}
+	return nil
+}
+
+// runElastic is the -fig elastic pipeline: the three-mode hot-shard
+// healing comparison (balanced / static skew / rebalanced), rendered as
+// a table or JSONL (bench/ELASTIC_sweep.jsonl) and optionally gated on
+// the healing story itself (-elastic-gate).
+func runElastic(threadsCSV string, horizon int64, seed uint64, parallel int, jsonFlg bool, outPath string, rate, gate float64) error {
+	threads := 36
+	if threadsCSV != "" {
+		ts, err := parseInts(threadsCSV)
+		if err != nil {
+			return err
+		}
+		if len(ts) != 1 {
+			return fmt.Errorf("-fig elastic takes exactly one thread count, got %v", ts)
+		}
+		threads = ts[0]
+	}
+	cfg := harness.Config{Horizon: horizon, Seed: seed, Parallel: parallel}
+	rep, err := harness.RunElasticFigure(threads, cfg, harness.ElasticRunConfig{Rate: rate, Gate: gate})
+	if err != nil {
+		return err
+	}
+	if jsonFlg {
+		data, err := rep.JSONL()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if outPath != "" {
+		data, err := rep.JSONL()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hcfbench: wrote %d elastic points to %s\n", len(rep.Points), outPath)
+	}
+	if gate > 0 {
+		if err := harness.CheckElasticGate(rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hcfbench: elastic gate ok (post-heal throughput >= %.2fx balanced, verdict recovered)\n", rep.Gate)
 	}
 	return nil
 }

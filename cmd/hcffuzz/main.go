@@ -10,9 +10,10 @@
 //
 //	hcffuzz -seeds 50                       # fuzz all engines, default workload
 //	hcffuzz -seeds 200 -engines HCF -threads 9 -jitter 60
-//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable | avl | sharded
+//	hcffuzz -seeds 25 -scenario hashtable   # counter | hashtable | avl | sharded | elastic
 //	hcffuzz -explore -seeds 200 -scenario hashtable,avl
 //	hcffuzz -explore -seeds 200 -scenario sharded -engines HCF-S
+//	hcffuzz -explore -seeds 200 -scenario elastic -engines HCF-E
 //
 // Without -explore a failure aborts the run and prints the seed; rerunning
 // with -seeds-from <seed> -seeds 1 reproduces it exactly. With -explore the
@@ -33,6 +34,7 @@ import (
 	"hcf/internal/engine"
 	"hcf/internal/engines"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 	"hcf/internal/seq/avl"
 	"hcf/internal/seq/hashtable"
 	"hcf/internal/shard"
@@ -80,7 +82,7 @@ func run(args []string) error {
 		perThread = fs.Int("ops", 40, "operations per thread")
 		jitter    = fs.Int64("jitter", 40, "cost jitter percent")
 		engs      = fs.String("engines", "Lock,TLE,FC,SCM,TLE+FC,HCF", "engines to fuzz")
-		scenario  = fs.String("scenario", "hashtable", "comma-separated workloads: counter | hashtable | avl | sharded")
+		scenario  = fs.String("scenario", "hashtable", "comma-separated workloads: counter | hashtable | avl | sharded | elastic")
 		flight    = fs.Int("flight", 256, "flight-recorder ring size per thread (0 disables)")
 		explore   = fs.Bool("explore", false, "adversarial schedule exploration: sweep mode, aggregate failures")
 		budget    = fs.Int("preempt-budget", 48, "forced preemptions injected per explored run")
@@ -254,6 +256,17 @@ type fuzzScenario struct {
 	// means the scenario has no sharding plan.
 	shards int
 	router shard.Router
+	// The elastic variant (HCF-E): maxShards == 0 means no elastic plan.
+	// reshard, when non-nil, is called from thread 0 before each of its
+	// operations so splits and merges land mid-schedule, racing the
+	// witnessed traffic.
+	maxShards int
+	initial   int
+	slots     int
+	key       shard.KeyFunc
+	bind      func(op engine.Op, si int) engine.Op
+	migrate   shard.MigrateFunc
+	reshard   func(th *memsim.Thread, e *shard.Elastic, i, perThread int)
 }
 
 func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, error) {
@@ -300,11 +313,15 @@ func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, err
 			rank:  insertsLast,
 		}, nil
 	case "sharded":
-		// The §3.3 workload partitioned over three sub-tables (key mod 3),
-		// insert-heavy so combiners on different shards run concurrently,
-		// with occasional whole-structure scans forcing the cross-shard
-		// all-locks path.
+		// The §3.3 workload partitioned over three sub-tables by the
+		// shared consistent-hash ring (internal/route), insert-heavy so
+		// combiners on different shards run concurrently, with occasional
+		// whole-structure scans forcing the cross-shard all-locks path.
 		const shards = 3
+		ring, err := route.NewUniform(shards, 0, shards)
+		if err != nil {
+			return nil, err
+		}
 		boot := env.Boot()
 		tables := make([]*hashtable.Table, shards)
 		for i := range tables {
@@ -314,7 +331,7 @@ func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, err
 		pre := rand.New(rand.NewPCG(seed, 0x5AD))
 		for i := 0; i < 16; i++ {
 			k := pre.Uint64N(48)
-			if tables[k%shards].Insert(boot, k, k) {
+			if tables[ring.Owner(k)].Insert(boot, k, k) {
 				model.m[k] = k
 			}
 		}
@@ -326,7 +343,7 @@ func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, err
 					return hashtable.SumAllOp{Tables: tables}
 				}
 				key := r.Uint64N(48)
-				tbl := tables[key%shards]
+				tbl := tables[ring.Owner(key)]
 				switch r.IntN(4) {
 				case 0, 1:
 					return hashtable.InsertOp{T: tbl, Key: key, Val: key ^ seed}
@@ -340,15 +357,85 @@ func buildScenario(name string, env memsim.Env, seed uint64) (*fuzzScenario, err
 			rank:   insertsLast,
 			shards: shards,
 			router: func(op engine.Op) int {
-				switch o := op.(type) {
-				case hashtable.FindOp:
-					return int(o.Key % shards)
-				case hashtable.InsertOp:
-					return int(o.Key % shards)
-				case hashtable.RemoveOp:
-					return int(o.Key % shards)
+				if k, ok := hashtable.RouteKey(op); ok {
+					return ring.Owner(k)
+				}
+				return shard.CrossShard
+			},
+		}, nil
+	case "elastic":
+		// The sharded workload over a LIVE topology: 4 provisioned tables
+		// with 2 initially active, operations submitted unbound (the
+		// engine's Bind hook attaches the owning table at apply time), and
+		// thread 0 injecting a Split a third of the way through its
+		// schedule and a Merge two thirds through — both racing the
+		// witnessed shard-local and cross-shard traffic. HCF-E only.
+		const (
+			maxShards = 4
+			initial   = 2
+			slots     = 8
+		)
+		ring, err := route.NewUniform(initial, slots, maxShards)
+		if err != nil {
+			return nil, err
+		}
+		boot := env.Boot()
+		tables := make([]*hashtable.Table, maxShards)
+		for i := range tables {
+			tables[i] = hashtable.New(boot, 16)
+		}
+		model := &mapModel{m: map[uint64]uint64{}}
+		pre := rand.New(rand.NewPCG(seed, 0xE1A))
+		for i := 0; i < 16; i++ {
+			k := pre.Uint64N(48)
+			if tables[ring.Owner(k)].Insert(boot, k, k) {
+				model.m[k] = k
+			}
+		}
+		return &fuzzScenario{
+			policies: hashtable.Policies(),
+			combine:  hashtable.CombineMixed,
+			nextOp: func(r *rand.Rand) engine.Op {
+				if r.Uint64N(100) < 4 {
+					return hashtable.SumAllOp{Tables: tables}
+				}
+				key := r.Uint64N(48)
+				switch r.IntN(4) {
+				case 0, 1:
+					return hashtable.InsertOp{Key: key, Val: key ^ seed}
+				case 2:
+					return hashtable.FindOp{Key: key}
 				default:
-					return shard.CrossShard
+					return hashtable.RemoveOp{Key: key}
+				}
+			},
+			model:     model,
+			rank:      insertsLast,
+			maxShards: maxShards,
+			initial:   initial,
+			slots:     slots,
+			key:       hashtable.RouteKey,
+			bind: func(op engine.Op, si int) engine.Op {
+				return hashtable.BindTable(op, tables[si])
+			},
+			migrate: func(ctx memsim.Ctx, from, to int, old, next *route.Ring) int {
+				return hashtable.MigrateTables(ctx, tables, from, next)
+			},
+			reshard: func(th *memsim.Thread, e *shard.Elastic, i, perThread int) {
+				switch i {
+				case perThread / 3:
+					// Split the first active shard; tiny budgets may leave
+					// no spare, which is a legal no-op for the witness.
+					_, _, _ = e.Split(th, 0)
+				case 2 * perThread / 3:
+					// Fold the highest-numbered active shard back into 0.
+					r := e.Table().Load()
+					for s := r.NumShards() - 1; s > 0; s-- {
+						if r.SlotCount(s) > 0 {
+							_, _ = e.Merge(th, s, 0)
+							break
+						}
+					}
 				}
 			},
 		}, nil
@@ -451,6 +538,7 @@ func fuzzOne(cfg fuzzCfg, engineName, scenario string, seed uint64) (string, err
 	}
 
 	var eng engine.Engine
+	var elastic *shard.Elastic
 	opts := engines.Options{Combine: sc.combine}
 	switch engineName {
 	case "Lock":
@@ -482,6 +570,24 @@ func fuzzOne(cfg fuzzCfg, engineName, scenario string, seed uint64) (string, err
 			return "", err
 		}
 		eng = se
+	case "HCF-E":
+		if sc.maxShards == 0 {
+			return "", fmt.Errorf("engine HCF-E needs an elastic scenario (use -scenario elastic)")
+		}
+		ee, err := shard.NewElastic(env, shard.ElasticConfig{
+			MaxShards: sc.maxShards,
+			Initial:   sc.initial,
+			Slots:     sc.slots,
+			Key:       sc.key,
+			Bind:      sc.bind,
+			Migrate:   sc.migrate,
+			Policies:  sc.policies,
+		})
+		if err != nil {
+			return "", err
+		}
+		elastic = ee
+		eng = ee
 	default:
 		return "", fmt.Errorf("unknown engine %q", engineName)
 	}
@@ -502,6 +608,11 @@ func fuzzOne(cfg fuzzCfg, engineName, scenario string, seed uint64) (string, err
 	env.Run(func(th *memsim.Thread) {
 		rng := rand.New(rand.NewPCG(uint64(th.ID()), seed))
 		for i := 0; i < cfg.perThread; i++ {
+			// Elastic scenarios reshape the topology from thread 0
+			// mid-schedule so splits and merges race witnessed traffic.
+			if th.ID() == 0 && elastic != nil && sc.reshard != nil {
+				sc.reshard(th, elastic, i, cfg.perThread)
+			}
 			eng.Execute(th, sc.nextOp(rng))
 		}
 	})

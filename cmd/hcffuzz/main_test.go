@@ -97,6 +97,57 @@ func TestFuzzShardedNeedsPlan(t *testing.T) {
 	}
 }
 
+// TestFuzzElasticScenario runs the live-topology workload: thread 0
+// splits a shard a third of the way through its schedule and merges one
+// back two thirds through, racing the witnessed traffic, with the
+// witness checking linearizability across both topology changes — under
+// plain and explored (adversarial) schedules. Enough operations per
+// thread that both reshape points land mid-traffic.
+func TestFuzzElasticScenario(t *testing.T) {
+	if err := run([]string{"-seeds", "4", "-ops", "30", "-threads", "4",
+		"-scenario", "elastic", "-engines", "HCF-E"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-explore", "-seeds", "4", "-ops", "30", "-threads", "4",
+		"-scenario", "elastic", "-engines", "HCF-E"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzElasticNeedsPlan pins the error when HCF-E is asked to run a
+// scenario without an elastic plan.
+func TestFuzzElasticNeedsPlan(t *testing.T) {
+	err := run([]string{"-seeds", "1", "-scenario", "sharded", "-engines", "HCF-E"})
+	if err == nil || !strings.Contains(err.Error(), "elastic scenario") {
+		t.Errorf("HCF-E over non-elastic scenario accepted: %v", err)
+	}
+}
+
+// TestElasticArtifactByteIdentical extends the byte-identity pin to the
+// resharding scenario: splits and merges injected mid-schedule must not
+// break exact replay of any (config, seed) combination.
+func TestElasticArtifactByteIdentical(t *testing.T) {
+	for _, explore := range []bool{false, true} {
+		cfg := fuzzCfg{threads: 4, perThread: 30, jitterPct: 40, flight: 64}
+		if explore {
+			cfg.explore = memsim.ExploreConfig{PreemptBudget: 32, JitterClass: 2}
+		}
+		for seed := uint64(0); seed < 3; seed++ {
+			a, err := fuzzOne(cfg, "HCF-E", "elastic", seed)
+			if err != nil {
+				t.Fatalf("elastic seed %d explore=%v: %v", seed, explore, err)
+			}
+			b, err := fuzzOne(cfg, "HCF-E", "elastic", seed)
+			if err != nil {
+				t.Fatalf("elastic seed %d explore=%v (replay): %v", seed, explore, err)
+			}
+			if a == "" || a != b {
+				t.Fatalf("elastic seed %d explore=%v: replay artifact diverged", seed, explore)
+			}
+		}
+	}
+}
+
 func TestFuzzCounterScenario(t *testing.T) {
 	if err := run([]string{"-seeds", "2", "-ops", "15", "-threads", "4",
 		"-scenario", "counter", "-engines", "HCF,FC"}); err != nil {

@@ -11,6 +11,11 @@
 //	hcfstat -scenario pqueue|stack|deque -engine FC -threads 8
 //	hcfstat -scenario hashtable -engine HCF -json   # machine-readable output
 //	hcfstat -tune -threads 36                       # autotuner report + journal
+//	hcfstat -scenario elastic -hot 90 -threads 36 -decisions 5
+//
+// The elastic scenario always runs the HCF-E engine with its rebalancer
+// attached and reports the final ring topology plus the tail of the
+// rebalancer's decision journal (-decisions).
 package main
 
 import (
@@ -35,13 +40,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hcfstat", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "hashtable", "hashtable | sharded | avl | pqueue | stack | deque")
-		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF | HCF-S")
+		scenario = fs.String("scenario", "hashtable", "hashtable | sharded | elastic | avl | pqueue | stack | deque")
+		engName  = fs.String("engine", "HCF", "Lock | TLE | FC | SCM | TLE+FC | HCF | HCF-S (elastic always runs HCF-E)")
 		threads  = fs.Int("threads", 18, "worker threads")
 		find     = fs.Int("find", 40, "find percentage (hashtable, sharded, avl)")
 		shards   = fs.Int("shards", 4, "shard count (sharded)")
 		cross    = fs.Int("cross", 0, "cross-shard scan percentage (sharded)")
-		hot      = fs.Int("hot", 0, "percentage of keys skewed onto shard 0 (sharded)")
+		hot      = fs.Int("hot", 0, "percentage of keys skewed onto shard 0 (sharded); drifting hot-set percentage (elastic)")
+		decs     = fs.Int("decisions", 8, "elastic: print the last N rebalancer decisions")
 		theta    = fs.Float64("theta", 0.9, "zipf skew (avl)")
 		horizon  = fs.Int64("horizon", 200_000, "virtual cycles")
 		seed     = fs.Uint64("seed", 1, "workload seed")
@@ -68,6 +74,18 @@ func run(args []string) error {
 		fmt.Print(rep.Text())
 		fmt.Printf("\ndecision journal (%d entries):\n%s", rep.Journal.Len(), rep.Journal.Text())
 		return nil
+	}
+	if *scenario == "elastic" {
+		// The elastic report has its own runner (open-loop point with the
+		// rebalancer stepped from thread 0) and its own longer default
+		// horizon: only forward -horizon when the user actually set it.
+		h := int64(0)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "horizon" {
+				h = *horizon
+			}
+		})
+		return runElastic(*find, *hot, *threads, h, *seed, *decs, *jsonFlg)
 	}
 	if err := harness.ValidateEngineNames([]string{*engName}); err != nil {
 		return err
@@ -116,6 +134,61 @@ func run(args []string) error {
 		return nil
 	}
 	report(res)
+	return nil
+}
+
+// runElastic runs the elastic scenario under HCF-E with the rebalancer
+// attached and reports the ring topology and the journal tail.
+func runElastic(find, hot, threads int, horizon int64, seed uint64, lastN int, jsonFlg bool) error {
+	if horizon <= 0 {
+		horizon = harness.ElasticDefaultHorizon
+	}
+	sc := harness.ElasticScenario(find, harness.ElasticBuckets,
+		harness.ElasticMaxShards, harness.ElasticInitialShards, hot, horizon)
+	p, err := harness.RunPointElastic(sc, "elastic", true, threads,
+		harness.Config{Horizon: horizon, Seed: seed}, harness.ElasticRunConfig{})
+	if err != nil {
+		return err
+	}
+	if jsonFlg {
+		out, err := json.MarshalIndent(&p, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", out)
+		return nil
+	}
+	fmt.Printf("scenario    %s\n", p.Scenario)
+	fmt.Printf("engine      %s (rebalancer attached)\n", p.Engine)
+	fmt.Printf("threads     %d\n", p.Threads)
+	fmt.Printf("ops         %d of %d arrivals in %d cycles\n", p.Completed, p.Arrivals, p.Makespan)
+	fmt.Printf("throughput  %.1f ops/Mcycle (post-phase %.1f), sojourn p99 %d\n",
+		p.Throughput, p.PostThroughput, p.Sojourn.P99)
+	fmt.Printf("windows     %d bad of %d; healed=%v\n\n", p.BadWindows, len(p.Windows), p.Healed)
+
+	if t := p.Topology; t != nil {
+		fmt.Printf("topology    epoch=%d active=%d/%d slots=%d\n",
+			t.Ring.Epoch, t.Ring.Active, t.Provisioned, t.Ring.Slots)
+		fmt.Printf("            splits=%d merges=%d moved_keys=%d reroutes=%d cross_ops=%d\n",
+			t.Splits, t.Merges, t.MovedKeys, t.Reroutes, t.CrossOps)
+		fmt.Printf("            shard_ops=%v slot_counts=%v\n\n", t.ShardOps, t.Ring.Counts)
+	}
+	ds := p.Decisions
+	if lastN > 0 && len(ds) > lastN {
+		ds = ds[len(ds)-lastN:]
+	}
+	fmt.Printf("rebalancer decisions (last %d of %d):\n", len(ds), len(p.Decisions))
+	for _, d := range ds {
+		fmt.Printf("  w%03d t=%-8d %-5s %-13s", d.Window, d.Now, d.Action, d.Reason)
+		if d.Action != "hold" {
+			fmt.Printf(" %d→%d moved=%d", d.From, d.To, d.MovedKeys)
+		}
+		fmt.Printf("  hottest=%.0f%% fair=%.0f%% ops=%d\n",
+			100*d.HottestShare, 100*d.FairShare, d.TotalOps)
+	}
+	if p.InvariantViolation != "" {
+		fmt.Printf("!! INVARIANT VIOLATION: %s\n", p.InvariantViolation)
+	}
 	return nil
 }
 

@@ -57,3 +57,41 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown engine accepted")
 	}
 }
+
+// TestRunElastic runs the elastic report on a small horizon: the
+// decision journal, topology block and JSON shape must all come out.
+func TestRunElastic(t *testing.T) {
+	if err := run([]string{"-scenario", "elastic", "-hot", "90", "-threads", "4",
+		"-horizon", "100000", "-decisions", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-scenario", "elastic", "-hot", "90", "-threads", "4",
+		"-horizon", "100000", "-json"})
+	os.Stdout = old
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(out, &rec); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	for _, key := range []string{"scenario", "engine", "mode", "topology", "decisions"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("record missing %q", key)
+		}
+	}
+	if rec["engine"] != "HCF-E" {
+		t.Errorf("identity fields wrong: %v", rec["engine"])
+	}
+}

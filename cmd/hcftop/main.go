@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hcf/internal/metrics"
+	"hcf/internal/shard"
 	"hcf/serve"
 )
 
@@ -65,11 +66,33 @@ func run(args []string, w io.Writer) error {
 // snapshot is one poll of the introspection endpoints. Endpoints that are
 // not configured on the server (404) leave their field nil.
 type snapshot struct {
-	Vars    *serve.Vars
-	Sojourn []serve.ClassLatency
-	SLO     *metrics.SLOSnapshot
-	Shards  []metrics.GroupCounters
-	When    time.Time
+	Vars     *serve.Vars
+	Sojourn  []serve.ClassLatency
+	SLO      *metrics.SLOSnapshot
+	Shards   []metrics.GroupCounters
+	Topology *shard.Topology
+	When     time.Time
+}
+
+// decodeShards accepts both /debug/shards payload shapes: the bare
+// counters array a static sharded engine serves, and the
+// {"topology": ..., "counters": [...]} object an elastic engine serves.
+func (s *snapshot) decodeShards(raw json.RawMessage) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	if raw[0] == '[' {
+		return json.Unmarshal(raw, &s.Shards)
+	}
+	var obj struct {
+		Topology *shard.Topology         `json:"topology"`
+		Counters []metrics.GroupCounters `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return err
+	}
+	s.Topology, s.Shards = obj.Topology, obj.Counters
+	return nil
 }
 
 // getJSON decodes endpoint ep into out; a 404 is not an error (the
@@ -108,7 +131,11 @@ func fetch(client *http.Client, base string) (*snapshot, error) {
 	if len(slo.Objectives) > 0 {
 		s.SLO = &slo
 	}
-	if err := getJSON(client, base, "/debug/shards", &s.Shards); err != nil {
+	var rawShards json.RawMessage
+	if err := getJSON(client, base, "/debug/shards", &rawShards); err != nil {
+		return nil, err
+	}
+	if err := s.decodeShards(rawShards); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -162,13 +189,19 @@ func render(s *snapshot) string {
 		}
 	}
 
-	if len(s.Shards) > 0 {
+	if len(s.Shards) > 0 || s.Topology != nil {
 		b.WriteString("\nshards:\n")
-		fmt.Fprintf(&b, "  %-8s %10s %10s %10s %10s %10s\n",
-			"shard", "ops", "commits", "aborts", "sessions", "combined")
-		for _, g := range s.Shards {
-			fmt.Fprintf(&b, "  %-8s %10d %10d %10d %10d %10d\n",
-				g.Group, g.Ops, g.Commits, g.Aborts, g.CombinerSessions, g.CombinedOps)
+		if t := s.Topology; t != nil {
+			fmt.Fprintf(&b, "  topology: epoch=%d active=%d/%d splits=%d merges=%d moved=%d reroutes=%d\n",
+				t.Ring.Epoch, t.Ring.Active, t.Provisioned, t.Splits, t.Merges, t.MovedKeys, t.Reroutes)
+		}
+		if len(s.Shards) > 0 {
+			fmt.Fprintf(&b, "  %-8s %10s %10s %10s %10s %10s\n",
+				"shard", "ops", "commits", "aborts", "sessions", "combined")
+			for _, g := range s.Shards {
+				fmt.Fprintf(&b, "  %-8s %10d %10d %10d %10d %10d\n",
+					g.Group, g.Ops, g.Commits, g.Aborts, g.CombinerSessions, g.CombinedOps)
+			}
 		}
 	}
 	return b.String()

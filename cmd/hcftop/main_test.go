@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"hcf/internal/metrics"
+	"hcf/internal/route"
+	"hcf/internal/shard"
 	"hcf/serve"
 )
 
@@ -113,5 +115,45 @@ func TestRunOnce(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "\033[2J") {
 		t.Fatal("-once must not emit screen-control sequences")
+	}
+}
+
+// TestFetchElasticTopology pins the object-shaped /debug/shards payload
+// an elastic engine serves: the dashboard decodes both topology and
+// counters and renders the topology line.
+func TestFetchElasticTopology(t *testing.T) {
+	s := serve.New()
+	s.SetMeta("hashtable-elastic", "HCF-E", 12)
+	s.SetShards(func() []metrics.GroupCounters {
+		return []metrics.GroupCounters{{Group: "shard0", Ops: 600}}
+	})
+	s.SetTopology(func() *shard.Topology {
+		return &shard.Topology{
+			Name:        "HCF-E",
+			Provisioned: 8,
+			Splits:      2,
+			MovedKeys:   495,
+			Reroutes:    28,
+			Ring:        route.Snapshot{Epoch: 2, Slots: 64, Active: 6},
+		}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: time.Second}
+	snap, err := fetch(client, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Topology == nil || snap.Topology.Splits != 2 || len(snap.Shards) != 1 {
+		t.Fatalf("elastic snapshot: topology=%+v shards=%d", snap.Topology, len(snap.Shards))
+	}
+	out := render(snap)
+	for _, want := range []string{
+		"topology: epoch=2 active=6/8 splits=2 merges=0 moved=495 reroutes=28",
+		"shard0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -1,18 +1,23 @@
-// Sharded hash-table example: scaling past one combiner with hcf.Sharded.
+// Sharded hash-table example: scaling past one combiner with hcf.Sharded,
+// and healing a hot shard online with hcf.NewElastic.
 //
 // One hcf.Framework has one data-structure lock and, per publication array,
 // one combiner at a time — an inherent ceiling once every speculation path
 // is saturated. hcf.Sharded lifts it by partitioning the structure: N
-// frameworks over the same environment, a Router mapping each operation to
-// the shard that owns its key, and independent combiners running in
-// parallel on disjoint shards. Operations that span shards (here: a
-// whole-store scan) declare CrossShard and run under every shard's lock,
-// acquired in canonical order.
+// frameworks over the same environment, keyed operations routed through a
+// shared consistent-hash ring (internal/route), and independent combiners
+// running in parallel on disjoint shards. Operations that span shards
+// (here: a whole-store scan) take the pessimistic path and run under every
+// shard's lock, acquired in canonical order.
 //
-// The demo partitions a session store by key mod N and compares a single
-// framework against 2, 4 and 8 shards on the identical workload, then runs
-// one cross-shard scan to show the pessimistic path returning an exact
-// whole-structure result.
+// The demo partitions a session store over the ring and compares a single
+// framework against 2, 4 and 8 shards on the identical workload, runs one
+// cross-shard scan to show the all-locks path returning an exact
+// whole-structure result, and finally builds an *elastic* store (2 active
+// of 4 provisioned shards) whose rebalancer detects a skewed key
+// population and splits the hot shard online — traffic keeps flowing
+// through the split, re-validating ownership at each operation's
+// linearization point.
 //
 // Run with: go run ./examples/sharded
 package main
@@ -33,8 +38,10 @@ const (
 )
 
 // buildStore creates the partitioned table and prefills half the key space
-// (value == key, so scan sums are predictable).
-func buildStore(env hcf.Env, shards int) []*hashtable.Table {
+// (value == key, so scan sums are predictable). Placement follows the same
+// ring the engine routes with, so every key starts on the shard that owns
+// it.
+func buildStore(env hcf.Env, ring *hcf.Ring, shards int) []*hashtable.Table {
 	boot := env.Boot()
 	tables := make([]*hashtable.Table, shards)
 	for i := range tables {
@@ -43,31 +50,18 @@ func buildStore(env hcf.Env, shards int) []*hashtable.Table {
 	pre := rand.New(rand.NewPCG(1, 1))
 	for i := 0; i < buckets/2; i++ {
 		k := pre.Uint64N(buckets)
-		tables[k%uint64(shards)].Insert(boot, k, k)
+		tables[ring.Owner(k)].Insert(boot, k, k)
 	}
 	return tables
 }
 
-// router confines single-key operations to key mod shards and sends
-// everything else over the cross-shard path.
-func router(shards int) hcf.Router {
-	return func(op hcf.Op) int {
-		switch o := op.(type) {
-		case hashtable.FindOp:
-			return int(o.Key % uint64(shards))
-		case hashtable.InsertOp:
-			return int(o.Key % uint64(shards))
-		case hashtable.RemoveOp:
-			return int(o.Key % uint64(shards))
-		default:
-			return hcf.CrossShard
-		}
-	}
-}
-
 func runShards(shards int) (ops uint64, thr float64) {
 	env := hcf.NewDetEnv(threads)
-	tables := buildStore(env, shards)
+	ring, err := hcf.NewRing(shards, 0, shards)
+	if err != nil {
+		panic(err)
+	}
+	tables := buildStore(env, ring, shards)
 	var eng hcf.Engine
 	if shards == 1 {
 		fw, err := hcf.New(env, hcf.Config{Policies: hashtable.Policies()})
@@ -76,9 +70,13 @@ func runShards(shards int) (ops uint64, thr float64) {
 		}
 		eng = fw
 	} else {
+		// Key + Ring routing: hashtable.RouteKey extracts the key from
+		// single-key operations; everything else (SumAllOp) reports
+		// ok=false and takes the cross-shard path.
 		se, err := hcf.NewSharded(env, hcf.ShardedConfig{
 			Shards:   shards,
-			Router:   router(shards),
+			Key:      hashtable.RouteKey,
+			Ring:     ring,
 			Policies: hashtable.Policies(),
 		})
 		if err != nil {
@@ -92,7 +90,7 @@ func runShards(shards int) (ops uint64, thr float64) {
 		rng := rand.New(rand.NewPCG(uint64(th.ID()), 3))
 		for th.Now() < horizon {
 			key := rng.Uint64N(buckets)
-			tbl := tables[key%uint64(shards)]
+			tbl := tables[ring.Owner(key)]
 			switch rng.IntN(10) {
 			case 0, 1, 2: // 30% session creation
 				eng.Execute(th, hashtable.InsertOp{T: tbl, Key: key, Val: key})
@@ -122,14 +120,19 @@ func runShards(shards int) (ops uint64, thr float64) {
 }
 
 // crossShardScan demonstrates the all-locks path: a whole-store sum routed
-// CrossShard must equal a direct sequential sum over every shard.
+// cross-shard must equal a direct sequential sum over every shard.
 func crossShardScan() error {
 	const shards = 4
 	env := hcf.NewDetEnv(8)
-	tables := buildStore(env, shards)
+	ring, err := hcf.NewRing(shards, 0, shards)
+	if err != nil {
+		return err
+	}
+	tables := buildStore(env, ring, shards)
 	se, err := hcf.NewSharded(env, hcf.ShardedConfig{
 		Shards:   shards,
-		Router:   router(shards),
+		Key:      hashtable.RouteKey,
+		Ring:     ring,
 		Policies: hashtable.Policies(),
 	})
 	if err != nil {
@@ -157,6 +160,98 @@ func crossShardScan() error {
 	return nil
 }
 
+// elasticDemo builds a live-topology store — 2 active shards of 4
+// provisioned — and drives a workload where 90% of operations hit keys
+// owned by shard 0. Thread 0 steps the rebalancer at a fixed cadence;
+// when the hot shard's share of the evidence window crosses the split
+// threshold, half its ring slots (and the keys they own) move to a spare
+// shard under all locks, and subsequent operations re-route.
+func elasticDemo() error {
+	const (
+		maxShards     = 4
+		initialShards = 2
+		elasticH      = 400_000
+		window        = 50_000
+	)
+	env := hcf.NewDetEnv(threads)
+	boot := env.Boot()
+	tables := make([]*hashtable.Table, maxShards)
+	for i := range tables {
+		tables[i] = hashtable.New(boot, buckets/maxShards)
+	}
+	e, err := hcf.NewElastic(env, hcf.ElasticConfig{
+		MaxShards: maxShards,
+		Initial:   initialShards,
+		Key:       hashtable.RouteKey,
+		Bind: func(op hcf.Op, si int) hcf.Op {
+			return hashtable.BindTable(op, tables[si])
+		},
+		Migrate: func(ctx hcf.Ctx, from, to int, old, next *hcf.Ring) int {
+			return hashtable.MigrateTables(ctx, tables, from, next)
+		},
+		Policies: hashtable.Policies(),
+	})
+	if err != nil {
+		return err
+	}
+	ring := e.Table().Load()
+	pre := rand.New(rand.NewPCG(1, 2))
+	var hot []uint64 // keys shard 0 owns under the initial topology
+	for i := 0; i < buckets/2; i++ {
+		k := pre.Uint64N(buckets)
+		tables[ring.Owner(k)].Insert(boot, k, k)
+		if ring.Owner(k) == 0 {
+			hot = append(hot, k)
+		}
+	}
+	// SplitRatio 1.5: with only 2 active shards the fair share is 0.5,
+	// and the default ratio of 2 would demand an impossible >100% share.
+	rb := hcf.NewRebalancer(e, hcf.RebalanceConfig{SplitRatio: 1.5, MinOps: 64})
+	env.Run(func(th *hcf.Thread) {
+		rng := rand.New(rand.NewPCG(uint64(th.ID()), 7))
+		next := int64(window)
+		for th.Now() < elasticH {
+			var key uint64
+			if rng.Uint64N(100) < 90 {
+				key = hot[rng.IntN(len(hot))] // hot: shard 0's initial keys
+			} else {
+				key = rng.Uint64N(buckets)
+			}
+			// Operations are submitted UNBOUND (no table pointer): the
+			// engine routes through the current ring and binds the owning
+			// shard's table at the operation's linearization point, so a
+			// concurrent split can never strand an op on a stale table.
+			switch rng.IntN(10) {
+			case 0, 1, 2:
+				e.Execute(th, hashtable.InsertOp{Key: key, Val: key})
+			case 3, 4, 5:
+				e.Execute(th, hashtable.RemoveOp{Key: key})
+			default:
+				e.Execute(th, hashtable.FindOp{Key: key})
+			}
+			if th.ID() == 0 && th.Now() >= next {
+				rb.Step(th)
+				next = (th.Now()/window + 1) * window
+			}
+		}
+	})
+	for i, t := range tables {
+		if msg := t.CheckInvariants(boot); msg != "" {
+			return fmt.Errorf("elastic shard %d corrupted after split: %s", i, msg)
+		}
+	}
+	topo := e.Topology()
+	if topo.Splits == 0 {
+		return fmt.Errorf("rebalancer never split the hot shard")
+	}
+	fmt.Printf("\nelastic store, %d of %d shards active, 90%% of traffic on shard 0's keys:\n",
+		initialShards, maxShards)
+	fmt.Print(rb.Text())
+	fmt.Printf("topology: epoch=%d active=%d splits=%d moved=%d reroutes=%d shard_ops=%v\n",
+		topo.Ring.Epoch, topo.Ring.Active, topo.Splits, topo.MovedKeys, topo.Reroutes, topo.ShardOps)
+	return nil
+}
+
 func main() {
 	fmt.Printf("sharded session store, %d threads, 40%% Find / 30%% Insert / 30%% Remove\n\n", threads)
 	fmt.Printf("%-8s %10s %12s\n", "shards", "ops", "ops/Mcycle")
@@ -178,6 +273,11 @@ func main() {
 		fmt.Println("!!", err)
 		os.Exit(1)
 	}
+	if err := elasticDemo(); err != nil {
+		fmt.Println("!!", err)
+		os.Exit(1)
+	}
 	fmt.Println("\nEach shard runs its own combiners; disjoint shards combine in",
-		"\nparallel, which is what lifts the single-framework ceiling.")
+		"\nparallel, which is what lifts the single-framework ceiling — and the",
+		"\nelastic topology moves that partitioning decision online.")
 }

@@ -47,6 +47,7 @@ import (
 	"hcf/internal/kvstore"
 	"hcf/internal/locks"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 	"hcf/internal/shard"
 	"hcf/metrics"
 	"hcf/native"
@@ -160,6 +161,55 @@ const CrossShard = shard.CrossShard
 
 // NewSharded builds a sharded HCF engine over env.
 func NewSharded(env Env, cfg ShardedConfig) (*Sharded, error) { return shard.New(env, cfg) }
+
+// Elastic sharding: the same scaling layer with a live consistent-hash
+// topology instead of a fixed router. Keyed operations route through an
+// epoch-published ring (internal/route); shards split and merge online
+// via the all-locks cross-shard path, with in-flight operations
+// re-validating ownership at their linearization point; a Rebalancer
+// closes the loop from per-shard load evidence to Split/Merge decisions
+// with a deterministic journal. See DESIGN.md ("Elastic sharding").
+type (
+	// Elastic is a Sharded engine with an online-resharding topology.
+	Elastic = shard.Elastic
+	// ElasticConfig configures an Elastic engine.
+	ElasticConfig = shard.ElasticConfig
+	// KeyFunc extracts an operation's routing key (ok=false routes the
+	// operation down the all-locks cross-shard path).
+	KeyFunc = shard.KeyFunc
+	// MigrateFunc moves re-owned keys between shard structures during a
+	// split or merge, under every shard's lock.
+	MigrateFunc = shard.MigrateFunc
+	// Rebalancer is the hot-shard feedback loop over an Elastic engine.
+	Rebalancer = shard.Rebalancer
+	// RebalanceConfig tunes the rebalancer's evidence thresholds.
+	RebalanceConfig = shard.RebalanceConfig
+	// RebalanceDecision is one journaled rebalancer decision.
+	RebalanceDecision = shard.RebalanceDecision
+	// Topology is a point-in-time view of an Elastic engine's routing.
+	Topology = shard.Topology
+	// Ring is an immutable consistent-hash slot table.
+	Ring = route.Ring
+	// RingSnapshot is a Ring's plain-data (JSON-friendly) view.
+	RingSnapshot = route.Snapshot
+)
+
+// NewElastic builds an elastic sharded HCF engine over env.
+func NewElastic(env Env, cfg ElasticConfig) (*Elastic, error) { return shard.NewElastic(env, cfg) }
+
+// NewRing builds a consistent-hash ring with the first `shards` of
+// `maxShards` provisioned shards active, spread over `slots` virtual
+// slots (0 = route.DefaultSlots). Use it to place data consistently
+// with a Key-routed Sharded engine or an Elastic engine's initial
+// topology.
+func NewRing(shards, slots, maxShards int) (*Ring, error) {
+	return route.NewUniform(shards, slots, maxShards)
+}
+
+// NewRebalancer attaches a hot-shard feedback loop to an Elastic
+// engine. Drive Step from one thread at fixed simulated instants; the
+// decision journal is then byte-identical per seed.
+func NewRebalancer(e *Elastic, cfg RebalanceConfig) *Rebalancer { return shard.NewRebalancer(e, cfg) }
 
 // Native wall-clock backend: the same speculation-then-combining pipeline
 // re-targeted at direct Go atomics — a seqlock-validated optimistic read

@@ -197,6 +197,13 @@ func Figures() []Figure {
 			Engines:  OpenLoopDefaultEngines, Threads: []int{36}, Kind: KindThroughput,
 		},
 		{
+			ID: "elastic", Ref: "production extension",
+			Title:    "elastic sharding: hot-shard healing under drifting 90% skew, 4 active / 8 provisioned shards, 36 threads",
+			Expect:   "balanced load meets the sojourn SLO throughout; with the topology frozen the drifting skew saturates one shard and its p99 windows blow up; with the rebalancer on, evidence-driven splits spread the hot keyspace and the verdict flips back with post-heal throughput >= 0.8x balanced",
+			Scenario: ElasticScenario(40, ElasticBuckets, ElasticMaxShards, ElasticInitialShards, ElasticHotPct, ElasticDefaultHorizon),
+			Engines:  []string{ElasticEngineName}, Threads: []int{36}, Kind: KindThroughput,
+		},
+		{
 			ID: "deque", Ref: "§2.4 example",
 			Title:    "deque, uniform operations on both ends, specialized variant",
 			Expect:   "HCF's two per-end combiners beat the single-lock engines",
@@ -228,6 +235,21 @@ func RunFigure(f Figure, cfg Config) ([]Result, error) {
 		var results []Result
 		for _, th := range f.Threads {
 			rep, err := RunOpenLoopFigure(th, cfg, OpenLoopConfig{})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, rep.Results()...)
+		}
+		return results, nil
+	}
+	if f.ID == "elastic" {
+		// The elastic figure is its own harness: three-mode hot-shard
+		// healing comparison, flattened to sweep rows (mode in the label).
+		// The registry scenario is representative only — the runner
+		// rebuilds it against cfg.Horizon so the drift schedule scales.
+		var results []Result
+		for _, th := range f.Threads {
+			rep, err := RunElasticFigure(th, cfg, ElasticRunConfig{})
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,7 @@ import (
 	"hcf/internal/engines"
 	"hcf/internal/htm"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 	"hcf/internal/shard"
 )
 
@@ -28,10 +29,15 @@ var EngineNames = []string{"Lock", "TLE", "FC", "SCM", "TLE+FC", "HCF"}
 // for scenarios that provide an Instance.Sharding plan.
 const ShardedEngineName = "HCF-S"
 
+// ElasticEngineName is the elastic (consistent-hash ring, online
+// split/merge) HCF variant; BuildEngine accepts it only for scenarios
+// that provide an Instance.Elastic plan.
+const ElasticEngineName = "HCF-E"
+
 // KnownEngineNames lists every engine BuildEngine accepts: the paper's six
 // plus the sharded variant.
 func KnownEngineNames() []string {
-	return append(append([]string(nil), EngineNames...), ShardedEngineName)
+	return append(append([]string(nil), EngineNames...), ShardedEngineName, ElasticEngineName)
 }
 
 // ValidateEngineNames rejects names BuildEngine would not accept, so CLIs
@@ -77,6 +83,10 @@ type Instance struct {
 	// NextOp draws the next operation using a per-thread rng. Called only
 	// from inside the environment's Run (one virtual thread at a time).
 	NextOp func(r *rand.Rand) engine.Op
+	// NextOpAt, when non-nil, draws time-aware operations (drifting
+	// workloads). Runners that know the virtual arrival time prefer it
+	// over NextOp; everything else falls back to NextOp.
+	NextOpAt func(now int64, r *rand.Rand) engine.Op
 	// Check optionally validates structural invariants after a run,
 	// returning a description of the first violation or "".
 	Check func(ctx memsim.Ctx) string
@@ -84,14 +94,46 @@ type Instance struct {
 	// engine ("HCF-S"): the structure is partitioned into Shards pieces and
 	// Router maps each operation to its piece (or shard.CrossShard).
 	Sharding *Sharding
+	// Elastic, when non-nil, lets the scenario run under the elastic
+	// HCF engine ("HCF-E"): a consistent-hash ring routes keyed
+	// operations and shards split/merge online.
+	Elastic *ElasticPlan
 }
 
-// Sharding is a scenario's plan for the sharded HCF engine.
+// Sharding is a scenario's plan for the sharded HCF engine. Routing is
+// either a Router closure or a Key extractor over a consistent-hash
+// ring (exactly one of the two; see shard.Config).
 type Sharding struct {
 	// Shards is the number of per-shard frameworks.
 	Shards int
-	// Router maps operations to shards; see shard.Router.
+	// Router maps operations to shards; see shard.Router. Mutually
+	// exclusive with Key.
 	Router shard.Router
+	// Key extracts the routing key for ring routing; see shard.KeyFunc.
+	Key shard.KeyFunc
+	// Ring overrides the topology used with Key (nil = uniform).
+	Ring *route.Ring
+}
+
+// ElasticPlan is a scenario's plan for the elastic HCF engine: the
+// structure is provisioned as MaxShards pieces of which Initial are
+// active, keyed operations are bound to their owning piece at apply
+// time, and Migrate moves keys on split/merge.
+type ElasticPlan struct {
+	// MaxShards is the number of provisioned frameworks.
+	MaxShards int
+	// Initial is the number of initially active shards (default 1).
+	Initial int
+	// Slots is the ring's virtual-node count (0 = route.DefaultSlots).
+	Slots int
+	// Key extracts an operation's routing key; see shard.KeyFunc.
+	Key shard.KeyFunc
+	// Bind attaches a keyed op to shard si's structure.
+	Bind func(op engine.Op, si int) engine.Op
+	// Migrate moves re-owned keys during Split/Merge.
+	Migrate shard.MigrateFunc
+	// Rebalance tunes the hot-shard feedback loop (zero = defaults).
+	Rebalance shard.RebalanceConfig
 }
 
 // Config tunes a sweep.
@@ -183,6 +225,23 @@ func BuildEngine(name string, env memsim.Env, inst Instance, cfg Config) (engine
 		return shard.New(env, shard.Config{
 			Shards:            inst.Sharding.Shards,
 			Router:            inst.Sharding.Router,
+			Key:               inst.Sharding.Key,
+			Ring:              inst.Sharding.Ring,
+			Policies:          inst.Policies,
+			HoldSelectionLock: inst.HoldSelectionLock,
+			HTM:               cfg.HTM,
+		})
+	case ElasticEngineName:
+		if inst.Elastic == nil {
+			return nil, fmt.Errorf("harness: engine %q needs a scenario with an elastic sharding plan (Instance.Elastic is nil)", name)
+		}
+		return shard.NewElastic(env, shard.ElasticConfig{
+			MaxShards:         inst.Elastic.MaxShards,
+			Initial:           inst.Elastic.Initial,
+			Slots:             inst.Elastic.Slots,
+			Key:               inst.Elastic.Key,
+			Bind:              inst.Elastic.Bind,
+			Migrate:           inst.Elastic.Migrate,
 			Policies:          inst.Policies,
 			HoldSelectionLock: inst.HoldSelectionLock,
 			HTM:               cfg.HTM,

@@ -6,21 +6,22 @@ import (
 
 	"hcf/internal/engine"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 	"hcf/internal/seq/hashtable"
-	"hcf/internal/shard"
 	"hcf/internal/workload"
 )
 
 // ShardedHashTableScenario partitions the §3.3 hash-table workload over
-// `shards` independent sub-tables: key k lives in table k mod shards, each
-// table gets buckets/shards buckets, and the sharding router applies the
-// same rule, so the sharded engine ("HCF-S") runs one combiner per
-// sub-table. crossPct percent of operations are whole-structure SumAll
-// scans, which the router sends down the all-locks cross-shard path.
-// hotPct percent of keys are skewed onto shard 0 (0 = balanced; see
-// workload.ShardSkew). Non-sharded engines run the identical partitioned
-// workload behind their single lock, making this scenario the direct
-// sharded-vs-single comparison point.
+// `shards` independent sub-tables: key k lives in the table the shared
+// consistent-hash ring (internal/route) routes it to, each table gets
+// buckets/shards buckets, and the sharding plan applies the same ring via
+// hashtable.RouteKey, so the sharded engine ("HCF-S") runs one combiner
+// per sub-table. crossPct percent of operations are whole-structure
+// SumAll scans, which route down the all-locks cross-shard path. hotPct
+// percent of keys are skewed onto the shard the ring routes them to for
+// shard 0 (0 = balanced; see workload.RingSkew). Non-sharded engines run
+// the identical partitioned workload behind their single lock, making
+// this scenario the direct sharded-vs-single comparison point.
 func ShardedHashTableScenario(findPct, buckets, shards, crossPct, hotPct int) Scenario {
 	mix, err := workload.UpdateMix(findPct)
 	if err != nil {
@@ -39,12 +40,16 @@ func ShardedHashTableScenario(findPct, buckets, shards, crossPct, hotPct int) Sc
 	return Scenario{
 		Name: name,
 		Setup: func(env memsim.Env, seed uint64) Instance {
+			ring, err := route.NewUniform(shards, 0, shards)
+			if err != nil {
+				panic(err)
+			}
 			boot := env.Boot()
 			tables := make([]*hashtable.Table, shards)
 			for i := range tables {
 				tables[i] = hashtable.New(boot, buckets/shards)
 			}
-			tableOf := func(k uint64) *hashtable.Table { return tables[k%uint64(shards)] }
+			tableOf := func(k uint64) *hashtable.Table { return tables[ring.Owner(k)] }
 			var keys workload.KeyGen = workload.Uniform{N: uint64(buckets)}
 			pre := rand.New(rand.NewPCG(seed, 0xF17))
 			for i := 0; i < buckets/2; i++ {
@@ -52,7 +57,11 @@ func ShardedHashTableScenario(findPct, buckets, shards, crossPct, hotPct int) Sc
 				tableOf(k).Insert(boot, k, k)
 			}
 			if hotPct > 0 {
-				skewed, err := workload.NewShardSkew(keys, shards, 0, hotPct)
+				static, err := workload.NewSchedule() // one segment
+				if err != nil {
+					panic(err)
+				}
+				skewed, err := workload.NewRingSkew(keys, ring.Owner, static, []int{0}, hotPct)
 				if err != nil {
 					panic(err)
 				}
@@ -64,17 +73,21 @@ func ShardedHashTableScenario(findPct, buckets, shards, crossPct, hotPct int) Sc
 				Combine:    hashtable.CombineMixed,
 				Sharding: &Sharding{
 					Shards: shards,
-					Router: func(op engine.Op) int {
-						switch o := op.(type) {
-						case hashtable.FindOp:
-							return int(o.Key % uint64(shards))
-						case hashtable.InsertOp:
-							return int(o.Key % uint64(shards))
-						case hashtable.RemoveOp:
-							return int(o.Key % uint64(shards))
-						default:
-							return shard.CrossShard
-						}
+					Key:    hashtable.RouteKey,
+					Ring:   ring,
+				},
+				// Fully-active elastic plan over the same ring layout:
+				// "HCF-E" behaves like "HCF-S" here until something
+				// calls Split/Merge (no spare shards are provisioned).
+				Elastic: &ElasticPlan{
+					MaxShards: shards,
+					Initial:   shards,
+					Key:       hashtable.RouteKey,
+					Bind: func(op engine.Op, si int) engine.Op {
+						return hashtable.BindTable(op, tables[si])
+					},
+					Migrate: func(ctx memsim.Ctx, from, to int, old, next *route.Ring) int {
+						return hashtable.MigrateTables(ctx, tables, from, next)
 					},
 				},
 				NextOp: func(r *rand.Rand) engine.Op {

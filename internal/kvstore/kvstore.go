@@ -40,6 +40,7 @@ import (
 	"hcf/internal/metrics"
 	"hcf/internal/native"
 	"hcf/internal/native/hashtable"
+	"hcf/internal/route"
 )
 
 // Operation classes (indexes into each shard's policy slice).
@@ -149,10 +150,10 @@ type shard struct {
 
 // Store is the engine: open it with Open, take one Handle per goroutine.
 type Store struct {
-	cfg       Config
-	dir       string
-	shardMask uint64
-	shards    []*shard
+	cfg    Config
+	dir    string
+	ring   *route.Ring
+	shards []*shard
 }
 
 // Open creates or re-opens a store rooted at dir. Existing shard logs
@@ -164,11 +165,15 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: %w", err)
 	}
+	ring, err := route.NewUniform(cfg.Shards, cfg.Shards, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
 	s := &Store{
-		cfg:       cfg,
-		dir:       dir,
-		shardMask: uint64(cfg.Shards - 1),
-		shards:    make([]*shard, cfg.Shards),
+		cfg:    cfg,
+		dir:    dir,
+		ring:   ring,
+		shards: make([]*shard, cfg.Shards),
 	}
 	for i := range s.shards {
 		sh, err := openShard(filepath.Join(dir, fmt.Sprintf("shard-%03d.log", i)), cfg)
@@ -365,8 +370,22 @@ func (h *Handle) Release() {
 	}
 }
 
+// shardOf routes key through the shared internal/route consistent-hash
+// ring (one slot per shard: the owner is the top log2(Shards) bits of
+// the Fibonacci hash), so the sim-backed sharded engine and the KV
+// store use one audited key→shard function.
+//
+// Log-compatibility note: the key→shard map is part of the on-disk
+// layout. This mapping replaced an earlier private one that used bits
+// [40, 40+log2(Shards)) of the same Fibonacci product; a store whose
+// logs were written under that mapping must be migrated before being
+// served by this version — replay every shard log and re-Put each live
+// key through a freshly Opened store (single-shard stores need no
+// migration: both mappings are the constant 0). Stores created by this
+// version re-open unchanged; the recovery replay and the index it
+// rebuilds are bit-identical because writes and reads share s.ring.
 func (s *Store) shardOf(key uint64) int {
-	return int((key * 0x9E3779B97F4A7C15 >> 40) & s.shardMask)
+	return s.ring.Owner(key)
 }
 
 // Get returns the current value of key, or ok=false if absent. The

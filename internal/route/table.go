@@ -1,0 +1,40 @@
+package route
+
+import "sync/atomic"
+
+// Table publishes the current Ring by epoch: writers install a new
+// immutable ring with a single atomic pointer swap, readers load it
+// wait-free on every operation. There is intentionally no
+// reader-visible locking — a reader acting on a just-replaced ring is
+// the tolerated race, resolved by the sharded engine's
+// validate-under-lock retry protocol.
+type Table struct {
+	cur atomic.Pointer[Ring]
+}
+
+// NewTable creates a table publishing r.
+func NewTable(r *Ring) *Table {
+	t := &Table{}
+	t.cur.Store(r)
+	return t
+}
+
+// Load returns the current ring. Wait-free, zero-alloc.
+func (t *Table) Load() *Ring { return t.cur.Load() }
+
+// Publish installs next as the current ring. The caller must hold
+// whatever external exclusion makes the transition linearizable (the
+// sharded engine publishes only while holding every shard lock);
+// Publish itself only guarantees the swap is atomic and that the new
+// epoch is monotonic.
+func (t *Table) Publish(next *Ring) {
+	for {
+		old := t.cur.Load()
+		if next.epoch <= old.epoch {
+			panic("route: Publish with non-monotonic epoch")
+		}
+		if t.cur.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

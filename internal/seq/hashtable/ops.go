@@ -4,6 +4,7 @@ import (
 	"hcf/internal/core"
 	"hcf/internal/engine"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 )
 
 // Operation classes. Find and Remove share a publication array and a
@@ -115,6 +116,67 @@ func (o RemoveOp) Apply(ctx memsim.Ctx) uint64 {
 
 // Class implements engine.Op.
 func (o RemoveOp) Class() int { return ClassRemove }
+
+// RouteKey is the shard.KeyFunc for hash-table operations: single-key
+// operations route by their key; whole-structure scans (SumOp,
+// SumAllOp) and anything unrecognized report ok=false and run on a
+// sharded engine's cross-shard all-locks path. This is the one routing
+// extractor shared by every sharded hash-table consumer (harness,
+// examples, fuzzer) — the four hand-written mod-N closures it replaced
+// each re-derived it.
+func RouteKey(op engine.Op) (uint64, bool) {
+	switch o := op.(type) {
+	case FindOp:
+		return o.Key, true
+	case InsertOp:
+		return o.Key, true
+	case RemoveOp:
+		return o.Key, true
+	}
+	return 0, false
+}
+
+// BindTable returns op bound to table t. It is the shard.Elastic Bind
+// hook for hash-table ops: single-key operations are rebound to the
+// table of whatever shard owns their key at apply time; other ops pass
+// through unchanged.
+func BindTable(op engine.Op, t *Table) engine.Op {
+	switch o := op.(type) {
+	case FindOp:
+		o.T = t
+		return o
+	case InsertOp:
+		o.T = t
+		return o
+	case RemoveOp:
+		o.T = t
+		return o
+	}
+	return op
+}
+
+// MigrateTables is the resharding mover for a ring-partitioned set of
+// tables (one per shard): every key in tables[from] that the next ring
+// routes elsewhere is removed and re-inserted into its new owner's
+// table, and the number of keys moved is returned. It is plain
+// sequential code — callers (shard.Elastic's MigrateFunc) run it while
+// holding every shard's data-structure lock, making the whole move one
+// linearizable step.
+func MigrateTables(ctx memsim.Ctx, tables []*Table, from int, next *route.Ring) int {
+	var keys, vals []uint64
+	tables[from].Iterate(ctx, func(k, v uint64) bool {
+		if next.Owner(k) != from {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		return true
+	})
+	for i, k := range keys {
+		tables[from].Remove(ctx, k)
+		tables[next.Owner(k)].Insert(ctx, k, vals[i])
+	}
+	return len(keys)
+}
 
 // CombineInserts is the RunMulti for the Insert publication array: all
 // pending inserts are applied through InsertN, chaining their table-list

@@ -26,6 +26,7 @@ import (
 	"hcf/internal/engine"
 	"hcf/internal/htm"
 	"hcf/internal/memsim"
+	"hcf/internal/route"
 )
 
 // Router maps an operation to the shard that owns it, or CrossShard for
@@ -34,6 +35,12 @@ import (
 // its whole lifetime.
 type Router func(op engine.Op) int
 
+// KeyFunc extracts an operation's routing key. ok=false marks an
+// operation that spans shards (it runs on the all-locks cross-shard
+// path). Engines that route by key share one audited key→shard map (the
+// internal/route ring) instead of N hand-written mod-N closures.
+type KeyFunc func(op engine.Op) (key uint64, ok bool)
+
 // CrossShard is the Router return value for operations that cannot be
 // confined to one shard; they run on the all-locks pessimistic path.
 const CrossShard = -1
@@ -41,11 +48,23 @@ const CrossShard = -1
 // Config configures a Sharded engine. Policies, HoldSelectionLock, HTM
 // and ExtraArrays are applied to every per-shard framework (budgets stay
 // independently adjustable per shard afterwards via Shard).
+//
+// Routing is configured in exactly one of two ways: a Router closure
+// (full control, legacy), or a Key extractor plus an optional Ring —
+// key-routed engines look the owner up on a consistent-hash ring
+// (route.NewUniform over Shards when Ring is nil), which is the shared,
+// audited key→shard map and the prerequisite for elastic resharding.
 type Config struct {
 	// Shards is the number of frameworks; must be >= 1.
 	Shards int
-	// Router maps operations to shards; must be non-nil.
+	// Router maps operations to shards; mutually exclusive with Key.
 	Router Router
+	// Key extracts the routing key; mutually exclusive with Router.
+	Key KeyFunc
+	// Ring overrides the consistent-hash topology used with Key
+	// (default: route.NewUniform(Shards, 0, Shards)). Ignored with
+	// Router. Must have NumShards() == Shards.
+	Ring *route.Ring
 	// Policies, indexed by Op.Class(), must be non-empty.
 	Policies []core.Policy
 	// HoldSelectionLock selects the specialized HCF variant (§2.4).
@@ -69,6 +88,7 @@ type threadMetrics struct {
 type Sharded struct {
 	shards []*core.Framework
 	router Router
+	ring   *route.Ring // non-nil iff key-routed (static topology)
 	name   string
 	// per holds the cross-shard path's counters; shard-local operations
 	// are counted by their framework.
@@ -83,24 +103,18 @@ var (
 	_ engine.MeteredEngine   = (*Sharded)(nil)
 )
 
-// New builds a Sharded engine over env.
-func New(env memsim.Env, cfg Config) (*Sharded, error) {
-	if cfg.Shards < 1 {
-		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", cfg.Shards)
-	}
-	if cfg.Router == nil {
-		return nil, fmt.Errorf("shard: Router must be non-nil")
-	}
-	name := cfg.Name
-	if name == "" {
-		name = "HCF-S"
+// newShards provisions n per-shard frameworks and the cross-path
+// counters; routing is the caller's concern (New wires a Router or a
+// static ring, Elastic wires its epoch-published table).
+func newShards(env memsim.Env, cfg Config, n int, name string) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: Shards must be >= 1, got %d", n)
 	}
 	s := &Sharded{
-		router: cfg.Router,
-		name:   name,
-		per:    make([]threadMetrics, env.NumThreads()+1),
+		name: name,
+		per:  make([]threadMetrics, env.NumThreads()+1),
 	}
-	for i := 0; i < cfg.Shards; i++ {
+	for i := 0; i < n; i++ {
 		fw, err := core.New(env, core.Config{
 			Policies:          cfg.Policies,
 			HoldSelectionLock: cfg.HoldSelectionLock,
@@ -115,6 +129,49 @@ func New(env memsim.Env, cfg Config) (*Sharded, error) {
 	}
 	return s, nil
 }
+
+// New builds a Sharded engine over env.
+func New(env memsim.Env, cfg Config) (*Sharded, error) {
+	if (cfg.Router == nil) == (cfg.Key == nil) {
+		return nil, fmt.Errorf("shard: exactly one of Router and Key must be set")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "HCF-S"
+	}
+	s, err := newShards(env, cfg, cfg.Shards, name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Router != nil {
+		s.router = cfg.Router
+		return s, nil
+	}
+	ring := cfg.Ring
+	if ring == nil {
+		if ring, err = route.NewUniform(cfg.Shards, 0, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+	if ring.NumShards() != cfg.Shards {
+		return nil, fmt.Errorf("shard: ring spans %d shards, engine has %d", ring.NumShards(), cfg.Shards)
+	}
+	key := cfg.Key
+	s.ring = ring
+	s.router = func(op engine.Op) int {
+		k, ok := key(op)
+		if !ok {
+			return CrossShard
+		}
+		return ring.Owner(k)
+	}
+	return s, nil
+}
+
+// Ring returns the static consistent-hash topology of a key-routed
+// engine, or nil for Router-based engines (and for Elastic, whose
+// topology is dynamic — see Elastic.Topology).
+func (s *Sharded) Ring() *route.Ring { return s.ring }
 
 // Name returns the engine name.
 func (s *Sharded) Name() string { return s.name }
@@ -267,4 +324,14 @@ func (s *Sharded) CrossOps() uint64 {
 		n += s.per[i].m.Ops
 	}
 	return n
+}
+
+// ShardOps returns the cumulative completed-operation count per shard —
+// the load signal the Rebalancer samples to find hot shards.
+func (s *Sharded) ShardOps() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, fw := range s.shards {
+		out[i] = fw.Metrics().Ops
+	}
+	return out
 }

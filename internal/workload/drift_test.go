@@ -155,3 +155,61 @@ func TestDriftIsPureFunctionOfTimeAndRNG(t *testing.T) {
 		}
 	}
 }
+
+func TestRingSkewValidation(t *testing.T) {
+	sched, _ := NewSchedule(100)
+	mod4 := func(k uint64) int { return int(k % 4) }
+	if _, err := NewRingSkew(Uniform{N: 64}, mod4, sched, []int{0, 1}, 101); err == nil {
+		t.Error("hotPct > 100 accepted")
+	}
+	if _, err := NewRingSkew(Uniform{N: 64}, mod4, sched, []int{0}, 90); err == nil {
+		t.Error("target count != segments accepted")
+	}
+	if _, err := NewRingSkew(Uniform{N: 64}, func(uint64) int { return 9 }, sched, []int{0, 1}, 90); err == nil {
+		t.Error("target owning no keys accepted")
+	}
+}
+
+// TestRingSkewDriftsHotShard pins the semantics the elastic figure
+// rides on: during a skewed segment ~hotPct of keys route to the
+// target shard, and the target moves when the schedule crosses a
+// bound. Unskewed segments (target < 0) stay balanced.
+func TestRingSkewDriftsHotShard(t *testing.T) {
+	const shards, draws = 4, 20000
+	owner := func(k uint64) int { return int((k * 0x9E3779B97F4A7C15) >> 62) }
+	sched, err := NewSchedule(1000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := NewRingSkew(Uniform{N: 1 << 16}, owner, sched, []int{-1, 1, 3}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.Range() != 1<<16 {
+		t.Fatalf("Range = %d", skew.Range())
+	}
+	share := func(now int64, shard int) float64 {
+		r := rand.New(rand.NewPCG(42, uint64(now)))
+		n := 0
+		for i := 0; i < draws; i++ {
+			if owner(skew.NextAt(now, r)) == shard {
+				n++
+			}
+		}
+		return float64(n) / draws
+	}
+	for s := 0; s < shards; s++ {
+		if f := share(500, s); f < 0.15 || f > 0.35 {
+			t.Errorf("unskewed segment: shard %d share %.2f", s, f)
+		}
+	}
+	if f := share(1500, 1); f < 0.85 {
+		t.Errorf("segment 1: hot shard 1 share %.2f, want >= 0.85", f)
+	}
+	if f := share(2500, 3); f < 0.85 {
+		t.Errorf("segment 2: hot shard 3 share %.2f, want >= 0.85", f)
+	}
+	if f := share(2500, 1); f > 0.15 {
+		t.Errorf("segment 2: old hot shard 1 still at %.2f", f)
+	}
+}

@@ -287,3 +287,79 @@ func (d *DriftKeys) Range() uint64 {
 	}
 	return n
 }
+
+// RingSkew skews a key stream toward the shard of a consistent-hash
+// ring that owns a drifting target. Hash routing spreads any contiguous
+// hot key *range* uniformly over shards, so — unlike ShardSkew's
+// residue-class remap for mod routing — forming a hot shard requires
+// drawing from the set of keys the ring actually routes to one shard.
+// RingSkew precomputes that set per schedule segment against the
+// *initial* ring: when the hot shard later splits, the same hot set
+// spreads over the two halves, which is exactly the healing mechanism
+// the elastic layer is built to exercise. A negative target marks an
+// unskewed segment (balanced traffic).
+//
+// Like DriftKeys, it is a pure function of (time, rng): drifting skew
+// stays deterministic per seed.
+type RingSkew struct {
+	inner  KeyGen
+	hotPct uint64
+	sched  *Schedule
+	hot    [][]uint64 // per segment: keys owned by the target, nil = unskewed
+}
+
+// ringSkewScanCap bounds the per-segment hot-set precomputation scan.
+const ringSkewScanCap = 1 << 20
+
+// Owner abstracts the route.Ring lookup (avoids a package cycle and
+// keeps workload testable with a plain func).
+type Owner func(key uint64) int
+
+// NewRingSkew builds a drifting ring-skew generator: in schedule
+// segment i, hotPct percent of draws are replaced by a uniform draw
+// from the keys that owner routes to targets[i] (drawn from
+// [0, inner.Range()), capped at the first 2^20 keys). targets[i] < 0
+// leaves segment i unskewed.
+func NewRingSkew(inner KeyGen, owner Owner, sched *Schedule, targets []int, hotPct int) (*RingSkew, error) {
+	if hotPct < 0 || hotPct > 100 {
+		return nil, fmt.Errorf("workload: hot percentage %d outside [0,100]", hotPct)
+	}
+	if len(targets) != sched.Segments() {
+		return nil, fmt.Errorf("workload: ring skew got %d targets for %d segments", len(targets), sched.Segments())
+	}
+	s := &RingSkew{inner: inner, hotPct: uint64(hotPct), sched: sched, hot: make([][]uint64, len(targets))}
+	scan := min(inner.Range(), ringSkewScanCap)
+	for i, tgt := range targets {
+		if tgt < 0 {
+			continue
+		}
+		var keys []uint64
+		for k := uint64(0); k < scan; k++ {
+			if owner(k) == tgt {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return nil, fmt.Errorf("workload: ring skew target %d owns no keys in [0,%d)", tgt, scan)
+		}
+		s.hot[i] = keys
+	}
+	return s, nil
+}
+
+// NextAt draws a key for virtual time now.
+func (s *RingSkew) NextAt(now int64, r *rand.Rand) uint64 {
+	k := s.inner.Next(r)
+	hot := s.hot[s.sched.SegmentAt(now)]
+	if hot == nil || r.Uint64N(100) >= s.hotPct {
+		return k
+	}
+	return hot[r.Uint64N(uint64(len(hot)))]
+}
+
+// Range implements the KeyGen range contract.
+func (s *RingSkew) Range() uint64 { return s.inner.Range() }
+
+// Next implements KeyGen at virtual time 0 — the static use of a ring
+// skew (single segment, fixed target).
+func (s *RingSkew) Next(r *rand.Rand) uint64 { return s.NextAt(0, r) }

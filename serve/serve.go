@@ -31,7 +31,10 @@
 //	/debug/metrics   full report (?format=prom | text | json)
 //	/debug/intervals per-interval time series with backlog gauges
 //	/debug/slo       SLO objectives, burn rates, verdicts (?format=prom | text)
-//	/debug/shards    per-shard ops/commits/aborts/combining breakdown
+//	/debug/shards    per-shard ops/commits/aborts/combining breakdown;
+//	                 with SetTopology (elastic engines) the payload is
+//	                 {"topology": ..., "counters": [...]} adding ring
+//	                 epoch, slot ownership and split/merge totals
 //	/debug/sojourn   per-class sojourn latency through p9999
 //	/debug/hotlines  trace conflict attribution (published at tick cadence)
 //	/debug/journal   autotuner decision journal (?n=K tails the last K)
@@ -50,6 +53,7 @@ import (
 
 	"hcf/internal/adaptive"
 	"hcf/internal/metrics"
+	"hcf/internal/shard"
 	"hcf/internal/trace"
 )
 
@@ -104,13 +108,14 @@ type Server struct {
 	engine   string
 	threads  int
 
-	report  func() *metrics.Report
-	slo     func() *metrics.SLOSnapshot
-	shards  func() []metrics.GroupCounters
-	sojourn func() []ClassLatency
-	health  func() *metrics.TraceHealth
-	backlog func() int64
-	journal *adaptive.Journal
+	report   func() *metrics.Report
+	slo      func() *metrics.SLOSnapshot
+	shards   func() []metrics.GroupCounters
+	topology func() *shard.Topology
+	sojourn  func() []ClassLatency
+	health   func() *metrics.TraceHealth
+	backlog  func() int64
+	journal  *adaptive.Journal
 
 	hotlines atomic.Pointer[[]trace.HotLine]
 	traceCol *trace.Collector
@@ -213,6 +218,17 @@ func (s *Server) SetShards(fn func() []metrics.GroupCounters) {
 	s.shards = fn
 }
 
+// SetTopology installs the elastic-topology provider. When set,
+// /debug/shards answers with an object {"topology": ..., "counters":
+// [...]} — ring epoch, active/provisioned shards, slot ownership,
+// split/merge/migration totals alongside the per-shard counters —
+// instead of the bare counters array a static sharded engine gets.
+func (s *Server) SetTopology(fn func() *shard.Topology) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topology = fn
+}
+
 // SetSojourn installs the /debug/sojourn provider.
 func (s *Server) SetSojourn(fn func() []ClassLatency) {
 	s.mu.Lock()
@@ -272,7 +288,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/metrics":   "full metrics report (?format=json|prom|text)",
 		"/debug/intervals": "per-interval time series with backlog gauges",
 		"/debug/slo":       "SLO objectives, burn rates, verdicts (?format=json|prom|text)",
-		"/debug/shards":    "per-shard counters (sharded engines)",
+		"/debug/shards":    "per-shard counters; +ring topology for elastic engines",
 		"/debug/sojourn":   "per-class sojourn latency through p9999",
 		"/debug/hotlines":  "trace conflict attribution by cache line",
 		"/debug/journal":   "autotuner decision journal (?n=K for the last K)",
@@ -346,16 +362,29 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	fn := s.shards
+	topo := s.topology
 	s.mu.RUnlock()
-	if fn == nil {
+	if fn == nil && topo == nil {
 		http.Error(w, "no shard provider configured", http.StatusNotFound)
 		return
 	}
-	sh := fn()
+	var sh []metrics.GroupCounters
+	if fn != nil {
+		sh = fn()
+	}
 	if sh == nil {
 		sh = []metrics.GroupCounters{}
 	}
-	writeJSON(w, sh)
+	// Static sharded engines keep the original bare-array shape; elastic
+	// engines get the object shape with the live topology alongside.
+	if topo == nil {
+		writeJSON(w, sh)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"topology": topo(),
+		"counters": sh,
+	})
 }
 
 func (s *Server) handleSojourn(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,8 @@ import (
 	"hcf/internal/adaptive"
 	"hcf/internal/harness"
 	"hcf/internal/metrics"
+	"hcf/internal/route"
+	"hcf/internal/shard"
 	"hcf/internal/trace"
 )
 
@@ -398,5 +400,58 @@ func TestServerStartClose(t *testing.T) {
 	}
 	if s.Addr() != "" {
 		t.Fatalf("Addr after close: %q", s.Addr())
+	}
+}
+
+// TestShardsTopologyShape pins the two /debug/shards payload shapes:
+// the bare counters array for static sharded engines, and the
+// {"topology", "counters"} object once SetTopology is installed
+// (elastic engines).
+func TestShardsTopologyShape(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	s.SetShards(func() []metrics.GroupCounters {
+		return []metrics.GroupCounters{{Group: "shard0", Ops: 7}}
+	})
+
+	code, body := get(t, h, "/debug/shards")
+	if code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "[") {
+		t.Fatalf("static shape: code %d body %q", code, body)
+	}
+
+	s.SetTopology(func() *shard.Topology {
+		return &shard.Topology{
+			Name:        "HCF-E",
+			Provisioned: 8,
+			Splits:      2,
+			MovedKeys:   495,
+			Ring:        route.Snapshot{Epoch: 2, Slots: 64, Active: 6},
+		}
+	})
+	code, body = get(t, h, "/debug/shards")
+	if code != 200 {
+		t.Fatalf("elastic shape: code %d", code)
+	}
+	var obj struct {
+		Topology *shard.Topology         `json:"topology"`
+		Counters []metrics.GroupCounters `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(body), &obj); err != nil {
+		t.Fatalf("elastic shape not an object: %v body %q", err, body)
+	}
+	if obj.Topology == nil || obj.Topology.Ring.Epoch != 2 || obj.Topology.Splits != 2 {
+		t.Fatalf("topology lost in transit: %+v", obj.Topology)
+	}
+	if len(obj.Counters) != 1 || obj.Counters[0].Group != "shard0" {
+		t.Fatalf("counters lost in transit: %+v", obj.Counters)
+	}
+
+	// Topology alone (no counters provider) still answers with the
+	// object shape rather than 404.
+	s2 := New()
+	s2.SetTopology(func() *shard.Topology { return &shard.Topology{Provisioned: 4} })
+	code, body = get(t, s2.Handler(), "/debug/shards")
+	if code != 200 || !strings.Contains(body, "\"topology\"") {
+		t.Fatalf("topology-only: code %d body %q", code, body)
 	}
 }
